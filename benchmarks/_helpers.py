@@ -1,0 +1,141 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one figure of the paper's evaluation
+(section 7): it runs the experiment, prints the same rows/series the
+paper reports next to the paper's own numbers, and appends a summary to
+``benchmarks/results/`` so EXPERIMENTS.md can be kept in sync.
+
+Absolute numbers are not expected to match (the substrate is a packet
+simulator, not Grid'5000); the *shape* — who wins, by what factor, where
+the crossovers are — is what each bench asserts loosely and reports.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.calibration import CalibratedModels, calibrate_all
+from repro.calibration.calibrate import replay_config
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_pingpong_campaign
+from repro.smpi import SmpiConfig, smpirun
+from repro.surf import Platform
+from repro.surf.network_model import ConstantNetworkModel, NetworkModel
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: seed used by every reference-measurement campaign in the benches
+SEED = 42
+
+
+class FigureReport:
+    """Collects printable lines and persists them under results/."""
+
+    def __init__(self, figure: str, title: str):
+        self.figure = figure
+        self.title = title
+        self._buf = io.StringIO()
+        self.line("=" * 72)
+        self.line(f"{figure}: {title}")
+        self.line("=" * 72)
+
+    def line(self, text: str = "") -> None:
+        self._buf.write(text + "\n")
+
+    def paper(self, text: str) -> None:
+        self.line(f"  [paper]    {text}")
+
+    def measured(self, text: str) -> None:
+        self.line(f"  [measured] {text}")
+
+    def finish(self) -> str:
+        text = self._buf.getvalue()
+        print("\n" + text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{self.figure}.txt").write_text(text, encoding="utf-8")
+        return text
+
+
+_calibration_cache: dict[str, CalibratedModels] = {}
+
+
+def griffon_calibration(seed: int = SEED) -> CalibratedModels:
+    """The griffon ping-pong calibration shared by Figs. 3-5 (cached)."""
+    key = f"griffon-{seed}"
+    if key not in _calibration_cache:
+        platform = griffon(4)
+        campaign = run_pingpong_campaign(
+            platform, "griffon-0", "griffon-1", OPENMPI, seed=seed
+        )
+        _calibration_cache[key] = calibrate_all(
+            campaign.sizes, campaign.times, campaign.route
+        )
+    return _calibration_cache[key]
+
+
+def smpi_run(
+    app,
+    n_ranks: int,
+    platform: Platform,
+    model: NetworkModel,
+    app_args: tuple = (),
+    hosts: list[str] | None = None,
+    config: SmpiConfig | None = None,
+):
+    """An SMPI run with a calibrated model and the matching replay config."""
+    return smpirun(
+        app,
+        n_ranks,
+        platform,
+        app_args=app_args,
+        hosts=hosts,
+        config=config or replay_config(OPENMPI.config()),
+        network_model=model,
+    )
+
+
+def no_contention_model() -> NetworkModel:
+    """The strawman of Figs. 7/11: nominal bandwidth, no sharing."""
+    return ConstantNetworkModel()
+
+
+def fmt_series(xs, ys, x_name="x", y_scale=1.0, y_unit="s") -> str:
+    rows = [f"    {x_name:>12}  {'value':>12}"]
+    for x, y in zip(xs, ys):
+        rows.append(f"    {x:>12g}  {y * y_scale:>12.4g} {y_unit}")
+    return "\n".join(rows)
+
+
+def scatter_app(mpi, chunk_bytes: int):
+    """Binomial-tree scatter of ``chunk_bytes`` per rank; every rank
+    returns its completion time relative to the synchronised start."""
+    comm = mpi.COMM_WORLD
+    elems = chunk_bytes  # uint8
+    recv = np.zeros(elems, dtype=np.uint8)
+    send = None
+    if mpi.rank == 0:
+        send = np.zeros(mpi.size * elems, dtype=np.uint8)
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Scatter(send, recv, root=0)
+    return mpi.wtime() - start
+
+
+def alltoall_app(mpi, chunk_bytes: int):
+    """Pairwise all-to-all with ``chunk_bytes`` per peer; returns the
+    per-rank completion time."""
+    comm = mpi.COMM_WORLD
+    elems = chunk_bytes
+    send = np.zeros(mpi.size * elems, dtype=np.uint8)
+    recv = np.zeros(mpi.size * elems, dtype=np.uint8)
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Alltoall(send, recv)
+    return mpi.wtime() - start
+
+
+FORCE_BINOMIAL = {"scatter": "binomial"}
+FORCE_PAIRWISE = {"alltoall": "pairwise"}

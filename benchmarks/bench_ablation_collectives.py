@@ -1,0 +1,128 @@
+"""Ablation — collective algorithm variants (the paper's announced future
+work, section 5.3: "Future versions will provide multiple variants,
+letting users choose which ones to use in the simulation").
+
+For each collective with several implementations, runs every variant on
+the same workload and reports the *simulated* completion times, showing
+why implementations select per message size: the winner changes between
+the small- and large-message regimes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import FigureReport, griffon_calibration, smpi_run
+from repro.calibration.calibrate import replay_config
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI
+from repro.smpi.coll import ALGORITHMS
+
+N_PROCS = 16
+SMALL = 1024
+LARGE = 1024 * 1024
+
+
+def bcast_app(mpi, elems):
+    buf = np.zeros(elems, dtype=np.uint8)
+    mpi.COMM_WORLD.Barrier()
+    start = mpi.wtime()
+    mpi.COMM_WORLD.Bcast(buf, root=0)
+    mpi.COMM_WORLD.Barrier()
+    return mpi.wtime() - start
+
+
+def allgather_app(mpi, elems):
+    send = np.zeros(elems, dtype=np.uint8)
+    recv = np.zeros(mpi.size * elems, dtype=np.uint8)
+    mpi.COMM_WORLD.Barrier()
+    start = mpi.wtime()
+    mpi.COMM_WORLD.Allgather(send, recv)
+    mpi.COMM_WORLD.Barrier()
+    return mpi.wtime() - start
+
+
+def alltoall_app(mpi, elems):
+    send = np.zeros(mpi.size * elems, dtype=np.uint8)
+    recv = np.zeros(mpi.size * elems, dtype=np.uint8)
+    mpi.COMM_WORLD.Barrier()
+    start = mpi.wtime()
+    mpi.COMM_WORLD.Alltoall(send, recv)
+    mpi.COMM_WORLD.Barrier()
+    return mpi.wtime() - start
+
+
+def allreduce_app(mpi, elems):
+    send = np.zeros(elems)
+    recv = np.zeros(elems)
+    mpi.COMM_WORLD.Barrier()
+    start = mpi.wtime()
+    mpi.COMM_WORLD.Allreduce(send, recv)
+    mpi.COMM_WORLD.Barrier()
+    return mpi.wtime() - start
+
+
+APPS = {
+    "bcast": bcast_app,
+    "allgather": allgather_app,
+    "alltoall": alltoall_app,
+    "allreduce": allreduce_app,
+}
+
+
+def experiment():
+    models = griffon_calibration()
+    table: dict[str, dict[str, dict[int, float]]] = {}
+    for collective, app in APPS.items():
+        table[collective] = {}
+        for algo in sorted(ALGORITHMS[collective]):
+            if collective == "allreduce" and algo == "recursive_doubling":
+                pass  # fine for 16 procs (power of two)
+            table[collective][algo] = {}
+            for elems in (SMALL, LARGE):
+                cfg = replay_config(
+                    OPENMPI.config(coll_algorithms={collective: algo})
+                )
+                result = smpi_run(
+                    app, N_PROCS, griffon(N_PROCS), models.piecewise,
+                    app_args=(elems,), config=cfg,
+                )
+                table[collective][algo][elems] = max(result.returns)
+    return table
+
+
+def test_ablation_collectives(once):
+    table = once(experiment)
+    report = FigureReport(
+        "ablation_collectives",
+        "collective algorithm variants: simulated times (16 procs)",
+    )
+    for collective, algos in table.items():
+        report.line(f"  {collective}:")
+        for algo, times in algos.items():
+            report.line(
+                f"    {algo:<22} {SMALL:>7} B: {times[SMALL] * 1e3:>9.3f} ms"
+                f"   {LARGE:>8} B: {times[LARGE] * 1e3:>10.3f} ms"
+            )
+        small_best = min(algos, key=lambda a: algos[a][SMALL])
+        large_best = min(algos, key=lambda a: algos[a][LARGE])
+        report.measured(
+            f"{collective}: best at {SMALL} B = {small_best}, "
+            f"best at {LARGE} B = {large_best}"
+        )
+        report.line()
+    report.finish()
+
+    # the motivating fact for per-size selection: for at least one
+    # collective the winner differs between the two regimes
+    different = sum(
+        1
+        for algos in table.values()
+        if min(algos, key=lambda a: algos[a][SMALL])
+        != min(algos, key=lambda a: algos[a][LARGE])
+    )
+    assert different >= 1
+    # sanity: every variant of a collective produced a positive time
+    for algos in table.values():
+        for times in algos.values():
+            assert all(t > 0 for t in times.values())

@@ -1,0 +1,88 @@
+"""Ablation — max-min solver implementations.
+
+DESIGN.md commits to two cross-checked solvers with a size-based switch
+(`VECTORIZE_THRESHOLD`).  This bench measures both on growing systems and
+prints where the crossover actually falls on this machine, validating the
+constant baked into :mod:`repro.surf.maxmin`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+import numpy as np
+
+from _helpers import FigureReport
+from repro import rng as rng_mod
+from repro.surf.maxmin import (
+    MaxMinSystem,
+    VECTORIZE_THRESHOLD,
+    solve_maxmin_reference,
+    solve_maxmin_vectorized,
+)
+
+
+def random_system(n_flows: int, n_cons: int, seed: int) -> MaxMinSystem:
+    gen = rng_mod.substream(seed, "ablation-maxmin", n_flows)
+    system = MaxMinSystem()
+    for i in range(n_cons):
+        system.add_constraint(f"c{i}", float(gen.uniform(10, 1000)))
+    for i in range(n_flows):
+        k = int(gen.integers(1, min(4, n_cons) + 1))
+        cids = tuple(sorted(gen.choice(n_cons, size=k, replace=False).tolist()))
+        bound = math.inf if gen.random() < 0.5 else float(gen.uniform(1, 500))
+        system.add_flow(f"f{i}", cids, bound=bound)
+    return system
+
+
+def time_solver(solver, system, repeats=30) -> float:
+    best = math.inf
+    for _ in range(repeats):
+        start = time.perf_counter()
+        solver(system)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def experiment():
+    rows = []
+    for n_flows in (4, 8, 16, 32, 64, 128, 256, 512):
+        n_cons = max(2, n_flows // 2)
+        system = random_system(n_flows, n_cons, seed=1)
+        ref = solve_maxmin_reference(system)
+        vec = solve_maxmin_vectorized(system)
+        np.testing.assert_allclose(ref, vec, rtol=1e-9, atol=1e-9)
+        t_ref = time_solver(solve_maxmin_reference, system)
+        t_vec = time_solver(solve_maxmin_vectorized, system)
+        rows.append((n_flows, t_ref, t_vec))
+    return rows
+
+
+def test_ablation_maxmin(once):
+    rows = once(experiment)
+    report = FigureReport(
+        "ablation_maxmin", "reference vs vectorised max-min solver"
+    )
+    report.line(f"  {'flows':>6} {'reference':>12} {'vectorised':>12} {'ratio':>8}")
+    crossover = None
+    for n_flows, t_ref, t_vec in rows:
+        marker = ""
+        if t_vec < t_ref and crossover is None:
+            crossover = n_flows
+            marker = "  <- vectorised wins"
+        report.line(
+            f"  {n_flows:>6} {t_ref * 1e6:>10.1f}us {t_vec * 1e6:>10.1f}us "
+            f"{t_ref / t_vec:>7.2f}x{marker}"
+        )
+    report.line()
+    report.measured(
+        f"configured threshold {VECTORIZE_THRESHOLD}; measured crossover "
+        f"around {crossover} flows"
+    )
+    report.finish()
+
+    big = rows[-1]
+    assert big[2] < big[1], "vectorised must win on large systems"
+    small = rows[0]
+    assert small[1] < small[2] * 5, "reference competitive on small systems"

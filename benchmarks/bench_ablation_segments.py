@@ -1,0 +1,69 @@
+"""Ablation — how many linear segments does the model need?
+
+The paper states "in practice, we find that the model should be
+instantiated for 3 segments" (section 4.1).  This bench fits 1-4 segments
+on the same griffon campaign and reports the accuracy of each, checking
+the paper's choice: a large jump from 2 to 3 segments and diminishing
+returns after.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import SEED, FigureReport
+from repro.calibration import fit_segments
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_pingpong_campaign
+from repro.surf.network_model import PiecewiseLinearNetworkModel
+
+
+def experiment():
+    campaign = run_pingpong_campaign(
+        griffon(2), "griffon-0", "griffon-1", OPENMPI, seed=SEED + 9
+    )
+    rows = []
+    for k in (1, 2, 3, 4):
+        segments = fit_segments(campaign.sizes, campaign.times, n_segments=k)
+        model = PiecewiseLinearNetworkModel.from_segments(
+            [(s.lo, s.hi, s.alpha, s.beta) for s in segments], campaign.route
+        )
+        predicted = np.asarray(
+            [model.predict_time(float(s), campaign.route) for s in campaign.sizes]
+        )
+        comparison = compare_series(
+            f"{k}-segment", campaign.sizes, predicted, campaign.times
+        )
+        boundaries = [s.hi for s in segments[:-1]]
+        rows.append((k, comparison, boundaries, model.parameter_count))
+    return rows
+
+
+def test_ablation_segments(once):
+    rows = once(experiment)
+    report = FigureReport(
+        "ablation_segments", "1/2/3/4-segment piece-wise fits (griffon)"
+    )
+    for k, comparison, boundaries, n_params in rows:
+        bounds = ", ".join(f"{b:.0f}" for b in boundaries) or "—"
+        report.line(
+            f"  k={k} ({n_params} params, boundaries at [{bounds}] B): "
+            f"{comparison.row()}"
+        )
+    report.line()
+    report.paper("the model should be instantiated for 3 segments "
+                 "(8 parameters)")
+    errors = {k: cmp.mean_error_pct for k, cmp, _b, _p in rows}
+    report.measured(
+        "avg errors: " + ", ".join(f"k={k}: {e:.2f}%" for k, e in errors.items())
+    )
+    report.finish()
+
+    # 3 segments beat 1 and 2 decisively; 4 adds little
+    assert errors[3] < 0.5 * errors[2]
+    assert errors[2] <= errors[1]
+    assert errors[4] <= errors[3] + 0.5
+    improvement_3 = errors[2] - errors[3]
+    improvement_4 = errors[3] - errors[4]
+    assert improvement_3 > 2 * max(improvement_4, 1e-6)

@@ -1,0 +1,66 @@
+"""Fig. 3 — ping-pong on the calibration cluster (griffon).
+
+Reproduces the accuracy comparison between SKaMPI measurements and the
+three SMPI models (default affine / best-fit affine / piece-wise linear)
+on the cluster the piece-wise model was calibrated on.
+
+Paper numbers: piece-wise 8.63 % avg (worst 27 %), default affine 32.1 %
+(worst 127 %), best-fit affine 18.5 % (worst 62.6 %).  Expected shape:
+piece-wise clearly best; both affine models fail on medium messages; the
+worst piece-wise error sits at the 64 KiB segment boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import SEED, FigureReport, griffon_calibration
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_pingpong_campaign
+
+MODELS = ("piecewise", "default_affine", "best_fit_affine")
+PAPER = {
+    "piecewise": (8.63, 27.0),
+    "default_affine": (32.1, 127.0),
+    "best_fit_affine": (18.5, 62.6),
+}
+
+
+def experiment():
+    models = griffon_calibration()
+    # an independent measurement run (fresh noise) plays the SKaMPI curve
+    campaign = run_pingpong_campaign(
+        griffon(4), "griffon-0", "griffon-1", OPENMPI, seed=SEED + 1
+    )
+    comparisons = {}
+    for name in MODELS:
+        predicted = models.predict(name, campaign.sizes)
+        comparisons[name] = compare_series(
+            name, campaign.sizes, predicted, campaign.times
+        )
+    return campaign, comparisons
+
+
+def test_fig03(once):
+    campaign, comparisons = once(experiment)
+    report = FigureReport(
+        "fig03", "ping-pong accuracy on the calibration cluster (griffon)"
+    )
+    report.line(campaign.table())
+    report.line()
+    for name in MODELS:
+        paper_avg, paper_worst = PAPER[name]
+        report.paper(f"{name:<18} avg {paper_avg:6.2f}%   worst {paper_worst:7.2f}%")
+        report.measured(comparisons[name].row())
+    report.finish()
+
+    pw, da, bf = (comparisons[m] for m in MODELS)
+    # the paper's qualitative claims
+    assert pw.mean_error_pct < bf.mean_error_pct <= da.mean_error_pct + 1e-9, (
+        "piece-wise must beat best-fit affine, which must beat default affine"
+    )
+    assert pw.mean_error_pct < 10.0
+    assert da.mean_error_pct > 2.0 * pw.mean_error_pct
+    # worst piece-wise error at/near the eager->rendezvous boundary (64 KiB)
+    assert 16_384 <= pw.max_error_at <= 262_144

@@ -1,0 +1,67 @@
+"""Fig. 4 — ping-pong on gdx (1 switch) with the *griffon* calibration.
+
+Demonstrates calibration transfer: the piece-wise model fitted on griffon
+predicts a different cluster (gdx, same-switch node pair) without
+re-calibration, because the model stores latency/bandwidth *correction
+factors* relative to the physical route, not absolute values.
+
+Paper numbers: piece-wise 7.88 % avg (worst 59.1 %), default affine
+28.1 % (worst 89.6 %), best-fit affine 16.4 % (worst 63.8 %).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import SEED, FigureReport, griffon_calibration
+from repro.metrics import compare_series
+from repro.platforms import gdx, gdx_same_switch_pair
+from repro.refcluster import OPENMPI, run_pingpong_campaign
+
+MODELS = ("piecewise", "default_affine", "best_fit_affine")
+PAPER = {
+    "piecewise": (7.88, 59.1),
+    "default_affine": (28.1, 89.6),
+    "best_fit_affine": (16.4, 63.8),
+}
+
+
+def experiment():
+    models = griffon_calibration()  # calibrated on griffon, NOT gdx
+    platform = gdx(40)
+    node_a, node_b = gdx_same_switch_pair()
+    campaign = run_pingpong_campaign(
+        platform, node_a, node_b, OPENMPI, seed=SEED + 2
+    )
+    gdx_route = campaign.route
+    comparisons = {}
+    for name in MODELS:
+        model = {
+            "piecewise": models.piecewise,
+            "default_affine": models.default_affine,
+            "best_fit_affine": models.best_fit_affine,
+        }[name]
+        predicted = np.asarray(
+            [model.predict_time(float(s), gdx_route) for s in campaign.sizes]
+        )
+        comparisons[name] = compare_series(
+            name, campaign.sizes, predicted, campaign.times
+        )
+    return campaign, comparisons
+
+
+def test_fig04(once):
+    campaign, comparisons = once(experiment)
+    report = FigureReport(
+        "fig04", "ping-pong on gdx (1 switch) using the griffon calibration"
+    )
+    for name in MODELS:
+        paper_avg, paper_worst = PAPER[name]
+        report.paper(f"{name:<18} avg {paper_avg:6.2f}%   worst {paper_worst:7.2f}%")
+        report.measured(comparisons[name].row())
+    report.finish()
+
+    pw, da, bf = (comparisons[m] for m in MODELS)
+    # cross-cluster transfer still leaves piece-wise clearly ahead
+    assert pw.mean_error_pct < bf.mean_error_pct <= da.mean_error_pct + 1e-9
+    assert pw.mean_error_pct < 12.0

@@ -1,0 +1,101 @@
+"""Fig. 7 — per-process completion times of a binomial-tree scatter,
+16 processes, 4 MiB chunks (64 MiB root buffer), on griffon.
+
+Four bars per process in the paper: SMPI with contention, SMPI without
+contention, OpenMPI and MPICH2.  Expected shape: the no-contention model
+*always underestimates*; SMPI-with-contention tracks both real
+implementations, whose mutual gap (≈5.3 % average) bounds the error that
+matters.  Also prints the Fig. 6 communication scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import (
+    FORCE_BINOMIAL,
+    SEED,
+    FigureReport,
+    griffon_calibration,
+    no_contention_model,
+    scatter_app,
+    smpi_run,
+)
+from repro.calibration.calibrate import replay_config
+from repro.metrics import mean_percent_error
+from repro.platforms import griffon
+from repro.refcluster import MPICH2, OPENMPI, run_reference
+from repro.smpi.coll import binomial_tree_edges
+
+N_PROCS = 16
+CHUNK = 4 * 1024 * 1024
+
+
+def experiment():
+    platform = griffon(N_PROCS)
+    hosts = platform.host_names()
+
+    results = {}
+    for label, implementation in (("OpenMPI", OPENMPI), ("MPICH2", MPICH2)):
+        ref = run_reference(
+            scatter_app, N_PROCS, griffon(N_PROCS),
+            implementation=implementation, app_args=(CHUNK,), seed=SEED,
+            config_overrides={"coll_algorithms": FORCE_BINOMIAL},
+        )
+        results[label] = np.asarray(ref.returns)
+
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config(coll_algorithms=FORCE_BINOMIAL))
+    smpi = smpi_run(scatter_app, N_PROCS, griffon(N_PROCS), models.piecewise,
+                    app_args=(CHUNK,), config=cfg)
+    results["SMPI"] = np.asarray(smpi.returns)
+
+    nocont = smpi_run(scatter_app, N_PROCS, griffon(N_PROCS),
+                      no_contention_model(), app_args=(CHUNK,), config=cfg)
+    results["SMPI-nocontention"] = np.asarray(nocont.returns)
+    del hosts
+    return results
+
+
+def test_fig07(once):
+    results = once(experiment)
+    report = FigureReport(
+        "fig07",
+        "per-process binomial scatter times, 16 procs x 4 MiB chunks",
+    )
+    report.line("Fig. 6 scheme (parent -> child: #chunks):")
+    report.line(
+        "  " + ", ".join(f"{s}->{d}:{c}" for s, d, c in binomial_tree_edges(16))
+    )
+    report.line()
+    header = f"  {'rank':>4} " + "".join(f"{k:>20}" for k in results)
+    report.line(header)
+    for rank in range(N_PROCS):
+        report.line(
+            f"  {rank:>4} "
+            + "".join(f"{results[k][rank]:>19.4f}s" for k in results)
+        )
+    gap_impl = mean_percent_error(results["OpenMPI"][1:], results["MPICH2"][1:])
+    gap_smpi = mean_percent_error(results["SMPI"][1:], results["MPICH2"][1:])
+    report.line()
+    report.paper("SMPI-vs-MPICH2 gap ~ OpenMPI-vs-MPICH2 gap (≈5.3 % avg; "
+                 "worst 17.6 % / 20.2 %)")
+    report.measured(f"OpenMPI vs MPICH2 avg gap {gap_impl:.2f}%  |  "
+                    f"SMPI vs MPICH2 avg gap {gap_smpi:.2f}%")
+    underest = (
+        results["SMPI-nocontention"][1:] <= results["OpenMPI"][1:] + 1e-9
+    ).mean()
+    report.paper("the no-contention model always underestimates")
+    report.measured(f"no-contention model underestimates OpenMPI on "
+                    f"{underest * 100:.0f}% of ranks")
+    report.finish()
+
+    # shape assertions
+    assert underest >= 0.9
+    assert gap_smpi < 4 * max(gap_impl, 5.0)
+    # contention model must be much closer to reality than no-contention
+    err_cont = mean_percent_error(results["SMPI"][1:], results["OpenMPI"][1:])
+    err_nocont = mean_percent_error(
+        results["SMPI-nocontention"][1:], results["OpenMPI"][1:]
+    )
+    assert err_cont < err_nocont

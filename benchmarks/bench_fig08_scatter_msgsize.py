@@ -1,0 +1,67 @@
+"""Fig. 8 — binomial scatter accuracy vs message size, 16 processes.
+
+Sweeps the per-rank chunk size and compares SMPI's simulated completion
+time (slowest rank) against the OpenMPI reference.  Paper shape: accurate
+(<10 % error) above ~10 KiB; *underestimates* below, because the
+continuous flow approximation is optimistic for small messages whose
+packet serialisation is not amortised.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import (
+    FORCE_BINOMIAL,
+    SEED,
+    FigureReport,
+    griffon_calibration,
+    scatter_app,
+    smpi_run,
+)
+from repro.calibration.calibrate import replay_config
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_reference
+
+N_PROCS = 16
+SIZES = [256, 1024, 4096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304]
+
+
+def experiment():
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config(coll_algorithms=FORCE_BINOMIAL))
+    reference, simulated = [], []
+    for size in SIZES:
+        ref = run_reference(
+            scatter_app, N_PROCS, griffon(N_PROCS),
+            app_args=(size,), seed=SEED,
+            config_overrides={"coll_algorithms": FORCE_BINOMIAL},
+        )
+        reference.append(max(ref.returns))
+        smpi = smpi_run(scatter_app, N_PROCS, griffon(N_PROCS),
+                        models.piecewise, app_args=(size,), config=cfg)
+        simulated.append(max(smpi.returns))
+    return compare_series("scatter", SIZES, simulated, reference)
+
+
+def test_fig08(once):
+    comparison = once(experiment)
+    report = FigureReport(
+        "fig08", "binomial scatter accuracy vs message size (16 procs)"
+    )
+    report.line(comparison.table("chunk_B"))
+    report.line()
+    report.paper("over 10 KiB: reasonably accurate (<10 % error); "
+                 "smaller messages are underestimated")
+    report.measured(comparison.row())
+    report.finish()
+
+    sizes = np.asarray(SIZES, dtype=float)
+    errors = np.abs(np.log(comparison.measured) - np.log(comparison.reference))
+    large = errors[sizes >= 65_536]
+    assert (np.exp(large) - 1).mean() < 0.15, "large messages should be accurate"
+    small_bias = (
+        comparison.measured[sizes <= 4096] <= comparison.reference[sizes <= 4096]
+    )
+    assert small_bias.mean() >= 0.5, "small messages trend optimistic"

@@ -1,0 +1,70 @@
+"""Fig. 9 — binomial scatter time vs number of processes (4 MiB chunks).
+
+The receive buffer stays 4 MiB per rank while the scattered total grows
+linearly with the process count.  Paper shape: SMPI is "very consistent
+with both MPI implementations for this message size" across 4..32
+processes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import (
+    FORCE_BINOMIAL,
+    SEED,
+    FigureReport,
+    griffon_calibration,
+    scatter_app,
+    smpi_run,
+)
+from repro.calibration.calibrate import replay_config
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import MPICH2, OPENMPI, run_reference
+
+CHUNK = 4 * 1024 * 1024
+PROC_COUNTS = [4, 8, 16, 32]
+
+
+def experiment():
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config(coll_algorithms=FORCE_BINOMIAL))
+    series = {"OpenMPI": [], "MPICH2": [], "SMPI": []}
+    for n in PROC_COUNTS:
+        for label, implementation in (("OpenMPI", OPENMPI), ("MPICH2", MPICH2)):
+            ref = run_reference(
+                scatter_app, n, griffon(n), implementation=implementation,
+                app_args=(CHUNK,), seed=SEED,
+                config_overrides={"coll_algorithms": FORCE_BINOMIAL},
+            )
+            series[label].append(max(ref.returns))
+        smpi = smpi_run(scatter_app, n, griffon(n), models.piecewise,
+                        app_args=(CHUNK,), config=cfg)
+        series["SMPI"].append(max(smpi.returns))
+    return series
+
+
+def test_fig09(once):
+    series = once(experiment)
+    report = FigureReport(
+        "fig09", "binomial scatter vs process count (4 MiB receive buffers)"
+    )
+    report.line(f"  {'procs':>6} {'OpenMPI':>12} {'MPICH2':>12} {'SMPI':>12}")
+    for i, n in enumerate(PROC_COUNTS):
+        report.line(
+            f"  {n:>6} {series['OpenMPI'][i]:>11.3f}s "
+            f"{series['MPICH2'][i]:>11.3f}s {series['SMPI'][i]:>11.3f}s"
+        )
+    comparison = compare_series(
+        "SMPI vs OpenMPI", PROC_COUNTS, series["SMPI"], series["OpenMPI"]
+    )
+    report.line()
+    report.paper("SMPI very consistent with both implementations at 4 MiB")
+    report.measured(comparison.row())
+    report.finish()
+
+    assert comparison.mean_error_pct < 12.0
+    # time grows monotonically with the process count in all three series
+    for label, values in series.items():
+        assert (np.diff(values) > 0).all(), f"{label} should grow with P"

@@ -1,0 +1,66 @@
+"""Fig. 12 — pairwise all-to-all accuracy vs message size, 16 processes.
+
+Paper shape: same story as the scatter sweep (Fig. 8) but harsher — the
+continuous-flow optimism for small messages compounds across the P
+simultaneous flows, giving 28.7 % average error overall (worst 80 %),
+while large messages stay accurate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import (
+    FORCE_PAIRWISE,
+    SEED,
+    FigureReport,
+    alltoall_app,
+    griffon_calibration,
+    smpi_run,
+)
+from repro.calibration.calibrate import replay_config
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_reference
+
+N_PROCS = 16
+SIZES = [256, 2048, 16_384, 131_072, 1_048_576, 4_194_304]
+
+
+def experiment():
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config(coll_algorithms=FORCE_PAIRWISE))
+    reference, simulated = [], []
+    for size in SIZES:
+        ref = run_reference(
+            alltoall_app, N_PROCS, griffon(N_PROCS), app_args=(size,),
+            seed=SEED, config_overrides={"coll_algorithms": FORCE_PAIRWISE},
+        )
+        reference.append(max(ref.returns))
+        smpi = smpi_run(alltoall_app, N_PROCS, griffon(N_PROCS),
+                        models.piecewise, app_args=(size,), config=cfg)
+        simulated.append(max(smpi.returns))
+    return compare_series("alltoall", SIZES, simulated, reference)
+
+
+def test_fig12(once):
+    comparison = once(experiment)
+    report = FigureReport(
+        "fig12", "pairwise all-to-all accuracy vs message size (16 procs)"
+    )
+    report.line(comparison.table("chunk_B"))
+    report.line()
+    report.paper("avg error 28.7 %, worst 80 %; small messages underestimated")
+    report.measured(comparison.row())
+    report.finish()
+
+    sizes = np.asarray(SIZES, dtype=float)
+    errors = np.exp(
+        np.abs(np.log(comparison.measured) - np.log(comparison.reference))
+    ) - 1.0
+    assert errors[sizes >= 1_048_576].mean() < 0.15, "large messages accurate"
+    # the paper's robust claim: small/medium messages are modelled worse
+    # than large ones.  (The *sign* of the small-message error depends on
+    # the testbed's packet-level details; see EXPERIMENTS.md.)
+    small = sizes <= 16_384
+    assert errors[small].max() > errors[sizes >= 1_048_576].mean()

@@ -1,0 +1,71 @@
+"""Fig. 15 — NAS DT benchmark, WH and BH variants, classes A and B:
+SMPI vs OpenMPI execution times.
+
+Paper numbers: average error 8.11 %, worst 23.5 % (class A BH); the trend
+that matters — **BH takes more time than WH** — must hold with strong
+confidence in both the reference and the simulation.  The paper could
+only run real experiments up to 43 nodes (class B); the same bound
+applies here to the packet-level reference, while SMPI (next figure)
+scales beyond it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import SEED, FigureReport, griffon_calibration, smpi_run
+from repro.calibration.calibrate import replay_config
+from repro.metrics import compare_series
+from repro.nas import dt_app, dt_graph
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_reference
+
+CONFIGS = [("WH", "A"), ("BH", "A"), ("WH", "B"), ("BH", "B")]
+
+
+def experiment():
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config())
+    rows = []
+    for scheme, cls in CONFIGS:
+        graph = dt_graph(scheme, cls)
+        ref = run_reference(
+            dt_app, graph.n_ranks, griffon(graph.n_ranks),
+            app_args=(graph,), seed=SEED,
+        )
+        smpi = smpi_run(dt_app, graph.n_ranks, griffon(graph.n_ranks),
+                        models.piecewise, app_args=(graph,), config=cfg)
+        rows.append(
+            (f"{scheme}-{cls}", graph.n_ranks,
+             ref.simulated_time, smpi.simulated_time)
+        )
+    return rows
+
+
+def test_fig15(once):
+    rows = once(experiment)
+    report = FigureReport("fig15", "NAS DT (WH/BH, classes A/B): SMPI vs OpenMPI")
+    report.line(f"  {'variant':>8} {'procs':>6} {'OpenMPI':>12} {'SMPI':>12}")
+    for name, procs, ref_t, smpi_t in rows:
+        report.line(f"  {name:>8} {procs:>6} {ref_t:>11.3f}s {smpi_t:>11.3f}s")
+    labels = [r[0] for r in rows]
+    reference = [r[2] for r in rows]
+    simulated = [r[3] for r in rows]
+    comparison = compare_series("DT", np.arange(len(rows)), simulated, reference)
+    report.line()
+    report.paper("avg error 8.11 %, worst 23.5 % (class A BH); BH > WH")
+    report.measured(comparison.row() + f"  (order: {labels})")
+    by_name = {r[0]: r for r in rows}
+    for cls in ("A", "B"):
+        ref_ratio = by_name[f"BH-{cls}"][2] / by_name[f"WH-{cls}"][2]
+        smpi_ratio = by_name[f"BH-{cls}"][3] / by_name[f"WH-{cls}"][3]
+        report.measured(
+            f"class {cls}: BH/WH ratio — OpenMPI {ref_ratio:.2f}x, "
+            f"SMPI {smpi_ratio:.2f}x"
+        )
+    report.finish()
+
+    assert comparison.mean_error_pct < 20.0
+    for cls in ("A", "B"):
+        assert by_name[f"BH-{cls}"][2] > by_name[f"WH-{cls}"][2], "reference BH > WH"
+        assert by_name[f"BH-{cls}"][3] > by_name[f"WH-{cls}"][3], "SMPI BH > WH"

@@ -1,0 +1,101 @@
+"""Fig. 16 — memory consumption of DT with and without RAM folding.
+
+Runs every DT configuration (WH/BH/SH × classes A/B/C) under SMPI twice —
+with per-rank allocations and with ``SMPI_SHARED_MALLOC`` folding — and
+reports the simulated peak footprint.  A host-memory budget is enforced
+so that configurations that do not fit show up as "OM" (out of memory),
+like the paper's unfolded class B/C runs.  The SH class C run uses 448
+simulated processes, well beyond the 43 real nodes the paper could get.
+
+Paper numbers: folding cuts memory 11.9x on average, up to 40.5x (WH
+class B).  (The paper reports per-process RSS of separate OS processes;
+our simulator accounts the simulated heap directly — see DESIGN.md.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import FigureReport, griffon_calibration, smpi_run
+from repro.calibration.calibrate import replay_config
+from repro.errors import ActorFailure, OutOfMemoryError
+from repro.nas import dt_app, dt_graph
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI
+from repro.units import format_size
+
+CONFIGS = [
+    (scheme, cls) for cls in ("A", "B", "C") for scheme in ("WH", "BH", "SH")
+]
+
+#: single-node budget enforced on the simulated heap (scaled to our
+#: scaled-down DT payloads, playing the role of the paper's RAM limit)
+BUDGET = 512 * 1024 * 1024
+
+
+def run_one(graph, folded: bool):
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config()).with_options(
+        enforce_memory_limit=True, memory_limit=BUDGET
+    )
+    try:
+        result = smpi_run(
+            dt_app, graph.n_ranks, griffon(min(graph.n_ranks, 92)),
+            models.piecewise, app_args=(graph, 0, folded), config=cfg,
+        )
+        return result.memory.total_peak
+    except ActorFailure as failure:
+        if isinstance(failure.original, OutOfMemoryError):
+            return None  # the paper's "OM" marker
+        raise
+
+
+def experiment():
+    rows = []
+    for scheme, cls in CONFIGS:
+        graph = dt_graph(scheme, cls)
+        unfolded = run_one(graph, folded=False)
+        folded = run_one(graph, folded=True)
+        rows.append((f"{scheme}-{cls}", graph.n_ranks, unfolded, folded))
+    return rows
+
+
+def test_fig16(once):
+    rows = once(experiment)
+    report = FigureReport(
+        "fig16", "DT memory footprint with and without RAM folding"
+    )
+    report.line(
+        f"  {'variant':>8} {'procs':>6} {'unfolded':>12} {'folded':>12} {'ratio':>8}"
+    )
+    ratios = []
+    om_count = 0
+    for name, procs, unfolded, folded in rows:
+        if unfolded is None:
+            om_count += 1
+            unf_s = "OM"
+        else:
+            unf_s = format_size(unfolded)
+        fol_s = "OM" if folded is None else format_size(folded)
+        if unfolded and folded:
+            ratios.append(unfolded / folded)
+            ratio_s = f"{unfolded / folded:7.1f}x"
+        else:
+            ratio_s = "      —"
+        report.line(f"  {name:>8} {procs:>6} {unf_s:>12} {fol_s:>12} {ratio_s}")
+    report.line()
+    report.paper("folding reduces memory 11.9x on average, up to 40.5x "
+                 "(WH class B); several unfolded runs go OM")
+    if ratios:
+        report.measured(
+            f"avg reduction {np.mean(ratios):.1f}x, max {np.max(ratios):.1f}x; "
+            f"{om_count} unfolded configuration(s) OM under a "
+            f"{format_size(BUDGET)} budget"
+        )
+    report.finish()
+
+    folded_ok = [r for r in rows if r[3] is not None]
+    assert len(folded_ok) == len(rows), "every folded run must fit"
+    assert om_count >= 1, "some unfolded run should exceed the budget"
+    assert np.mean(ratios) > 3.0
+    assert np.max(ratios) > 10.0

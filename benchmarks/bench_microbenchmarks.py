@@ -1,0 +1,117 @@
+"""Simulator micro-benchmarks: the costs behind the speed claims.
+
+The paper's speed results (section 7.3) rest on the kernel being cheap:
+one analytical solve per scheduling point, thread hand-offs at MPI-call
+granularity.  These benches measure the primitive costs on this machine —
+the numbers that determine how large a simulation fits in a coffee break —
+and are tracked by pytest-benchmark like any regression suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import FigureReport
+from repro.smpi import smpirun
+from repro.surf import Engine, cluster
+from repro.surf.network_model import FactorsNetworkModel
+
+
+def test_engine_transfer_throughput(benchmark):
+    """Sequential point-to-point transfers through the analytical kernel."""
+
+    def run_transfers():
+        engine = Engine(cluster("mb1", 2),
+                        network_model=FactorsNetworkModel(1.0, 1.0))
+        for _ in range(200):
+            engine.communicate("node-0", "node-1", 1000)
+            engine.run()
+        return engine.stats.actions_completed
+
+    completed = benchmark(run_transfers)
+    assert completed == 200
+
+
+def test_engine_concurrent_share_cost(benchmark):
+    """One max-min solve over 64 concurrent flows on a shared backbone."""
+
+    def run_concurrent():
+        engine = Engine(cluster("mb2", 128),
+                        network_model=FactorsNetworkModel(1.0, 1.0))
+        for i in range(64):
+            engine.communicate(f"node-{2 * i}", f"node-{2 * i + 1}", 10_000)
+        engine.run()
+        return engine.stats.actions_completed
+
+    assert benchmark(run_concurrent) == 64
+
+
+def test_mpi_message_rate(benchmark):
+    """Full-stack simulated message rate: protocol + scheduler + kernel."""
+
+    def app(mpi):
+        comm = mpi.COMM_WORLD
+        buf = np.zeros(8, dtype=np.uint8)
+        for i in range(100):
+            if mpi.rank == 0:
+                comm.Send(buf, 1, 0)
+            else:
+                comm.Recv(buf, 0, 0)
+        return mpi.wtime()
+
+    def run_app():
+        return smpirun(app, 2, cluster("mb3", 2)).stats.actions_completed
+
+    completed = benchmark(run_app)
+    assert completed >= 100
+
+
+def test_actor_context_switch_cost(benchmark):
+    """Baton hand-off rate: ranks alternating via zero-compute barriers."""
+
+    def app(mpi):
+        for _ in range(50):
+            mpi.COMM_WORLD.Barrier()
+
+    def run_app():
+        smpirun(app, 4, cluster("mb4", 4))
+        return True
+
+    assert benchmark(run_app)
+
+
+def test_report(once):
+    """Persist a summary so results/ carries the machine's profile."""
+    import time
+
+    def measure():
+        out = {}
+        engine = Engine(cluster("mbr", 2),
+                        network_model=FactorsNetworkModel(1.0, 1.0))
+        start = time.perf_counter()
+        for _ in range(500):
+            engine.communicate("node-0", "node-1", 1000)
+            engine.run()
+        out["kernel transfers/s"] = 500 / (time.perf_counter() - start)
+
+        def app(mpi):
+            buf = np.zeros(8, dtype=np.uint8)
+            comm = mpi.COMM_WORLD
+            for _ in range(200):
+                if mpi.rank == 0:
+                    comm.Send(buf, 1, 0)
+                else:
+                    comm.Recv(buf, 0, 0)
+
+        start = time.perf_counter()
+        smpirun(app, 2, cluster("mbr2", 2))
+        out["full-stack messages/s"] = 200 / (time.perf_counter() - start)
+        return out
+
+    numbers = once(measure)
+    report = FigureReport("microbenchmarks", "simulator primitive costs")
+    for key, value in numbers.items():
+        report.measured(f"{key}: {value:,.0f}")
+    report.finish()
+    assert numbers["kernel transfers/s"] > 1000
+    assert numbers["full-stack messages/s"] > 200

@@ -1,0 +1,96 @@
+"""On-line vs off-line comparison bench (paper section 2 made measurable).
+
+Not a paper figure — the paper *argues* the on-line/off-line trade-off in
+prose; this bench quantifies it on our stack:
+
+* consistency: a trace replayed on its recording platform reproduces the
+  on-line simulated time exactly, for every DT scheme;
+* speed: replay runs faster than the on-line simulation (no application
+  code, no payload movement) — the classic attraction of off-line tools;
+* portability: the same trace replays across platforms, tracking the
+  on-line prediction within a small margin even though the replay knows
+  nothing about the application.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import FigureReport
+from repro.nas import dt_app, dt_graph
+from repro.offline import record_trace, replay_trace
+from repro.platforms import griffon
+from repro.smpi import smpirun
+from repro.surf import cluster
+
+
+def experiment():
+    rows = []
+    for scheme in ("WH", "BH", "SH"):
+        cls = "A" if scheme != "SH" else "W"
+        graph = dt_graph(scheme, cls)
+        online, trace = record_trace(
+            dt_app, graph.n_ranks, griffon(graph.n_ranks), app_args=(graph,)
+        )
+        same = replay_trace(trace, griffon(graph.n_ranks))
+
+        # cross-platform: upgrade the network, compare replay vs fresh online
+        upgraded = cluster(f"up-{scheme}", graph.n_ranks,
+                           link_bandwidth="1.25GBps",
+                           backbone_bandwidth="2.5GBps")
+        replay_up = replay_trace(trace, upgraded)
+        online_up = smpirun(dt_app, graph.n_ranks,
+                            cluster(f"up2-{scheme}", graph.n_ranks,
+                                    link_bandwidth="1.25GBps",
+                                    backbone_bandwidth="2.5GBps"),
+                            app_args=(graph,))
+        rows.append({
+            "name": f"{scheme}-{cls}",
+            "online_t": online.simulated_time,
+            "replay_t": same.simulated_time,
+            "online_wall": online.wall_time,
+            "replay_wall": same.wall_time,
+            "replay_up": replay_up.simulated_time,
+            "online_up": online_up.simulated_time,
+        })
+    return rows
+
+
+def test_offline_replay(once):
+    rows = once(experiment)
+    report = FigureReport(
+        "offline_replay", "on-line vs off-line (trace replay) simulation"
+    )
+    report.line(
+        f"  {'DT':>6} {'online sim':>11} {'replay sim':>11} "
+        f"{'online wall':>12} {'replay wall':>12} {'upgraded: replay/online':>24}"
+    )
+    for row in rows:
+        report.line(
+            f"  {row['name']:>6} {row['online_t']:>10.4f}s "
+            f"{row['replay_t']:>10.4f}s {row['online_wall']:>11.3f}s "
+            f"{row['replay_wall']:>11.3f}s "
+            f"{row['replay_up']:>11.4f}s / {row['online_up']:<9.4f}s"
+        )
+    report.line()
+    report.measured(
+        "replay on the recording platform matches on-line exactly; "
+        "replay wall time is lower (no app code, no payloads); "
+        "cross-platform replays track fresh on-line runs"
+    )
+    report.finish()
+
+    for row in rows:
+        assert row["replay_t"] == pytest_approx(row["online_t"])
+        # cross-platform prediction within 15 % of a fresh on-line run
+        drift = abs(np.log(row["replay_up"]) - np.log(row["online_up"]))
+        assert (np.exp(drift) - 1) < 0.15, row["name"]
+    # off-line is cheaper to run for the data-heavy schemes
+    heavy = [r for r in rows if r["name"].startswith(("BH", "WH"))]
+    assert any(r["replay_wall"] < r["online_wall"] for r in heavy)
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-12)

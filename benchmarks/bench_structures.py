@@ -1,0 +1,63 @@
+"""Figs. 6, 10, 13, 14 — the communication-scheme diagrams.
+
+These figures are structural, not quantitative: the binomial scatter tree
+(Fig. 6), the pairwise all-to-all steps (Fig. 10), and the DT BH/WH
+graphs for class A (Figs. 13/14).  This bench regenerates each structure,
+prints it, and checks it against the paper's explicit features (node
+counts, specific edges, per-step permutations).
+"""
+
+from __future__ import annotations
+
+from _helpers import FigureReport
+from repro.nas import bh_graph, wh_graph
+from repro.smpi.coll import binomial_tree_edges, pairwise_schedule
+
+
+def experiment():
+    return {
+        "binomial16": binomial_tree_edges(16),
+        "pairwise4": pairwise_schedule(4),
+        "bh_a": bh_graph("A"),
+        "wh_a": wh_graph("A"),
+    }
+
+
+def test_structures(once):
+    data = once(experiment)
+    report = FigureReport(
+        "structures", "communication schemes (Figs. 6, 10, 13, 14)"
+    )
+
+    report.line("Fig. 6 — binomial scatter tree, 16 processes:")
+    tree = data["binomial16"]
+    report.line("  " + ", ".join(f"{s}->{d} ({c} chunks)" for s, d, c in tree))
+
+    report.line()
+    report.line("Fig. 10 — pairwise all-to-all, 4 processes, per step:")
+    for i, step in enumerate(data["pairwise4"]):
+        report.line(
+            f"  step {i + 1}: " + ", ".join(f"{s}->{d}" for s, d in step)
+        )
+
+    bh = data["bh_a"]
+    wh = data["wh_a"]
+    report.line()
+    report.line(f"Fig. 13 — BH class A: {bh.n_ranks} processes, "
+                f"{len(bh.sources())} sources -> "
+                f"{len(bh.nodes) - len(bh.sources()) - len(bh.sinks())} "
+                f"comparators -> {len(bh.sinks())} sink")
+    report.line(f"Fig. 14 — WH class A: {wh.n_ranks} processes, "
+                f"{len(wh.sources())} source -> ... -> "
+                f"{len(wh.sinks())} consumers")
+    report.finish()
+
+    # Fig. 6's headline edges
+    assert (0, 8, 8) in tree and (0, 4, 4) in tree and (8, 12, 4) in tree
+    # Fig. 10: 4 steps, each a permutation; step 1 is the self-copy
+    assert data["pairwise4"][0] == [(0, 0), (1, 1), (2, 2), (3, 3)]
+    assert len(data["pairwise4"]) == 4
+    # Figs. 13/14: 21 processes, mirror structure
+    assert bh.n_ranks == wh.n_ranks == 21
+    assert len(bh.sources()) == len(wh.sinks()) == 16
+    assert len(bh.sinks()) == len(wh.sources()) == 1

@@ -1,0 +1,157 @@
+"""Cross-validation matrix: flow model vs packet-level testbed.
+
+The paper's modelling methodology rests on flow-level simulation having
+been validated against packet-level simulation (GTNetS, refs [25, 26]).
+This bench performs the equivalent study for our stack: a matrix of
+communication patterns × message sizes is executed on BOTH kernels with
+identical application code, and the calibrated flow model's times are
+scored against the packet testbed's.
+
+This goes beyond any single paper figure: it quantifies, in one table,
+where the analytical approximation is trustworthy (large transfers,
+structured collectives) and where it drifts (latency-dominated swarms).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _helpers import SEED, FigureReport, griffon_calibration, smpi_run
+from repro.calibration.calibrate import replay_config
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_reference
+
+N_PROCS = 8
+SIZES = [1024, 65_536, 1_048_576]
+
+
+def pattern_ring(mpi, nbytes):
+    comm = mpi.COMM_WORLD
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    incoming = np.zeros(nbytes, dtype=np.uint8)
+    comm.Barrier()
+    start = mpi.wtime()
+    for _ in range(3):
+        comm.Sendrecv(buf, (mpi.rank + 1) % mpi.size, 0,
+                      incoming, (mpi.rank - 1) % mpi.size, 0)
+    return mpi.wtime() - start
+
+
+def pattern_bcast(mpi, nbytes):
+    comm = mpi.COMM_WORLD
+    buf = np.zeros(nbytes, dtype=np.uint8)
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Bcast(buf, root=0)
+    comm.Barrier()
+    return mpi.wtime() - start
+
+
+def pattern_allreduce(mpi, nbytes):
+    comm = mpi.COMM_WORLD
+    send = np.zeros(nbytes // 8)
+    recv = np.zeros(nbytes // 8)
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Allreduce(send, recv)
+    comm.Barrier()
+    return mpi.wtime() - start
+
+
+def pattern_gather(mpi, nbytes):
+    comm = mpi.COMM_WORLD
+    send = np.zeros(nbytes, dtype=np.uint8)
+    recv = np.zeros(nbytes * mpi.size, dtype=np.uint8) if mpi.rank == 0 else None
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Gather(send, recv, root=0)
+    comm.Barrier()
+    return mpi.wtime() - start
+
+
+def pattern_master_worker(mpi, nbytes):
+    comm = mpi.COMM_WORLD
+    comm.Barrier()
+    start = mpi.wtime()
+    if mpi.rank == 0:
+        for worker in range(1, mpi.size):
+            comm.Send(np.zeros(nbytes, dtype=np.uint8), worker, 1)
+        for worker in range(1, mpi.size):
+            comm.Recv(np.zeros(nbytes, dtype=np.uint8), worker, 2)
+    else:
+        comm.Recv(np.zeros(nbytes, dtype=np.uint8), 0, 1)
+        mpi.execute(1e6)
+        comm.Send(np.zeros(nbytes, dtype=np.uint8), 0, 2)
+    return mpi.wtime() - start
+
+
+PATTERNS = {
+    "ring": pattern_ring,
+    "bcast": pattern_bcast,
+    "allreduce": pattern_allreduce,
+    "gather": pattern_gather,
+    "master-worker": pattern_master_worker,
+}
+
+
+def experiment():
+    models = griffon_calibration()
+    cfg = replay_config(OPENMPI.config())
+    matrix = {}
+    for name, app in PATTERNS.items():
+        for nbytes in SIZES:
+            ref = run_reference(
+                app, N_PROCS, griffon(N_PROCS), app_args=(nbytes,), seed=SEED,
+            )
+            smpi = smpi_run(app, N_PROCS, griffon(N_PROCS), models.piecewise,
+                            app_args=(nbytes,), config=cfg)
+            matrix[(name, nbytes)] = (max(ref.returns), max(smpi.returns))
+    return matrix
+
+
+def test_validation_matrix(once):
+    matrix = once(experiment)
+    report = FigureReport(
+        "validation_matrix",
+        "flow model vs packet testbed across patterns x sizes",
+    )
+    report.line(
+        f"  {'pattern':>14} {'bytes':>9} {'packet-level':>13} "
+        f"{'flow model':>12} {'err%':>7}"
+    )
+    errors = []
+    for (name, nbytes), (ref, smpi) in sorted(matrix.items()):
+        err = abs(np.log(smpi) - np.log(ref))
+        err_pct = (np.exp(err) - 1) * 100
+        errors.append(err)
+        report.line(
+            f"  {name:>14} {nbytes:>9} {ref * 1e3:>11.3f}ms "
+            f"{smpi * 1e3:>10.3f}ms {err_pct:>6.1f}"
+        )
+    mean_pct = (np.exp(np.mean(errors)) - 1) * 100
+    worst_pct = (np.exp(np.max(errors)) - 1) * 100
+    report.line()
+    report.measured(
+        f"over {len(matrix)} pattern/size cells: avg {mean_pct:.2f}%, "
+        f"worst {worst_pct:.2f}%"
+    )
+    # per-size aggregation: does accuracy improve with message size?
+    for nbytes in SIZES:
+        cell_errors = [
+            abs(np.log(smpi) - np.log(ref))
+            for (name, nb), (ref, smpi) in matrix.items()
+            if nb == nbytes
+        ]
+        pct = (np.exp(np.mean(cell_errors)) - 1) * 100
+        report.measured(f"size {nbytes:>8}: avg {pct:.2f}%")
+    report.finish()
+
+    assert mean_pct < 15.0, "flow model should track the packet testbed"
+    # large messages are the analytical model's home turf
+    large_errors = [
+        abs(np.log(s) - np.log(r))
+        for (name, nb), (r, s) in matrix.items()
+        if nb == SIZES[-1]
+    ]
+    assert (np.exp(np.mean(large_errors)) - 1) * 100 < 10.0

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""The full calibration workflow of paper section 6 + Fig. 3.
+
+1. run a SKaMPI-style ping-pong campaign between two nodes of the
+   (simulated) griffon cluster,
+2. fit the piece-wise linear model (segment boundaries maximising the
+   product of correlation coefficients) and both affine instantiations,
+3. compare all three models' predictions against the measurements — the
+   reproduction of Fig. 3's accuracy story,
+4. save the calibrated platform as SimGrid-style XML for reuse.
+
+    python examples/calibrate_and_compare.py
+"""
+
+from __future__ import annotations
+
+from repro.calibration import calibrate_all
+from repro.metrics import compare_series
+from repro.platforms import griffon
+from repro.refcluster import OPENMPI, run_pingpong_campaign
+from repro.surf import save_platform_xml
+
+
+def main() -> None:
+    platform = griffon(4)
+    print("running SKaMPI ping-pong campaign on simulated griffon ...")
+    campaign = run_pingpong_campaign(
+        platform, "griffon-0", "griffon-1", OPENMPI, seed=7
+    )
+    print(campaign.table())
+    print()
+
+    models = calibrate_all(campaign.sizes, campaign.times, campaign.route)
+    print(models.piecewise.describe())
+    print()
+
+    print("model accuracy against the measurements (paper Fig. 3):")
+    for name in ("piecewise", "default_affine", "best_fit_affine"):
+        predicted = models.predict(name, campaign.sizes)
+        comparison = compare_series(name, campaign.sizes, predicted,
+                                    campaign.times)
+        print("  " + comparison.row())
+
+    out = "/tmp/griffon_calibrated.xml"
+    save_platform_xml(griffon(8), out)
+    print(f"\nplatform description exported to {out} (SimGrid-style XML)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""NAS DT on a single node (paper section 7.1.4 + Fig. 16's folding).
+
+Runs the Data Traffic benchmark's three communication schemes in
+simulation, prints the communication graphs (paper Figs. 13/14), verifies
+the sink checksums against a direct sequential computation (the on-line
+property), and shows what RAM folding does to the footprint.
+
+Note the class B BH/WH runs use 43 simulated processes — the paper could
+not exceed 43 real nodes on its cluster; we need only this one machine.
+
+    python examples/nas_dt_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nas import dt_app, dt_graph, dt_reference_checksum
+from repro.platforms import griffon
+from repro.smpi import SmpiConfig, smpirun
+from repro.units import format_size, format_time
+
+
+def ascii_graph(graph) -> str:
+    """Layer-by-layer rendering of the DT task graph."""
+    layers: dict[int, list[int]] = {}
+    for node in graph.nodes:
+        layers.setdefault(node.layer, []).append(node.rank)
+    lines = [f"{graph.scheme} class {graph.cls.name}: "
+             f"{graph.n_ranks} processes, "
+             f"{format_size(graph.total_bytes())} total traffic"]
+    for layer in sorted(layers):
+        ranks = layers[layer]
+        shown = ", ".join(map(str, ranks[:12])) + (" ..." if len(ranks) > 12 else "")
+        lines.append(f"  layer {layer}: [{shown}]")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    platform = griffon()
+    for scheme in ("WH", "BH", "SH"):
+        cls = "A" if scheme != "SH" else "S"
+        graph = dt_graph(scheme, cls)
+        print(ascii_graph(graph))
+        result = smpirun(dt_app, graph.n_ranks, platform, app_args=(graph,))
+        sinks = sorted(x for x in result.returns if x is not None)
+        reference = sorted(dt_reference_checksum(graph))
+        ok = np.allclose(sinks, reference)
+        print(f"  simulated time {format_time(result.simulated_time)}, "
+              f"wall {format_time(result.wall_time)}, "
+              f"checksums {'verified ✓' if ok else 'MISMATCH ✗'}")
+        print()
+
+    print("RAM folding (SMPI_SHARED_MALLOC) on BH class B, 43 processes:")
+    graph = dt_graph("BH", "B")
+    for folded in (False, True):
+        result = smpirun(
+            dt_app, graph.n_ranks, platform,
+            app_args=(graph, 0, folded),
+            config=SmpiConfig(),
+        )
+        label = "folded  " if folded else "unfolded"
+        print(f"  {label}: peak footprint "
+              f"{format_size(result.memory.total_peak)} "
+              f"(max per-rank RSS {format_size(result.memory.max_rank_rss)})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""On-line vs off-line simulation (paper section 2's dichotomy, live).
+
+Records a time-independent trace from an on-line run of the NAS DT
+benchmark, saves it to JSON (what a tracing tool would ship home from a
+production cluster), then replays it:
+
+1. on the recording platform — the replay reproduces the on-line
+   simulated time *exactly* (a strong consistency check between the two
+   simulation modes);
+2. on hypothetical upgraded platforms — the off-line what-if study that
+   trace-driven simulators are good at;
+3. and shows the structural limitation the paper leads with: the trace is
+   tied to the recorded application configuration, so changing the rank
+   count needs a fresh (on-line) run.
+
+    python examples/offline_replay.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.nas import dt_app, dt_graph
+from repro.offline import TiTrace, record_trace, replay_trace
+from repro.platforms import griffon
+from repro.surf import cluster
+from repro.units import format_size, format_time
+
+
+def main() -> None:
+    graph = dt_graph("BH", "A")
+    platform = griffon(graph.n_ranks)
+
+    print(f"recording NAS DT {graph.scheme} class {graph.cls.name} "
+          f"({graph.n_ranks} ranks) on simulated griffon ...")
+    online, trace = record_trace(dt_app, graph.n_ranks, platform,
+                                 app_args=(graph,))
+    print(f"  on-line simulated time: {format_time(online.simulated_time)}")
+    print(f"  {trace.summary()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "dt_bh_a.json"
+        trace.save(path)
+        print(f"  trace saved to {path.name} "
+              f"({format_size(path.stat().st_size)})")
+        trace = TiTrace.load(path)
+
+    replayed = replay_trace(trace, griffon(graph.n_ranks))
+    exact = abs(replayed.simulated_time - online.simulated_time) < 1e-9
+    print(f"\nreplay on the same platform: "
+          f"{format_time(replayed.simulated_time)} "
+          f"{'(matches on-line exactly ✓)' if exact else '(MISMATCH ✗)'}")
+
+    print("\nwhat-if replays on hypothetical upgrades:")
+    for label, plat in [
+        ("10 GigE access links",
+         cluster("up1", graph.n_ranks, link_bandwidth="1.25GBps",
+                 backbone_bandwidth="2.5GBps")),
+        ("half-speed archive cluster",
+         cluster("down", graph.n_ranks, link_bandwidth="62.5MBps",
+                 backbone_bandwidth="125MBps")),
+    ]:
+        what_if = replay_trace(trace, plat)
+        print(f"  {label:<28} {format_time(what_if.simulated_time)}")
+
+    print("\nthe off-line limitation (paper §2):")
+    try:
+        replay_trace(trace, cluster("more", 42), n_ranks=42)
+    except ConfigError as exc:
+        print(f"  replay with a different rank count refused: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Model calibration: turning ping-pong measurements into network models.
+
+Implements the paper's section 6 workflow: run a SKaMPI-style ping-pong
+campaign on the (simulated) real cluster, then instantiate
+
+* the **default affine** model (1-byte latency + 92 % of peak bandwidth),
+* the **best-fit affine** model (α, β minimising mean log error),
+* the **piece-wise linear** model (segmented regression, boundaries chosen
+  to maximise the product of per-segment correlation coefficients).
+"""
+
+from .affine import fit_affine_best, fit_affine_default
+from .calibrate import CalibratedModels, calibrate_all
+from .segments import SegmentFit, fit_segments
+
+__all__ = [
+    "CalibratedModels",
+    "SegmentFit",
+    "calibrate_all",
+    "fit_affine_best",
+    "fit_affine_default",
+    "fit_segments",
+]

@@ -1,0 +1,95 @@
+"""End-to-end calibration: measurements in, instantiated models out.
+
+:func:`calibrate_all` takes one ping-pong campaign (size → mean one-way
+time) plus the physical parameters of the route it was measured on, and
+returns the three models of the paper's accuracy comparison ready to plug
+into an SMPI engine, together with the *replay configuration*.
+
+The replay configuration matters: the measured times already contain the
+MPI implementation's per-message overheads and the rendezvous handshake,
+so the fitted α of each segment embodies them.  An SMPI replay using a
+calibrated model must therefore zero the protocol's own latency
+additions (keeping the rendezvous *synchronisation* semantics) or those
+costs would be double-counted — the same division of labour as in SMPI,
+where the model's latency factors carry everything the calibration saw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..smpi.config import SmpiConfig
+from ..surf.network_model import (
+    AffineNetworkModel,
+    PiecewiseLinearNetworkModel,
+    RouteParams,
+)
+from .affine import fit_affine_best, fit_affine_default
+from .segments import fit_segments
+
+__all__ = ["CalibratedModels", "calibrate_all", "replay_config"]
+
+
+def replay_config(base: SmpiConfig | None = None) -> SmpiConfig:
+    """SMPI config for replaying with a calibrated model.
+
+    Protocol latency additions are zeroed because the calibrated model's
+    per-segment α already includes them; the eager threshold is kept so
+    rendezvous synchronisation semantics are preserved.
+    """
+    base = base or SmpiConfig()
+    return base.with_options(
+        send_overhead=0.0,
+        recv_overhead=0.0,
+        handshake_rtts=0.0,
+        eager_copy_bandwidth=float("inf"),
+        wire_efficiency=1.0,
+    )
+
+
+@dataclass
+class CalibratedModels:
+    """The three instantiated models plus their shared provenance."""
+
+    route: RouteParams
+    sizes: np.ndarray
+    times: np.ndarray
+    piecewise: PiecewiseLinearNetworkModel
+    default_affine: AffineNetworkModel
+    best_fit_affine: AffineNetworkModel
+
+    def predict(self, model_name: str, sizes) -> np.ndarray:
+        """Uncontended predictions of one model over a size sweep."""
+        model = {
+            "piecewise": self.piecewise,
+            "default_affine": self.default_affine,
+            "best_fit_affine": self.best_fit_affine,
+        }[model_name]
+        return np.asarray(
+            [model.predict_time(float(s), self.route) for s in np.asarray(sizes)]
+        )
+
+
+def calibrate_all(
+    sizes,
+    times,
+    route: RouteParams,
+    n_segments: int = 3,
+) -> CalibratedModels:
+    """Fit all three models of the paper's comparison on one campaign."""
+    sizes = np.asarray(sizes, dtype=float)
+    times = np.asarray(times, dtype=float)
+    fitted = fit_segments(sizes, times, n_segments=n_segments)
+    piecewise = PiecewiseLinearNetworkModel.from_segments(
+        [(seg.lo, seg.hi, seg.alpha, seg.beta) for seg in fitted], route
+    )
+    return CalibratedModels(
+        route=route,
+        sizes=sizes,
+        times=times,
+        piecewise=piecewise,
+        default_affine=fit_affine_default(sizes, times, route),
+        best_fit_affine=fit_affine_best(sizes, times, route),
+    )

@@ -1,0 +1,218 @@
+"""Command-line interface — the ``smpirun`` of this reproduction.
+
+Usage (see ``python -m repro --help``)::
+
+    # run an application file on a simulated platform
+    python -m repro run my_app.py -n 16 --platform griffon
+
+    # the application file defines:  def app(mpi): ...
+    python -m repro run my_app.py -n 8 --platform cluster:8:125MBps:50us
+
+    # platforms can also come from SimGrid-style XML
+    python -m repro run my_app.py -n 4 --platform machines.xml
+
+    # record a time-independent trace / replay one
+    python -m repro run my_app.py -n 4 --record trace.json
+    python -m repro replay trace.json --platform gdx
+
+    # inspect things
+    python -m repro platforms
+    python -m repro info trace.json
+
+The run command mirrors the paper's workflow: the *same* application
+executes on platforms you do not own, entirely on this node.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Callable
+
+from .errors import ConfigError, ReproError
+from .offline import TiTrace, record_trace, replay_trace
+from .platforms import gdx, griffon
+from .smpi import SmpiConfig, smpirun
+from .surf import Platform, cluster, load_platform_xml
+from .units import format_size, format_time
+
+__all__ = ["main", "build_platform", "load_app"]
+
+
+def build_platform(spec: str, n_ranks: int) -> Platform:
+    """Resolve a --platform argument.
+
+    Accepted forms: ``griffon``, ``gdx``, ``cluster:N[:bw[:lat]]``, or a
+    path to a SimGrid-style XML file.  The bare names build just enough
+    nodes for the requested rank count.
+    """
+    if spec == "griffon":
+        return griffon(min(n_ranks, 92)) if n_ranks <= 92 else griffon()
+    if spec == "gdx":
+        return gdx(min(n_ranks, 312)) if n_ranks <= 312 else gdx()
+    if spec.startswith("cluster:"):
+        parts = spec.split(":")
+        if len(parts) < 2 or len(parts) > 4 or not parts[1].isdigit():
+            raise ConfigError(f"bad cluster spec {spec!r} "
+                              "(cluster:N[:bandwidth[:latency]])")
+        size = int(parts[1])
+        bandwidth = parts[2] if len(parts) > 2 else "125MBps"
+        latency = parts[3] if len(parts) > 3 else "50us"
+        return cluster("cli", size, link_bandwidth=bandwidth,
+                       link_latency=latency)
+    path = Path(spec)
+    if path.exists():
+        return load_platform_xml(path)
+    raise ConfigError(
+        f"unknown platform {spec!r}: expected griffon, gdx, cluster:N, "
+        "or an existing XML file"
+    )
+
+
+def load_app(path: str, entry: str = "app") -> Callable:
+    """Import ``entry`` (default ``app``) from a Python file."""
+    file = Path(path)
+    if not file.exists():
+        raise ConfigError(f"application file {path!r} not found")
+    spec = importlib.util.spec_from_file_location(file.stem, file)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    function = getattr(module, entry, None)
+    if not callable(function):
+        raise ConfigError(f"{path!r} does not define a callable {entry!r}")
+    return function
+
+
+def _config_from_args(args: argparse.Namespace) -> SmpiConfig:
+    options = {}
+    if args.eager_threshold is not None:
+        from .units import parse_size
+
+        options["eager_threshold"] = parse_size(args.eager_threshold)
+    if args.zero_copy:
+        options["zero_copy"] = True
+    for pair in args.coll or []:
+        try:
+            collective, algorithm = pair.split("=", 1)
+        except ValueError:
+            raise ConfigError(f"--coll expects name=algorithm, got {pair!r}")
+        options.setdefault("coll_algorithms", {})[collective] = algorithm
+    return SmpiConfig(**options)
+
+
+def _report(result, n_ranks: int) -> None:
+    print(f"simulated time : {format_time(result.simulated_time)}")
+    print(f"wall-clock time: {format_time(result.wall_time)}")
+    print(f"ranks          : {n_ranks}")
+    print(f"peak footprint : {format_size(result.memory.total_peak)}")
+    non_null = [r for r in result.returns if r is not None]
+    if non_null:
+        shown = non_null[:4]
+        suffix = " ..." if len(non_null) > 4 else ""
+        print(f"rank returns   : {shown}{suffix}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    app = load_app(args.app, args.entry)
+    platform = build_platform(args.platform, args.n)
+    config = _config_from_args(args)
+    if args.record:
+        result, trace = record_trace(app, args.n, platform, config=config)
+        trace.save(args.record)
+        print(f"trace written  : {args.record} ({trace.summary()})")
+    else:
+        result = smpirun(app, args.n, platform, config=config)
+    _report(result, args.n)
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    trace = TiTrace.load(args.trace)
+    platform = build_platform(args.platform, trace.n_ranks)
+    result = replay_trace(trace, platform, config=_config_from_args(args))
+    print(f"replaying      : {trace.summary()}")
+    if "recorded_on" in trace.meta:
+        recorded_t = trace.meta.get("recorded_simulated_time")
+        print(f"recorded on    : {trace.meta['recorded_on']}"
+              + (f" ({format_time(recorded_t)})" if recorded_t else ""))
+    _report(result, trace.n_ranks)
+    return 0
+
+
+def _cmd_platforms(_args: argparse.Namespace) -> int:
+    print("built-in platforms:")
+    print("  griffon          92 nodes, 3 cabinets (33/27/32), GigE + 10G core")
+    print("  gdx              312 nodes, 18 switch groups, GigE throughout")
+    print("  cluster:N[:bw[:lat]]   ad-hoc single-switch cluster")
+    print("  <file>.xml       SimGrid-style platform description")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    trace = TiTrace.load(args.trace)
+    print(trace.summary())
+    for key, value in trace.meta.items():
+        print(f"  {key}: {value}")
+    for rank in range(min(trace.n_ranks, 4)):
+        kinds = [e.kind for e in trace.events[rank]]
+        print(f"  rank {rank}: {len(kinds)} events "
+              f"({kinds[:8]}{' ...' if len(kinds) > 8 else ''})")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="single-node on-line simulation of MPI applications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate an application file")
+    run.add_argument("app", help="Python file defining app(mpi)")
+    run.add_argument("-n", type=int, required=True, help="MPI rank count")
+    run.add_argument("--platform", default="cluster:64",
+                     help="griffon | gdx | cluster:N[:bw[:lat]] | file.xml")
+    run.add_argument("--entry", default="app",
+                     help="entry function name (default: app)")
+    run.add_argument("--eager-threshold", default=None,
+                     help="eager/rendezvous switch, e.g. 64KiB")
+    run.add_argument("--zero-copy", action="store_true",
+                     help="fold payloads (timing only, erroneous results)")
+    run.add_argument("--coll", action="append", metavar="NAME=ALGO",
+                     help="force a collective algorithm (repeatable)")
+    run.add_argument("--record", metavar="TRACE.json",
+                     help="record a time-independent trace")
+    run.set_defaults(func=_cmd_run)
+
+    replay = sub.add_parser("replay", help="replay a recorded trace")
+    replay.add_argument("trace", help="trace JSON file")
+    replay.add_argument("--platform", default="cluster:64")
+    replay.add_argument("--eager-threshold", default=None)
+    replay.add_argument("--zero-copy", action="store_true")
+    replay.add_argument("--coll", action="append", metavar="NAME=ALGO")
+    replay.set_defaults(func=_cmd_replay)
+
+    platforms = sub.add_parser("platforms", help="list built-in platforms")
+    platforms.set_defaults(func=_cmd_platforms)
+
+    info = sub.add_parser("info", help="summarise a trace file")
+    info.add_argument("trace")
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

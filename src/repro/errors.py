@@ -1,0 +1,78 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch the whole family with one ``except`` clause.  Layer-specific
+errors subclass it: the simulation kernel raises :class:`SimulationError`,
+the MPI layer raises :class:`MpiError` (which also carries the numeric MPI
+error code from :mod:`repro.smpi.constants`).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class PlatformError(ReproError):
+    """A platform description is invalid (bad topology, missing host, ...)."""
+
+
+class RoutingError(PlatformError):
+    """No route exists between two hosts of a platform."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """Every simulated process is blocked and no action can complete.
+
+    This is the simulated equivalent of an MPI application hanging: for
+    example two ranks that both call a blocking ``Recv`` first.  The message
+    lists the blocked actors and what each is waiting for.
+    """
+
+
+class ActorFailure(SimulationError):
+    """A simulated process raised an exception; wraps the original one."""
+
+    def __init__(self, actor_name: str, original: BaseException):
+        super().__init__(f"actor {actor_name!r} failed: {original!r}")
+        self.actor_name = actor_name
+        self.original = original
+
+
+class MpiError(ReproError):
+    """An MPI call failed.  ``code`` is the MPI error class constant."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"MPI error {code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class CalibrationError(ReproError):
+    """Model calibration failed (too few samples, degenerate fit, ...)."""
+
+
+class OutOfMemoryError(ReproError):
+    """The simulated heap exceeded the host node's memory budget.
+
+    Mirrors the "OM" bars of Fig. 16: without RAM folding, large DT classes
+    do not fit on a single host node.
+    """
+
+    def __init__(self, requested: int, in_use: int, limit: int):
+        super().__init__(
+            f"simulated allocation of {requested} B exceeds host memory: "
+            f"{in_use} B in use of {limit} B limit"
+        )
+        self.requested = requested
+        self.in_use = in_use
+        self.limit = limit
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""

@@ -1,0 +1,20 @@
+"""Accuracy metrics used throughout the evaluation."""
+
+from .logerr import (
+    from_log_space,
+    log_error,
+    log_error_series,
+    max_percent_error,
+    mean_percent_error,
+)
+from .stats import SeriesComparison, compare_series
+
+__all__ = [
+    "SeriesComparison",
+    "compare_series",
+    "from_log_space",
+    "log_error",
+    "log_error_series",
+    "max_percent_error",
+    "mean_percent_error",
+]

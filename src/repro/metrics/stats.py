@@ -1,0 +1,67 @@
+"""Series-comparison helpers for the benchmark harness.
+
+Every figure-reproduction benchmark ends up comparing a *measured* series
+(SMPI under some model) against a *reference* series (the packet-level
+testbed standing in for the real cluster).  :func:`compare_series`
+packages the paper's statistics — mean and worst-case percentage error in
+log space — together with the raw points, ready for printing and for the
+EXPERIMENTS.md tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .logerr import log_error_series, from_log_space
+
+__all__ = ["SeriesComparison", "compare_series"]
+
+
+@dataclass
+class SeriesComparison:
+    """Accuracy summary of one model against one reference."""
+
+    label: str
+    x: np.ndarray  # the sweep variable (message size, process count, ...)
+    measured: np.ndarray
+    reference: np.ndarray
+    mean_error_pct: float
+    max_error_pct: float
+    max_error_at: float  # x value where the worst case occurs
+
+    def row(self) -> str:
+        """One printable table row."""
+        return (
+            f"{self.label:<24} avg {self.mean_error_pct:6.2f}%   "
+            f"worst {self.max_error_pct:7.2f}% (at x={self.max_error_at:g})"
+        )
+
+    def table(self, x_name: str = "x") -> str:
+        """Full point-by-point table."""
+        lines = [f"{x_name:>12}  {'reference':>14}  {'measured':>14}  {'err%':>8}"]
+        errors = (
+            np.exp(log_error_series(self.measured, self.reference)) - 1.0
+        ) * 100.0
+        for xi, ref, meas, err in zip(self.x, self.reference, self.measured, errors):
+            lines.append(f"{xi:>12g}  {ref:>14.6g}  {meas:>14.6g}  {err:>8.2f}")
+        return "\n".join(lines)
+
+
+def compare_series(label: str, x, measured, reference) -> SeriesComparison:
+    """Build a :class:`SeriesComparison` with paper-style error statistics."""
+    x = np.asarray(x, dtype=float)
+    measured = np.asarray(measured, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    errors = log_error_series(measured, reference)
+    worst = int(np.argmax(errors))
+    return SeriesComparison(
+        label=label,
+        x=x,
+        measured=measured,
+        reference=reference,
+        mean_error_pct=from_log_space(float(errors.mean())) * 100.0,
+        max_error_pct=from_log_space(float(errors[worst])) * 100.0,
+        max_error_at=float(x[worst]) if x.size else float("nan"),
+    )

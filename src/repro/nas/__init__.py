@@ -1,0 +1,30 @@
+"""NAS Parallel Benchmark reproductions used in the paper's evaluation:
+DT (Data Traffic, section 7.1.4) and EP (Embarrassingly Parallel,
+section 7.3)."""
+
+from .dt import (
+    DT_CLASSES,
+    DtGraph,
+    bh_graph,
+    dt_app,
+    dt_graph,
+    dt_reference_checksum,
+    sh_graph,
+    wh_graph,
+)
+from .ep import EP_CHUNKS, ep_app, ep_chunk_counts, ep_reference_counts
+
+__all__ = [
+    "DT_CLASSES",
+    "DtGraph",
+    "EP_CHUNKS",
+    "bh_graph",
+    "dt_app",
+    "dt_graph",
+    "dt_reference_checksum",
+    "ep_app",
+    "ep_chunk_counts",
+    "ep_reference_counts",
+    "sh_graph",
+    "wh_graph",
+]

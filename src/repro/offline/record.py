@@ -1,0 +1,83 @@
+"""Recording time-independent traces from on-line runs.
+
+:func:`record_trace` runs an application exactly like
+:func:`~repro.smpi.runtime.smpirun` while a :class:`Recorder` observes the
+protocol layer: every compute burst, posted send/receive and blocking
+wait is appended to the calling rank's event list, in program order
+(guaranteed because ranks execute strictly sequentially).
+
+Scope notes (the standard limitations of trace-based tooling, cf. paper
+§2):
+
+* collectives are captured as their point-to-point decomposition — the
+  trace embeds the algorithm that ran, so a replay cannot re-select
+  algorithms for a different implementation;
+* a successful ``Test`` is recorded as a wait (the dependency is real);
+  unsuccessful polls are not recorded, so busy-poll loops replay without
+  their poll-delay cost;
+* ``mpi.sleep`` is not captured (no MPI counterpart in a TI trace).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable
+
+from ..smpi.runtime import SmpiResult, smpirun
+from ..surf.platform import Platform
+from .trace import TiEvent, TiTrace
+
+__all__ = ["Recorder", "record_trace"]
+
+
+class Recorder:
+    """Accumulates one TI trace while an on-line simulation runs."""
+
+    def __init__(self, n_ranks: int) -> None:
+        self.trace = TiTrace(n_ranks)
+        self._ids = itertools.count()
+
+    # -- hooks called by the runtime/protocol --------------------------------------------
+
+    def compute(self, rank: int, flops: float) -> None:
+        self.trace.append(rank, TiEvent("compute", (float(flops),)))
+
+    def send(self, rank: int, dst: int, nbytes: int, tag: int, ctx: int) -> int:
+        op_id = next(self._ids)
+        self.trace.append(
+            rank, TiEvent("send", (op_id, dst, int(nbytes), tag, ctx))
+        )
+        return op_id
+
+    def recv(self, rank: int, src: int, tag: int, ctx: int) -> int:
+        op_id = next(self._ids)
+        self.trace.append(rank, TiEvent("recv", (op_id, src, tag, ctx)))
+        return op_id
+
+    def wait(self, rank: int, op_ids: list[int]) -> None:
+        if op_ids:
+            self.trace.append(rank, TiEvent("wait", (list(op_ids),)))
+
+
+def record_trace(
+    app: Callable[..., Any],
+    n_ranks: int,
+    platform: Platform,
+    **smpirun_kwargs: Any,
+) -> tuple[SmpiResult, TiTrace]:
+    """Run ``app`` on-line and capture its TI trace.
+
+    Returns the normal :class:`SmpiResult` *and* the trace; the trace's
+    ``meta`` records the recording platform and simulated time so replays
+    can report provenance.
+    """
+    recorder = Recorder(n_ranks)
+    result = smpirun(app, n_ranks, platform, recorder=recorder,
+                     **smpirun_kwargs)
+    recorder.trace.meta.update(
+        {
+            "recorded_on": platform.name,
+            "recorded_simulated_time": result.simulated_time,
+        }
+    )
+    return result, recorder.trace

@@ -1,0 +1,116 @@
+"""Replaying time-independent traces (the off-line simulator).
+
+Each rank's replay actor walks its recorded event list: compute bursts
+become engine compute actions, message events re-post through the *same*
+point-to-point protocol the on-line simulator uses (payloads folded —
+a trace has no data), and wait events block on the recorded operations.
+The network model, platform and MPI protocol parameters are free to
+differ from the recording run — that is the point of off-line simulation.
+
+Invariants worth knowing:
+
+* replaying on the recording platform with the recording configuration
+  reproduces the on-line simulated time exactly (asserted in tests);
+* the trace is tied to the recorded rank count and message sizes — the
+  limitation the paper's §2 develops; :func:`replay_trace` refuses a
+  mismatched rank count rather than silently mis-simulating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..smpi import request as rq
+from ..smpi.config import SmpiConfig
+from ..smpi.request import Request
+from ..smpi.runtime import SmpiResult, SmpiWorld
+from ..surf.platform import Platform
+from .trace import TiTrace
+
+__all__ = ["replay_trace"]
+
+_EMPTY = np.zeros(0, dtype=np.uint8)
+
+
+def replay_trace(
+    trace: TiTrace,
+    platform: Platform,
+    n_ranks: int | None = None,
+    hosts: list[str] | None = None,
+    config: SmpiConfig | None = None,
+    network_model=None,
+    engine=None,
+) -> SmpiResult:
+    """Simulate the recorded execution on ``platform``.
+
+    ``n_ranks`` may be passed for API symmetry but must equal the trace's
+    rank count — a TI trace cannot be re-shaped (paper §2).
+    """
+    if n_ranks is not None and n_ranks != trace.n_ranks:
+        raise ConfigError(
+            f"trace was recorded with {trace.n_ranks} ranks and cannot be "
+            f"replayed on {n_ranks}: time-independent traces are tied to "
+            "the recorded application configuration"
+        )
+
+    import time
+
+    world = SmpiWorld(platform, trace.n_ranks, hosts, config, network_model,
+                      engine)
+
+    def make_replayer(rank: int):
+        events = trace.events[rank]
+
+        def replay_rank():
+            protocol = world.protocol
+            live: dict[int, Request] = {}
+            for event in events:
+                kind = event.kind
+                if kind == "compute":
+                    world.execute_flops(event.args[0])
+                elif kind == "send":
+                    op_id, dst, nbytes, tag, ctx = event.args
+                    request = Request(world, "send", rank)
+                    protocol.start_send(
+                        src=rank, dst=dst, tag=tag, ctx=ctx,
+                        data=_EMPTY, request=request, wire_bytes=nbytes,
+                    )
+                    live[op_id] = request
+                elif kind == "recv":
+                    op_id, src, tag, ctx = event.args
+                    request = Request(world, "recv", rank)
+                    protocol.start_recv(
+                        dst=rank, source=src, tag=tag, ctx=ctx,
+                        buffer=None, request=request,
+                    )
+                    live[op_id] = request
+                else:  # wait
+                    (op_ids,) = event.args
+                    pending = [live.pop(i) for i in op_ids if i in live]
+                    if pending:
+                        rq.waitall(pending)
+            # reap anything the application never waited on explicitly
+            leftovers = list(live.values())
+            if leftovers:
+                rq.waitall(leftovers)
+
+        return replay_rank
+
+    for rank in range(trace.n_ranks):
+        actor = world.scheduler.add_actor(
+            f"replay-{rank}", world.host_of(rank), make_replayer(rank)
+        )
+        world.register_actor(rank, actor)
+
+    wall_start = time.perf_counter()
+    simulated = world.scheduler.run()
+    wall = time.perf_counter() - wall_start
+    return SmpiResult(
+        simulated_time=simulated,
+        wall_time=wall,
+        returns=[None] * trace.n_ranks,
+        memory=world.memory.report(),
+        stats=world.engine.stats,
+        trace=world.trace,
+    )

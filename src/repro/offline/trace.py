@@ -1,0 +1,138 @@
+"""Time-independent trace format.
+
+A TI trace is one ordered event list per rank.  Events carry *amounts*,
+never time-stamps — durations are what the replay simulation computes —
+which is what makes the trace portable across target platforms (the
+"trace extrapolation" limitation discussed in the paper's §2 concerns
+changing the *application* configuration, not the platform).
+
+Event kinds:
+
+* ``("compute", flops)``
+* ``("send", op_id, dst, nbytes, tag, ctx)`` — nonblocking send posted
+* ``("recv", op_id, src, tag, ctx)`` — nonblocking receive posted
+  (``src`` may be ANY_SOURCE: the replay re-matches, and — as the paper
+  warns — may match differently on a different platform)
+* ``("wait", [op_ids...])`` — block until all listed operations complete
+
+Ranks and contexts are world-level (the trace flattens communicators the
+way real MPI tracing tools do).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..errors import ConfigError
+
+__all__ = ["TiEvent", "TiTrace"]
+
+#: canonical event kinds
+KINDS = ("compute", "send", "recv", "wait")
+
+
+@dataclass(frozen=True)
+class TiEvent:
+    """One trace event; ``args`` depends on ``kind`` (see module doc)."""
+
+    kind: str
+    args: tuple
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigError(f"unknown trace event kind {self.kind!r}")
+
+    def to_json(self) -> list:
+        return [self.kind, *self.args]
+
+    @classmethod
+    def from_json(cls, row: list) -> "TiEvent":
+        kind, *args = row
+        if kind == "wait":
+            args = (list(args[0]),)
+        return cls(kind, tuple(args))
+
+
+@dataclass
+class TiTrace:
+    """A complete recorded execution: one event list per world rank."""
+
+    n_ranks: int
+    events: list[list[TiEvent]] = field(default_factory=list)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.events:
+            self.events = [[] for _ in range(self.n_ranks)]
+        if len(self.events) != self.n_ranks:
+            raise ConfigError("one event list per rank required")
+
+    def append(self, rank: int, event: TiEvent) -> None:
+        self.events[rank].append(event)
+
+    # -- statistics -------------------------------------------------------------------
+
+    def total_messages(self) -> int:
+        return sum(
+            1 for rank_events in self.events for e in rank_events
+            if e.kind == "send"
+        )
+
+    def total_bytes(self) -> int:
+        return sum(
+            e.args[2] for rank_events in self.events for e in rank_events
+            if e.kind == "send"
+        )
+
+    def total_flops(self) -> float:
+        return sum(
+            e.args[0] for rank_events in self.events for e in rank_events
+            if e.kind == "compute"
+        )
+
+    def summary(self) -> str:
+        return (
+            f"TI trace: {self.n_ranks} ranks, "
+            f"{self.total_messages()} messages, "
+            f"{self.total_bytes()} bytes, {self.total_flops():.3g} flops"
+        )
+
+    # -- (de)serialisation ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "repro-ti-trace-1",
+                "n_ranks": self.n_ranks,
+                "meta": self.meta,
+                "events": [
+                    [e.to_json() for e in rank_events]
+                    for rank_events in self.events
+                ],
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "TiTrace":
+        payload = json.loads(text)
+        if payload.get("format") != "repro-ti-trace-1":
+            raise ConfigError("not a repro TI trace")
+        trace = cls(
+            n_ranks=payload["n_ranks"],
+            events=[
+                [TiEvent.from_json(row) for row in rank_events]
+                for rank_events in payload["events"]
+            ],
+            meta=payload.get("meta", {}),
+        )
+        return trace
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TiTrace":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

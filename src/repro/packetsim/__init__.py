@@ -1,0 +1,23 @@
+"""packetsim — a packet-level discrete-event network simulator.
+
+This is the repository's stand-in for the *real clusters* of the paper's
+evaluation (griffon/gdx on Grid'5000): a ground truth against which the
+analytical flow model is validated, playing the role GTNetS played in the
+SimGrid validation literature the paper cites [25, 26].
+
+The model: store-and-forward switches, half-duplex shared links matching
+the flow model's SHARED semantics, MTU-sized frames with Ethernet/IP/TCP
+header overhead, windowed injection (a TCP-like sliding window bounds the
+packets in flight per message) and optional measurement noise.  Messages
+are segmented adaptively (at most ~256 segments for very large messages)
+to bound event counts; byte accounting stays exact.
+
+:class:`PacketEngine` duck-types :class:`repro.surf.engine.Engine`, so the
+*same* simulated MPI applications run unmodified over either the
+analytical kernel (SMPI proper) or this packet-level testbed — the
+cleanest possible apples-to-apples comparison.
+"""
+
+from .engine import PacketEngine, PacketParams
+
+__all__ = ["PacketEngine", "PacketParams"]

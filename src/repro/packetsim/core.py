@@ -1,0 +1,143 @@
+"""Event queue, link channels and flow state of the packet simulator."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..surf.resources import Link, SharingPolicy
+
+__all__ = ["EventQueue", "LinkChannel", "FlowState", "segment_sizes"]
+
+#: Ethernet (incl. preamble + IFG) + IP + TCP headers per frame, bytes
+FRAME_OVERHEAD = 78
+#: standard Ethernet MSS
+MSS = 1460
+#: soft cap on segments per message (adaptive coarsening above)
+MAX_SEGMENTS = 256
+
+
+class EventQueue:
+    """A plain (time, seq, thunk) binary heap."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+
+    def push(self, when: float, thunk: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (when, next(self._seq), thunk))
+
+    def pop(self) -> tuple[float, Callable[[], None]]:
+        when, _seq, thunk = heapq.heappop(self._heap)
+        return when, thunk
+
+    def peek_time(self) -> float:
+        return self._heap[0][0] if self._heap else math.inf
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class LinkChannel:
+    """Serialisation state of one link (half-duplex, SHARED semantics).
+
+    ``busy_until`` is the time the transmitter frees up; packets reserve
+    transmission slots in arrival order, which yields approximately fair
+    round-robin sharing between windowed flows.  FATPIPE links never
+    queue.
+    """
+
+    link: Link
+    busy_until: float = 0.0
+    bytes_carried: int = 0
+
+    def transmit(self, now: float, wire_bytes: int) -> tuple[float, float]:
+        """Reserve a slot; returns (tx_start, arrival_at_other_end)."""
+        wire_time = wire_bytes / self.link.bandwidth
+        if self.link.sharing is SharingPolicy.FATPIPE:
+            start = now
+        else:
+            start = max(now, self.busy_until)
+            self.busy_until = start + wire_time
+        self.bytes_carried += wire_bytes
+        return start, start + wire_time + self.link.latency
+
+
+def segment_sizes(nbytes: int) -> list[int]:
+    """Split a message into frame payload sizes (adaptive coarsening).
+
+    Small messages use MTU frames; huge ones use super-segments that are
+    multiples of the MSS so that per-frame overhead stays exact: a
+    super-segment of k MSS units carries k frame headers' worth of
+    overhead when put on the wire.
+    """
+    if nbytes <= 0:
+        return [0]
+    unit = MSS
+    if nbytes > MSS * MAX_SEGMENTS:
+        units = math.ceil(nbytes / (MSS * MAX_SEGMENTS))
+        unit = MSS * units
+    full, rest = divmod(nbytes, unit)
+    sizes = [unit] * full
+    if rest:
+        sizes.append(rest)
+    return sizes
+
+
+def wire_bytes(payload: int) -> int:
+    """Bytes on the wire for a segment: payload + per-MSS frame headers."""
+    if payload <= 0:
+        return FRAME_OVERHEAD
+    frames = math.ceil(payload / MSS)
+    return payload + frames * FRAME_OVERHEAD
+
+
+@dataclass
+class FlowState:
+    """One in-flight message transfer.
+
+    ``cwnd`` models TCP slow start: it begins small and grows by one
+    segment per acknowledgement (doubling per RTT) up to the receive
+    window.  This is what makes *medium* messages latency-bound — the
+    regime where the paper shows affine models failing (Fig. 3) — while
+    small messages are pure latency and large ones amortise the ramp.
+    """
+
+    fid: int
+    links: tuple[Link, ...]
+    segments: list[int]
+    window: int
+    rate_factor: float = 1.0  # per-flow noise on service times
+    init_cwnd: int = 8
+    cwnd: int = field(default=0)
+    next_segment: int = 0
+    in_flight: int = 0
+    delivered: int = 0
+    #: when the last byte arrived at the destination
+    last_delivery: float = field(default=math.nan)
+
+    def __post_init__(self) -> None:
+        self.cwnd = min(self.init_cwnd, self.window)
+
+    @property
+    def done(self) -> bool:
+        return self.delivered >= len(self.segments)
+
+    def on_ack(self) -> None:
+        """Slow-start growth: +1 segment per ack, capped by the window."""
+        self.in_flight -= 1
+        if self.cwnd < self.window:
+            self.cwnd += 1
+
+    def can_inject(self) -> bool:
+        return (
+            self.next_segment < len(self.segments)
+            and self.in_flight < min(self.cwnd, self.window)
+        )

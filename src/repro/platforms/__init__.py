@@ -1,0 +1,6 @@
+"""The two Grid'5000 clusters of the paper's evaluation (section 7)."""
+
+from .gdx import gdx, gdx_distant_pair, gdx_same_switch_pair
+from .griffon import griffon
+
+__all__ = ["gdx", "gdx_distant_pair", "gdx_same_switch_pair", "griffon"]

@@ -1,0 +1,65 @@
+"""The gdx cluster (Grid'5000, Orsay).
+
+Paper section 7: *"The gdx cluster comprises 312 2.0 GHz Dual-Proc AMD
+Opteron 246 scattered across 36 cabinets.  Two cabinets share a common
+switch and all these switches are connected to a single second level
+switch through Ethernet 1 Gigabit links.  Consequently a communication
+between two nodes located in two distant cabinets goes through three
+different switches."*
+
+36 cabinets sharing switches pairwise = 18 switches; we model 18
+"switch groups" of ~17-18 nodes each.  All links, including the uplinks
+to the second-level switch, are 1 GbE — the uplinks are the same speed
+as the access links, unlike griffon's 10 G core.
+"""
+
+from __future__ import annotations
+
+from ..surf.platform import Platform, multi_cabinet_cluster
+
+__all__ = ["gdx", "gdx_same_switch_pair", "gdx_distant_pair", "SWITCH_GROUPS"]
+
+#: 312 nodes over 18 switches (36 cabinets paired two-per-switch)
+SWITCH_GROUPS = tuple([18] * 6 + [17] * 12)
+assert sum(SWITCH_GROUPS) == 312
+
+
+def gdx(n_nodes: int | None = None) -> Platform:
+    """Build the gdx platform (optionally truncated to ``n_nodes``)."""
+    sizes = list(SWITCH_GROUPS)
+    if n_nodes is not None:
+        if n_nodes < 1 or n_nodes > sum(SWITCH_GROUPS):
+            raise ValueError(f"gdx has 1..{sum(SWITCH_GROUPS)} nodes, not {n_nodes}")
+        sizes = []
+        remaining = n_nodes
+        for group in SWITCH_GROUPS:
+            take = min(group, remaining)
+            if take:
+                sizes.append(take)
+            remaining -= take
+    return multi_cabinet_cluster(
+        "gdx",
+        sizes,
+        host_speed="4Gf",  # 2.0 GHz Opteron 246, 2 flop/cycle, per core
+        cores=2,
+        memory="16GiB",
+        link_bandwidth="125MBps",
+        link_latency="50us",
+        cabinet_backbone_bandwidth="250MBps",
+        cabinet_backbone_latency="15us",
+        uplink_bandwidth="125MBps",  # 1 GbE uplinks (paper)
+        uplink_latency="5us",
+        core_backbone_bandwidth="1.25GBps",
+        core_backbone_latency="15us",
+        prefix="gdx-",
+    )
+
+
+def gdx_same_switch_pair() -> tuple[str, str]:
+    """Two nodes behind the same switch (1 switch on the path, Fig. 4)."""
+    return "gdx-0", "gdx-1"
+
+
+def gdx_distant_pair() -> tuple[str, str]:
+    """Two nodes in distant cabinets (3 switches on the path, Fig. 5)."""
+    return "gdx-0", "gdx-300"

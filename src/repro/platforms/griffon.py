@@ -1,0 +1,58 @@
+"""The griffon cluster (Grid'5000, Nancy) — the calibration platform.
+
+Paper section 7: *"The griffon cluster comprises 92 2.5 GHz Dual-Proc,
+Quad-Core, Intel Xeon L5420 nodes.  These nodes are divided into three
+cabinets that contain 33, 27, and 32 nodes respectively.  Each cabinet
+has its own switch and these switches are then interconnected through a
+10 Gigabit second-level switch."*
+
+Links are Gigabit Ethernet (125 MB/s); the second-level backbone is
+10 GbE.  The cabinet switch fabric is modelled as a shared 2 Gb backbone —
+the construct SimGrid cluster descriptions use — which is what makes
+concurrent scatter/all-to-all transfers contend (the per-process
+staircases of Figs. 7/11 come from exactly this).  Node speed: 2 sockets × 4 cores of a 2.5 GHz Xeon L5420 — we
+model 4 flop/cycle/core, i.e. 10 Gf per core, 8 cores.
+"""
+
+from __future__ import annotations
+
+from ..surf.platform import Platform, multi_cabinet_cluster
+
+__all__ = ["griffon", "CABINETS"]
+
+CABINETS = (33, 27, 32)
+
+
+def griffon(n_nodes: int | None = None) -> Platform:
+    """Build the griffon platform (optionally truncated to ``n_nodes``).
+
+    Truncation keeps whole cabinets plus a partial last cabinet, like
+    reserving a subset of the real cluster.
+    """
+    sizes = list(CABINETS)
+    if n_nodes is not None:
+        if n_nodes < 1 or n_nodes > sum(CABINETS):
+            raise ValueError(f"griffon has 1..{sum(CABINETS)} nodes, not {n_nodes}")
+        sizes = []
+        remaining = n_nodes
+        for cab in CABINETS:
+            take = min(cab, remaining)
+            if take:
+                sizes.append(take)
+            remaining -= take
+    return multi_cabinet_cluster(
+        "griffon",
+        sizes,
+        host_speed="10Gf",
+        cores=8,
+        memory="16GiB",
+        link_bandwidth="125MBps",
+        link_latency="50us",
+        cabinet_backbone_bandwidth="250MBps",
+        cabinet_backbone_latency="15us",
+        uplink_bandwidth="1.25GBps",
+        uplink_latency="5us",
+        core_backbone_bandwidth="1.25GBps",
+        core_backbone_latency="15us",
+        prefix="griffon-",
+    )

@@ -1,0 +1,24 @@
+"""refcluster — the simulated stand-in for the paper's real testbeds.
+
+The paper validates SMPI against OpenMPI and MPICH2 running on Grid'5000
+clusters.  Without that hardware, this package provides the equivalent:
+behavioural parameter sets for the two MPI implementations
+(:mod:`repro.refcluster.mpimodel`), executed over the packet-level
+network simulator (:mod:`repro.packetsim`) with reproducible measurement
+noise.  ``run_reference`` runs any simulated-MPI application "on the real
+cluster"; :mod:`repro.refcluster.skampi` runs the ping-pong calibration
+campaigns of paper section 6.
+"""
+
+from .mpimodel import MPICH2, OPENMPI, MpiImplementation
+from .skampi import PingPongCampaign, run_pingpong_campaign
+from .testbed import run_reference
+
+__all__ = [
+    "MPICH2",
+    "MpiImplementation",
+    "OPENMPI",
+    "PingPongCampaign",
+    "run_pingpong_campaign",
+    "run_reference",
+]

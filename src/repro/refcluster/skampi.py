@@ -1,0 +1,104 @@
+"""SKaMPI-style ping-pong measurement campaigns (paper section 6).
+
+The paper calibrates SMPI with SKaMPI's ping-pong benchmark: round-trip
+times between two nodes over a wide range of message sizes.  This module
+reproduces that campaign on the packet-level testbed: log-spaced sizes
+from 1 B to (default) 16 MiB, several repetitions each, reporting the
+mean one-way time per size — exactly the input the calibration fitters
+expect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..surf.network_model import RouteParams
+from ..surf.platform import Platform
+from .mpimodel import MpiImplementation, OPENMPI
+from .testbed import run_reference
+
+__all__ = ["PingPongCampaign", "default_sizes", "run_pingpong_campaign"]
+
+
+def default_sizes(max_size: int = 16 * 1024 * 1024, per_decade: int = 6) -> list[int]:
+    """Log-spaced message sizes from 1 B to ``max_size``, deduplicated."""
+    grid = np.logspace(0, np.log10(max_size), num=int(np.log10(max_size) * per_decade))
+    sizes = sorted({int(round(v)) for v in grid} | {1, 1460, 65536, max_size})
+    return [s for s in sizes if s >= 1]
+
+
+@dataclass
+class PingPongCampaign:
+    """Results of one campaign: parallel size/time arrays + provenance."""
+
+    platform_name: str
+    node_pair: tuple[str, str]
+    implementation: str
+    sizes: np.ndarray
+    times: np.ndarray  # mean one-way seconds per size
+    route: RouteParams
+
+    def table(self) -> str:
+        lines = [f"# ping-pong on {self.platform_name} "
+                 f"({self.node_pair[0]} <-> {self.node_pair[1]}, "
+                 f"{self.implementation})",
+                 f"{'size_B':>12} {'one_way_us':>14} {'eff_MBps':>10}"]
+        for s, t in zip(self.sizes, self.times):
+            lines.append(f"{int(s):>12} {t * 1e6:>14.2f} {s / t / 1e6:>10.2f}")
+        return "\n".join(lines)
+
+
+def _pingpong_app(mpi, sizes: list[int], repetitions: int):
+    """Rank 0 <-> rank 1 ping-pong; rank 0 returns {size: one-way time}."""
+    comm = mpi.COMM_WORLD
+    results: dict[int, float] = {}
+    for size in sizes:
+        buf = np.zeros(size, dtype=np.uint8)
+        comm.Barrier()
+        start = mpi.wtime()
+        for _ in range(repetitions):
+            if mpi.rank == 0:
+                comm.Send(buf, 1, 0)
+                comm.Recv(buf, 1, 0)
+            else:
+                comm.Recv(buf, 0, 0)
+                comm.Send(buf, 0, 0)
+        if mpi.rank == 0:
+            results[size] = (mpi.wtime() - start) / (2 * repetitions)
+    return results if mpi.rank == 0 else None
+
+
+def run_pingpong_campaign(
+    platform: Platform,
+    node_a: str,
+    node_b: str,
+    implementation: MpiImplementation = OPENMPI,
+    sizes: list[int] | None = None,
+    repetitions: int = 3,
+    seed: int | None = None,
+    noise: float | None = None,
+) -> PingPongCampaign:
+    """Measure one node pair of a platform with the chosen implementation."""
+    sizes = sizes if sizes is not None else default_sizes()
+    result = run_reference(
+        _pingpong_app,
+        2,
+        platform,
+        implementation=implementation,
+        app_args=(sizes, repetitions),
+        hosts=[node_a, node_b],
+        seed=seed,
+        noise=noise,
+    )
+    measured: dict[int, float] = result.returns[0]
+    route = platform.route(node_a, node_b).params
+    return PingPongCampaign(
+        platform_name=platform.name,
+        node_pair=(node_a, node_b),
+        implementation=implementation.name,
+        sizes=np.asarray(sizes, dtype=float),
+        times=np.asarray([measured[s] for s in sizes], dtype=float),
+        route=route,
+    )

@@ -1,0 +1,55 @@
+"""Run simulated-MPI applications "on the real cluster".
+
+:func:`run_reference` is the counterpart of submitting a job to
+Grid'5000: it executes the given application over the packet-level
+network simulator with the chosen MPI implementation's protocol
+parameters and measurement noise, and returns the same
+:class:`~repro.smpi.runtime.SmpiResult` the SMPI runs produce — so
+benchmark code compares like with like.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..packetsim import PacketEngine, PacketParams
+from ..smpi.runtime import SmpiResult, smpirun
+from ..surf.platform import Platform
+from .mpimodel import MpiImplementation, OPENMPI
+
+__all__ = ["run_reference"]
+
+
+def run_reference(
+    app: Callable[..., Any],
+    n_ranks: int,
+    platform: Platform,
+    implementation: MpiImplementation = OPENMPI,
+    app_args: tuple = (),
+    hosts: list[str] | None = None,
+    seed: int | None = None,
+    noise: float | None = None,
+    config_overrides: dict | None = None,
+) -> SmpiResult:
+    """Execute ``app`` over the packet-level testbed.
+
+    ``seed`` controls the measurement noise stream; repeated calls with
+    different seeds behave like repeated runs on a real (slightly noisy)
+    cluster.  ``noise=0`` gives the deterministic testbed used by unit
+    tests.
+    """
+    params = PacketParams(
+        noise=implementation.noise if noise is None else noise,
+        seed=seed,
+    )
+    engine = PacketEngine(platform, params)
+    config = implementation.config(**(config_overrides or {}))
+    return smpirun(
+        app,
+        n_ranks,
+        platform,
+        app_args=app_args,
+        hosts=hosts,
+        config=config,
+        engine=engine,
+    )

@@ -1,0 +1,26 @@
+"""SIMIX — the process layer between SURF and the MPI API (paper Fig. 1).
+
+SIMIX turns the passive action kernel into an *on-line* simulator: each
+simulated process (:class:`~repro.simix.actor.Actor`) is a real OS thread
+running unmodified user Python code, but the :class:`Scheduler` enforces
+that **exactly one thread runs at a time** — the paper's fully sequential
+design that sidesteps parallel-discrete-event correctness issues.  User
+code blocks by waiting on *activities* (communications, executions,
+sleeps); the scheduler then advances the SURF clock to the next completion
+and resumes whoever it unblocked.
+"""
+
+from .activity import Activity, CommActivity, ExecActivity, SleepActivity
+from .actor import Actor
+from .context import Scheduler
+from .mailbox import Mailbox
+
+__all__ = [
+    "Activity",
+    "Actor",
+    "CommActivity",
+    "ExecActivity",
+    "Mailbox",
+    "Scheduler",
+    "SleepActivity",
+]

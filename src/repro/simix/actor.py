@@ -1,0 +1,139 @@
+"""Simulated processes: one OS thread each, strictly sequential execution.
+
+The baton protocol: the scheduler thread and every actor thread share a
+pair of :class:`threading.Event` objects.  At any instant at most one
+thread — the scheduler *or* one actor — holds the baton.  ``resume()``
+hands it to the actor and blocks the scheduler; ``_yield_control()`` hands
+it back.  User code therefore never needs locks: it is plain sequential
+code interleaved at MPI-call granularity, exactly like SMPI runs C code.
+
+An actor blocks by calling :meth:`suspend`; anything that might unblock it
+calls :meth:`Scheduler.wake`.  Waits are predicate-based (the waker may be
+spurious) which keeps the MPI layer's matching logic simple and correct.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import SimulationError
+from ..log import get_logger
+from ..surf.resources import Host
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .context import Scheduler
+
+__all__ = ["Actor", "ActorKilled"]
+
+_log = get_logger("simix")
+_ids = itertools.count()
+
+
+class ActorKilled(BaseException):
+    """Raised *inside* an actor thread to unwind it at simulation teardown.
+
+    Derives from BaseException so user ``except Exception`` blocks cannot
+    swallow it.
+    """
+
+
+class Actor:
+    """One simulated process pinned to one host."""
+
+    def __init__(
+        self,
+        scheduler: "Scheduler",
+        name: str,
+        host: Host,
+        func: Callable[..., Any],
+        args: tuple = (),
+        kwargs: dict | None = None,
+    ) -> None:
+        self.aid = next(_ids)
+        self.scheduler = scheduler
+        self.name = name
+        self.host = host
+        self.func = func
+        self.args = args
+        self.kwargs = kwargs or {}
+
+        self.finished = False
+        self.exception: BaseException | None = None
+        self.result: Any = None
+        self._killed = False
+        #: True while the actor sits in the scheduler's runnable queue
+        self.scheduled = False
+
+        self._baton_actor = threading.Event()  # set -> actor may run
+        self._baton_sched = threading.Event()  # set -> scheduler may run
+        self._thread = threading.Thread(
+            target=self._bootstrap, name=f"actor-{name}", daemon=True
+        )
+        self._started = False
+
+    # -- scheduler side ---------------------------------------------------------
+
+    def resume(self) -> None:
+        """Hand the baton to the actor; returns when it blocks or finishes."""
+        if self.finished:
+            return
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        self._baton_sched.clear()
+        self._baton_actor.set()
+        self._baton_sched.wait()
+
+    def kill(self) -> None:
+        """Unwind the actor thread (teardown); must be resumed once after."""
+        self._killed = True
+
+    def join_thread(self, timeout: float | None = 5.0) -> None:
+        if self._started:
+            self._thread.join(timeout)
+
+    # -- actor side ---------------------------------------------------------------
+
+    def _bootstrap(self) -> None:
+        try:
+            self._baton_actor.wait()
+            self._baton_actor.clear()
+            if self._killed:
+                raise ActorKilled()
+            self.result = self.func(*self.args, **self.kwargs)
+        except ActorKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
+            self.exception = exc
+        finally:
+            self.finished = True
+            self._baton_sched.set()
+
+    def _yield_control(self) -> None:
+        """Give the baton back and wait for it to return."""
+        self._baton_sched.set()
+        self._baton_actor.wait()
+        self._baton_actor.clear()
+        if self._killed:
+            raise ActorKilled()
+
+    def suspend(self) -> None:
+        """Block until some event wakes this actor (possibly spuriously)."""
+        self.scheduler._on_suspend(self)
+        self._yield_control()
+
+    def yield_now(self) -> None:
+        """Stay runnable but let the scheduler process other actors first."""
+        self.scheduler._on_yield(self)
+        self._yield_control()
+
+    def wait_for(self, predicate: Callable[[], bool]) -> None:
+        """Suspend until ``predicate()`` holds; tolerant of spurious wakes."""
+        while not predicate():
+            self.suspend()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "alive"
+        return f"Actor(#{self.aid} {self.name!r} on {self.host.name} {state})"

@@ -1,0 +1,161 @@
+"""The scheduler: drives actors and the SURF engine in lock-step.
+
+The main loop (:meth:`Scheduler.run`) alternates two phases until every
+actor has finished:
+
+1. **drain** — resume every runnable actor, one at a time, until each has
+   blocked on an activity or terminated.  New actors spawned meanwhile
+   join the queue and run in the same phase (same simulated instant).
+2. **advance** — ask the engine for the next completing actions; their
+   observers mark waiting actors runnable again.  If nothing can complete
+   while actors are still blocked, the application has deadlocked and a
+   :class:`~repro.errors.DeadlockError` describes who waits on what.
+
+Because phase 1 runs actors strictly sequentially, the whole simulation is
+deterministic: the actor execution order is the queue order, which is
+itself determined by completion order and spawn order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from ..errors import ActorFailure, DeadlockError
+from ..log import get_logger
+from ..surf.engine import Engine
+from ..surf.resources import Host
+from .activity import CommActivity, ExecActivity, SleepActivity
+from .actor import Actor
+
+__all__ = ["Scheduler"]
+
+_log = get_logger("simix")
+
+
+class Scheduler:
+    """Cooperative scheduler over one SURF engine."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self.actors: list[Actor] = []
+        self._runnable: deque[Actor] = deque()
+        self._current: Actor | None = None
+        self._running = False
+
+    # -- setup ------------------------------------------------------------------
+
+    def add_actor(
+        self,
+        name: str,
+        host: Host | str,
+        func: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> Actor:
+        """Register a simulated process; it starts when ``run()`` drains it."""
+        if isinstance(host, str):
+            host = self.engine.platform.host(host)
+        actor = Actor(self, name, host, func, args, kwargs)
+        self.actors.append(actor)
+        self._make_runnable(actor)
+        return actor
+
+    # -- actor services (called from actor threads) --------------------------------
+
+    @property
+    def current(self) -> Actor:
+        """The actor currently holding the baton."""
+        assert self._current is not None, "no actor is running"
+        return self._current
+
+    def communicate(
+        self,
+        src: str,
+        dst: str,
+        size: int,
+        name: str = "comm",
+        extra_latency: float = 0.0,
+        rate_cap: float = float("inf"),
+    ) -> CommActivity:
+        action = self.engine.communicate(
+            src, dst, size, name, rate_cap=rate_cap, extra_latency=extra_latency
+        )
+        return CommActivity(self, action, src, dst, size, name)
+
+    def execute(self, actor: Actor, flops: float, name: str = "exec") -> ExecActivity:
+        action = self.engine.execute(actor.host, flops, name)
+        return ExecActivity(self, action, name)
+
+    def sleep_activity(self, duration: float, name: str = "sleep") -> SleepActivity:
+        action = self.engine.sleep(duration, name)
+        return SleepActivity(self, action, name)
+
+    def wake(self, actor: Actor) -> None:
+        """Mark a blocked actor runnable (idempotent)."""
+        self._make_runnable(actor)
+
+    def _make_runnable(self, actor: Actor) -> None:
+        if not actor.finished and not actor.scheduled:
+            actor.scheduled = True
+            self._runnable.append(actor)
+
+    def _on_suspend(self, actor: Actor) -> None:
+        actor.scheduled = False
+
+    def _on_yield(self, actor: Actor) -> None:
+        actor.scheduled = True
+        self._runnable.append(actor)
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> float:
+        """Simulate until every actor finished; return the final clock."""
+        self._running = True
+        try:
+            while True:
+                self._drain_runnable()
+                alive = [a for a in self.actors if not a.finished]
+                if not alive:
+                    break
+                # Step the engine until some completion made an actor
+                # runnable again (several steps may only expire latency
+                # phases or finish activities nobody waits on).
+                while not self._runnable and self.engine.busy:
+                    self.engine.step()
+                if not self._runnable:
+                    self._raise_deadlock(alive)
+            return self.engine.now
+        finally:
+            self._running = False
+            self._teardown()
+
+    def _drain_runnable(self) -> None:
+        while self._runnable:
+            actor = self._runnable.popleft()
+            if actor.finished:
+                continue
+            self._current = actor
+            actor.resume()
+            self._current = None
+            if actor.exception is not None:
+                raise ActorFailure(actor.name, actor.exception) from actor.exception
+
+    def _raise_deadlock(self, alive: list[Actor]) -> None:
+        # Engine may still hold latency-phase actions even when nothing is
+        # RUNNING; step() would have advanced those, so reaching here means
+        # a genuine application deadlock.
+        names = ", ".join(a.name for a in alive[:16])
+        more = "" if len(alive) <= 16 else f" (+{len(alive) - 16} more)"
+        raise DeadlockError(
+            f"all {len(alive)} remaining actors are blocked with no pending "
+            f"activity: {names}{more}"
+        )
+
+    def _teardown(self) -> None:
+        """Unwind every still-alive actor thread so nothing leaks."""
+        for actor in self.actors:
+            if not actor.finished:
+                actor.kill()
+                actor.resume()
+            actor.join_thread()

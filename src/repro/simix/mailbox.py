@@ -1,0 +1,66 @@
+"""Mailboxes: FIFO match queues for rendezvous between actors.
+
+MPI message matching requires two queues per destination — posted receives
+and unexpected messages — each searched *in arrival order* against a
+predicate (source/tag, possibly wildcards).  :class:`Mailbox` provides
+exactly that primitive; the MPI layer owns the matching rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["Mailbox"]
+
+
+class Mailbox(Generic[T]):
+    """An ordered queue supporting predicate-based removal.
+
+    Insertion order is preserved; ``pop_first`` implements the MPI
+    requirement that matching scans oldest-first (non-overtaking rule for
+    identical envelopes).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._items: list[T] = []
+
+    def push(self, item: T) -> None:
+        self._items.append(item)
+
+    def pop_first(self, predicate: Callable[[T], bool]) -> T | None:
+        """Remove and return the oldest item satisfying ``predicate``."""
+        for index, item in enumerate(self._items):
+            if predicate(item):
+                del self._items[index]
+                return item
+        return None
+
+    def peek_first(self, predicate: Callable[[T], bool]) -> T | None:
+        """Return (without removing) the oldest matching item."""
+        for item in self._items:
+            if predicate(item):
+                return item
+        return None
+
+    def remove(self, item: T) -> bool:
+        """Remove a specific item; returns whether it was present."""
+        try:
+            self._items.remove(item)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Mailbox({self.name!r}, {len(self._items)} items)"

@@ -1,0 +1,128 @@
+"""SMPI — simulated MPI, the paper's core contribution.
+
+Public surface:
+
+* :func:`~repro.smpi.runtime.smpirun` — run an application function on N
+  simulated MPI processes over a platform;
+* :class:`~repro.smpi.runtime.Mpi` — the per-rank handle applications
+  receive (COMM_WORLD, wtime, sampling macros, shared malloc);
+* :class:`~repro.smpi.comm.Communicator` — mpi4py-style API: upper-case
+  methods for NumPy buffers, lower-case for picklable objects;
+* :mod:`~repro.smpi.datatype`, :mod:`~repro.smpi.op` — datatypes and
+  reduction operators;
+* :class:`~repro.smpi.config.SmpiConfig` — eager threshold, collective
+  algorithm selection, memory enforcement, sampling factor.
+
+Example::
+
+    from repro.smpi import smpirun, SmpiConfig
+    from repro.surf import cluster
+
+    def app(mpi):
+        import numpy as np
+        data = np.full(4, mpi.rank, dtype=np.float64)
+        out = np.empty(4)
+        mpi.COMM_WORLD.Allreduce(data, out)
+        return out.sum()
+
+    result = smpirun(app, 8, cluster("c", 8))
+    print(result.simulated_time, result.returns)
+"""
+
+from . import constants, datatype, op
+from .comm import Communicator
+from .config import SmpiConfig
+from .constants import ANY_SOURCE, ANY_TAG, IN_PLACE, PROC_NULL, SUCCESS, UNDEFINED
+from .datatype import (
+    BYTE,
+    CHAR,
+    ContiguousDatatype,
+    Datatype,
+    DOUBLE,
+    FLOAT,
+    INT,
+    INT64,
+    LONG,
+    VectorDatatype,
+)
+from .group import Group
+from .io import File, FileSystem, MODE_APPEND, MODE_CREATE, MODE_EXCL, MODE_RDONLY, MODE_RDWR, MODE_WRONLY
+from .memory import MemoryReport, MemoryTracker
+from .op import MAX, MIN, PROD, SUM, Op
+from .request import (
+    PersistentRequest,
+    REQUEST_NULL,
+    Request,
+    startall,
+    test,
+    testall,
+    testany,
+    testsome,
+    wait,
+    waitall,
+    waitany,
+    waitsome,
+)
+from .runtime import Mpi, SmpiResult, SmpiWorld, smpirun
+from .status import Status
+from .topo import CartComm, cart_create, dims_create
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "BYTE",
+    "CartComm",
+    "CHAR",
+    "Communicator",
+    "ContiguousDatatype",
+    "DOUBLE",
+    "Datatype",
+    "File",
+    "FileSystem",
+    "FLOAT",
+    "Group",
+    "IN_PLACE",
+    "INT",
+    "INT64",
+    "LONG",
+    "MAX",
+    "MemoryReport",
+    "MemoryTracker",
+    "MIN",
+    "MODE_APPEND",
+    "MODE_CREATE",
+    "MODE_EXCL",
+    "MODE_RDONLY",
+    "MODE_RDWR",
+    "MODE_WRONLY",
+    "Mpi",
+    "Op",
+    "PersistentRequest",
+    "PROC_NULL",
+    "PROD",
+    "REQUEST_NULL",
+    "Request",
+    "SmpiConfig",
+    "SmpiResult",
+    "SmpiWorld",
+    "Status",
+    "SUCCESS",
+    "SUM",
+    "UNDEFINED",
+    "VectorDatatype",
+    "cart_create",
+    "constants",
+    "datatype",
+    "dims_create",
+    "op",
+    "smpirun",
+    "startall",
+    "test",
+    "testall",
+    "testany",
+    "testsome",
+    "wait",
+    "waitall",
+    "waitany",
+    "waitsome",
+]

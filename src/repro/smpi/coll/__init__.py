@@ -1,0 +1,277 @@
+"""Collective operations: algorithm registry and selection.
+
+The paper implements one variant per collective and announces selectable
+variants as future work (section 5.3); we provide both.  Every collective
+dispatches through :func:`select`:
+
+* if the SMPI config names an algorithm (``coll_algorithms={"alltoall":
+  "pairwise"}``) it is forced;
+* otherwise ``auto`` applies MPICH2-flavoured rules on message size,
+  communicator size and operator commutativity.
+
+All algorithms decompose into point-to-point messages on the collective
+context plane, so they contend in the simulated network — the central
+modelling claim of paper section 4.2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...errors import ConfigError
+from ..buffer import BufferSpec
+from ..op import Op
+from .allgather import (
+    allgather_bruck,
+    allgather_recursive_doubling,
+    allgather_ring,
+    allgatherv_ring,
+)
+from .allreduce import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_reduce_bcast,
+)
+from .alltoall import (
+    alltoall_basic_linear,
+    alltoall_bruck,
+    alltoall_pairwise,
+    alltoallv_basic_linear,
+    pairwise_schedule,
+)
+from .barrier import barrier_dissemination, barrier_tree
+from .bcast import bcast_binomial, bcast_linear, bcast_scatter_allgather
+from .gather import gather_binomial, gather_linear, gatherv_linear
+from .objects import (
+    allgather_object,
+    allreduce_object,
+    alltoall_object,
+    bcast_object,
+    gather_object,
+    reduce_object,
+    scatter_object,
+)
+from .reduce import reduce_binomial, reduce_linear
+from .reduce_scatter import reduce_scatter_pairwise, reduce_scatter_reduce_scatterv
+from .scan import exscan_recursive_doubling, scan_recursive_doubling
+from .scatter import (
+    binomial_tree_edges,
+    scatter_binomial,
+    scatter_linear,
+    scatterv_linear,
+)
+from .util import base_dtype, elements_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = [
+    "ALGORITHMS",
+    "barrier",
+    "bcast",
+    "scatter",
+    "scatterv",
+    "gather",
+    "gatherv",
+    "allgather",
+    "allgatherv",
+    "reduce",
+    "allreduce",
+    "scan",
+    "exscan",
+    "reduce_scatter",
+    "alltoall",
+    "alltoallv",
+    "bcast_object",
+    "scatter_object",
+    "gather_object",
+    "allgather_object",
+    "alltoall_object",
+    "reduce_object",
+    "allreduce_object",
+    "binomial_tree_edges",
+    "pairwise_schedule",
+]
+
+#: every selectable algorithm, per collective (ablation benches iterate this)
+ALGORITHMS: dict[str, dict[str, object]] = {
+    "barrier": {
+        "dissemination": barrier_dissemination,
+        "tree": barrier_tree,
+    },
+    "bcast": {
+        "binomial": bcast_binomial,
+        "linear": bcast_linear,
+        "scatter_allgather": bcast_scatter_allgather,
+    },
+    "scatter": {"binomial": scatter_binomial, "linear": scatter_linear},
+    "gather": {"binomial": gather_binomial, "linear": gather_linear},
+    "allgather": {
+        "ring": allgather_ring,
+        "recursive_doubling": allgather_recursive_doubling,
+        "bruck": allgather_bruck,
+    },
+    "reduce": {"binomial": reduce_binomial, "linear": reduce_linear},
+    "allreduce": {
+        "recursive_doubling": allreduce_recursive_doubling,
+        "reduce_bcast": allreduce_reduce_bcast,
+        "rabenseifner": allreduce_rabenseifner,
+    },
+    "reduce_scatter": {
+        "pairwise": reduce_scatter_pairwise,
+        "reduce_scatterv": reduce_scatter_reduce_scatterv,
+    },
+    "alltoall": {
+        "pairwise": alltoall_pairwise,
+        "basic_linear": alltoall_basic_linear,
+        "bruck": alltoall_bruck,
+    },
+}
+
+# MPICH2-flavoured thresholds (bytes)
+_BCAST_SHORT = 12288
+_ALLGATHER_LONG = 512 * 1024
+_ALLTOALL_SHORT = 256
+_ALLTOALL_MEDIUM = 32 * 1024
+
+
+def select(comm: "Communicator", collective: str, chosen: str):
+    """Resolve a (collective, algorithm-name) pair to its function."""
+    table = ALGORITHMS[collective]
+    if chosen != "auto":
+        try:
+            return table[chosen]
+        except KeyError:
+            raise ConfigError(
+                f"unknown {collective} algorithm {chosen!r}; "
+                f"available: {sorted(table)} or 'auto'"
+            ) from None
+    return None  # caller applies its auto rule
+
+
+def _config_choice(comm: "Communicator", collective: str) -> str:
+    return comm.world.config.algorithm_for(collective)
+
+
+# -- dispatchers ----------------------------------------------------------------------
+
+
+def barrier(comm: "Communicator") -> None:
+    forced = select(comm, "barrier", _config_choice(comm, "barrier"))
+    (forced or barrier_dissemination)(comm)
+
+
+def bcast(comm: "Communicator", spec: BufferSpec, root: int) -> None:
+    forced = select(comm, "bcast", _config_choice(comm, "bcast"))
+    if forced is not None:
+        forced(comm, spec, root)
+        return
+    nbytes = spec.nbytes
+    if nbytes < _BCAST_SHORT or comm.size < 8:
+        bcast_binomial(comm, spec, root)
+    else:
+        bcast_scatter_allgather(comm, spec, root)
+
+
+def scatter(comm: "Communicator", sendbuf, recvspec: BufferSpec, root: int) -> None:
+    forced = select(comm, "scatter", _config_choice(comm, "scatter"))
+    (forced or scatter_binomial)(comm, sendbuf, recvspec, root)
+
+
+def scatterv(comm, sendbuf, counts, displs, recvspec, root) -> None:
+    scatterv_linear(comm, sendbuf, counts, displs, recvspec, root)
+
+
+def gather(comm, sendspec: BufferSpec, recvspec, root: int) -> None:
+    forced = select(comm, "gather", _config_choice(comm, "gather"))
+    (forced or gather_binomial)(comm, sendspec, recvspec, root)
+
+
+def gatherv(comm, sendspec, recvspec, counts, displs, root) -> None:
+    gatherv_linear(comm, sendspec, recvspec, counts, displs, root)
+
+
+def allgather(comm, sendspec: BufferSpec, recvspec: BufferSpec) -> None:
+    forced = select(comm, "allgather", _config_choice(comm, "allgather"))
+    if forced is not None:
+        forced(comm, sendspec, recvspec)
+        return
+    total = sendspec.nbytes * comm.size
+    power_of_two = comm.size & (comm.size - 1) == 0
+    if total >= _ALLGATHER_LONG or comm.size < 2:
+        allgather_ring(comm, sendspec, recvspec)
+    elif power_of_two:
+        allgather_recursive_doubling(comm, sendspec, recvspec)
+    else:
+        allgather_bruck(comm, sendspec, recvspec)
+
+
+def allgatherv(comm, sendspec, recvspec, counts, displs) -> None:
+    allgatherv_ring(comm, sendspec, recvspec, counts, displs)
+
+
+def reduce(comm, sendspec: BufferSpec, recvspec, op: Op, root: int) -> None:
+    forced = select(comm, "reduce", _config_choice(comm, "reduce"))
+    if forced is not None:
+        forced(comm, sendspec, recvspec, op, root)
+        return
+    if op.commutative:
+        reduce_binomial(comm, sendspec, recvspec, op, root)
+    else:
+        reduce_linear(comm, sendspec, recvspec, op, root)
+
+
+_ALLREDUCE_LONG = 512 * 1024
+
+
+def allreduce(comm, sendspec: BufferSpec, recvspec: BufferSpec, op: Op) -> None:
+    forced = select(comm, "allreduce", _config_choice(comm, "allreduce"))
+    if forced is not None:
+        forced(comm, sendspec, recvspec, op)
+        return
+    if not op.commutative:
+        allreduce_reduce_bcast(comm, sendspec, recvspec, op)
+    elif sendspec.nbytes >= _ALLREDUCE_LONG and comm.size > 2:
+        allreduce_rabenseifner(comm, sendspec, recvspec, op)
+    else:
+        allreduce_recursive_doubling(comm, sendspec, recvspec, op)
+
+
+def scan(comm, sendspec, recvspec, op: Op) -> None:
+    scan_recursive_doubling(comm, sendspec, recvspec, op)
+
+
+def exscan(comm, sendspec, recvspec, op: Op) -> None:
+    exscan_recursive_doubling(comm, sendspec, recvspec, op)
+
+
+def reduce_scatter(comm, sendspec, recvspec, counts, op: Op) -> None:
+    forced = select(comm, "reduce_scatter", _config_choice(comm, "reduce_scatter"))
+    if forced is not None:
+        forced(comm, sendspec, recvspec, counts, op)
+        return
+    if op.commutative:
+        reduce_scatter_pairwise(comm, sendspec, recvspec, counts, op)
+    else:
+        reduce_scatter_reduce_scatterv(comm, sendspec, recvspec, counts, op)
+
+
+def alltoall(comm, sendspec: BufferSpec, recvspec: BufferSpec) -> None:
+    forced = select(comm, "alltoall", _config_choice(comm, "alltoall"))
+    if forced is not None:
+        forced(comm, sendspec, recvspec)
+        return
+    per_peer = sendspec.nbytes // max(comm.size, 1)
+    if per_peer <= _ALLTOALL_SHORT and comm.size >= 8:
+        alltoall_bruck(comm, sendspec, recvspec)
+    elif per_peer <= _ALLTOALL_MEDIUM:
+        alltoall_basic_linear(comm, sendspec, recvspec)
+    else:
+        alltoall_pairwise(comm, sendspec, recvspec)
+
+
+def alltoallv(comm, sendspec, sendcounts, sdispls, recvspec, recvcounts,
+              rdispls) -> None:
+    alltoallv_basic_linear(
+        comm, sendspec, sendcounts, sdispls, recvspec, recvcounts, rdispls
+    )

@@ -1,0 +1,166 @@
+"""Allgather algorithms: ring, recursive doubling, Bruck.
+
+MPICH2's selection: recursive doubling for short messages on power-of-two
+communicators, Bruck for short messages otherwise, ring for long messages.
+All three are implemented; the dispatcher applies the same rules.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants, request as rq
+from ..buffer import BufferSpec
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = [
+    "allgather_ring",
+    "allgather_recursive_doubling",
+    "allgather_bruck",
+    "allgatherv_ring",
+]
+
+
+def _init(comm, sendspec, recvspec):
+    size = comm.size
+    rank = comm.Get_rank()
+    chunk = elements_of(sendspec)
+    recv_flat = flat_view(recvspec)
+    if recv_flat.size < size * chunk:
+        raise MpiError(constants.ERR_COUNT, "allgather recv buffer too small")
+    recv_flat[rank * chunk : (rank + 1) * chunk] = flat_view(sendspec)[:chunk]
+    return size, rank, chunk, recv_flat
+
+
+def allgather_ring(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec
+) -> None:
+    """P-1 steps around a ring; bandwidth-optimal for long messages."""
+    size, rank, chunk, recv_flat = _init(comm, sendspec, recvspec)
+    if size == 1:
+        return
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    send_block = rank
+    recv_block = left
+    for _ in range(size - 1):
+        sreq = isend_view(
+            comm, recv_flat, send_block * chunk, chunk, right, "allgather"
+        )
+        rreq = irecv_view(
+            comm, recv_flat, recv_block * chunk, chunk, left, "allgather"
+        )
+        rq.waitall([sreq, rreq])
+        send_block = recv_block
+        recv_block = (recv_block - 1) % size
+
+
+def allgather_recursive_doubling(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec
+) -> None:
+    """log2 P exchange rounds; requires a power-of-two communicator."""
+    size, rank, chunk, recv_flat = _init(comm, sendspec, recvspec)
+    if size & (size - 1):
+        raise MpiError(
+            constants.ERR_ARG,
+            "recursive-doubling allgather needs a power-of-two size",
+        )
+    mask = 1
+    have_lo = rank  # block range currently held: [have_lo, have_lo + have_n)
+    have_n = 1
+    while mask < size:
+        partner = rank ^ mask
+        # my block range is my mask-aligned group; the partner holds the
+        # sibling group, and after the exchange both hold the union
+        partner_lo = have_lo ^ mask
+        sreq = isend_view(
+            comm, recv_flat, have_lo * chunk, have_n * chunk, partner, "allgather"
+        )
+        rreq = irecv_view(
+            comm, recv_flat, partner_lo * chunk, have_n * chunk, partner, "allgather"
+        )
+        rq.waitall([sreq, rreq])
+        have_lo = min(have_lo, partner_lo)
+        have_n *= 2
+        mask <<= 1
+
+
+def allgather_bruck(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec
+) -> None:
+    """Bruck's algorithm: ceil(log2 P) rounds, any communicator size."""
+    size, rank, chunk, recv_flat = _init(comm, sendspec, recvspec)
+    if size == 1:
+        return
+    dtype = base_dtype(sendspec)
+    # working buffer in rotated order: block i holds rank (rank + i) % size
+    work = np.empty(size * chunk, dtype=dtype.np_dtype)
+    work[:chunk] = flat_view(sendspec)[:chunk]
+    have = 1
+    pof2 = 1
+    while pof2 < size:
+        send_n = min(pof2, size - have)
+        src = (rank + pof2) % size
+        dst = (rank - pof2) % size
+        sreq = isend_view(comm, work, 0, send_n * chunk, dst, "allgather")
+        rreq = irecv_view(comm, work, have * chunk, send_n * chunk, src, "allgather")
+        rq.waitall([sreq, rreq])
+        have += send_n
+        pof2 <<= 1
+    # un-rotate: work block i -> recv block (rank + i) % size
+    for i in range(size):
+        block = (rank + i) % size
+        recv_flat[block * chunk : (block + 1) * chunk] = work[
+            i * chunk : (i + 1) * chunk
+        ]
+
+
+def allgatherv_ring(
+    comm: "Communicator",
+    sendspec: BufferSpec,
+    recvspec: BufferSpec,
+    counts: list[int],
+    displs: list[int],
+) -> None:
+    """MPI_Allgatherv over the ring schedule."""
+    size = comm.size
+    rank = comm.Get_rank()
+    if len(counts) != size or len(displs) != size:
+        raise MpiError(
+            constants.ERR_COUNT, "allgatherv needs one count and displ per rank"
+        )
+    recv_flat = flat_view(recvspec)
+    recv_flat[displs[rank] : displs[rank] + counts[rank]] = flat_view(sendspec)[
+        : counts[rank]
+    ]
+    if size == 1:
+        return
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    send_block = rank
+    recv_block = left
+    for _ in range(size - 1):
+        reqs = []
+        if counts[send_block] > 0:
+            reqs.append(
+                isend_view(
+                    comm, recv_flat, displs[send_block], counts[send_block],
+                    right, "allgatherv",
+                )
+            )
+        if counts[recv_block] > 0:
+            reqs.append(
+                irecv_view(
+                    comm, recv_flat, displs[recv_block], counts[recv_block],
+                    left, "allgatherv",
+                )
+            )
+        rq.waitall(reqs)
+        send_block = recv_block
+        recv_block = (recv_block - 1) % size

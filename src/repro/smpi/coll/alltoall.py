@@ -1,0 +1,174 @@
+"""All-to-all algorithms: pairwise, basic linear, Bruck.
+
+``pairwise`` is the algorithm of paper Figs. 10-12: P steps; in step s
+every rank sends to ``(rank + s) % P`` while receiving from
+``(rank - s) % P`` (step 0 is the local copy), so at every instant the
+network carries a perfect matching of P simultaneous transfers — the
+maximum-contention pattern the evaluation uses.  ``basic_linear`` posts
+everything at once (OpenMPI's medium-size choice); ``bruck`` is the
+log-round algorithm for short messages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants, request as rq
+from ..buffer import BufferSpec
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = [
+    "alltoall_pairwise",
+    "alltoall_basic_linear",
+    "alltoall_bruck",
+    "alltoallv_basic_linear",
+    "pairwise_schedule",
+]
+
+
+def _init(comm, sendspec, recvspec):
+    size = comm.size
+    rank = comm.Get_rank()
+    send_flat = flat_view(sendspec)
+    recv_flat = flat_view(recvspec)
+    chunk = elements_of(sendspec) // size
+    if chunk * size != elements_of(sendspec):
+        raise MpiError(
+            constants.ERR_COUNT, "alltoall send buffer must split evenly"
+        )
+    if recv_flat.size < size * chunk:
+        raise MpiError(constants.ERR_COUNT, "alltoall recv buffer too small")
+    return size, rank, chunk, send_flat, recv_flat
+
+
+def pairwise_schedule(size: int) -> list[list[tuple[int, int]]]:
+    """The (sender, receiver) pairs of every pairwise step (paper Fig. 10)."""
+    steps = []
+    for s in range(size):
+        steps.append([(r, (r + s) % size) for r in range(size)])
+    return steps
+
+
+def alltoall_pairwise(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec
+) -> None:
+    """P-step pairwise exchange (paper Fig. 10)."""
+    size, rank, chunk, send_flat, recv_flat = _init(comm, sendspec, recvspec)
+    # step 0: local copy
+    recv_flat[rank * chunk : (rank + 1) * chunk] = send_flat[
+        rank * chunk : (rank + 1) * chunk
+    ]
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        sreq = isend_view(comm, send_flat, dst * chunk, chunk, dst, "alltoall")
+        rreq = irecv_view(comm, recv_flat, src * chunk, chunk, src, "alltoall")
+        rq.waitall([sreq, rreq])
+
+
+def alltoall_basic_linear(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec
+) -> None:
+    """Post every send and receive at once, wait for all."""
+    size, rank, chunk, send_flat, recv_flat = _init(comm, sendspec, recvspec)
+    recv_flat[rank * chunk : (rank + 1) * chunk] = send_flat[
+        rank * chunk : (rank + 1) * chunk
+    ]
+    reqs = []
+    for peer in range(size):
+        if peer == rank:
+            continue
+        reqs.append(irecv_view(comm, recv_flat, peer * chunk, chunk, peer, "alltoall"))
+    for peer in range(size):
+        if peer == rank:
+            continue
+        reqs.append(isend_view(comm, send_flat, peer * chunk, chunk, peer, "alltoall"))
+    rq.waitall(reqs)
+
+
+def alltoall_bruck(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec
+) -> None:
+    """Bruck's log-round algorithm for short messages."""
+    size, rank, chunk, send_flat, recv_flat = _init(comm, sendspec, recvspec)
+    dtype = base_dtype(sendspec)
+    if size == 1:
+        recv_flat[:chunk] = send_flat[:chunk]
+        return
+    # phase 1: local rotation so block i is destined to (rank + i) % size
+    work = np.empty(size * chunk, dtype=dtype.np_dtype)
+    for i in range(size):
+        src_block = (rank + i) % size
+        work[i * chunk : (i + 1) * chunk] = send_flat[
+            src_block * chunk : (src_block + 1) * chunk
+        ]
+    # phase 2: log rounds; round k ships every block whose index has bit k
+    incoming = np.empty(size * chunk, dtype=dtype.np_dtype)
+    pof2 = 1
+    while pof2 < size:
+        blocks = [i for i in range(size) if i & pof2]
+        n = len(blocks)
+        dst = (rank + pof2) % size
+        src = (rank - pof2) % size
+        outbound = np.concatenate(
+            [work[b * chunk : (b + 1) * chunk] for b in blocks]
+        ) if n else np.empty(0, dtype=dtype.np_dtype)
+        sreq = isend_view(comm, outbound, 0, n * chunk, dst, "alltoall")
+        rreq = irecv_view(comm, incoming, 0, n * chunk, src, "alltoall")
+        rq.waitall([sreq, rreq])
+        for j, b in enumerate(blocks):
+            work[b * chunk : (b + 1) * chunk] = incoming[j * chunk : (j + 1) * chunk]
+        pof2 <<= 1
+    # phase 3: inverse rotation; block i of work came from (rank - i) % size
+    for i in range(size):
+        src_block = (rank - i) % size
+        recv_flat[src_block * chunk : (src_block + 1) * chunk] = work[
+            i * chunk : (i + 1) * chunk
+        ]
+
+
+def alltoallv_basic_linear(
+    comm: "Communicator",
+    sendspec: BufferSpec,
+    sendcounts: list[int],
+    sdispls: list[int],
+    recvspec: BufferSpec,
+    recvcounts: list[int],
+    rdispls: list[int],
+) -> None:
+    """MPI_Alltoallv (both implementations use the linear schedule)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    for name, seq in (
+        ("sendcounts", sendcounts), ("sdispls", sdispls),
+        ("recvcounts", recvcounts), ("rdispls", rdispls),
+    ):
+        if len(seq) != size:
+            raise MpiError(constants.ERR_COUNT, f"alltoallv {name} needs {size} entries")
+    send_flat = flat_view(sendspec)
+    recv_flat = flat_view(recvspec)
+    recv_flat[rdispls[rank] : rdispls[rank] + recvcounts[rank]] = send_flat[
+        sdispls[rank] : sdispls[rank] + sendcounts[rank]
+    ]
+    reqs = []
+    for peer in range(size):
+        if peer == rank or recvcounts[peer] == 0:
+            continue
+        reqs.append(
+            irecv_view(comm, recv_flat, rdispls[peer], recvcounts[peer], peer,
+                       "alltoallv")
+        )
+    for peer in range(size):
+        if peer == rank or sendcounts[peer] == 0:
+            continue
+        reqs.append(
+            isend_view(comm, send_flat, sdispls[peer], sendcounts[peer], peer,
+                       "alltoallv")
+        )
+    rq.waitall(reqs)

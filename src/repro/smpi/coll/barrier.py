@@ -1,0 +1,65 @@
+"""Barrier algorithms: dissemination (MPICH2 default) and binomial tree."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import request as rq
+from .util import coll_tag
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = ["barrier_dissemination", "barrier_tree"]
+
+_token = np.zeros(1, dtype=np.uint8)
+
+
+def barrier_dissemination(comm: "Communicator") -> None:
+    """ceil(log2 P) rounds; round k talks to rank ± 2^k (MPICH2 default)."""
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.Get_rank()
+    tag = coll_tag("barrier")
+    mask = 1
+    while mask < size:
+        dst = (rank + mask) % size
+        src = (rank - mask) % size
+        recv = np.zeros(1, dtype=np.uint8)
+        rreq = comm.Irecv([recv, 1], src, tag, _ctx=comm.ctx + 1)
+        sreq = comm.Isend([_token, 1], dst, tag, _ctx=comm.ctx + 1)
+        rq.waitall([rreq, sreq])
+        mask <<= 1
+
+
+def barrier_tree(comm: "Communicator") -> None:
+    """Binomial fan-in to rank 0 followed by a binomial fan-out."""
+    size = comm.size
+    if size == 1:
+        return
+    rank = comm.Get_rank()
+    tag = coll_tag("barrier")
+    token = np.zeros(1, dtype=np.uint8)
+
+    # fan-in: children report up; a rank's parent is rank - lowbit(rank)
+    mask = 1
+    while mask < size and not (rank & mask):
+        child = rank + mask
+        if child < size:
+            rq.wait(comm.Irecv([token, 1], child, tag, _ctx=comm.ctx + 1))
+        mask <<= 1
+    if rank != 0:
+        # mask is now lowbit(rank); report to the parent, await release
+        rq.wait(comm.Isend([_token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
+        rq.wait(comm.Irecv([token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
+
+    # fan-out: release my subtree (children masks below my lowbit)
+    mask >>= 1
+    while mask >= 1:
+        child = rank + mask
+        if child < size:
+            rq.wait(comm.Isend([_token, 1], child, tag, _ctx=comm.ctx + 1))
+        mask >>= 1

@@ -1,0 +1,160 @@
+"""Gather algorithms: binomial tree (MPICH2 default) and linear.
+
+Binomial gather is the mirror image of the binomial scatter of Fig. 6:
+leaves push their chunk to their parent, interior nodes accumulate the
+chunks of their whole subtree before forwarding, and the root ends up
+with everything.  Gatherv uses the linear schedule, like MPICH2.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants, request as rq
+from ..buffer import BufferSpec
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = ["gather_binomial", "gather_linear", "gatherv_linear"]
+
+
+def _scatter_root_order(recv_flat: np.ndarray, held: np.ndarray, chunk: int,
+                        size: int, root: int) -> None:
+    """Un-rotate relative-rank chunk order into communicator-rank order."""
+    shift = root * chunk
+    total = size * chunk
+    if shift == 0:
+        recv_flat[:total] = held
+    else:
+        recv_flat[shift:total] = held[: total - shift]
+        recv_flat[:shift] = held[total - shift :]
+
+
+def gather_binomial(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec | None,
+    root: int,
+) -> None:
+    """Binomial-tree gather (mirror of the Fig. 6 scatter tree)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    relative = (rank - root) % size
+    chunk = elements_of(sendspec)
+    dtype = base_dtype(sendspec)
+
+    if rank == root and recvspec is None:
+        raise MpiError(constants.ERR_BUFFER, "gather root needs a receive buffer")
+
+    if size == 1:
+        assert recvspec is not None
+        flat_view(recvspec)[:chunk] = flat_view(sendspec)[:chunk]
+        return
+
+    # ``held`` accumulates the chunks of my subtree, relative order,
+    # starting with my own chunk at offset 0.
+    n_subtree = _subtree_size(relative, size)
+    held = np.empty(n_subtree * chunk, dtype=dtype.np_dtype)
+    held[:chunk] = flat_view(sendspec)[:chunk]
+
+    mask = 1
+    filled = 1  # chunks present in ``held``
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + root) % size
+            rq.wait(
+                isend_view(comm, held, 0, filled * chunk, parent, "gather")
+            )
+            break
+        child_rel = relative + mask
+        if child_rel < size:
+            n_child = min(mask, size - child_rel)
+            rq.wait(
+                irecv_view(
+                    comm, held, mask * chunk, n_child * chunk,
+                    (child_rel + root) % size, "gather",
+                )
+            )
+            filled = mask + n_child
+        mask <<= 1
+
+    if relative == 0:
+        assert recvspec is not None
+        recv_flat = flat_view(recvspec)
+        if recv_flat.size < size * chunk:
+            raise MpiError(constants.ERR_COUNT, "gather recv buffer too small")
+        _scatter_root_order(recv_flat, held, chunk, size, root)
+
+
+def _subtree_size(relative: int, size: int) -> int:
+    """Chunks rank ``relative`` accumulates in the binomial gather tree."""
+    if relative == 0:
+        return size
+    lowbit = relative & (-relative)
+    return min(lowbit, size - relative)
+
+
+def gather_linear(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec | None,
+    root: int,
+) -> None:
+    """Everyone sends straight to the root (ablation variant)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    chunk = elements_of(sendspec)
+    if rank == root:
+        if recvspec is None:
+            raise MpiError(constants.ERR_BUFFER, "gather root needs a receive buffer")
+        recv_flat = flat_view(recvspec)
+        recv_flat[root * chunk : (root + 1) * chunk] = flat_view(sendspec)[:chunk]
+        reqs = [
+            irecv_view(comm, recv_flat, src * chunk, chunk, src, "gather")
+            for src in range(size)
+            if src != root
+        ]
+        rq.waitall(reqs)
+    else:
+        rq.wait(isend_view(comm, flat_view(sendspec), 0, chunk, root, "gather"))
+
+
+def gatherv_linear(
+    comm: "Communicator",
+    sendspec: BufferSpec,
+    recvspec: BufferSpec | None,
+    counts: list[int],
+    displs: list[int],
+    root: int,
+) -> None:
+    """MPI_Gatherv (linear, like MPICH2)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    if len(counts) != size or len(displs) != size:
+        raise MpiError(
+            constants.ERR_COUNT, "gatherv needs one count and displ per rank"
+        )
+    my_count = elements_of(sendspec)
+    if my_count < counts[rank]:
+        raise MpiError(
+            constants.ERR_COUNT,
+            f"rank {rank} sends {counts[rank]} but buffer holds {my_count}",
+        )
+    if rank == root:
+        if recvspec is None:
+            raise MpiError(constants.ERR_BUFFER, "gatherv root needs a receive buffer")
+        recv_flat = flat_view(recvspec)
+        recv_flat[displs[rank] : displs[rank] + counts[rank]] = flat_view(sendspec)[
+            : counts[rank]
+        ]
+        reqs = [
+            irecv_view(comm, recv_flat, displs[src], counts[src], src, "gatherv")
+            for src in range(size)
+            if src != root and counts[src] > 0
+        ]
+        rq.waitall(reqs)
+    elif counts[rank] > 0:
+        rq.wait(
+            isend_view(comm, flat_view(sendspec), 0, counts[rank], root, "gatherv")
+        )

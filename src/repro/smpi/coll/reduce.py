@@ -1,0 +1,98 @@
+"""Reduce algorithms: binomial tree and linear gather-fold.
+
+The binomial tree halves the number of active senders each round and is
+MPICH2's default for commutative operators.  For non-commutative
+operators the linear variant gathers all contributions at the root and
+folds them in rank order, which is always valid.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants, request as rq
+from ..buffer import BufferSpec
+from ..op import Op
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = ["reduce_binomial", "reduce_linear"]
+
+
+def reduce_binomial(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec | None,
+    op: Op, root: int,
+) -> None:
+    """Binomial-tree reduction (commutative operators)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    relative = (rank - root) % size
+    count = elements_of(sendspec)
+    dtype = base_dtype(sendspec)
+
+    if rank == root and recvspec is None:
+        raise MpiError(constants.ERR_BUFFER, "reduce root needs a receive buffer")
+
+    acc = np.array(flat_view(sendspec)[:count], dtype=dtype.np_dtype)
+    incoming = np.empty(count, dtype=dtype.np_dtype)
+    mask = 1
+    while mask < size:
+        if relative & mask:
+            parent = (relative - mask + root) % size
+            rq.wait(isend_view(comm, acc, 0, count, parent, "reduce"))
+            break
+        child_rel = relative + mask
+        if child_rel < size:
+            child = (child_rel + root) % size
+            rq.wait(irecv_view(comm, incoming, 0, count, child, "reduce"))
+            # ``acc`` covers lower relative ranks than the child subtree,
+            # so acc-first ordering is also valid for non-commutative ops
+            # when root == 0; the dispatcher is conservative anyway.
+            acc = op(acc, incoming)
+        mask <<= 1
+
+    if relative == 0:
+        assert recvspec is not None
+        flat_view(recvspec)[:count] = acc
+
+
+def reduce_linear(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec | None,
+    op: Op, root: int,
+) -> None:
+    """Gather everything at the root, fold strictly in rank order.
+
+    Correct for any operator; O(P) messages converging on the root.
+    """
+    size = comm.size
+    rank = comm.Get_rank()
+    count = elements_of(sendspec)
+    dtype = base_dtype(sendspec)
+
+    if rank != root:
+        rq.wait(isend_view(comm, flat_view(sendspec), 0, count, root, "reduce"))
+        return
+    if recvspec is None:
+        raise MpiError(constants.ERR_BUFFER, "reduce root needs a receive buffer")
+
+    # receive every contribution, then fold 0,1,2,... in order
+    parts: list[np.ndarray] = []
+    reqs = []
+    for src in range(size):
+        if src == rank:
+            parts.append(np.array(flat_view(sendspec)[:count], dtype=dtype.np_dtype))
+            reqs.append(None)
+        else:
+            buf = np.empty(count, dtype=dtype.np_dtype)
+            parts.append(buf)
+            reqs.append(irecv_view(comm, buf, 0, count, src, "reduce"))
+    rq.waitall([r for r in reqs if r is not None])
+    acc = parts[0]
+    for part in parts[1:]:
+        acc = op(acc, part)
+    flat_view(recvspec)[:count] = acc

@@ -1,0 +1,105 @@
+"""Reduce_scatter algorithms: pairwise exchange and reduce + scatterv.
+
+The pairwise-exchange algorithm (MPICH2's long-message commutative
+choice) runs P-1 rounds; in round s each rank sends the block destined
+for rank ``(rank + s) % P`` directly to it and folds the block it
+receives into its own accumulator.  The fallback composes a rank-ordered
+reduce with a scatterv and therefore works for any operator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants, request as rq
+from ..buffer import BufferSpec
+from ..op import Op
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = ["reduce_scatter_pairwise", "reduce_scatter_reduce_scatterv"]
+
+
+def _check(comm, sendspec, recvspec, counts):
+    size = comm.size
+    if len(counts) != size:
+        raise MpiError(constants.ERR_COUNT, "reduce_scatter needs one count per rank")
+    total = sum(counts)
+    if elements_of(sendspec) < total:
+        raise MpiError(constants.ERR_COUNT, "reduce_scatter send buffer too small")
+    rank = comm.Get_rank()
+    if elements_of(recvspec) < counts[rank]:
+        raise MpiError(constants.ERR_COUNT, "reduce_scatter recv buffer too small")
+    displs = np.concatenate([[0], np.cumsum(counts)[:-1]]).astype(int)
+    return size, rank, total, displs
+
+
+def reduce_scatter_pairwise(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec,
+    counts: list[int], op: Op,
+) -> None:
+    """P-1 pairwise rounds (commutative operators only)."""
+    if not op.commutative:
+        raise MpiError(
+            constants.ERR_OP, "pairwise reduce_scatter needs a commutative op"
+        )
+    size, rank, _total, displs = _check(comm, sendspec, recvspec, counts)
+    send_flat = flat_view(sendspec)
+    dtype = base_dtype(sendspec)
+    my_count = counts[rank]
+    acc = np.array(
+        send_flat[displs[rank] : displs[rank] + my_count], dtype=dtype.np_dtype
+    )
+    incoming = np.empty(my_count, dtype=dtype.np_dtype)
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        reqs = []
+        if counts[dst] > 0:
+            reqs.append(
+                isend_view(
+                    comm, send_flat, int(displs[dst]), counts[dst], dst,
+                    "reduce_scatter",
+                )
+            )
+        if my_count > 0:
+            reqs.append(
+                irecv_view(comm, incoming, 0, my_count, src, "reduce_scatter")
+            )
+        rq.waitall(reqs)
+        if my_count > 0:
+            acc = op(acc, incoming)
+    flat_view(recvspec)[:my_count] = acc
+
+
+def reduce_scatter_reduce_scatterv(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec,
+    counts: list[int], op: Op,
+) -> None:
+    """Rank-ordered reduce to 0, then scatterv (any operator)."""
+    from ..buffer import BufferSpec as BS
+    from .reduce import reduce_binomial, reduce_linear
+    from .scatter import scatterv_linear
+
+    size, rank, total, displs = _check(comm, sendspec, recvspec, counts)
+    dtype = base_dtype(sendspec)
+    reduced = np.empty(total, dtype=dtype.np_dtype) if rank == 0 else None
+    redspec = None if reduced is None else BS(reduced, total, dtype)
+    sendfull = BS(flat_view(sendspec)[:total], total, dtype)
+    if op.commutative:
+        reduce_binomial(comm, sendfull, redspec, op, 0)
+    else:
+        reduce_linear(comm, sendfull, redspec, op, 0)
+    scatterv_linear(
+        comm,
+        redspec if rank == 0 else BS(np.empty(0, dtype=dtype.np_dtype), 0, dtype),
+        list(counts),
+        [int(d) for d in displs],
+        recvspec,
+        0,
+    )

@@ -1,0 +1,92 @@
+"""Scan / Exscan: recursive-doubling prefix reductions.
+
+The classic algorithm keeps two accumulators per rank: ``prefix`` (the
+inclusive prefix result so far) and ``total`` (the reduction of every
+contribution seen, needed to forward).  Each round exchanges ``total``
+with rank ^ mask; data arriving from a lower rank is folded *in front*,
+which preserves rank order and therefore supports non-commutative
+operators.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .. import request as rq
+from ..buffer import BufferSpec
+from ..op import Op
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = ["scan_recursive_doubling", "exscan_recursive_doubling"]
+
+
+def scan_recursive_doubling(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec, op: Op
+) -> None:
+    size = comm.size
+    rank = comm.Get_rank()
+    count = elements_of(sendspec)
+    dtype = base_dtype(sendspec)
+
+    prefix = np.array(flat_view(sendspec)[:count], dtype=dtype.np_dtype)
+    total = prefix.copy()
+    incoming = np.empty(count, dtype=dtype.np_dtype)
+
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        if partner < size:
+            sreq = isend_view(comm, total, 0, count, partner, "scan")
+            rreq = irecv_view(comm, incoming, 0, count, partner, "scan")
+            rq.waitall([sreq, rreq])
+            if partner < rank:
+                prefix = op(incoming, prefix)
+                total = op(incoming, total)
+            else:
+                total = op(total, incoming)
+        mask <<= 1
+
+    flat_view(recvspec)[:count] = prefix
+
+
+def exscan_recursive_doubling(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec, op: Op
+) -> None:
+    """Exclusive scan: rank r gets the reduction of ranks [0, r).
+
+    Rank 0's receive buffer is left untouched (its value is undefined by
+    the standard).
+    """
+    size = comm.size
+    rank = comm.Get_rank()
+    count = elements_of(sendspec)
+    dtype = base_dtype(sendspec)
+
+    total = np.array(flat_view(sendspec)[:count], dtype=dtype.np_dtype)
+    prefix_excl: np.ndarray | None = None
+    incoming = np.empty(count, dtype=dtype.np_dtype)
+
+    mask = 1
+    while mask < size:
+        partner = rank ^ mask
+        if partner < size:
+            sreq = isend_view(comm, total, 0, count, partner, "exscan")
+            rreq = irecv_view(comm, incoming, 0, count, partner, "exscan")
+            rq.waitall([sreq, rreq])
+            if partner < rank:
+                if prefix_excl is None:
+                    prefix_excl = incoming.copy()
+                else:
+                    prefix_excl = op(incoming, prefix_excl)
+                total = op(incoming, total)
+            else:
+                total = op(total, incoming)
+        mask <<= 1
+
+    if rank != 0 and prefix_excl is not None:
+        flat_view(recvspec)[:count] = prefix_excl

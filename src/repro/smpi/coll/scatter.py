@@ -1,0 +1,200 @@
+"""Scatter algorithms.
+
+``binomial`` is MPICH2's binomial-tree scatter — the algorithm of paper
+Figs. 6-9.  The root holds all P chunks; at each step the current holders
+hand the *upper half* of their chunk range to a new sub-root, so process
+0 first sends 8 chunks to process 8, then 4 to process 4, ... (Fig. 6).
+Sends are blocking, exactly like MPICH2's, which is what produces the
+per-process completion staircase of Fig. 7 once network contention is
+simulated.
+
+``linear`` is the naive root-sends-to-everyone variant, kept for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants, request as rq
+from ..buffer import BufferSpec, resolve
+from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view, send_view
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = ["scatter_binomial", "scatter_linear", "scatterv_linear",
+           "binomial_tree_edges"]
+
+
+def _root_chunks(comm: "Communicator", sendbuf, chunk: int, root: int) -> np.ndarray:
+    """Root's send data reordered so chunk i belongs to relative rank i."""
+    spec = sendbuf if isinstance(sendbuf, BufferSpec) else resolve(sendbuf)
+    total = comm.size * chunk
+    flat = flat_view(spec)
+    if flat.size < total:
+        raise MpiError(
+            constants.ERR_COUNT,
+            f"scatter root buffer has {flat.size} elements, needs {total}",
+        )
+    shift = root * chunk
+    if shift == 0:
+        return flat[:total]
+    return np.concatenate([flat[shift:total], flat[:shift]])
+
+
+def scatter_binomial(
+    comm: "Communicator", sendbuf, recvspec: BufferSpec, root: int
+) -> None:
+    """MPICH2 binomial-tree scatter (paper Fig. 6)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    relative = (rank - root) % size
+    chunk = elements_of(recvspec)
+    recv_flat = flat_view(recvspec)
+    dtype = base_dtype(recvspec)
+
+    zero_copy = comm.world.config.zero_copy
+    if size == 1:
+        if sendbuf is not None and not zero_copy:
+            recv_flat[:chunk] = _root_chunks(comm, sendbuf, chunk, root)[:chunk]
+        return
+
+    if relative == 0:
+        held = _root_chunks(comm, sendbuf, chunk, root)
+        n_held = size
+        mask = 1
+        while mask < size:
+            mask <<= 1
+        mask >>= 1
+    else:
+        # wait for my block [relative, relative + n_held) from my parent
+        mask = 1
+        while not (relative & mask):
+            mask <<= 1
+        parent = (relative - mask + root) % size
+        n_held = min(mask, size - relative)
+        held = np.empty(n_held * chunk, dtype=dtype.np_dtype)
+        rq.wait(
+            comm.Irecv(
+                [held, n_held * chunk], parent,
+                _scatter_tag(), _ctx=comm.ctx + 1,
+            )
+        )
+        mask >>= 1
+
+    # forward the upper halves of my range, largest sub-tree first
+    while mask >= 1:
+        child_rel = relative + mask
+        if child_rel < size:
+            n_child = min(mask, size - child_rel)
+            child = (child_rel + root) % size
+            view = held[mask * chunk : (mask + n_child) * chunk]
+            rq.wait(
+                comm.Isend(
+                    [view, n_child * chunk], child,
+                    _scatter_tag(), _ctx=comm.ctx + 1,
+                )
+            )
+        mask >>= 1
+
+    if not zero_copy:
+        # under payload folding the bytes are garbage anyway; skipping the
+        # local copy keeps simulation cost independent of the data size
+        recv_flat[:chunk] = held[:chunk]
+
+
+def _scatter_tag() -> int:
+    from .util import coll_tag
+
+    return coll_tag("scatter")
+
+
+def scatter_linear(
+    comm: "Communicator", sendbuf, recvspec: BufferSpec, root: int
+) -> None:
+    """Root sends each rank its chunk directly (the strawman variant)."""
+    size = comm.size
+    rank = comm.Get_rank()
+    chunk = elements_of(recvspec)
+    recv_flat = flat_view(recvspec)
+    if rank == root:
+        held = _root_chunks(comm, sendbuf, chunk, root)
+        if not comm.world.config.zero_copy:
+            recv_flat[:chunk] = held[:chunk]
+        reqs = []
+        for relative in range(1, size):
+            dest = (relative + root) % size
+            reqs.append(
+                isend_view(comm, held, relative * chunk, chunk, dest, "scatter")
+            )
+        rq.waitall(reqs)
+    else:
+        rq.wait(irecv_view(comm, recv_flat, 0, chunk, root, "scatter"))
+
+
+def scatterv_linear(
+    comm: "Communicator",
+    sendbuf,
+    counts: list[int],
+    displs: list[int],
+    recvspec: BufferSpec,
+    root: int,
+) -> None:
+    """MPI_Scatterv: per-rank counts and displacements, linear schedule."""
+    size = comm.size
+    rank = comm.Get_rank()
+    if len(counts) != size or len(displs) != size:
+        raise MpiError(
+            constants.ERR_COUNT, "scatterv needs one count and displ per rank"
+        )
+    my_count = elements_of(recvspec)
+    if my_count < counts[rank]:
+        raise MpiError(
+            constants.ERR_COUNT,
+            f"rank {rank}: recv buffer smaller than its count {counts[rank]}",
+        )
+    recv_flat = flat_view(recvspec)
+    if rank == root:
+        spec = sendbuf if isinstance(sendbuf, BufferSpec) else resolve(sendbuf)
+        flat = flat_view(spec)
+        recv_flat[: counts[rank]] = flat[displs[rank] : displs[rank] + counts[rank]]
+        reqs = []
+        for dest in range(size):
+            if dest == root or counts[dest] == 0:
+                continue
+            reqs.append(
+                isend_view(comm, flat, displs[dest], counts[dest], dest, "scatterv")
+            )
+        rq.waitall(reqs)
+    elif counts[rank] > 0:
+        rq.wait(irecv_view(comm, recv_flat, 0, counts[rank], root, "scatterv"))
+
+
+def binomial_tree_edges(size: int, root: int = 0) -> list[tuple[int, int, int]]:
+    """The (parent, child, chunks-sent) edges of the binomial scatter tree.
+
+    Regenerates the communication scheme of paper Fig. 6; used by tests
+    and by the Fig. 7 benchmark's schematic output.
+    """
+    edges: list[tuple[int, int, int]] = []
+
+    def descend(relative: int, n_held: int, mask: int) -> None:
+        while mask >= 1:
+            child = relative + mask
+            if child < size:
+                n_child = min(mask, size - child)
+                edges.append(
+                    ((relative + root) % size, (child + root) % size, n_child)
+                )
+                descend(child, n_child, mask >> 1)
+            mask >>= 1
+
+    top = 1
+    while top < size:
+        top <<= 1
+    descend(0, size, top >> 1)
+    return edges

@@ -1,0 +1,138 @@
+"""Shared helpers for collective algorithms.
+
+Collectives operate on :class:`~repro.smpi.buffer.BufferSpec`s.  The
+helpers here give element-level views into those buffers and wrap the
+point-to-point calls with the *collective context* (``comm.ctx + 1``) so
+that collective-internal traffic can never match application receives.
+
+All data movement inside collectives goes through these functions, which
+keeps each algorithm file focused on its communication schedule — the
+thing the paper actually models.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ...errors import MpiError
+from .. import constants
+from ..buffer import BufferSpec
+from ..datatype import PredefinedDatatype
+from ..request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..comm import Communicator
+
+__all__ = [
+    "base_dtype",
+    "flat_view",
+    "elements_of",
+    "isend_view",
+    "irecv_view",
+    "send_view",
+    "recv_view",
+    "coll_tag",
+]
+
+# one reserved tag per collective kind (readability of traces; correctness
+# comes from the separate context and MPI's non-overtaking rule)
+_TAGS = {
+    "barrier": 1,
+    "bcast": 2,
+    "gather": 3,
+    "gatherv": 4,
+    "scatter": 5,
+    "scatterv": 6,
+    "allgather": 7,
+    "allgatherv": 8,
+    "reduce": 9,
+    "allreduce": 10,
+    "reduce_scatter": 11,
+    "scan": 12,
+    "exscan": 13,
+    "alltoall": 14,
+    "alltoallv": 15,
+    "object": 16,
+    "split": 17,
+}
+
+
+def coll_tag(kind: str) -> int:
+    return constants.TAG_UB - _TAGS[kind]
+
+
+def base_dtype(spec: BufferSpec) -> PredefinedDatatype:
+    """The predefined element type backing a buffer spec."""
+    datatype = spec.datatype
+    while not isinstance(datatype, PredefinedDatatype):
+        inner = getattr(datatype, "base", None)
+        if inner is None:
+            raise MpiError(
+                constants.ERR_TYPE,
+                f"collectives need an array-backed datatype, got {datatype.name}",
+            )
+        datatype = inner
+    return datatype
+
+
+def elements_of(spec: BufferSpec) -> int:
+    """Number of *base* elements covered by the spec's count."""
+    return spec.nbytes // base_dtype(spec).size
+
+
+def flat_view(spec: BufferSpec) -> np.ndarray:
+    """1-D element view of the spec's array (no copy)."""
+    arr = np.asarray(spec.array)
+    if not arr.flags.c_contiguous:
+        raise MpiError(
+            constants.ERR_BUFFER, "collective buffers must be C-contiguous"
+        )
+    return arr.reshape(-1)
+
+
+def _sub(spec_or_array, offset: int, count: int) -> np.ndarray:
+    if isinstance(spec_or_array, BufferSpec):
+        arr = flat_view(spec_or_array)
+    else:
+        arr = np.asarray(spec_or_array)
+        if not arr.flags.c_contiguous:
+            raise MpiError(
+                constants.ERR_BUFFER, "collective buffers must be C-contiguous"
+            )
+        arr = arr.reshape(-1)
+    if offset < 0 or offset + count > arr.size:
+        raise MpiError(
+            constants.ERR_COUNT,
+            f"slice [{offset},{offset + count}) outside buffer of {arr.size}",
+        )
+    return arr[offset : offset + count]
+
+
+def isend_view(
+    comm: "Communicator", src_arr, offset: int, count: int, dest: int, kind: str
+) -> Request:
+    """Nonblocking send of ``count`` elements at ``offset`` of an array."""
+    view = _sub(src_arr, offset, count)
+    return comm.Isend([view, count], dest, coll_tag(kind), _ctx=comm.ctx + 1)
+
+
+def irecv_view(
+    comm: "Communicator", dst_arr, offset: int, count: int, source: int, kind: str
+) -> Request:
+    """Nonblocking receive into ``count`` elements at ``offset``."""
+    view = _sub(dst_arr, offset, count)
+    return comm.Irecv([view, count], source, coll_tag(kind), _ctx=comm.ctx + 1)
+
+
+def send_view(comm, src_arr, offset, count, dest, kind) -> None:
+    from .. import request as rq
+
+    rq.wait(isend_view(comm, src_arr, offset, count, dest, kind))
+
+
+def recv_view(comm, dst_arr, offset, count, source, kind) -> None:
+    from .. import request as rq
+
+    rq.wait(irecv_view(comm, dst_arr, offset, count, source, kind))

@@ -1,0 +1,602 @@
+"""Communicators: the MPI user-facing object (paper section 5.1).
+
+Follows mpi4py's well-known convention: **upper-case** methods move NumPy
+buffers (``Send``, ``Recv``, ``Isend`` ...), **lower-case** methods move
+arbitrary picklable Python objects (``send``, ``recv``, ``bcast`` ...).
+Collective operations are *not* monolithic: every one dispatches to an
+algorithm built from point-to-point messages (:mod:`repro.smpi.coll`), so
+collective traffic contends in the simulated network exactly as the paper
+prescribes (section 4.2).
+
+Communicator management covers ``Dup``, ``Create``, ``Split`` (an
+extension — the paper's subset excludes split), ``Free`` and the group
+accessors.  Each communicator owns two context ids: an even one for
+point-to-point traffic and the next odd one for collective-internal
+traffic, which keeps the two planes from ever matching each other —
+the standard MPICH2 trick.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..errors import MpiError
+from . import constants, request as rq
+from .constants import IN_PLACE
+from .buffer import BufferSpec, pack_object, resolve, unpack_object
+from .datatype import BYTE
+from .group import Group
+from .op import Op, SUM
+from .request import PersistentRequest, Request
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import SmpiWorld
+
+__all__ = ["Communicator"]
+
+#: shared sentinel for zero-copy sends (never read)
+_EMPTY_PAYLOAD = np.zeros(0, dtype=np.uint8)
+
+
+class Communicator:
+    """A process group plus an isolated communication context."""
+
+    def __init__(self, world: "SmpiWorld", group: Group, ctx: int, name: str = ""):
+        self.world = world
+        self.group = group
+        self.ctx = ctx  # even: pt2pt plane; ctx+1: collective plane
+        self.name = name or f"comm-{ctx}"
+        self.freed = False
+
+    # -- identity -------------------------------------------------------------------
+
+    def Get_size(self) -> int:
+        return self.group.size
+
+    @property
+    def size(self) -> int:
+        return self.group.size
+
+    def Get_rank(self) -> int:
+        """Rank of the *calling* actor in this communicator."""
+        return self.group.rank_of(self.world.current_rank)
+
+    @property
+    def rank(self) -> int:
+        return self.Get_rank()
+
+    def Get_group(self) -> Group:
+        return self.group
+
+    def _check(self) -> None:
+        if self.freed:
+            raise MpiError(constants.ERR_COMM, f"{self.name} was freed")
+
+    def _world_rank(self, local: int, what: str = "rank") -> int:
+        if local == constants.PROC_NULL:
+            return constants.PROC_NULL
+        if not 0 <= local < self.group.size:
+            raise MpiError(
+                constants.ERR_RANK,
+                f"{what} {local} out of range [0,{self.group.size}) in {self.name}",
+            )
+        return self.group.world_rank(local)
+
+    def _check_tag(self, tag: int, allow_any: bool) -> None:
+        if tag == constants.ANY_TAG:
+            if allow_any:
+                return
+            raise MpiError(constants.ERR_TAG, "ANY_TAG is only valid for receives")
+        if not 0 <= tag <= constants.TAG_UB:
+            raise MpiError(constants.ERR_TAG, f"tag {tag} out of range")
+
+    # =====================================================================
+    # point-to-point, buffer flavour
+    # =====================================================================
+
+    def Isend(self, buf: Any, dest: int, tag: int = 0,
+              _ctx: int | None = None, _mode: str = "standard") -> Request:
+        """Nonblocking buffered/rendezvous send of a NumPy buffer."""
+        self._check()
+        self._check_tag(tag, allow_any=False)
+        dst_world = self._world_rank(dest, "destination")
+        me = self.Get_rank()
+        req = Request(self.world, "send", self.group.world_rank(me))
+        if dst_world == constants.PROC_NULL:
+            req.finish()
+            return req
+        spec = resolve(buf)
+        if self.world.config.zero_copy:
+            data, wire = _EMPTY_PAYLOAD, spec.nbytes
+        else:
+            data, wire = spec.pack(), None
+        self.world.protocol.start_send(
+            src=self.group.world_rank(me),
+            dst=dst_world,
+            tag=tag,
+            ctx=self.ctx if _ctx is None else _ctx,
+            data=data,
+            request=req,
+            wire_bytes=wire,
+            mode=_mode,
+        )
+        return req
+
+    # -- explicit send modes (MPI_Ssend/Bsend/Rsend family) -------------------------
+
+    def Issend(self, buf: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking synchronous send: always rendezvous — completes
+        only once the matching receive is posted, whatever the size."""
+        return self.Isend(buf, dest, tag, _mode="synchronous")
+
+    def Ssend(self, buf: Any, dest: int, tag: int = 0) -> None:
+        rq.wait(self.Issend(buf, dest, tag))
+
+    def Ibsend(self, buf: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking buffered send: always eager, never waits for the
+        receiver (the attach-buffer bookkeeping of MPI_Bsend is implicit —
+        simulated buffering is unbounded)."""
+        return self.Isend(buf, dest, tag, _mode="buffered")
+
+    def Bsend(self, buf: Any, dest: int, tag: int = 0) -> None:
+        rq.wait(self.Ibsend(buf, dest, tag))
+
+    def Irsend(self, buf: Any, dest: int, tag: int = 0) -> Request:
+        """Ready send: timing-wise a standard send (the "receive must be
+        posted" obligation is on the application, per the standard)."""
+        return self.Isend(buf, dest, tag, _mode="ready")
+
+    def Rsend(self, buf: Any, dest: int, tag: int = 0) -> None:
+        rq.wait(self.Irsend(buf, dest, tag))
+
+    def Irecv(
+        self,
+        buf: Any,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        _ctx: int | None = None,
+    ) -> Request:
+        """Nonblocking receive into a NumPy buffer."""
+        self._check()
+        self._check_tag(tag, allow_any=True)
+        me_world = self.group.world_rank(self.Get_rank())
+        req = Request(self.world, "recv", me_world)
+        if source == constants.PROC_NULL:
+            req.finish()
+            return req
+        src_world = (
+            constants.ANY_SOURCE
+            if source == constants.ANY_SOURCE
+            else self._world_rank(source, "source")
+        )
+        spec = resolve(buf)
+        self.world.protocol.start_recv(
+            dst=me_world,
+            source=src_world,
+            tag=tag,
+            ctx=self.ctx if _ctx is None else _ctx,
+            buffer=spec,
+            request=req,
+        )
+        # translate the world-rank source back at completion
+        req.add_completion_hook(lambda: self._localise_source(req))
+        return req
+
+    def _localise_source(self, req: Request) -> None:
+        if req.source >= 0:
+            req.source = self.group.rank_of(req.source)
+
+    def Send(self, buf: Any, dest: int, tag: int = 0) -> None:
+        """Blocking send (eager below the threshold, rendezvous above)."""
+        rq.wait(self.Isend(buf, dest, tag))
+
+    def Recv(
+        self,
+        buf: Any,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ) -> None:
+        """Blocking receive."""
+        got = rq.wait(self.Irecv(buf, source, tag))
+        if status is not None:
+            status.source = got.source
+            status.tag = got.tag
+            status.error = got.error
+            status.count_bytes = got.count_bytes
+
+    def Sendrecv(
+        self,
+        sendbuf: Any,
+        dest: int,
+        sendtag: int = 0,
+        recvbuf: Any = None,
+        source: int = constants.ANY_SOURCE,
+        recvtag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ) -> None:
+        """Simultaneous send and receive (deadlock-free by construction)."""
+        recv_req = self.Irecv(recvbuf, source, recvtag)
+        send_req = self.Isend(sendbuf, dest, sendtag)
+        rq.waitall([recv_req, send_req])
+        if status is not None:
+            got = recv_req.make_status()
+            status.source = got.source
+            status.tag = got.tag
+            status.count_bytes = got.count_bytes
+
+    def Iprobe(
+        self,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ) -> bool:
+        """MPI_Iprobe (extension): has a matching message been announced?
+
+        Costs one test-poll of simulated time, like MPI_Test, so Iprobe
+        spin-loops cannot stall the simulated clock.
+        """
+        self._check()
+        me_world = self.group.world_rank(self.Get_rank())
+        src_world = (
+            constants.ANY_SOURCE
+            if source == constants.ANY_SOURCE
+            else self._world_rank(source, "source")
+        )
+        message = self.world.protocol.iprobe(me_world, src_world, tag, self.ctx)
+        if message is None:
+            self.world.tiny_progress()
+            message = self.world.protocol.iprobe(me_world, src_world, tag, self.ctx)
+        if message is None:
+            return False
+        if status is not None:
+            status.source = self.group.rank_of(message.src)
+            status.tag = message.tag
+            status.count_bytes = message.nbytes
+        return True
+
+    def Probe(
+        self,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ) -> None:
+        """MPI_Probe (extension): block until a matching message arrives."""
+        self._check()
+        me_world = self.group.world_rank(self.Get_rank())
+        src_world = (
+            constants.ANY_SOURCE
+            if source == constants.ANY_SOURCE
+            else self._world_rank(source, "source")
+        )
+        message = self.world.protocol.probe(me_world, src_world, tag, self.ctx)
+        if status is not None:
+            status.source = self.group.rank_of(message.src)
+            status.tag = message.tag
+            status.count_bytes = message.nbytes
+
+    # -- persistent requests -------------------------------------------------------------
+
+    def Send_init(self, buf: Any, dest: int, tag: int = 0) -> PersistentRequest:
+        """MPI_Send_init: build a reusable send request (paper list)."""
+        self._check()
+        me_world = self.group.world_rank(self.Get_rank())
+        return PersistentRequest(
+            self.world, "send", me_world, lambda: self.Isend(buf, dest, tag)
+        )
+
+    def Recv_init(
+        self,
+        buf: Any,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+    ) -> PersistentRequest:
+        """MPI_Recv_init: build a reusable receive request."""
+        self._check()
+        me_world = self.group.world_rank(self.Get_rank())
+        return PersistentRequest(
+            self.world, "recv", me_world, lambda: self.Irecv(buf, source, tag)
+        )
+
+    # =====================================================================
+    # point-to-point, generic-object flavour (pickle, mpi4py-style)
+    # =====================================================================
+
+    def isend(self, obj: Any, dest: int, tag: int = 0,
+              _ctx: int | None = None) -> Request:
+        self._check()
+        if _ctx is None:
+            self._check_tag(tag, allow_any=False)
+        me_world = self.group.world_rank(self.Get_rank())
+        dst_world = self._world_rank(dest, "destination")
+        req = Request(self.world, "send", me_world)
+        if dst_world == constants.PROC_NULL:
+            req.finish()
+            return req
+        spec = pack_object(obj)
+        self.world.protocol.start_send(
+            src=me_world, dst=dst_world, tag=tag,
+            ctx=self.ctx if _ctx is None else _ctx,
+            data=spec.pack(), request=req,
+        )
+        return req
+
+    def irecv(
+        self, source: int = constants.ANY_SOURCE, tag: int = constants.ANY_TAG,
+        _ctx: int | None = None,
+    ) -> Request:
+        """Object receive; the object comes back from ``wait``-side helpers."""
+        self._check()
+        if _ctx is None:
+            self._check_tag(tag, allow_any=True)
+        me_world = self.group.world_rank(self.Get_rank())
+        req = Request(self.world, "recv", me_world)
+        if source == constants.PROC_NULL:
+            req.finish()
+            return req
+        src_world = (
+            constants.ANY_SOURCE
+            if source == constants.ANY_SOURCE
+            else self._world_rank(source, "source")
+        )
+        self.world.protocol.start_recv(
+            dst=me_world, source=src_world, tag=tag,
+            ctx=self.ctx if _ctx is None else _ctx,
+            buffer=None, request=req,
+        )
+        req.add_completion_hook(lambda: self._localise_source(req))
+        return req
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        rq.wait(self.isend(obj, dest, tag))
+
+    def recv(
+        self,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ) -> Any:
+        req = self.irecv(source, tag)
+        got = rq.wait(req)
+        if status is not None:
+            status.source = got.source
+            status.tag = got.tag
+            status.count_bytes = got.count_bytes
+        raw = getattr(req, "raw_data", None)
+        return unpack_object(raw) if raw is not None else None
+
+    def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
+                 source: int = constants.ANY_SOURCE,
+                 recvtag: int = constants.ANY_TAG) -> Any:
+        recv_req = self.irecv(source, recvtag)
+        send_req = self.isend(obj, dest, sendtag)
+        rq.waitall([recv_req, send_req])
+        raw = getattr(recv_req, "raw_data", None)
+        return unpack_object(raw) if raw is not None else None
+
+    # =====================================================================
+    # collectives (implemented over point-to-point in repro.smpi.coll)
+    # =====================================================================
+
+    def _coll(self):
+        from . import coll
+
+        return coll
+
+    def Barrier(self) -> None:
+        self._check()
+        self._coll().barrier(self)
+
+    def Bcast(self, buf: Any, root: int = 0) -> None:
+        self._check()
+        self._coll().bcast(self, resolve(buf), self._check_root(root))
+
+    def _inplace_block(self, recvbuf: Any, block_rank: int) -> BufferSpec:
+        """A view of ``recvbuf``'s per-rank block (IN_PLACE helpers)."""
+        spec = resolve(recvbuf)
+        chunk = spec.count // self.group.size
+        flat = np.asarray(spec.array).reshape(-1)
+        view = flat[block_rank * chunk : (block_rank + 1) * chunk]
+        return resolve([view, chunk, spec.datatype])
+
+    def Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        self._check()
+        root = self._check_root(root)
+        if recvbuf is IN_PLACE:
+            if self.Get_rank() != root:
+                raise MpiError(
+                    constants.ERR_BUFFER, "IN_PLACE recv only valid at the root"
+                )
+            recvbuf = self._inplace_block(sendbuf, root).array
+        self._coll().scatter(self, sendbuf, resolve(recvbuf), root)
+
+    def Scatterv(
+        self, sendbuf: Any, counts: list[int], displs: list[int],
+        recvbuf: Any, root: int = 0,
+    ) -> None:
+        self._check()
+        self._coll().scatterv(
+            self, sendbuf, list(counts), list(displs), resolve(recvbuf),
+            self._check_root(root),
+        )
+
+    def Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0) -> None:
+        self._check()
+        root = self._check_root(root)
+        if sendbuf is IN_PLACE:
+            if self.Get_rank() != root:
+                raise MpiError(
+                    constants.ERR_BUFFER, "IN_PLACE send only valid at the root"
+                )
+            sendbuf = self._inplace_block(recvbuf, root).array
+        spec = None if recvbuf is None else resolve(recvbuf)
+        self._coll().gather(self, resolve(sendbuf), spec, root)
+
+    def Gatherv(
+        self, sendbuf: Any, recvbuf: Any, counts: list[int], displs: list[int],
+        root: int = 0,
+    ) -> None:
+        self._check()
+        spec = None if recvbuf is None else resolve(recvbuf)
+        self._coll().gatherv(
+            self, resolve(sendbuf), spec, list(counts), list(displs),
+            self._check_root(root),
+        )
+
+    def Allgather(self, sendbuf: Any, recvbuf: Any) -> None:
+        self._check()
+        if sendbuf is IN_PLACE:
+            sendbuf = self._inplace_block(recvbuf, self.Get_rank()).array
+        self._coll().allgather(self, resolve(sendbuf), resolve(recvbuf))
+
+    def Allgatherv(
+        self, sendbuf: Any, recvbuf: Any, counts: list[int], displs: list[int]
+    ) -> None:
+        self._check()
+        self._coll().allgatherv(
+            self, resolve(sendbuf), resolve(recvbuf), list(counts), list(displs)
+        )
+
+    def Reduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM, root: int = 0) -> None:
+        self._check()
+        root = self._check_root(root)
+        if sendbuf is IN_PLACE:
+            if self.Get_rank() != root:
+                raise MpiError(
+                    constants.ERR_BUFFER, "IN_PLACE send only valid at the root"
+                )
+            sendbuf = recvbuf
+        spec = None if recvbuf is None else resolve(recvbuf)
+        self._coll().reduce(self, resolve(sendbuf), spec, op, root)
+
+    def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+        self._check()
+        if sendbuf is IN_PLACE:
+            sendbuf = recvbuf
+        self._coll().allreduce(self, resolve(sendbuf), resolve(recvbuf), op)
+
+    def Scan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+        self._check()
+        self._coll().scan(self, resolve(sendbuf), resolve(recvbuf), op)
+
+    def Exscan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
+        self._check()
+        self._coll().exscan(self, resolve(sendbuf), resolve(recvbuf), op)
+
+    def Reduce_scatter(self, sendbuf: Any, recvbuf: Any, counts: list[int],
+                       op: Op = SUM) -> None:
+        self._check()
+        self._coll().reduce_scatter(
+            self, resolve(sendbuf), resolve(recvbuf), list(counts), op
+        )
+
+    def Alltoall(self, sendbuf: Any, recvbuf: Any) -> None:
+        self._check()
+        self._coll().alltoall(self, resolve(sendbuf), resolve(recvbuf))
+
+    def Alltoallv(
+        self, sendbuf: Any, sendcounts: list[int], sdispls: list[int],
+        recvbuf: Any, recvcounts: list[int], rdispls: list[int],
+    ) -> None:
+        self._check()
+        self._coll().alltoallv(
+            self, resolve(sendbuf), list(sendcounts), list(sdispls),
+            resolve(recvbuf), list(recvcounts), list(rdispls),
+        )
+
+    def _check_root(self, root: int) -> int:
+        if not 0 <= root < self.group.size:
+            raise MpiError(constants.ERR_ROOT, f"root {root} out of range")
+        return root
+
+    # -- object-flavour collectives --------------------------------------------------
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast a picklable object; returns it on every rank."""
+        self._check()
+        return self._coll().bcast_object(self, obj, self._check_root(root))
+
+    def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        self._check()
+        return self._coll().scatter_object(self, objs, self._check_root(root))
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        self._check()
+        return self._coll().gather_object(self, obj, self._check_root(root))
+
+    def allgather(self, obj: Any) -> list[Any]:
+        self._check()
+        return self._coll().allgather_object(self, obj)
+
+    def alltoall(self, objs: list[Any]) -> list[Any]:
+        self._check()
+        return self._coll().alltoall_object(self, objs)
+
+    def reduce(self, obj: Any, op=None, root: int = 0) -> Any:
+        """Object reduce with a Python callable (default: +)."""
+        self._check()
+        return self._coll().reduce_object(self, obj, op, self._check_root(root))
+
+    def allreduce(self, obj: Any, op=None) -> Any:
+        self._check()
+        return self._coll().allreduce_object(self, obj, op)
+
+    def barrier(self) -> None:
+        self.Barrier()
+
+    # =====================================================================
+    # communicator management
+    # =====================================================================
+
+    def Dup(self) -> "Communicator":
+        """MPI_Comm_dup: same group, fresh agreed-upon context (collective)."""
+        self._check()
+        token = self.world.comm_token("dup", self.ctx)
+        return self.world.new_communicator(self.group, f"{self.name}+dup", token)
+
+    def Create(self, group: Group) -> "Communicator | None":
+        """MPI_Comm_create: new communicator over a subgroup (collective).
+
+        Returns None on ranks outside ``group`` (MPI_COMM_NULL).
+        """
+        self._check()
+        for world_rank in group.ranks:
+            if not self.group.contains(world_rank):
+                raise MpiError(
+                    constants.ERR_GROUP,
+                    "Comm_create group must be a subset of the communicator",
+                )
+        token = self.world.comm_token("create", self.ctx)
+        new = self.world.new_communicator(group, f"{self.name}+create", token)
+        if not group.contains(self.world.current_rank):
+            return None
+        return new
+
+    def Split(self, color: int, key: int = 0) -> "Communicator | None":
+        """MPI_Comm_split — an extension over the paper's subset.
+
+        All ranks of the communicator must call; ranks sharing a ``color``
+        end up in the same new communicator, ordered by ``key`` then by
+        original rank.  ``color = UNDEFINED`` opts out (returns None).
+        """
+        self._check()
+        me = self.Get_rank()
+        contributions = self._coll().allgather_object(self, (color, key, me))
+        token = self.world.comm_token("split", self.ctx, extra=color)
+        if color == constants.UNDEFINED:
+            return None
+        members = sorted((k, r) for (c, k, r) in contributions if c == color)
+        group = Group(tuple(self.group.world_rank(r) for _, r in members))
+        return self.world.new_communicator(
+            group, f"{self.name}+split({color})", token
+        )
+
+    def Free(self) -> None:
+        """MPI_Comm_free: mark unusable (the world forgets it)."""
+        self.freed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Communicator({self.name!r}, size={self.group.size})"

@@ -1,0 +1,120 @@
+"""MPI constants: error classes, wildcards, reserved values.
+
+Numeric values follow MPICH2's layout where it matters (SUCCESS == 0);
+the rest only need to be distinct.  The paper's SMPI exposes "error codes"
+as part of its supported subset (section 5.1) — we reproduce the error
+classes that the implemented primitives can actually raise.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SUCCESS",
+    "ERR_BUFFER",
+    "ERR_COUNT",
+    "ERR_TYPE",
+    "ERR_TAG",
+    "ERR_COMM",
+    "ERR_RANK",
+    "ERR_REQUEST",
+    "ERR_ROOT",
+    "ERR_GROUP",
+    "ERR_OP",
+    "ERR_TOPOLOGY",
+    "ERR_ARG",
+    "ERR_TRUNCATE",
+    "ERR_OTHER",
+    "ERR_INTERN",
+    "ERR_PENDING",
+    "ERR_IN_STATUS",
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "IN_PLACE",
+    "PROC_NULL",
+    "ROOT",
+    "UNDEFINED",
+    "TAG_UB",
+    "COLL_TAG_BASE",
+    "error_string",
+]
+
+# -- error classes (MPI-1 numbering) ------------------------------------------
+SUCCESS = 0
+ERR_BUFFER = 1
+ERR_COUNT = 2
+ERR_TYPE = 3
+ERR_TAG = 4
+ERR_COMM = 5
+ERR_RANK = 6
+ERR_REQUEST = 7
+ERR_ROOT = 8
+ERR_GROUP = 9
+ERR_OP = 10
+ERR_TOPOLOGY = 11
+ERR_ARG = 13
+ERR_TRUNCATE = 15
+ERR_OTHER = 16
+ERR_INTERN = 17
+ERR_IN_STATUS = 18
+ERR_PENDING = 19
+
+_ERROR_NAMES = {
+    SUCCESS: "MPI_SUCCESS",
+    ERR_BUFFER: "MPI_ERR_BUFFER",
+    ERR_COUNT: "MPI_ERR_COUNT",
+    ERR_TYPE: "MPI_ERR_TYPE",
+    ERR_TAG: "MPI_ERR_TAG",
+    ERR_COMM: "MPI_ERR_COMM",
+    ERR_RANK: "MPI_ERR_RANK",
+    ERR_REQUEST: "MPI_ERR_REQUEST",
+    ERR_ROOT: "MPI_ERR_ROOT",
+    ERR_GROUP: "MPI_ERR_GROUP",
+    ERR_OP: "MPI_ERR_OP",
+    ERR_TOPOLOGY: "MPI_ERR_TOPOLOGY",
+    ERR_ARG: "MPI_ERR_ARG",
+    ERR_TRUNCATE: "MPI_ERR_TRUNCATE",
+    ERR_OTHER: "MPI_ERR_OTHER",
+    ERR_INTERN: "MPI_ERR_INTERN",
+    ERR_IN_STATUS: "MPI_ERR_IN_STATUS",
+    ERR_PENDING: "MPI_ERR_PENDING",
+}
+
+
+def error_string(code: int) -> str:
+    """MPI_Error_string: symbolic name of an error class."""
+    return _ERROR_NAMES.get(code, f"MPI_ERR_UNKNOWN({code})")
+
+
+# -- special ranks / tags --------------------------------------------------------
+ANY_SOURCE = -1
+ANY_TAG = -1
+PROC_NULL = -2
+ROOT = -3
+UNDEFINED = -32766
+
+#: Largest user tag (MPI guarantees >= 32767); negative tags are reserved
+#: for collective-internal traffic.
+TAG_UB = 2**30
+
+#: Internal tags for collectives start here (collectives run in a separate
+#: communicator context anyway; distinct tags keep traces readable).
+COLL_TAG_BASE = -1000
+
+
+class _InPlace:
+    """Singleton sentinel for MPI_IN_PLACE."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "MPI_IN_PLACE"
+
+
+#: MPI_IN_PLACE: pass as the send buffer to reduce in place (Allreduce,
+#: Allgather, and at the root of Reduce/Gather/Scatter).
+IN_PLACE = _InPlace()

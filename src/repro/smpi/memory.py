@@ -1,0 +1,104 @@
+"""Simulated heap accounting — the measurement substrate of Fig. 16.
+
+The paper reports the per-process maximum resident set size (RSS) of DT
+runs with and without RAM folding.  We account the simulated heap
+explicitly instead of reading ``/proc``: every allocation made through
+``mpi.malloc`` is charged to its rank, every ``mpi.shared_malloc`` is
+charged once to a global *shared* pool (that is the folding), and the
+tracker records per-rank peaks.  With ``enforce`` on, exceeding the host
+budget raises :class:`~repro.errors.OutOfMemoryError`, reproducing the
+"OM" out-of-memory bars.
+
+A fixed per-rank baseline models the stack/runtime footprint each MPI
+process would have ("RSS" is never zero in practice).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import OutOfMemoryError
+
+__all__ = ["MemoryTracker", "MemoryReport"]
+
+#: runtime baseline charged to every rank (thread stack + runtime state)
+RANK_BASELINE = 64 * 1024
+
+
+@dataclass
+class MemoryReport:
+    """Snapshot of the tracker for result tables."""
+
+    per_rank_peak: list[int]
+    shared_peak: int
+    total_peak: int
+
+    @property
+    def max_rank_rss(self) -> int:
+        """Per-process maximum RSS — the y-axis of Fig. 16.
+
+        Each rank's RSS is its private heap plus its view of the shared
+        pool (shared pages are resident once but appear in every process's
+        RSS; with threads there is a single process, so we attribute the
+        shared pool fully — the conservative choice).
+        """
+        if not self.per_rank_peak:
+            return self.shared_peak
+        return max(self.per_rank_peak) + self.shared_peak
+
+
+class MemoryTracker:
+    """Per-rank and shared simulated-heap accounting."""
+
+    def __init__(self, n_ranks: int, limit: int | None = None, enforce: bool = False):
+        self.n_ranks = n_ranks
+        self.limit = limit
+        self.enforce = enforce
+        self._rank_current = [RANK_BASELINE] * n_ranks
+        self._rank_peak = [RANK_BASELINE] * n_ranks
+        self._shared_current = 0
+        self._shared_peak = 0
+        self._total_peak = RANK_BASELINE * n_ranks
+
+    # -- accounting -----------------------------------------------------------------
+
+    @property
+    def total_current(self) -> int:
+        return sum(self._rank_current) + self._shared_current
+
+    def _check(self, extra: int) -> None:
+        if self.enforce and self.limit is not None:
+            in_use = self.total_current
+            if in_use + extra > self.limit:
+                raise OutOfMemoryError(extra, in_use, self.limit)
+
+    def allocate(self, rank: int, nbytes: int) -> None:
+        """Charge a private allocation to ``rank``."""
+        self._check(nbytes)
+        self._rank_current[rank] += nbytes
+        self._rank_peak[rank] = max(self._rank_peak[rank], self._rank_current[rank])
+        self._total_peak = max(self._total_peak, self.total_current)
+
+    def free(self, rank: int, nbytes: int) -> None:
+        self._rank_current[rank] -= nbytes
+        if self._rank_current[rank] < 0:  # double free in user code
+            self._rank_current[rank] = 0
+
+    def allocate_shared(self, nbytes: int) -> None:
+        """Charge a folded allocation once, globally."""
+        self._check(nbytes)
+        self._shared_current += nbytes
+        self._shared_peak = max(self._shared_peak, self._shared_current)
+        self._total_peak = max(self._total_peak, self.total_current)
+
+    def free_shared(self, nbytes: int) -> None:
+        self._shared_current = max(0, self._shared_current - nbytes)
+
+    # -- reporting -------------------------------------------------------------------
+
+    def report(self) -> MemoryReport:
+        return MemoryReport(
+            per_rank_peak=list(self._rank_peak),
+            shared_peak=self._shared_peak,
+            total_peak=self._total_peak,
+        )

@@ -1,0 +1,110 @@
+"""Reduction operators: MPI predefined ops plus user-defined ones.
+
+Each :class:`Op` reduces two NumPy arrays element-wise.  The predefined
+operators map onto NumPy ufuncs and are therefore vectorised; user-defined
+operators wrap an arbitrary ``f(invec, inoutvec) -> outvec`` callable
+(MPI_Op_create).  Commutativity matters for reduction-tree algorithms:
+non-commutative ops force rank-ordered combining, which the collective
+implementations honour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import MpiError
+from . import constants
+
+__all__ = [
+    "Op",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "LXOR",
+    "BAND",
+    "BOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+    "create",
+]
+
+
+class Op:
+    """A binary reduction operator over equal-shape arrays."""
+
+    def __init__(self, name: str, func, commutative: bool = True):
+        self.name = name
+        self.func = func
+        self.commutative = commutative
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Reduce ``a`` (earlier-rank data) with ``b`` (later-rank data)."""
+        result = self.func(a, b)
+        out = np.asarray(result)
+        if out.shape != np.asarray(a).shape:
+            raise MpiError(
+                constants.ERR_OP,
+                f"operator {self.name} changed the buffer shape "
+                f"{np.asarray(a).shape} -> {out.shape}",
+            )
+        return out
+
+    def free(self) -> None:
+        """MPI_Op_free (no-op; kept for API fidelity)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = "commutative" if self.commutative else "non-commutative"
+        return f"Op({self.name!r}, {tag})"
+
+
+def _logical(ufunc):
+    def apply(a, b):
+        return ufunc(a.astype(bool), b.astype(bool)).astype(a.dtype)
+
+    return apply
+
+
+def _maxloc(a, b):
+    """Pairs (value, index): keep the max value, lowest index on ties.
+
+    Buffers are structured arrays or 2-column arrays; we support the
+    2-column float convention ``[..., (value, index)]``.
+    """
+    a2 = np.asarray(a).reshape(-1, 2)
+    b2 = np.asarray(b).reshape(-1, 2)
+    take_b = (b2[:, 0] > a2[:, 0]) | ((b2[:, 0] == a2[:, 0]) & (b2[:, 1] < a2[:, 1]))
+    out = np.where(take_b[:, None], b2, a2)
+    return out.reshape(np.asarray(a).shape)
+
+
+def _minloc(a, b):
+    a2 = np.asarray(a).reshape(-1, 2)
+    b2 = np.asarray(b).reshape(-1, 2)
+    take_b = (b2[:, 0] < a2[:, 0]) | ((b2[:, 0] == a2[:, 0]) & (b2[:, 1] < a2[:, 1]))
+    out = np.where(take_b[:, None], b2, a2)
+    return out.reshape(np.asarray(a).shape)
+
+
+SUM = Op("MPI_SUM", np.add)
+PROD = Op("MPI_PROD", np.multiply)
+MAX = Op("MPI_MAX", np.maximum)
+MIN = Op("MPI_MIN", np.minimum)
+LAND = Op("MPI_LAND", _logical(np.logical_and))
+LOR = Op("MPI_LOR", _logical(np.logical_or))
+LXOR = Op("MPI_LXOR", _logical(np.logical_xor))
+BAND = Op("MPI_BAND", np.bitwise_and)
+BOR = Op("MPI_BOR", np.bitwise_or)
+BXOR = Op("MPI_BXOR", np.bitwise_xor)
+MAXLOC = Op("MPI_MAXLOC", _maxloc)
+MINLOC = Op("MPI_MINLOC", _minloc)
+
+
+def create(func, commute: bool = True, name: str = "user_op") -> Op:
+    """MPI_Op_create: wrap a user callable into an operator."""
+    if not callable(func):
+        raise MpiError(constants.ERR_OP, "operator must be callable")
+    return Op(name, func, commutative=commute)

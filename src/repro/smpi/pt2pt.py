@@ -1,0 +1,312 @@
+"""Point-to-point protocol engine: matching, eager and rendezvous modes.
+
+The protocol follows what the paper observes about real MPI
+implementations (section 4.1): below the *eager threshold* a send is
+buffered — its transfer starts immediately and the send completes when the
+bytes have left, whether or not the receive is posted; above the
+threshold the *rendezvous* protocol holds the data until the receive is
+posted, paying a handshake round-trip, and both sides complete with the
+transfer.  The 64 KiB protocol switch is precisely where the piece-wise
+linear model places a segment boundary.
+
+Matching is MPI-conformant: per (context, destination) there is a posted-
+receive queue and an unexpected-message queue, both scanned oldest-first;
+``ANY_SOURCE``/``ANY_TAG`` wildcards are supported; messages between the
+same (source, destination, tag) triple are non-overtaking because queue
+order is arrival order.
+
+Everything here runs inside actor threads under the scheduler's baton, so
+there is no concurrency to guard against — the code reads like the
+sequential protocol automaton it is.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import MpiError
+from ..log import get_logger
+from ..simix.mailbox import Mailbox
+from . import constants
+from .buffer import BufferSpec
+from .request import Request
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import SmpiWorld
+
+__all__ = ["Message", "Protocol"]
+
+_log = get_logger("smpi.pt2pt")
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One in-flight message: envelope + payload + protocol state.
+
+    Under ``zero_copy`` the payload is an empty sentinel while
+    ``wire_bytes`` still drives the simulated transfer timing.
+    """
+
+    src: int  # world rank
+    dst: int  # world rank
+    tag: int
+    ctx: int
+    data: np.ndarray  # packed payload bytes (uint8); empty when zero-copy
+    eager: bool
+    wire_bytes: int = -1
+    mid: int = field(default_factory=lambda: next(_msg_ids))
+    send_req: Request | None = None
+    recv_req: Request | None = None
+    #: set when the wire transfer has finished
+    delivered: bool = False
+    #: the network activity, once started
+    transfer: object = None
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < 0:
+            self.wire_bytes = int(self.data.size)
+
+    @property
+    def nbytes(self) -> int:
+        return self.wire_bytes
+
+    def matches(self, source: int, tag: int) -> bool:
+        """Does this message satisfy a recv posted for (source, tag)?"""
+        if source != constants.ANY_SOURCE and source != self.src:
+            return False
+        if tag != constants.ANY_TAG and tag != self.tag:
+            return False
+        return True
+
+
+@dataclass
+class _PostedRecv:
+    """A receive waiting in the posted queue."""
+
+    source: int
+    tag: int
+    ctx: int
+    request: Request
+    buffer: BufferSpec | None  # None => raw-bytes receive (object API)
+
+
+class Protocol:
+    """Owns the match queues and drives message life cycles."""
+
+    def __init__(self, world: "SmpiWorld") -> None:
+        self.world = world
+        # (ctx, dst_world_rank) -> queues
+        self._posted: dict[tuple[int, int], Mailbox[_PostedRecv]] = {}
+        self._unexpected: dict[tuple[int, int], Mailbox[Message]] = {}
+        # actors blocked in Probe, keyed like the queues
+        self._probe_waiters: dict[tuple[int, int], list] = {}
+
+    def _queues(
+        self, ctx: int, dst: int
+    ) -> tuple[Mailbox[_PostedRecv], Mailbox[Message]]:
+        key = (ctx, dst)
+        posted = self._posted.get(key)
+        if posted is None:
+            posted = self._posted[key] = Mailbox(f"posted-{key}")
+            self._unexpected[key] = Mailbox(f"unexpected-{key}")
+        return posted, self._unexpected[key]
+
+    # -- send side ---------------------------------------------------------------------
+
+    def start_send(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        ctx: int,
+        data: np.ndarray,
+        request: Request,
+        wire_bytes: int | None = None,
+        mode: str = "standard",
+    ) -> None:
+        """Initiate a send; the request completes per protocol rules.
+
+        ``wire_bytes`` (zero-copy mode) sets the simulated message size
+        when ``data`` is an empty payload sentinel.  ``mode`` selects the
+        MPI send mode: ``standard`` follows the eager threshold,
+        ``synchronous`` (Ssend) always uses rendezvous, ``buffered``
+        (Bsend) always eager, ``ready`` (Rsend) behaves like standard
+        (its constraint is on the application, not the timing).
+        """
+        self.world.flush_deferred()
+        cfg = self.world.config
+        nbytes = int(data.size) if wire_bytes is None else wire_bytes
+        if mode == "synchronous":
+            eager = False
+        elif mode == "buffered":
+            eager = True
+        else:
+            eager = nbytes <= cfg.eager_threshold
+        message = Message(src, dst, tag, ctx, data, eager,
+                          wire_bytes=nbytes, send_req=request)
+        if self.world.recorder is not None:
+            request.trace_id = self.world.recorder.send(src, dst, nbytes, tag, ctx)
+        request.message = message
+        request.source = src
+        request.tag = tag
+
+        posted, unexpected = self._queues(ctx, dst)
+        recv = posted.pop_first(lambda r: message.matches(r.source, r.tag))
+        if recv is not None:
+            self._bind(message, recv)
+            self._start_transfer(message, handshake=not eager)
+        else:
+            unexpected.push(message)
+            self._wake_probers(ctx, dst)
+            if eager:
+                # buffered mode: bytes start flowing immediately
+                self._start_transfer(message, handshake=False)
+            # rendezvous: wait for the receive; only the envelope travelled
+
+    # -- receive side -------------------------------------------------------------------
+
+    def start_recv(
+        self,
+        dst: int,
+        source: int,
+        tag: int,
+        ctx: int,
+        buffer: BufferSpec | None,
+        request: Request,
+    ) -> None:
+        """Post a receive; matches an unexpected message or queues up."""
+        self.world.flush_deferred()
+        if self.world.recorder is not None:
+            request.trace_id = self.world.recorder.recv(dst, source, tag, ctx)
+        posted, unexpected = self._queues(ctx, dst)
+        recv = _PostedRecv(source, tag, ctx, request, buffer)
+        message = unexpected.pop_first(lambda m: m.matches(source, tag))
+        if message is None:
+            posted.push(recv)
+            return
+        self._bind(message, recv)
+        if message.eager:
+            if message.delivered:
+                self._deliver(message)
+            # else: transfer in flight; _on_transfer_done delivers
+        else:
+            self._start_transfer(message, handshake=True)
+
+    def cancel_recv(self, request: Request) -> None:
+        """Remove a not-yet-matched posted receive (MPI_Cancel)."""
+        for mailbox in self._posted.values():
+            if mailbox.pop_first(lambda r: r.request is request) is not None:
+                return
+
+    # -- probing (extension beyond the paper's subset) ----------------------------------
+
+    def iprobe(self, dst: int, source: int, tag: int, ctx: int
+               ) -> Message | None:
+        """Non-destructive check for a matching announced message."""
+        _posted, unexpected = self._queues(ctx, dst)
+        return unexpected.peek_first(lambda m: m.matches(source, tag))
+
+    def probe(self, dst: int, source: int, tag: int, ctx: int) -> Message:
+        """Block until a matching message is announced; returns it."""
+        actor = self.world.current_actor
+        while True:
+            message = self.iprobe(dst, source, tag, ctx)
+            if message is not None:
+                return message
+            waiters = self._probe_waiters.setdefault((ctx, dst), [])
+            if actor not in waiters:
+                waiters.append(actor)
+            actor.suspend()
+
+    def _wake_probers(self, ctx: int, dst: int) -> None:
+        waiters = self._probe_waiters.pop((ctx, dst), [])
+        for actor in waiters:
+            self.world.scheduler.wake(actor)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _bind(self, message: Message, recv: _PostedRecv) -> None:
+        message.recv_req = recv.request
+        recv.request.message = message
+        recv.request.source = message.src
+        recv.request.tag = message.tag
+        # stash the buffer on the request for delivery time
+        recv.request._recv_buffer = recv.buffer  # type: ignore[attr-defined]
+
+    def _start_transfer(self, message: Message, handshake: bool) -> None:
+        world = self.world
+        cfg = world.config
+        src_host = world.host_of(message.src)
+        dst_host = world.host_of(message.dst)
+        extra = cfg.send_overhead + cfg.recv_overhead
+        route = world.engine.platform.route(src_host, dst_host)
+        if message.eager:
+            # buffered mode pays extra copies proportional to the payload
+            extra += message.nbytes / cfg.eager_copy_bandwidth
+        elif handshake:
+            extra += cfg.handshake_rtts * 2.0 * route.latency
+        rate_cap = math.inf
+        if cfg.wire_efficiency < 1.0 and route.links:
+            rate_cap = cfg.wire_efficiency * route.bandwidth
+        activity = world.scheduler.communicate(
+            src_host,
+            dst_host,
+            max(message.nbytes, 1),
+            name=f"msg-{message.mid}:{message.src}->{message.dst}",
+            extra_latency=extra,
+            rate_cap=rate_cap,
+        )
+        message.transfer = activity
+        if cfg.tracing:
+            world.trace.comm_start(message)
+        if activity.done:
+            self._on_transfer_done(message)
+        else:
+            activity.callbacks.append(lambda: self._on_transfer_done(message))
+
+    def _on_transfer_done(self, message: Message) -> None:
+        transfer = message.transfer
+        if transfer is not None and getattr(transfer, "failed", False):
+            # network failure (link death): surface in both ranks
+            error = MpiError(
+                constants.ERR_OTHER,
+                f"network failure while transferring message "
+                f"{message.src}->{message.dst} (tag {message.tag})",
+            )
+            for req in (message.send_req, message.recv_req):
+                if req is not None:
+                    req.error_exc = error
+                    req.finish()
+            return
+        message.delivered = True
+        if self.world.config.tracing:
+            self.world.trace.comm_end(message)
+        if message.send_req is not None:
+            message.send_req.finish()
+        if message.recv_req is not None:
+            self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        """Copy payload into the receive buffer and complete the recv."""
+        request = message.recv_req
+        assert request is not None
+        if request.complete:
+            return
+        buffer: BufferSpec | None = getattr(request, "_recv_buffer", None)
+        try:
+            if int(message.data.size) != message.wire_bytes:
+                pass  # zero-copy: payload was never carried (results wrong)
+            elif buffer is not None:
+                buffer.unpack(message.data)
+            else:
+                request.raw_data = message.data  # type: ignore[attr-defined]
+        except Exception as exc:  # delivery failure: report in the owner rank
+            request.error_exc = exc
+        request.received_bytes = message.nbytes
+        request.finish()

@@ -1,0 +1,327 @@
+"""MPI requests: the nonblocking and persistent operation handles.
+
+The paper's SMPI supports Send_init, Recv_init, Start, Startall, Isend,
+Irecv, Test, Testany, Wait, Waitany, Waitall and Waitsome; all are here,
+plus Testall/Testsome for completeness.  A request completes when the
+underlying message protocol (:mod:`repro.smpi.pt2pt`) says so; completion
+wakes the owning actor, and the Wait/Test family is implemented as
+predicate waits so spurious wake-ups are harmless.
+
+Persistent requests hold their arguments and can be (re)activated with
+``Start`` any number of times; per the MPI standard, completing a
+persistent request makes it *inactive* rather than freeing it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import MpiError
+from . import constants
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .pt2pt import Message
+    from .runtime import SmpiWorld
+
+__all__ = [
+    "Request",
+    "PersistentRequest",
+    "REQUEST_NULL",
+    "wait",
+    "test",
+    "waitall",
+    "testall",
+    "waitany",
+    "testany",
+    "waitsome",
+    "testsome",
+    "startall",
+]
+
+_ids = itertools.count()
+
+
+class Request:
+    """Handle of one in-flight point-to-point operation."""
+
+    def __init__(self, world: "SmpiWorld | None", kind: str, owner_rank: int):
+        self.rid = next(_ids)
+        self.world = world
+        self.kind = kind  # "send" | "recv" | "null"
+        self.owner_rank = owner_rank
+        self.complete = False
+        self.cancelled = False
+        #: filled by the protocol at completion time
+        self.source = constants.ANY_SOURCE
+        self.tag = constants.ANY_TAG
+        self.received_bytes = 0
+        self.message: "Message | None" = None
+        #: id in the recorded time-independent trace, if recording
+        self.trace_id: int | None = None
+        #: delivery-time failure (e.g. truncation), re-raised in the
+        #: owning rank when it waits/tests the request
+        self.error_exc: BaseException | None = None
+        #: deferred buffer delivery, run at completion (receiver side)
+        self._on_complete: list[Callable[[], None]] = []
+
+    # -- protocol side ---------------------------------------------------------------
+
+    def add_completion_hook(self, hook: Callable[[], None]) -> None:
+        if self.complete:
+            hook()
+        else:
+            self._on_complete.append(hook)
+
+    def finish(self) -> None:
+        """Mark complete and wake the owning actor."""
+        if self.complete:
+            return
+        self.complete = True
+        hooks, self._on_complete = self._on_complete, []
+        for hook in hooks:
+            hook()
+        if self.world is not None:
+            self.world.wake_rank(self.owner_rank)
+
+    # -- user side -----------------------------------------------------------------------
+
+    @property
+    def is_null(self) -> bool:
+        return self.kind == "null"
+
+    def make_status(self) -> Status:
+        if self.error_exc is not None:
+            raise self.error_exc
+        return Status(
+            source=self.source,
+            tag=self.tag,
+            error=constants.SUCCESS,
+            count_bytes=self.received_bytes,
+            cancelled=self.cancelled,
+        )
+
+    def cancel(self) -> None:
+        """MPI_Cancel: only not-yet-matched receives can be cancelled."""
+        if self.complete or self.is_null:
+            return
+        if self.kind != "recv" or self.message is not None:
+            raise MpiError(
+                constants.ERR_REQUEST, "only unmatched receives can be cancelled"
+            )
+        assert self.world is not None
+        self.world.protocol.cancel_recv(self)
+        self.cancelled = True
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "complete" if self.complete else "pending"
+        return f"Request(#{self.rid} {self.kind} {state})"
+
+
+#: The null request: always complete, empty status (MPI_REQUEST_NULL).
+REQUEST_NULL = Request(None, "null", -1)
+REQUEST_NULL.complete = True
+
+
+class PersistentRequest(Request):
+    """MPI_Send_init / MPI_Recv_init handle.
+
+    Holds a thunk that performs one activation; ``Start`` runs it and
+    grafts the resulting live request's completion onto this handle.
+    """
+
+    def __init__(
+        self,
+        world: "SmpiWorld",
+        kind: str,
+        owner_rank: int,
+        activate: Callable[[], Request],
+    ) -> None:
+        super().__init__(world, kind, owner_rank)
+        self._activate = activate
+        self.active = False
+        self.complete = True  # inactive persistent requests test as complete
+        self._live: Request | None = None
+
+    def start(self) -> None:
+        """MPI_Start: begin one round of the stored operation."""
+        if self.active:
+            raise MpiError(constants.ERR_REQUEST, "request already active")
+        self.active = True
+        self.complete = False
+        live = self._activate()
+        self._live = live
+        self.trace_id = live.trace_id
+
+        def on_done() -> None:
+            self.source = live.source
+            self.tag = live.tag
+            self.received_bytes = live.received_bytes
+            self.active = False
+            self.finish()
+
+        live.add_completion_hook(on_done)
+
+    def finish(self) -> None:
+        # persistent completion leaves the handle reusable
+        if self.complete:
+            return
+        self.complete = True
+        hooks, self._on_complete = self._on_complete, []
+        for hook in hooks:
+            hook()
+        if self.world is not None:
+            self.world.wake_rank(self.owner_rank)
+
+
+# -- wait / test family ------------------------------------------------------------------
+# These are module-level functions operating on request lists; the
+# Communicator exposes bound versions.  All run in the calling actor's
+# thread; ``world.current_actor`` supplies the waiter.
+
+
+def _record_wait(requests: list[Request]) -> None:
+    """Append a wait dependency to the TI trace, if one is being recorded."""
+    traced = [
+        r for r in requests
+        if r.world is not None and r.trace_id is not None
+    ]
+    if not traced:
+        return
+    world = traced[0].world
+    if world.recorder is not None:
+        world.recorder.wait(
+            world.current_rank, [r.trace_id for r in traced]
+        )
+
+
+def _world_of(requests: list[Request]) -> "SmpiWorld":
+    for req in requests:
+        if req.world is not None:
+            return req.world
+    raise MpiError(constants.ERR_REQUEST, "no live request to wait on")
+
+
+def wait(request: Request) -> Status:
+    """MPI_Wait: block until the request completes; returns its status."""
+    _record_wait([request])
+    if request.is_null or request.complete:
+        return request.make_status()
+    assert request.world is not None
+    actor = request.world.current_actor
+    actor.wait_for(lambda: request.complete)
+    return request.make_status()
+
+
+def test(request: Request) -> tuple[bool, Status | None]:
+    """MPI_Test: non-blocking completion check."""
+    if request.is_null:
+        return True, request.make_status()
+    if request.complete:
+        _record_wait([request])
+        return True, request.make_status()
+    # Let simulated time progress a little (SMPI's smpi/test knob);
+    # a pure thread-yield would let a Test spin-loop stall the clock.
+    assert request.world is not None
+    request.world.tiny_progress()
+    if request.complete:
+        _record_wait([request])
+        return True, request.make_status()
+    return False, None
+
+
+def waitall(requests: list[Request]) -> list[Status]:
+    """MPI_Waitall."""
+    _record_wait(requests)
+    live = [r for r in requests if not r.is_null and not r.complete]
+    if live:
+        actor = _world_of(live).current_actor
+        actor.wait_for(lambda: all(r.complete for r in live))
+    return [r.make_status() for r in requests]
+
+
+def testall(requests: list[Request]) -> tuple[bool, list[Status] | None]:
+    """MPI_Testall."""
+    if all(r.is_null or r.complete for r in requests):
+        return True, [r.make_status() for r in requests]
+    live = [r for r in requests if r.world is not None]
+    if live:
+        _world_of(live).tiny_progress()
+        if all(r.is_null or r.complete for r in requests):
+            return True, [r.make_status() for r in requests]
+    return False, None
+
+
+def waitany(requests: list[Request]) -> tuple[int, Status]:
+    """MPI_Waitany: index of the first completing request + its status."""
+    if all(r.is_null for r in requests):
+        return constants.UNDEFINED, Status()
+
+    def ready() -> int | None:
+        for index, req in enumerate(requests):
+            if not req.is_null and req.complete:
+                return index
+        return None
+
+    idx = ready()
+    if idx is None:
+        actor = _world_of(requests).current_actor
+        actor.wait_for(lambda: ready() is not None)
+        idx = ready()
+    assert idx is not None
+    _record_wait([requests[idx]])
+    return idx, requests[idx].make_status()
+
+
+def testany(requests: list[Request]) -> tuple[bool, int, Status | None]:
+    """MPI_Testany -> (flag, index, status)."""
+    if all(r.is_null for r in requests):
+        return True, constants.UNDEFINED, Status()
+    for index, req in enumerate(requests):
+        if not req.is_null and req.complete:
+            return True, index, req.make_status()
+    _world_of(requests).tiny_progress()
+    for index, req in enumerate(requests):
+        if not req.is_null and req.complete:
+            return True, index, req.make_status()
+    return False, constants.UNDEFINED, None
+
+
+def waitsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
+    """MPI_Waitsome: indices of every completed request (at least one)."""
+    if all(r.is_null for r in requests):
+        return [], []
+
+    def done_indices() -> list[int]:
+        return [
+            i for i, r in enumerate(requests) if not r.is_null and r.complete
+        ]
+
+    indices = done_indices()
+    if not indices:
+        actor = _world_of(requests).current_actor
+        actor.wait_for(lambda: bool(done_indices()))
+        indices = done_indices()
+    _record_wait([requests[i] for i in indices])
+    return indices, [requests[i].make_status() for i in indices]
+
+
+def testsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
+    """MPI_Testsome: possibly-empty list of completed indices."""
+    if all(r.is_null for r in requests):
+        return [], []
+    _world_of(requests).tiny_progress()
+    indices = [i for i, r in enumerate(requests) if not r.is_null and r.complete]
+    return indices, [requests[i].make_status() for i in indices]
+
+
+def startall(requests: list[Request]) -> None:
+    """MPI_Startall."""
+    for req in requests:
+        if not isinstance(req, PersistentRequest):
+            raise MpiError(
+                constants.ERR_REQUEST, "Startall needs persistent requests"
+            )
+        req.start()

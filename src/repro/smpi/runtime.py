@@ -1,0 +1,373 @@
+"""The SMPI runtime: wiring applications onto the simulation stack.
+
+:func:`smpirun` is the entry point — the Python analogue of SMPI's
+``smpirun`` launcher.  It takes an application function, a process count
+and a platform, spins up one actor (OS thread) per MPI rank, runs the
+whole simulation on the calling thread, and returns an
+:class:`SmpiResult` with the simulated time, wall-clock cost, per-rank
+return values and resource statistics.
+
+The application receives an :class:`Mpi` facade (its "MPI header"): rank
+and size shortcuts, ``COMM_WORLD``, wall-clock (:meth:`Mpi.wtime` returns
+*simulated* time), the sampling macros, and the folded/unfolded heap.
+
+Thread-safety note (paper section 5.2): global variables of the
+application are the one thing the simulator cannot privatise for the
+user; as in the paper, applications must keep rank state local (the
+``Mpi`` facade makes that natural in Python — everything hangs off the
+per-rank handle).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..errors import MpiError, SimulationError
+from ..simix import Scheduler
+from ..simix.actor import Actor
+from ..surf import Engine, Platform
+from ..surf.network_model import NetworkModel
+from ..trace import Tracer
+from . import constants
+from .comm import Communicator
+from .config import SmpiConfig
+from .group import Group
+from .memory import MemoryReport, MemoryTracker
+from .pt2pt import Protocol
+from .sampling import Sampler
+from .shared import SharedHeap
+
+__all__ = ["Mpi", "SmpiResult", "SmpiWorld", "smpirun"]
+
+
+class SmpiWorld:
+    """Global state of one SMPI simulation."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        n_ranks: int,
+        hosts: list[str] | None = None,
+        config: SmpiConfig | None = None,
+        network_model: NetworkModel | None = None,
+        engine: Engine | None = None,
+        recorder=None,
+    ) -> None:
+        self.config = config or SmpiConfig()
+        #: optional repro.offline.record.Recorder observing this run
+        self.recorder = recorder
+        # ``engine`` may be any Engine-compatible kernel — notably the
+        # packet-level testbed (repro.packetsim.PacketEngine)
+        self.engine = engine or Engine(platform, network_model=network_model)
+        self.scheduler = Scheduler(self.engine)
+        self.protocol = Protocol(self)
+        self.sampler = Sampler(self)
+        self.heap = SharedHeap(self)
+        self.trace = Tracer()
+        self.n_ranks = n_ranks
+
+        names = hosts if hosts is not None else platform.host_names()
+        if not names:
+            raise SimulationError("platform has no hosts")
+        #: host name of each world rank (round-robin placement by default)
+        self.rank_hosts = [names[i % len(names)] for i in range(n_ranks)]
+
+        limit = self.config.memory_limit
+        if limit is None:
+            limit = min(platform.host(h).memory for h in set(self.rank_hosts))
+        self.memory = MemoryTracker(
+            n_ranks, limit=limit, enforce=self.config.enforce_memory_limit
+        )
+
+        self._actors: list[Actor] = []
+        self._actor_rank: dict[int, int] = {}  # actor aid -> world rank
+        #: per-rank compute time accumulated by bypassed sample sites,
+        #: flushed into one engine action at the next observable point
+        self._deferred_flops = [0.0] * n_ranks
+        self._next_ctx = 0
+        self._filesystem = None
+        self._comm_cache: dict[tuple, Communicator] = {}
+        self._epochs: dict[tuple, int] = {}
+        self.comm_world = self.new_communicator(
+            Group(tuple(range(n_ranks))), "MPI_COMM_WORLD"
+        )
+
+    @property
+    def filesystem(self):
+        """The simulated shared filesystem (created on first MPI-IO use)."""
+        if self._filesystem is None:
+            from .io import FileSystem
+
+            self._filesystem = FileSystem(self)
+        return self._filesystem
+
+    # -- communicator/context management ---------------------------------------------------
+
+    def allocate_context(self) -> int:
+        """Fresh even context id (ctx+1 is the collective plane)."""
+        ctx = self._next_ctx
+        self._next_ctx += 2
+        return ctx
+
+    def new_communicator(
+        self, group: Group, name: str = "", token: tuple | None = None
+    ) -> Communicator:
+        """Create a communicator; with ``token``, agree across ranks.
+
+        Collective creation calls (Dup/Create/Split) pass a token that is
+        identical on every participating rank; the first caller allocates,
+        later callers receive the cached instance, so every rank ends up
+        with the same context id without extra messages.
+        """
+        if token is None:
+            return Communicator(self, group, self.allocate_context(), name)
+        cached = self._comm_cache.get(token)
+        if cached is None:
+            cached = Communicator(self, group, self.allocate_context(), name)
+            self._comm_cache[token] = cached
+        return cached
+
+    def comm_token(self, kind: str, parent_ctx: int, extra: Any = None) -> tuple:
+        """Per-rank epoch counter making collective comm-creation tokens.
+
+        Every rank of a communicator calls Dup/Create/Split in the same
+        order (they are collective), so the per-rank counter values agree
+        and the token is rank-independent.
+        """
+        counter_key = (kind, parent_ctx, self.current_rank)
+        epoch = self._epochs.get(counter_key, 0)
+        self._epochs[counter_key] = epoch + 1
+        return (kind, parent_ctx, epoch, extra)
+
+    # -- rank/actor plumbing ---------------------------------------------------------------
+
+    def register_actor(self, rank: int, actor: Actor) -> None:
+        self._actors.append(actor)
+        self._actor_rank[actor.aid] = rank
+
+    @property
+    def current_actor(self) -> Actor:
+        return self.scheduler.current
+
+    @property
+    def current_rank(self) -> int:
+        """World rank of the calling actor thread."""
+        actor = self.scheduler.current
+        try:
+            return self._actor_rank[actor.aid]
+        except KeyError:
+            raise MpiError(
+                constants.ERR_OTHER, f"actor {actor.name} is not an MPI rank"
+            ) from None
+
+    def host_of(self, rank: int) -> str:
+        return self.rank_hosts[rank]
+
+    def wake_rank(self, rank: int) -> None:
+        if 0 <= rank < len(self._actors):
+            self.scheduler.wake(self._actors[rank])
+
+    # -- services used by Mpi facade and the protocol -----------------------------------------
+
+    def defer_flops(self, flops: float) -> None:
+        """Accumulate compute for the calling rank without an engine action.
+
+        Bypassed sample replays use this so that tight sampled loops cost
+        O(1) scheduler round-trips instead of one per iteration; the
+        accumulated time becomes visible at the next flush point (any
+        message, wtime, sleep, or rank completion).
+        """
+        if flops > 0:
+            self._deferred_flops[self.current_rank] += flops
+
+    def flush_deferred(self) -> None:
+        """Charge the calling rank's accumulated deferred compute."""
+        rank = self.current_rank
+        amount = self._deferred_flops[rank]
+        if amount > 0:
+            self._deferred_flops[rank] = 0.0
+            self.execute_flops(amount)
+
+    def execute_flops(self, flops: float) -> None:
+        """Run a compute action for the calling rank and wait it out."""
+        if flops <= 0:
+            return
+        if self.recorder is not None:
+            self.recorder.compute(self.current_rank, flops)
+        actor = self.current_actor
+        start = self.engine.now
+        activity = self.scheduler.execute(actor, flops, f"exec-r{self.current_rank}")
+        activity.wait(actor)
+        if self.config.tracing:
+            self.trace.compute(self.current_rank, flops, start, self.engine.now)
+
+    def sleep(self, seconds: float) -> None:
+        if seconds <= 0:
+            return
+        actor = self.current_actor
+        self.scheduler.sleep_activity(seconds).wait(actor)
+
+    def tiny_progress(self) -> None:
+        """Advance simulated time by the Test-poll delay (see request.py)."""
+        self.sleep(self.config.test_delay)
+
+
+@dataclass
+class SmpiResult:
+    """Everything a simulation run reports back."""
+
+    simulated_time: float
+    wall_time: float
+    returns: list[Any]
+    memory: MemoryReport
+    stats: Any
+    trace: Tracer
+    sampler_stats: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SmpiResult(simulated={self.simulated_time:.6f}s, "
+            f"wall={self.wall_time:.3f}s, ranks={len(self.returns)})"
+        )
+
+
+class Mpi:
+    """The per-rank handle an application receives (its 'mpi.h')."""
+
+    def __init__(self, world: SmpiWorld, rank: int):
+        self._world = world
+        self._rank = rank
+
+    # -- identity ------------------------------------------------------------------------
+
+    @property
+    def COMM_WORLD(self) -> Communicator:
+        return self._world.comm_world
+
+    @property
+    def comm_world(self) -> Communicator:
+        return self._world.comm_world
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._world.n_ranks
+
+    @property
+    def config(self) -> SmpiConfig:
+        return self._world.config
+
+    def wtime(self) -> float:
+        """MPI_Wtime: the *simulated* clock."""
+        self._world.flush_deferred()
+        return self._world.engine.now
+
+    # -- compute modelling ------------------------------------------------------------------
+
+    def execute(self, flops: float) -> None:
+        """Charge an explicit compute burst of ``flops`` (SMPI_SAMPLE_DELAY
+        semantics with a flop argument)."""
+        self._world.execute_flops(flops)
+
+    def sleep(self, seconds: float) -> None:
+        """Advance this rank's simulated time without using the CPU."""
+        self._world.flush_deferred()
+        self._world.sleep(seconds)
+
+    def sample_local(self, key: str, n: int = 1) -> Iterator[None]:
+        return self._world.sampler.sample_local(key, n)
+
+    def sample_global(self, key: str, n: int = 1) -> Iterator[None]:
+        return self._world.sampler.sample_global(key, n)
+
+    def sample_delay(self, flops: float) -> None:
+        self._world.sampler.sample_delay(flops)
+
+    def sample_auto(self, key: str, precision: float = 0.05,
+                    max_samples: int = 100) -> Iterator[None]:
+        return self._world.sampler.sample_auto(key, precision, max_samples)
+
+    # -- memory modelling ---------------------------------------------------------------------
+
+    def malloc(self, shape, dtype=np.float64) -> np.ndarray:
+        """Tracked per-rank allocation."""
+        return self._world.heap.malloc(shape, dtype)
+
+    def free(self, array: np.ndarray) -> None:
+        self._world.heap.free(array)
+
+    def shared_malloc(self, key: str, shape, dtype=np.float64) -> np.ndarray:
+        """SMPI_SHARED_MALLOC: folded allocation shared across ranks."""
+        return self._world.heap.shared_malloc(key, shape, dtype)
+
+    def shared_free(self, key: str) -> None:
+        self._world.heap.shared_free(key)
+
+    # -- MPI-IO ----------------------------------------------------------------------------
+
+    def File(self):
+        """The MPI-IO File class bound to this world (mpi.File().Open(...))."""
+        from . import io
+
+        return io.File
+
+
+def smpirun(
+    app: Callable[..., Any],
+    n_ranks: int,
+    platform: Platform,
+    app_args: tuple = (),
+    hosts: list[str] | None = None,
+    config: SmpiConfig | None = None,
+    network_model: NetworkModel | None = None,
+    engine: Engine | None = None,
+    recorder=None,
+) -> SmpiResult:
+    """Simulate ``app`` on ``n_ranks`` MPI processes over ``platform``.
+
+    ``app`` is called as ``app(mpi, *app_args)`` in every rank's thread,
+    where ``mpi`` is that rank's :class:`Mpi` handle.  Blocks until every
+    rank returned; raises :class:`~repro.errors.ActorFailure` if any rank
+    raised and :class:`~repro.errors.DeadlockError` on communication
+    deadlock.  Passing ``engine`` substitutes the simulation kernel — the
+    packet-level testbed uses this to run identical applications.
+    """
+    if n_ranks < 1:
+        raise SimulationError("need at least one MPI rank")
+    world = SmpiWorld(platform, n_ranks, hosts, config, network_model, engine,
+                      recorder=recorder)
+
+    def make_main(rank: int) -> Callable[[], Any]:
+        def main() -> Any:
+            result = app(Mpi(world, rank), *app_args)
+            world.flush_deferred()  # deferred bursts count toward the end
+            return result
+
+        return main
+
+    for rank in range(n_ranks):
+        actor = world.scheduler.add_actor(
+            f"rank-{rank}", world.host_of(rank), make_main(rank)
+        )
+        world.register_actor(rank, actor)
+
+    wall_start = time.perf_counter()
+    simulated = world.scheduler.run()
+    wall = time.perf_counter() - wall_start
+
+    return SmpiResult(
+        simulated_time=simulated,
+        wall_time=wall,
+        returns=[actor.result for actor in world.scheduler.actors[:n_ranks]],
+        memory=world.memory.report(),
+        stats=world.engine.stats,
+        trace=world.trace,
+        sampler_stats=world.sampler.site_stats(),
+    )

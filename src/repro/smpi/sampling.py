@@ -1,0 +1,169 @@
+"""CPU-burst sampling — the paper's SMPI_SAMPLE_{LOCAL,GLOBAL,DELAY} macros
+(sections 3.1 and 5.2).
+
+The C macros wrap a block in hash-table bookkeeping: execute-and-time the
+block its first ``n`` occurrences, then skip it and charge the average
+measured duration instead.  The Python idiom here is the for-loop form::
+
+    for _ in mpi.sample_local("stencil-sweep", n=10):
+        do_the_computation()          # body runs only while sampling
+
+The generator yields exactly once while the site still needs samples
+(timing the body with ``perf_counter`` and charging the measured duration,
+scaled by the host/target speed factor, as a simulated compute action) and
+zero times once the site is warmed up (charging the average instead) —
+mirroring the macro's execute-then-bypass behaviour, including the
+if-then-else counters keyed by source location.
+
+* ``sample_local``  — each rank samples independently (per-rank counters);
+* ``sample_global`` — the first ``n`` executions *anywhere* warm the site
+  for every rank, making the simulation cost independent of the process
+  count for regular SPMD codes (the paper's scalability argument);
+* ``sample_delay``  — never execute: charge a user-supplied flop count
+  (enables the compiler-style RAM folding of technique #2);
+* ``sample_auto``   — extension (paper section 8 future work): keep
+  sampling until the relative standard error of the mean drops below a
+  precision target, like SKaMPI's adaptive measurement.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import SmpiWorld
+
+__all__ = ["SampleSite", "Sampler"]
+
+
+@dataclass
+class SampleSite:
+    """Counters and accumulated timings of one sampled source location."""
+
+    key: str
+    target_samples: int
+    count: int = 0
+    total_time: float = 0.0
+    total_sq: float = 0.0
+    durations: list[float] = field(default_factory=list)
+
+    @property
+    def mean(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    @property
+    def stderr(self) -> float:
+        """Relative standard error of the mean (for adaptive sampling)."""
+        if self.count < 2 or self.mean == 0:
+            return math.inf
+        var = max(self.total_sq / self.count - self.mean**2, 0.0)
+        return math.sqrt(var / self.count) / self.mean
+
+    def record(self, duration: float) -> None:
+        self.count += 1
+        self.total_time += duration
+        self.total_sq += duration * duration
+        self.durations.append(duration)
+
+    def needs_sample(self) -> bool:
+        return self.count < self.target_samples
+
+
+class Sampler:
+    """Per-world sampling state: local and global site tables."""
+
+    def __init__(self, world: "SmpiWorld") -> None:
+        self.world = world
+        self._local: dict[tuple[str, int], SampleSite] = {}
+        self._global: dict[str, SampleSite] = {}
+        #: wall-clock seconds actually spent executing sampled bursts
+        self.executed_time = 0.0
+        #: wall-clock seconds *avoided* (bursts replayed from the average)
+        self.bypassed_time = 0.0
+
+    # -- the three macros -------------------------------------------------------------
+
+    def sample_local(self, key: str, n: int) -> Iterator[None]:
+        """SMPI_SAMPLE_LOCAL(n): per-rank execute-first-n-then-replay."""
+        if n < 1:
+            raise ConfigError("sample_local needs n >= 1 (use sample_delay for n=0)")
+        rank = self.world.current_rank
+        site = self._local.setdefault((key, rank), SampleSite(key, n))
+        yield from self._run(site)
+
+    def sample_global(self, key: str, n: int) -> Iterator[None]:
+        """SMPI_SAMPLE_GLOBAL(n): first n executions over *all* ranks."""
+        if n < 1:
+            raise ConfigError("sample_global needs n >= 1")
+        site = self._global.setdefault(key, SampleSite(key, n))
+        yield from self._run(site)
+
+    def sample_delay(self, flops: float) -> None:
+        """SMPI_SAMPLE_DELAY: never execute, charge ``flops`` directly."""
+        self.world.execute_flops(flops)
+
+    def sample_auto(
+        self, key: str, precision: float = 0.05, max_samples: int = 100
+    ) -> Iterator[None]:
+        """Adaptive sampling: run until stderr/mean <= precision."""
+        rank = self.world.current_rank
+        site = self._local.setdefault(
+            (key, rank), SampleSite(key, max_samples)
+        )
+        if site.count >= 2 and site.stderr <= precision:
+            site.target_samples = site.count  # freeze
+        yield from self._run(site)
+
+    # -- shared machinery -----------------------------------------------------------------
+
+    def _run(self, site: SampleSite) -> Iterator[None]:
+        if site.needs_sample():
+            start = time.perf_counter()
+            yield  # caller's body executes here
+            duration = time.perf_counter() - start
+            site.record(duration)
+            self.executed_time += duration
+            self._charge(duration)
+        else:
+            self.bypassed_time += site.mean
+            self._charge(site.mean)
+
+    def _charge(self, host_seconds: float) -> None:
+        """Convert a host-measured duration into simulated compute time.
+
+        Charged lazily (deferred) so bypassed iterations in tight loops
+        cost no scheduler round-trip; see SmpiWorld.defer_flops.
+        """
+        world = self.world
+        target_seconds = host_seconds * world.config.speed_factor
+        host = world.engine.platform.host(world.host_of(world.current_rank))
+        world.defer_flops(target_seconds * host.speed)
+
+    # -- inspection -------------------------------------------------------------------------
+
+    def site_stats(self) -> dict[str, dict]:
+        """Summary per site (tests and the Fig. 18 bench read this)."""
+        out: dict[str, dict] = {}
+        for (key, rank), site in self._local.items():
+            entry = out.setdefault(
+                key, {"kind": "local", "samples": 0, "mean": 0.0, "sites": 0}
+            )
+            entry["samples"] += site.count
+            entry["sites"] += 1
+            entry["mean"] += site.mean
+        for key, site in self._global.items():
+            out[key] = {
+                "kind": "global",
+                "samples": site.count,
+                "mean": site.mean,
+                "sites": 1,
+            }
+        for entry in out.values():
+            if entry["kind"] == "local" and entry["sites"]:
+                entry["mean"] /= entry["sites"]
+        return out

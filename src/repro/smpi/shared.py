@@ -1,0 +1,102 @@
+"""RAM folding — SMPI_SHARED_MALLOC / SMPI_FREE (paper section 3.2).
+
+Because all simulated MPI processes are threads of one address space,
+an array that every rank allocates identically can be backed by a single
+allocation (technique #1 of [3]): ``m`` ranks × ``s`` bytes fold to ``s``
+bytes.  :class:`SharedHeap` implements that: ``shared_malloc(key, ...)``
+returns the *same* NumPy array to every rank (reference-counted), and
+charges the memory tracker once.  ``malloc`` is the unfolded counterpart
+that charges per rank — the two together produce the with/without-folding
+comparison of Fig. 16.
+
+The folded array is real shared state, so a folded application computing
+into it produces erroneous numerical results — exactly the documented
+trade-off in the paper ("the modified application produces erroneous
+results. But, for non-data-dependent applications ...").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import MpiError
+from . import constants
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runtime import SmpiWorld
+
+__all__ = ["SharedHeap"]
+
+
+@dataclass
+class _SharedBlock:
+    array: np.ndarray
+    nbytes: int
+    refcount: int
+
+
+class SharedHeap:
+    """Tracked allocations: folded (shared) and per-rank (private)."""
+
+    def __init__(self, world: "SmpiWorld") -> None:
+        self.world = world
+        self._shared: dict[str, _SharedBlock] = {}
+        # id(array) -> (rank, nbytes) for private allocations
+        self._private: dict[int, tuple[int, int]] = {}
+
+    # -- folded allocations --------------------------------------------------------------
+
+    def shared_malloc(self, key: str, shape, dtype=np.float64) -> np.ndarray:
+        """Return the shared array for ``key``, allocating on first call.
+
+        Every rank calling with the same key gets the same array object;
+        memory is charged once.  Shape/dtype must agree across ranks.
+        """
+        block = self._shared.get(key)
+        if block is None:
+            array = np.zeros(shape, dtype=dtype)
+            self.world.memory.allocate_shared(array.nbytes)
+            block = self._shared[key] = _SharedBlock(array, array.nbytes, 0)
+        else:
+            requested = tuple(shape) if np.iterable(shape) else (int(shape),)
+            if block.array.shape != requested or block.array.dtype != np.dtype(dtype):
+                raise MpiError(
+                    constants.ERR_ARG,
+                    f"shared_malloc({key!r}): shape/dtype mismatch across ranks",
+                )
+        block.refcount += 1
+        return block.array
+
+    def shared_free(self, key: str) -> None:
+        """SMPI_FREE: release one reference; storage freed at zero."""
+        block = self._shared.get(key)
+        if block is None:
+            raise MpiError(constants.ERR_ARG, f"shared_free({key!r}): unknown block")
+        block.refcount -= 1
+        if block.refcount <= 0:
+            self.world.memory.free_shared(block.nbytes)
+            del self._shared[key]
+
+    # -- private (unfolded) allocations -----------------------------------------------------
+
+    def malloc(self, shape, dtype=np.float64) -> np.ndarray:
+        """Per-rank tracked allocation (the no-folding baseline)."""
+        rank = self.world.current_rank
+        array = np.zeros(shape, dtype=dtype)
+        self.world.memory.allocate(rank, array.nbytes)
+        self._private[id(array)] = (rank, array.nbytes)
+        return array
+
+    def free(self, array: np.ndarray) -> None:
+        entry = self._private.pop(id(array), None)
+        if entry is None:
+            raise MpiError(constants.ERR_ARG, "free() of an untracked array")
+        rank, nbytes = entry
+        self.world.memory.free(rank, nbytes)
+
+    @property
+    def shared_keys(self) -> list[str]:
+        return list(self._shared)

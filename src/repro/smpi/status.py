@@ -1,0 +1,36 @@
+"""MPI_Status: the receive-side metadata object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from . import constants
+from .datatype import Datatype
+
+__all__ = ["Status"]
+
+
+@dataclass
+class Status:
+    """Source, tag, error and received byte count of a completed receive."""
+
+    source: int = constants.ANY_SOURCE
+    tag: int = constants.ANY_TAG
+    error: int = constants.SUCCESS
+    #: bytes actually received (MPI keeps this opaque; we expose it)
+    count_bytes: int = 0
+    cancelled: bool = field(default=False, repr=False)
+
+    def get_count(self, datatype: Datatype) -> int:
+        """MPI_Get_count: elements received, or UNDEFINED if not integral."""
+        if datatype.size == 0:
+            return 0
+        quotient, remainder = divmod(self.count_bytes, datatype.size)
+        return quotient if remainder == 0 else constants.UNDEFINED
+
+    def get_elements(self, datatype: Datatype) -> int:
+        """MPI_Get_elements (identical to get_count for our types)."""
+        return self.get_count(datatype)
+
+    def is_cancelled(self) -> bool:
+        return self.cancelled

@@ -1,0 +1,210 @@
+"""Cartesian process topologies (extension; MPI_Cart_* family).
+
+Stencil codes — the bread-and-butter workload of the clusters the paper
+targets — address neighbours through Cartesian communicators.  This
+module implements the MPI-1 topology calculus: dimension factorisation
+(``Dims_create``), grid construction over an existing communicator
+(``cart_create``), rank↔coordinate mapping and neighbour shifts, plus
+sub-grid extraction (``Sub``).  Everything is pure index arithmetic on
+top of :class:`~repro.smpi.comm.Communicator`, so the communication
+itself still flows through the simulated network.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from ..errors import MpiError
+from . import constants
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .comm import Communicator
+
+__all__ = ["CartComm", "cart_create", "dims_create"]
+
+
+def dims_create(nnodes: int, ndims: int, dims: Sequence[int] | None = None
+                ) -> list[int]:
+    """MPI_Dims_create: balanced factorisation of ``nnodes`` over ``ndims``.
+
+    Entries of ``dims`` that are non-zero are kept as constraints; zeros
+    are filled with a factorisation as square as possible (largest factors
+    first, as the standard requires).
+    """
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise MpiError(constants.ERR_ARG, "dims length must equal ndims")
+    fixed = 1
+    free = []
+    for index, value in enumerate(out):
+        if value < 0:
+            raise MpiError(constants.ERR_ARG, "dims entries must be >= 0")
+        if value > 0:
+            fixed *= value
+        else:
+            free.append(index)
+    remaining, rem = divmod(nnodes, fixed)
+    if rem != 0:
+        raise MpiError(
+            constants.ERR_ARG,
+            f"{nnodes} nodes not divisible by fixed dims product {fixed}",
+        )
+    if not free:
+        if remaining != 1:
+            raise MpiError(constants.ERR_ARG, "dims do not cover all nodes")
+        return out
+
+    # factor `remaining` into len(free) near-equal factors
+    factors = [1] * len(free)
+    n = remaining
+    divisor = 2
+    primes: list[int] = []
+    while divisor * divisor <= n:
+        while n % divisor == 0:
+            primes.append(divisor)
+            n //= divisor
+        divisor += 1
+    if n > 1:
+        primes.append(n)
+    for prime in sorted(primes, reverse=True):
+        smallest = factors.index(min(factors))
+        factors[smallest] *= prime
+    for index, factor in zip(free, sorted(factors, reverse=True)):
+        out[index] = factor
+    return out
+
+
+class CartComm:
+    """A communicator with Cartesian topology metadata."""
+
+    def __init__(self, comm: "Communicator", dims: list[int],
+                 periods: list[bool]):
+        self.comm = comm
+        self.dims = list(dims)
+        self.periods = list(periods)
+
+    # -- identity -----------------------------------------------------------------------
+
+    @property
+    def ndims(self) -> int:
+        return len(self.dims)
+
+    def Get_rank(self) -> int:
+        return self.comm.Get_rank()
+
+    @property
+    def rank(self) -> int:
+        return self.comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    # -- coordinate calculus ----------------------------------------------------------------
+
+    def Get_coords(self, rank: int) -> list[int]:
+        """MPI_Cart_coords: row-major rank -> coordinates."""
+        if not 0 <= rank < self.comm.size:
+            raise MpiError(constants.ERR_RANK, f"rank {rank} out of range")
+        coords = []
+        for extent in reversed(self.dims):
+            coords.append(rank % extent)
+            rank //= extent
+        return list(reversed(coords))
+
+    def Get_cart_rank(self, coords: Sequence[int]) -> int:
+        """MPI_Cart_rank: coordinates -> rank (periodic wrap where allowed)."""
+        if len(coords) != self.ndims:
+            raise MpiError(constants.ERR_ARG, "wrong number of coordinates")
+        rank = 0
+        for coord, extent, periodic in zip(coords, self.dims, self.periods):
+            if periodic:
+                coord %= extent
+            elif not 0 <= coord < extent:
+                raise MpiError(
+                    constants.ERR_ARG,
+                    f"coordinate {coord} outside non-periodic extent {extent}",
+                )
+            rank = rank * extent + coord
+        return rank
+
+    def Shift(self, direction: int, disp: int = 1) -> tuple[int, int]:
+        """MPI_Cart_shift -> (source, destination) ranks for a shift.
+
+        Off-grid neighbours of non-periodic dimensions are PROC_NULL, so
+        Sendrecv-based halo exchanges work unchanged at the boundary.
+        """
+        if not 0 <= direction < self.ndims:
+            raise MpiError(constants.ERR_ARG, f"bad direction {direction}")
+        me = self.Get_coords(self.Get_rank())
+
+        def neighbour(offset: int) -> int:
+            coords = list(me)
+            coords[direction] += offset
+            extent = self.dims[direction]
+            if self.periods[direction]:
+                coords[direction] %= extent
+            elif not 0 <= coords[direction] < extent:
+                return constants.PROC_NULL
+            return self.Get_cart_rank(coords)
+
+        return neighbour(-disp), neighbour(+disp)
+
+    def Sub(self, remain_dims: Sequence[bool]) -> "CartComm":
+        """MPI_Cart_sub: split into sub-grids keeping the flagged dims."""
+        if len(remain_dims) != self.ndims:
+            raise MpiError(constants.ERR_ARG, "remain_dims length mismatch")
+        me = self.Get_coords(self.Get_rank())
+        # colour = the dropped coordinates; key = position within the kept grid
+        color = 0
+        key = 0
+        for coord, extent, keep in zip(me, self.dims, remain_dims):
+            if keep:
+                key = key * extent + coord
+            else:
+                color = color * extent + coord
+        sub = self.comm.Split(color, key)
+        assert sub is not None
+        kept_dims = [d for d, keep in zip(self.dims, remain_dims) if keep]
+        kept_periods = [p for p, keep in zip(self.periods, remain_dims) if keep]
+        return CartComm(sub, kept_dims or [1], kept_periods or [False])
+
+    # -- passthrough to the underlying communicator -----------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self.comm, name)
+
+
+def cart_create(
+    comm: "Communicator",
+    dims: Sequence[int],
+    periods: Sequence[bool] | None = None,
+    reorder: bool = False,
+) -> CartComm | None:
+    """MPI_Cart_create over an existing communicator.
+
+    Ranks beyond the grid size get None (MPI_COMM_NULL); ``reorder`` is
+    accepted for API fidelity but rank order is always kept (the simulated
+    platform has no locality the reordering could exploit yet).
+    """
+    dims = list(dims)
+    total = 1
+    for extent in dims:
+        if extent < 1:
+            raise MpiError(constants.ERR_ARG, f"bad dimension extent {extent}")
+        total *= extent
+    if total > comm.size:
+        raise MpiError(
+            constants.ERR_ARG,
+            f"grid of {total} ranks exceeds communicator size {comm.size}",
+        )
+    periods = list(periods) if periods is not None else [False] * len(dims)
+    if len(periods) != len(dims):
+        raise MpiError(constants.ERR_ARG, "periods length must match dims")
+    del reorder
+    in_grid = comm.Get_rank() < total
+    sub = comm.Split(0 if in_grid else constants.UNDEFINED, comm.Get_rank())
+    if not in_grid:
+        return None
+    assert sub is not None
+    return CartComm(sub, dims, periods)

@@ -1,0 +1,206 @@
+"""Actions: the units of ongoing simulated work.
+
+An action is anything that takes simulated time: a network transfer, a
+computation, a sleep.  Actions move through a small state machine::
+
+    LATENCY ---(latency elapsed)---> RUNNING ---(work done)---> DONE
+       \\                                |
+        +---------- cancel -------------+--------> FAILED
+
+* In ``LATENCY`` a network action waits out its constant start-up delay
+  (sum of link latencies, scaled by the model's latency factor) without
+  consuming bandwidth.
+* In ``RUNNING`` the action has ``remaining`` work units left (bytes or
+  flops) and consumes resources at the rate the max-min solver assigns.
+* Sleep actions carry only a deadline.
+
+The engine owns the clocking; actions only record their parameters and
+bookkeeping (who to wake on completion, via an opaque ``observer`` the
+SIMIX layer sets).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import math
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .resources import Host, Link
+
+__all__ = ["ActionState", "Action", "NetworkAction", "ComputeAction", "SleepAction"]
+
+_ids = itertools.count()
+
+
+class ActionState(enum.Enum):
+    LATENCY = "latency"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+class Action:
+    """Base class; concrete kinds below.  Engine-facing API only."""
+
+    __slots__ = (
+        "aid",
+        "name",
+        "state",
+        "remaining",
+        "latency_remaining",
+        "rate",
+        "rate_bound",
+        "weight",
+        "start_time",
+        "finish_time",
+        "observer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        amount: float,
+        latency: float = 0.0,
+        rate_bound: float = math.inf,
+        weight: float = 1.0,
+    ) -> None:
+        if amount < 0:
+            raise SimulationError(f"action {name!r}: negative amount")
+        if latency < 0:
+            raise SimulationError(f"action {name!r}: negative latency")
+        self.aid = next(_ids)
+        self.name = name
+        self.remaining = float(amount)
+        self.latency_remaining = float(latency)
+        self.rate = 0.0
+        self.rate_bound = rate_bound
+        self.weight = weight
+        self.state = ActionState.LATENCY if latency > 0 else ActionState.RUNNING
+        self.start_time = math.nan
+        self.finish_time = math.nan
+        #: callable invoked by the engine when the action completes/fails
+        self.observer: Callable[[Action], None] | None = None
+
+    # -- engine-facing ------------------------------------------------------
+
+    def constraints(self) -> tuple["Link | Host", ...]:
+        """Resources this action consumes while RUNNING (empty for sleeps)."""
+        raise NotImplementedError
+
+    @property
+    def is_pending(self) -> bool:
+        return self.state in (ActionState.LATENCY, ActionState.RUNNING)
+
+    def time_to_completion(self) -> float:
+        """Time until this action finishes at its current rate (inf if stalled)."""
+        if self.state is ActionState.LATENCY:
+            # After the latency phase the transfer still has to run; only the
+            # latency expiry is scheduled, the engine re-shares afterwards.
+            return self.latency_remaining
+        if self.state is not ActionState.RUNNING:
+            return math.inf
+        if self.remaining <= 0:
+            return 0.0
+        if self.rate <= 0:
+            return math.inf
+        return self.remaining / self.rate
+
+    def advance(self, delta: float) -> None:
+        """Progress the action by ``delta`` simulated seconds."""
+        if self.state is ActionState.LATENCY:
+            self.latency_remaining -= delta
+            if self.latency_remaining <= 1e-15:
+                self.latency_remaining = 0.0
+                self.state = ActionState.RUNNING
+                if self.remaining <= 0:
+                    self.state = ActionState.DONE
+        elif self.state is ActionState.RUNNING:
+            self.remaining -= self.rate * delta
+            if self.remaining <= 1e-9 * max(1.0, self.rate):
+                self.remaining = 0.0
+                self.state = ActionState.DONE
+
+    def fail(self) -> None:
+        """Cancel the action; the observer is notified by the engine."""
+        if self.is_pending:
+            self.state = ActionState.FAILED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(#{self.aid} {self.name!r} {self.state.value}"
+            f" remaining={self.remaining:.3g})"
+        )
+
+
+class NetworkAction(Action):
+    """A point-to-point data transfer crossing a fixed set of links."""
+
+    __slots__ = ("links", "src", "dst", "size", "payload")
+
+    def __init__(
+        self,
+        name: str,
+        size: float,
+        links: tuple["Link", ...],
+        latency: float,
+        rate_bound: float = math.inf,
+        weight: float = 1.0,
+        src: str = "",
+        dst: str = "",
+    ) -> None:
+        super().__init__(name, size, latency, rate_bound, weight)
+        self.links = links
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        #: opaque payload carried with the transfer (the MPI layer stores
+        #: the message here so data really moves end-to-end)
+        self.payload: Any = None
+        if size == 0 and latency == 0:
+            # zero-byte, zero-latency transfer completes instantly
+            self.state = ActionState.DONE
+
+    def constraints(self) -> tuple["Link", ...]:
+        return self.links
+
+
+class ComputeAction(Action):
+    """A CPU burst of ``flops`` floating-point operations on one host."""
+
+    __slots__ = ("host",)
+
+    def __init__(
+        self,
+        name: str,
+        flops: float,
+        host: "Host",
+        rate_bound: float = math.inf,
+    ) -> None:
+        # A host with several cores lets one action use only one core's
+        # share at full speed; the bound reflects that.
+        per_core = host.speed
+        super().__init__(name, flops, 0.0, min(rate_bound, per_core))
+        self.host = host
+        if flops <= 0:
+            self.state = ActionState.DONE
+
+    def constraints(self) -> tuple["Host", ...]:
+        return (self.host,)
+
+
+class SleepAction(Action):
+    """Pure delay: finishes after ``duration`` simulated seconds."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str, duration: float) -> None:
+        super().__init__(name, 0.0, latency=duration)
+        if duration <= 0:
+            self.state = ActionState.DONE
+
+    def constraints(self) -> tuple[()]:
+        return ()

@@ -1,0 +1,39 @@
+"""CPU model: how compute actions consume host capacity.
+
+Much simpler than the network side: a host is one max-min constraint of
+capacity ``speed × cores`` and each compute action is bounded by the
+single-core speed (an MPI rank's CPU burst is sequential code).  An
+optional *scaling factor* converts durations measured on the simulation
+host node into target-node durations — this is the user-supplied factor of
+paper section 3.1 for simulating a target platform whose nodes differ from
+the host node.
+"""
+
+from __future__ import annotations
+
+from .resources import Host
+
+__all__ = ["CpuModel"]
+
+
+class CpuModel:
+    """Maps flops to compute-action parameters for a given host."""
+
+    name = "cas01"  # SimGrid's historical name for this model
+
+    def capacity(self, host: Host) -> float:
+        """Total constraint capacity of the host (flop/s)."""
+        return host.speed * host.cores
+
+    def action_bound(self, host: Host) -> float:
+        """Per-action rate cap: one core's speed."""
+        return host.speed
+
+    def duration_to_flops(self, host: Host, seconds: float) -> float:
+        """Convert a measured burst duration into an equivalent flop amount.
+
+        Used by the sampling layer: a burst that took ``seconds`` on a node
+        of this speed represents ``seconds × speed`` flops, which then
+        replays correctly on any target host speed.
+        """
+        return seconds * host.speed

@@ -1,0 +1,329 @@
+"""The sequential simulation engine (paper section 5.1).
+
+One :class:`Engine` instance owns the simulated clock and every pending
+:class:`~repro.surf.action.Action`.  Each step:
+
+1. **share** — build a max-min system from the RUNNING actions and the
+   resources they cross, solve it, assign each action its rate;
+2. **advance** — jump the clock to the earliest of: a RUNNING action
+   finishing at its current rate, or a LATENCY/sleep deadline expiring;
+3. **harvest** — mark finished actions DONE and invoke their observers
+   (the SIMIX layer uses observers to wake blocked actors).
+
+The engine is deliberately *fully sequential* — the paper's design choice
+to sidestep parallel-DES synchronisation — and fast because sharing is one
+analytical solve, not per-packet events.  It can run standalone (``run()``)
+for model-level studies, or be driven step-by-step by
+:class:`repro.simix.context.Scheduler` for on-line application simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+from ..log import bind_clock, get_logger
+from .action import Action, ActionState, ComputeAction, NetworkAction, SleepAction
+from .cpu_model import CpuModel
+from .maxmin import MaxMinSystem, solve_maxmin
+from .network_model import FactorsNetworkModel, NetworkModel
+from .platform import Platform
+from .resources import Host, Link, SharingPolicy
+
+__all__ = ["Engine", "EngineStats"]
+
+_log = get_logger("surf")
+
+
+@dataclass
+class EngineStats:
+    """Counters for the speed evaluation (Figs. 17/18)."""
+
+    steps: int = 0
+    shares: int = 0
+    actions_created: int = 0
+    actions_completed: int = 0
+    peak_concurrent: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class Engine:
+    """Sequential kernel simulating one platform."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        network_model: NetworkModel | None = None,
+        cpu_model: CpuModel | None = None,
+    ) -> None:
+        platform.freeze()
+        self.platform = platform
+        self.network_model = network_model or FactorsNetworkModel()
+        self.cpu_model = cpu_model or CpuModel()
+        self.now = 0.0
+        self.pending: list[Action] = []
+        self.stats = EngineStats()
+        self._dirty = True  # resource shares need recomputation
+        self._instant_done: list[Action] = []
+        self._dead_resources: set[str] = set()
+        bind_clock(lambda: self.now)
+
+    # -- action factories -------------------------------------------------------
+
+    def communicate(
+        self,
+        src: str,
+        dst: str,
+        size: float,
+        name: str = "comm",
+        rate_cap: float = math.inf,
+        extra_latency: float = 0.0,
+    ) -> NetworkAction:
+        """Start a transfer of ``size`` bytes between two hosts.
+
+        The network model decides the start-up latency and the per-flow
+        rate bound; ``rate_cap`` lets callers throttle further (SimGrid's
+        ``rate`` argument) and ``extra_latency`` adds protocol delays
+        (per-message overheads, rendezvous handshakes).  Host-local
+        transfers get a fixed high-speed loopback treatment.
+        """
+        route = self.platform.route(src, dst)
+        if not route.links:  # same host: loopback
+            action = NetworkAction(
+                name, size, (), latency=1e-7 + extra_latency,
+                rate_bound=min(rate_cap, 12.5e9), src=src, dst=dst,
+            )
+        else:
+            params = self.network_model.transfer_params(size, route.params)
+            links = route.links if params.shared else ()
+            action = NetworkAction(
+                name,
+                size,
+                links,
+                latency=params.latency + extra_latency,
+                rate_bound=min(params.rate_bound, rate_cap),
+                src=src,
+                dst=dst,
+            )
+        if self._route_is_dead(route.links):
+            action.fail()
+        self._register(action)
+        return action
+
+    def execute(self, host: Host | str, flops: float, name: str = "exec") -> ComputeAction:
+        """Start a CPU burst of ``flops`` on ``host``."""
+        if isinstance(host, str):
+            host = self.platform.host(host)
+        action = ComputeAction(name, flops, host, self.cpu_model.action_bound(host))
+        if host.name in self._dead_resources:
+            action.fail()
+        self._register(action)
+        return action
+
+    def sleep(self, duration: float, name: str = "sleep") -> SleepAction:
+        """Start a pure delay of ``duration`` simulated seconds."""
+        action = SleepAction(name, duration)
+        self._register(action)
+        return action
+
+    def _register(self, action: Action) -> None:
+        action.start_time = self.now
+        self.stats.actions_created += 1
+        if action.state in (ActionState.DONE, ActionState.FAILED):
+            # zero-work (or stillborn-failed) actions complete immediately;
+            # observers still fire through the normal harvest path
+            action.finish_time = self.now
+            self._completed_now.append(action)
+        else:
+            self.pending.append(action)
+            self.stats.peak_concurrent = max(self.stats.peak_concurrent, len(self.pending))
+        self._dirty = True
+
+    @property
+    def _completed_now(self) -> list[Action]:
+        """Zero-duration actions waiting for observer delivery."""
+        return self._instant_done
+
+    @property
+    def busy(self) -> bool:
+        """True while any action remains to progress or deliver."""
+        return bool(self.pending or self._instant_done)
+
+    # -- stepping ----------------------------------------------------------------
+
+    def share_resources(self) -> None:
+        """Recompute every RUNNING action's rate with the max-min solver."""
+        self.stats.shares += 1
+        running = [a for a in self.pending if a.state is ActionState.RUNNING]
+        for action in running:
+            action.rate = 0.0
+        if not running:
+            self._dirty = False
+            return
+
+        system = MaxMinSystem()
+        resource_index: dict[object, int] = {}
+
+        def constraint_id(resource: Link | Host) -> int:
+            cid = resource_index.get(resource)
+            if cid is None:
+                if isinstance(resource, Link):
+                    cid = system.add_constraint(
+                        resource.name,
+                        resource.bandwidth,
+                        shared=resource.sharing is SharingPolicy.SHARED,
+                    )
+                else:
+                    cid = system.add_constraint(
+                        resource.name, self.cpu_model.capacity(resource)
+                    )
+                resource_index[resource] = cid
+            return cid
+
+        flow_action: list[Action] = []
+        for action in running:
+            cids = tuple(constraint_id(res) for res in action.constraints())
+            system.add_flow(action.name, cids, bound=action.rate_bound,
+                            weight=action.weight)
+            flow_action.append(action)
+
+        rates = solve_maxmin(system)
+        for action, rate in zip(flow_action, rates):
+            action.rate = float(rate)
+        self._dirty = False
+
+    def next_event_delta(self) -> float:
+        """Time until the next action completes (inf when none will)."""
+        if self._dirty:
+            self.share_resources()
+        delta = math.inf
+        for action in self.pending:
+            delta = min(delta, action.time_to_completion())
+        return delta
+
+    def step(self) -> list[Action]:
+        """Advance to the next completion; return the finished actions.
+
+        Raises :class:`SimulationError` when pending actions exist but none
+        can ever finish (all stalled at rate 0 with no latency running) —
+        that indicates an internal inconsistency, since max-min always
+        grants positive rates to flows on positive-capacity resources.
+        """
+        instant = self._drain_instant()
+        if instant:
+            return instant
+        finished = self._harvest()  # e.g. actions cancelled since last step
+        if finished:
+            return finished
+        if not self.pending:
+            return []
+        delta = self.next_event_delta()
+        if math.isinf(delta):
+            stalled = ", ".join(a.name for a in self.pending[:8])
+            raise SimulationError(f"no action can complete: {stalled}")
+        self._advance_raw(delta)
+        return self._harvest()
+
+    def _advance_raw(self, delta: float) -> None:
+        """Progress every pending action by ``delta`` (must not cross more
+        than one phase boundary — callers bound delta by next_event_delta)."""
+        if self._dirty:
+            self.share_resources()
+        self.now += delta
+        for action in self.pending:
+            action.advance(delta)
+        self._dirty = True
+
+    def advance(self, delta: float) -> None:
+        """Progress simulated time by exactly ``delta`` seconds.
+
+        Unlike :meth:`_advance_raw` this safely crosses any number of
+        event boundaries (latency expiries, completions), re-sharing
+        resources and delivering observers at each one.
+        """
+        if delta < 0:
+            raise SimulationError(f"cannot advance time by {delta}")
+        target = self.now + delta
+        while self.now < target - 1e-15:
+            next_delta = self.next_event_delta()
+            chunk = min(next_delta, target - self.now)
+            if math.isinf(chunk):
+                self.now = target
+                break
+            self._advance_raw(chunk)
+            self._harvest()
+        self.now = max(self.now, target)
+
+    def _harvest(self) -> list[Action]:
+        finished = [a for a in self.pending
+                    if a.state in (ActionState.DONE, ActionState.FAILED)]
+        if finished:
+            self.pending = [a for a in self.pending if a.is_pending]
+            for action in finished:
+                action.finish_time = self.now
+                self.stats.actions_completed += 1
+                if action.observer is not None:
+                    action.observer(action)
+        return finished
+
+    def _drain_instant(self) -> list[Action]:
+        instant = self._completed_now
+        if not instant:
+            return []
+        done = list(instant)
+        instant.clear()
+        for action in done:
+            self.stats.actions_completed += 1
+            if action.observer is not None:
+                action.observer(action)
+        return done
+
+    def run(self) -> float:
+        """Run standalone until every action completed; return final clock."""
+        self.stats.steps += 1
+        while self.pending or self._completed_now:
+            self.step()
+            self.stats.steps += 1
+        return self.now
+
+    def cancel(self, action: Action) -> None:
+        """Fail a pending action; its observer fires on the next harvest."""
+        action.fail()
+        self._dirty = True
+
+    # -- failure injection (extension) ----------------------------------------------
+
+    def at(self, when: float, callback) -> Action:
+        """Invoke ``callback()`` at absolute simulated time ``when``.
+
+        Implemented as a zero-length sleep whose observer runs the
+        callback; useful for injecting failures and other scripted events.
+        """
+        delay = max(when - self.now, 0.0)
+        action = self.sleep(delay, name=f"at-{when}")
+
+        def observer(_action: Action) -> None:
+            callback()
+
+        action.observer = observer
+        return action
+
+    def is_dead(self, resource: "Link | Host") -> bool:
+        return resource.name in self._dead_resources
+
+    def fail_resource(self, resource: "Link | Host") -> None:
+        """Kill a link or host: every action using it fails, now and later.
+
+        Mirrors SimGrid's resource failures: pending transfers/computes
+        crossing the resource turn FAILED (surfacing as errors in the
+        waiting ranks), and new actions over it fail immediately.
+        """
+        self._dead_resources.add(resource.name)
+        for action in self.pending:
+            if any(res.name == resource.name for res in action.constraints()):
+                action.fail()
+        self._dirty = True
+
+    def _route_is_dead(self, links) -> bool:
+        return any(link.name in self._dead_resources for link in links)

@@ -1,0 +1,256 @@
+"""Point-to-point network performance models (paper section 4.1).
+
+A network model answers one question for a message of ``size`` bytes on a
+route: *what start-up latency and what per-flow rate bound should the
+transfer's action get?*  Contention is orthogonal — it is applied by the
+max-min solver on top of whatever bound the model chooses.  The models:
+
+* :class:`ConstantNetworkModel` — the "no contention" strawman of
+  Figs. 7/11: the route's nominal latency and full nominal bandwidth,
+  and the action is additionally excluded from link sharing.
+* :class:`AffineNetworkModel` — the classic ``α + s/β`` model every prior
+  on-line simulator uses.  Instantiated either the *default* way (1-byte
+  ping latency, 92 % of peak bandwidth) or *best-fit* (minimising mean
+  log-error); both instantiations live in :mod:`repro.calibration.affine`.
+* :class:`PiecewiseLinearNetworkModel` — the paper's contribution: `k`
+  linear segments (3 in practice), each with its own latency and
+  bandwidth, fitted by segmented regression
+  (:mod:`repro.calibration.segments`).
+
+The piece-wise model expresses a *total transfer time* ``α_k + s/β_k`` for
+a message in segment ``k``.  We decompose that into the action parameters
+in the way SMPI does inside SimGrid: the route's physical latency/bandwidth
+are scaled by per-segment correction factors,
+
+* ``latency_total = latency_factor(s) × Σ link latencies``
+* ``rate_bound    = bandwidth_factor(s) × min link bandwidth``
+
+so that an uncontended transfer takes exactly the fitted time on the
+calibration route, and other routes inherit the same *protocol* behaviour
+(relative overheads) while keeping their own physical parameters — this is
+what lets a griffon calibration predict gdx (Figs. 4-5).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+from ..errors import CalibrationError
+
+__all__ = [
+    "RouteParams",
+    "TransferParams",
+    "NetworkModel",
+    "ConstantNetworkModel",
+    "AffineNetworkModel",
+    "PiecewiseSegment",
+    "PiecewiseLinearNetworkModel",
+]
+
+
+@dataclass(frozen=True)
+class RouteParams:
+    """Physical characteristics of a route, provided by the routing layer."""
+
+    latency: float  # sum of link latencies, seconds
+    bandwidth: float  # min link bandwidth, bytes/s
+
+
+@dataclass(frozen=True)
+class TransferParams:
+    """What the engine needs to create a network action.
+
+    ``shared`` False means the action must bypass link sharing entirely
+    (the no-contention model).
+    """
+
+    latency: float
+    rate_bound: float
+    shared: bool = True
+
+
+class NetworkModel:
+    """Base interface: map (message size, route) to action parameters."""
+
+    #: short name used in configuration and result tables
+    name = "abstract"
+
+    def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
+        raise NotImplementedError
+
+    def predict_time(self, size: float, route: RouteParams) -> float:
+        """Uncontended transfer time for a message of ``size`` bytes."""
+        params = self.transfer_params(size, route)
+        if size <= 0:
+            return params.latency
+        return params.latency + size / params.rate_bound
+
+
+class ConstantNetworkModel(NetworkModel):
+    """Nominal latency + full nominal bandwidth, no contention at all."""
+
+    name = "constant"
+
+    def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
+        return TransferParams(route.latency, route.bandwidth, shared=False)
+
+
+class FactorsNetworkModel(NetworkModel):
+    """Physical route parameters scaled by constant factors.
+
+    The engine's default when no calibrated model is supplied: latency is
+    taken as-is and bandwidth derated to 97 % (rough TCP efficiency), akin
+    to SimGrid's uncalibrated defaults.
+    """
+
+    name = "factors"
+
+    def __init__(self, latency_factor: float = 1.0, bandwidth_factor: float = 0.97):
+        if latency_factor < 0 or bandwidth_factor <= 0:
+            raise CalibrationError("factors must be positive")
+        self.latency_factor = latency_factor
+        self.bandwidth_factor = bandwidth_factor
+
+    def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
+        return TransferParams(
+            latency=self.latency_factor * route.latency,
+            rate_bound=self.bandwidth_factor * route.bandwidth,
+        )
+
+
+class AffineNetworkModel(NetworkModel):
+    """``time = α + s/β`` with fixed α (s) and β (bytes/s).
+
+    α and β are absolute values measured on the calibration route; on a
+    different route the same *relative* correction is applied, i.e. the
+    factors ``α/route_latency`` and ``β/route_bandwidth`` computed at
+    calibration time are reused.
+    """
+
+    name = "affine"
+
+    def __init__(
+        self,
+        alpha: float,
+        beta: float,
+        calibration_route: RouteParams,
+        label: str | None = None,
+    ) -> None:
+        if alpha < 0 or beta <= 0:
+            raise CalibrationError("affine model needs alpha >= 0 and beta > 0")
+        self.alpha = alpha
+        self.beta = beta
+        self.calibration_route = calibration_route
+        self.latency_factor = alpha / calibration_route.latency if calibration_route.latency > 0 else 1.0
+        self.bandwidth_factor = beta / calibration_route.bandwidth
+        if label:
+            self.name = label
+
+    def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
+        return TransferParams(
+            latency=self.latency_factor * route.latency,
+            rate_bound=self.bandwidth_factor * route.bandwidth,
+        )
+
+
+@dataclass(frozen=True)
+class PiecewiseSegment:
+    """One linear segment: for sizes in ``[lo, hi)``, time = α + s/β.
+
+    α, β are the absolute fitted values on the calibration route;
+    ``latency_factor`` / ``bandwidth_factor`` are the corrections relative
+    to the calibration route's physical parameters.
+    """
+
+    lo: float
+    hi: float
+    alpha: float
+    beta: float
+    latency_factor: float
+    bandwidth_factor: float
+
+    def predict(self, size: float) -> float:
+        return self.alpha + size / self.beta
+
+
+class PiecewiseLinearNetworkModel(NetworkModel):
+    """The paper's piece-wise linear model with ``k`` segments.
+
+    With 3 segments this is the 8-parameter model of section 4.1: two
+    interior boundaries plus (α, β) per segment.  Construct it from
+    absolute fitted segments via :meth:`from_segments`; the calibration
+    pipeline in :mod:`repro.calibration.calibrate` does this automatically.
+    """
+
+    name = "piecewise-linear"
+
+    def __init__(self, segments: list[PiecewiseSegment], label: str | None = None):
+        if not segments:
+            raise CalibrationError("piecewise model needs at least one segment")
+        ordered = sorted(segments, key=lambda seg: seg.lo)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.hi != right.lo:
+                raise CalibrationError(
+                    f"segments not contiguous: [{left.lo},{left.hi}) then "
+                    f"[{right.lo},{right.hi})"
+                )
+        if ordered[0].lo != 0:
+            raise CalibrationError("first segment must start at size 0")
+        if not math.isinf(ordered[-1].hi):
+            raise CalibrationError("last segment must extend to infinity")
+        self.segments = ordered
+        self._boundaries = [seg.hi for seg in ordered[:-1]]
+        if label:
+            self.name = label
+
+    @classmethod
+    def from_segments(
+        cls,
+        fitted: list[tuple[float, float, float, float]],
+        calibration_route: RouteParams,
+        label: str | None = None,
+    ) -> "PiecewiseLinearNetworkModel":
+        """Build from ``(lo, hi, alpha, beta)`` tuples fitted on a route."""
+        segments = []
+        for lo, hi, alpha, beta in fitted:
+            if beta <= 0:
+                raise CalibrationError(f"segment [{lo},{hi}): beta must be > 0")
+            lat_f = (
+                alpha / calibration_route.latency
+                if calibration_route.latency > 0
+                else 1.0
+            )
+            bw_f = beta / calibration_route.bandwidth
+            segments.append(PiecewiseSegment(lo, hi, alpha, beta, lat_f, bw_f))
+        return cls(segments, label=label)
+
+    def segment_for(self, size: float) -> PiecewiseSegment:
+        """The segment whose size range contains ``size``."""
+        return self.segments[bisect.bisect_right(self._boundaries, size)]
+
+    @property
+    def parameter_count(self) -> int:
+        """8 for the canonical 3-segment model: k-1 boundaries + 2k (α,β)."""
+        k = len(self.segments)
+        return (k - 1) + 2 * k
+
+    def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
+        seg = self.segment_for(size)
+        return TransferParams(
+            latency=seg.latency_factor * route.latency,
+            rate_bound=seg.bandwidth_factor * route.bandwidth,
+        )
+
+    def describe(self) -> str:
+        """Human-readable parameter table (used by examples and docs)."""
+        lines = [f"piece-wise linear model, {len(self.segments)} segments "
+                 f"({self.parameter_count} parameters):"]
+        for seg in self.segments:
+            hi = "inf" if math.isinf(seg.hi) else f"{seg.hi:.0f}"
+            lines.append(
+                f"  [{seg.lo:>9.0f}, {hi:>9}) B : "
+                f"alpha={seg.alpha * 1e6:9.2f} us  beta={seg.beta / 1e6:9.2f} MB/s"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,263 @@
+"""Platform descriptions: hosts, links and routes of a target cluster.
+
+A :class:`Platform` aggregates the resources the engine simulates.  Besides
+free-form construction (``add_host`` / ``add_link`` / ``add_route`` /
+``connect``), two builders cover the topologies of the paper:
+
+* :func:`cluster` — a single-switch cluster in SimGrid's ``<cluster>``
+  style: every node has a private full-duplex-ish access link, and all
+  traffic additionally crosses a shared *backbone* that models the switch
+  fabric.  The backbone is where concurrent transfers contend — on an
+  ideal crossbar a binomial scatter would never share a link, yet real
+  switches do exhibit contention (paper Fig. 7), which SimGrid captures
+  with exactly this construct.
+* :func:`multi_cabinet_cluster` — the hierarchical topology of griffon and
+  gdx: per-cabinet switches (own backbone), connected to a second-level
+  switch by uplinks; inter-cabinet routes cross 3 switches as in Fig. 5.
+
+Platform files in SimGrid's XML dialect are handled by
+:mod:`repro.surf.platform_xml`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import PlatformError
+from .resources import Host, Link, SharingPolicy
+from .routing import Route, RoutingTable
+
+__all__ = ["Platform", "cluster", "multi_cabinet_cluster"]
+
+
+class Platform:
+    """The set of hosts, links and routes of one target platform."""
+
+    def __init__(self, name: str = "platform") -> None:
+        self.name = name
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[str, Link] = {}
+        self._routing = RoutingTable()
+        self._frozen = False
+
+    # -- construction ---------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._frozen:
+            raise PlatformError(f"platform {self.name!r} is frozen (engine started)")
+
+    def add_host(self, host: Host) -> Host:
+        self._check_mutable()
+        if host.name in self._hosts:
+            raise PlatformError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+        return host
+
+    def add_link(self, link: Link) -> Link:
+        self._check_mutable()
+        if link.name in self._links:
+            raise PlatformError(f"duplicate link {link.name!r}")
+        self._links[link.name] = link
+        return link
+
+    def add_route(
+        self,
+        src: str,
+        dst: str,
+        links: Sequence[Link | str],
+        symmetric: bool = True,
+    ) -> None:
+        """Declare the exact link sequence between two hosts."""
+        self._check_mutable()
+        for endpoint in (src, dst):
+            if endpoint not in self._hosts:
+                raise PlatformError(f"route endpoint {endpoint!r} is not a host")
+        resolved = tuple(self._resolve_link(link) for link in links)
+        self._routing.add_explicit(src, dst, resolved, symmetric)
+
+    def connect(self, a: str, b: str, link: Link | str) -> None:
+        """Add a graph edge between two nodes (host or router names)."""
+        self._check_mutable()
+        self._routing.add_edge(a, b, self._resolve_link(link))
+
+    def _resolve_link(self, link: Link | str) -> Link:
+        if isinstance(link, Link):
+            if link.name not in self._links:
+                self.add_link(link)
+            return link
+        try:
+            return self._links[link]
+        except KeyError:
+            raise PlatformError(f"unknown link {link!r}") from None
+
+    def freeze(self) -> None:
+        """Make the platform immutable (called by the engine on start)."""
+        self._frozen = True
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> list[Host]:
+        return list(self._hosts.values())
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def host(self, name: str) -> Host:
+        try:
+            return self._hosts[name]
+        except KeyError:
+            raise PlatformError(f"unknown host {name!r}") from None
+
+    def link(self, name: str) -> Link:
+        try:
+            return self._links[name]
+        except KeyError:
+            raise PlatformError(f"unknown link {name!r}") from None
+
+    def has_host(self, name: str) -> bool:
+        return name in self._hosts
+
+    def route(self, src: str, dst: str) -> Route:
+        for endpoint in (src, dst):
+            if endpoint not in self._hosts:
+                raise PlatformError(f"route endpoint {endpoint!r} is not a host")
+        return self._routing.resolve(src, dst)
+
+    def host_names(self) -> list[str]:
+        return list(self._hosts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Platform({self.name!r}, {len(self._hosts)} hosts, "
+            f"{len(self._links)} links)"
+        )
+
+
+def cluster(
+    name: str,
+    n_hosts: int,
+    host_speed: float | str = "1Gf",
+    link_bandwidth: float | str = "125MBps",
+    link_latency: float | str = "50us",
+    backbone_bandwidth: float | str | None = "1.25GBps",
+    backbone_latency: float | str = "20us",
+    backbone_sharing: SharingPolicy = SharingPolicy.SHARED,
+    cores: int = 1,
+    memory: int | str = "16GiB",
+    prefix: str = "node-",
+) -> Platform:
+    """A single-switch cluster with per-node access links and a backbone.
+
+    The defaults model a Gigabit-Ethernet cluster (125 MB/s access links)
+    with a 10 Gb switch fabric.  Pass ``backbone_bandwidth=None`` for an
+    ideal crossbar without any shared fabric.
+    """
+    if n_hosts < 1:
+        raise PlatformError("cluster needs at least one host")
+    platform = Platform(name)
+    backbone: Link | None = None
+    if backbone_bandwidth is not None:
+        backbone = platform.add_link(
+            Link(f"{name}-backbone", backbone_bandwidth, backbone_latency,
+                 backbone_sharing)
+        )
+    node_links = []
+    for i in range(n_hosts):
+        host = platform.add_host(
+            Host(f"{prefix}{i}", host_speed, cores=cores, memory=memory)
+        )
+        node_links.append(
+            platform.add_link(Link(f"{name}-l{i}", link_bandwidth, link_latency))
+        )
+        del host
+    for i in range(n_hosts):
+        for j in range(n_hosts):
+            if i == j:
+                continue
+            path: tuple[Link, ...] = (node_links[i],) + (
+                (backbone,) if backbone is not None else ()
+            ) + (node_links[j],)
+            platform.add_route(f"{prefix}{i}", f"{prefix}{j}", path, symmetric=False)
+    return platform
+
+
+def multi_cabinet_cluster(
+    name: str,
+    cabinet_sizes: Iterable[int],
+    host_speed: float | str = "1Gf",
+    link_bandwidth: float | str = "125MBps",
+    link_latency: float | str = "50us",
+    cabinet_backbone_bandwidth: float | str = "1.25GBps",
+    cabinet_backbone_latency: float | str = "20us",
+    uplink_bandwidth: float | str = "1.25GBps",
+    uplink_latency: float | str = "20us",
+    core_backbone_bandwidth: float | str = "1.25GBps",
+    core_backbone_latency: float | str = "20us",
+    cores: int = 1,
+    memory: int | str = "16GiB",
+    prefix: str = "node-",
+) -> Platform:
+    """A hierarchical cluster: cabinets with switches behind a core switch.
+
+    Intra-cabinet routes cross ``access → cabinet backbone → access``
+    (1 switch); inter-cabinet routes cross
+    ``access → cab bb → uplink → core bb → uplink → cab bb → access``
+    (3 switches), matching the gdx topology of paper Fig. 5.
+    """
+    sizes = list(cabinet_sizes)
+    if not sizes or any(size < 1 for size in sizes):
+        raise PlatformError("each cabinet needs at least one host")
+    platform = Platform(name)
+    core_bb = platform.add_link(
+        Link(f"{name}-core-backbone", core_backbone_bandwidth, core_backbone_latency)
+    )
+    host_cab: list[int] = []
+    node_links: list[Link] = []
+    cab_bb: list[Link] = []
+    cab_up: list[Link] = []
+    node_id = 0
+    for cab, size in enumerate(sizes):
+        cab_bb.append(
+            platform.add_link(
+                Link(f"{name}-cab{cab}-backbone", cabinet_backbone_bandwidth,
+                     cabinet_backbone_latency)
+            )
+        )
+        cab_up.append(
+            platform.add_link(
+                Link(f"{name}-cab{cab}-uplink", uplink_bandwidth, uplink_latency)
+            )
+        )
+        for _ in range(size):
+            platform.add_host(
+                Host(f"{prefix}{node_id}", host_speed, cores=cores, memory=memory)
+            )
+            node_links.append(
+                platform.add_link(
+                    Link(f"{name}-l{node_id}", link_bandwidth, link_latency)
+                )
+            )
+            host_cab.append(cab)
+            node_id += 1
+
+    total = node_id
+    for i in range(total):
+        for j in range(total):
+            if i == j:
+                continue
+            if host_cab[i] == host_cab[j]:
+                path = (node_links[i], cab_bb[host_cab[i]], node_links[j])
+            else:
+                path = (
+                    node_links[i],
+                    cab_bb[host_cab[i]],
+                    cab_up[host_cab[i]],
+                    core_bb,
+                    cab_up[host_cab[j]],
+                    cab_bb[host_cab[j]],
+                    node_links[j],
+                )
+            platform.add_route(f"{prefix}{i}", f"{prefix}{j}", path, symmetric=False)
+    return platform

@@ -1,0 +1,198 @@
+"""SimGrid-style XML platform files (a subset of the SimGrid DTD).
+
+The paper (section 6) specifies target platforms as XML following
+SimGrid's DTD.  We support the subset needed for cluster studies::
+
+    <?xml version="1.0"?>
+    <platform version="4">
+      <zone id="griffon" routing="Full">
+        <host id="node-0" speed="2.5Gf" core="8"/>
+        <link id="l0" bandwidth="125MBps" latency="50us"/>
+        <link id="bb" bandwidth="1.25GBps" latency="20us" sharing_policy="FATPIPE"/>
+        <route src="node-0" dst="node-1" symmetrical="YES">
+          <link_ctn id="l0"/><link_ctn id="bb"/><link_ctn id="l1"/>
+        </route>
+        <cluster id="c" prefix="n-" suffix="" radical="0-15" speed="1Gf"
+                 bw="125MBps" lat="50us" bb_bw="1.25GBps" bb_lat="20us"/>
+      </zone>
+    </platform>
+
+``<cluster>`` elements expand through :func:`repro.surf.platform.cluster`
+with the same semantics SimGrid gives them (per-node access link plus a
+shared backbone).  :func:`save_platform_xml` writes any programmatically
+built platform back out, so calibrated "what if?" variants can be shared
+as files — the paper's suggested workflow for third-party instantiations.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from ..errors import PlatformError
+from .platform import Platform, cluster
+from .resources import Host, Link, SharingPolicy
+
+__all__ = ["load_platform_xml", "loads_platform_xml", "save_platform_xml",
+           "dumps_platform_xml"]
+
+
+def load_platform_xml(path: str | Path) -> Platform:
+    """Parse a platform file from disk."""
+    tree = ET.parse(str(path))
+    return _build(tree.getroot(), name=Path(path).stem)
+
+
+def loads_platform_xml(text: str) -> Platform:
+    """Parse a platform description from a string."""
+    return _build(ET.fromstring(text), name="platform")
+
+
+def _parse_radical(radical: str) -> list[int]:
+    """Expand SimGrid radicals: ``"0-3,7,9-10" -> [0,1,2,3,7,9,10]``."""
+    out: list[int] = []
+    for part in radical.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise PlatformError(f"bad radical range {part!r}")
+            out.extend(range(lo, hi + 1))
+        else:
+            out.append(int(part))
+    return out
+
+
+def _build(root: ET.Element, name: str) -> Platform:
+    if root.tag != "platform":
+        raise PlatformError(f"expected <platform> root, got <{root.tag}>")
+    platform = Platform(name)
+    zones = root.findall("zone") or root.findall("AS")  # old DTD spelling
+    containers = zones if zones else [root]
+    for zone in containers:
+        _build_zone(platform, zone)
+    return platform
+
+
+def _build_zone(platform: Platform, zone: ET.Element) -> None:
+    for el in zone:
+        if el.tag == "host":
+            platform.add_host(
+                Host(
+                    _req(el, "id"),
+                    _req(el, "speed"),
+                    cores=int(el.get("core", "1")),
+                    memory=el.get("memory", "16GiB"),
+                )
+            )
+        elif el.tag == "link":
+            platform.add_link(
+                Link(
+                    _req(el, "id"),
+                    _req(el, "bandwidth"),
+                    el.get("latency", "0s"),
+                    SharingPolicy(el.get("sharing_policy", "SHARED")),
+                )
+            )
+        elif el.tag == "route":
+            links = [_req(sub, "id") for sub in el.findall("link_ctn")]
+            platform.add_route(
+                _req(el, "src"),
+                _req(el, "dst"),
+                links,
+                symmetric=el.get("symmetrical", "YES").upper() == "YES",
+            )
+        elif el.tag == "cluster":
+            _expand_cluster(platform, el)
+        elif el.tag in ("zone", "AS"):
+            _build_zone(platform, el)
+        # unknown elements are ignored, like SimGrid does for forward compat
+
+
+def _expand_cluster(platform: Platform, el: ET.Element) -> None:
+    ids = _parse_radical(_req(el, "radical"))
+    prefix = el.get("prefix", "node-")
+    suffix = el.get("suffix", "")
+    bb_bw = el.get("bb_bw")
+    sub = cluster(
+        _req(el, "id"),
+        len(ids),
+        host_speed=_req(el, "speed"),
+        link_bandwidth=_req(el, "bw"),
+        link_latency=el.get("lat", "0s"),
+        backbone_bandwidth=bb_bw,
+        backbone_latency=el.get("bb_lat", "0s"),
+        cores=int(el.get("core", "1")),
+        prefix="__tmp__",
+    )
+    # splice: rename the builder's hosts to the radical-derived names
+    rename = {f"__tmp__{i}": f"{prefix}{rid}{suffix}" for i, rid in enumerate(ids)}
+    for link in sub.links:
+        platform.add_link(link)
+    for host in sub.hosts:
+        platform.add_host(Host(rename[host.name], host.speed, host.cores, host.memory))
+    for a in sub.host_names():
+        for b in sub.host_names():
+            if a == b:
+                continue
+            route = sub.route(a, b)
+            platform.add_route(rename[a], rename[b], route.links, symmetric=False)
+
+
+def _req(el: ET.Element, attr: str) -> str:
+    value = el.get(attr)
+    if value is None:
+        raise PlatformError(f"<{el.tag}> element missing required {attr!r} attribute")
+    return value
+
+
+def dumps_platform_xml(platform: Platform) -> str:
+    """Serialise a platform to a SimGrid-style XML string.
+
+    Hosts, links and the explicit route table are written out; graph-edge
+    topology (``connect``) is flattened into explicit host-to-host routes.
+    """
+    root = ET.Element("platform", version="4")
+    zone = ET.SubElement(root, "zone", id=platform.name, routing="Full")
+    for host in platform.hosts:
+        ET.SubElement(
+            zone,
+            "host",
+            id=host.name,
+            speed=f"{host.speed:.0f}f",
+            core=str(host.cores),
+            memory=f"{host.memory}B",
+        )
+    for link in platform.links:
+        ET.SubElement(
+            zone,
+            "link",
+            id=link.name,
+            bandwidth=f"{link.bandwidth:.0f}Bps",
+            latency=f"{link.latency * 1e9:.0f}ns",
+            sharing_policy=link.sharing.value,
+        )
+    names = platform.host_names()
+    for src in names:
+        for dst in names:
+            if src == dst:
+                continue
+            try:
+                route = platform.route(src, dst)
+            except PlatformError:
+                continue
+            r_el = ET.SubElement(zone, "route", src=src, dst=dst, symmetrical="NO")
+            for link in route.links:
+                ET.SubElement(r_el, "link_ctn", id=link.name)
+    buf = io.BytesIO()
+    ET.ElementTree(root).write(buf, encoding="utf-8", xml_declaration=True)
+    return buf.getvalue().decode("utf-8")
+
+
+def save_platform_xml(platform: Platform, path: str | Path) -> None:
+    """Write :func:`dumps_platform_xml` output to ``path``."""
+    Path(path).write_text(dumps_platform_xml(platform), encoding="utf-8")

@@ -1,0 +1,120 @@
+"""Simulated hardware resources: network links and hosts.
+
+A :class:`Link` is a network resource with a bandwidth (bytes/s), a latency
+(seconds) and a sharing policy.  A :class:`Host` is a compute node with a
+speed in flop/s and a memory budget (used by the RAM-folding experiments of
+Fig. 16).  Resources are *passive*: they only describe capacity; the
+engine's max-min solver (:mod:`repro.surf.maxmin`) decides how ongoing
+actions share them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import PlatformError
+from ..units import parse_bandwidth, parse_size, parse_speed, parse_time
+
+__all__ = ["SharingPolicy", "Link", "Host"]
+
+
+class SharingPolicy(enum.Enum):
+    """How concurrent flows share a link.
+
+    * ``SHARED`` — the sum of flow rates is capped by the bandwidth (a
+      normal full-duplex-agnostic Ethernet link).
+    * ``FATPIPE`` — each flow is individually capped but flows do not
+      contend (an ideal, over-provisioned backplane).
+    * ``SPLITDUPLEX`` — modelled at the platform level as two SHARED
+      half-links (one per direction); kept here for XML round-tripping.
+    """
+
+    SHARED = "SHARED"
+    FATPIPE = "FATPIPE"
+    SPLITDUPLEX = "SPLITDUPLEX"
+
+
+@dataclass
+class Link:
+    """A network link.
+
+    Parameters accept either SI floats or SimGrid-style strings
+    (``bandwidth="1.25GBps"``, ``latency="50us"``).
+    """
+
+    name: str
+    bandwidth: float
+    latency: float = 0.0
+    sharing: SharingPolicy = SharingPolicy.SHARED
+
+    def __init__(
+        self,
+        name: str,
+        bandwidth: float | str,
+        latency: float | str = 0.0,
+        sharing: SharingPolicy | str = SharingPolicy.SHARED,
+    ) -> None:
+        self.name = name
+        self.bandwidth = parse_bandwidth(bandwidth)
+        self.latency = parse_time(latency)
+        self.sharing = SharingPolicy(sharing) if isinstance(sharing, str) else sharing
+        if self.bandwidth <= 0:
+            raise PlatformError(f"link {name!r}: bandwidth must be > 0")
+        if self.latency < 0:
+            raise PlatformError(f"link {name!r}: negative latency")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Link({self.name!r}, bw={self.bandwidth:.3g} B/s, "
+            f"lat={self.latency:.3g} s, {self.sharing.value})"
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Link) and other.name == self.name
+
+
+@dataclass
+class Host:
+    """A compute node of the target platform.
+
+    ``speed`` is the per-core compute rate in flop/s (as in SimGrid);
+    ``cores`` sets how many compute actions can progress at full speed
+    concurrently — the CPU constraint's total capacity is
+    ``speed * cores`` and each action is individually capped at ``speed``.
+    ``memory`` is the RAM budget enforced on the *simulated heap* by
+    :mod:`repro.smpi.memory`.
+    """
+
+    name: str
+    speed: float
+    cores: int = 1
+    memory: int = field(default=0)
+
+    def __init__(
+        self,
+        name: str,
+        speed: float | str,
+        cores: int = 1,
+        memory: int | str = "16GiB",
+    ) -> None:
+        self.name = name
+        self.speed = parse_speed(speed)
+        self.cores = int(cores)
+        self.memory = parse_size(memory)
+        if self.speed <= 0:
+            raise PlatformError(f"host {name!r}: speed must be > 0")
+        if self.cores < 1:
+            raise PlatformError(f"host {name!r}: needs at least one core")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Host({self.name!r}, {self.speed:.3g} flop/s, cores={self.cores})"
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Host) and other.name == self.name

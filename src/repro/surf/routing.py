@@ -1,0 +1,119 @@
+"""Route computation over a platform graph.
+
+A :class:`Route` is the ordered set of links a transfer between two hosts
+crosses, together with the aggregate physical parameters the network model
+needs (total latency, bottleneck bandwidth).  Routes come from two sources,
+checked in order:
+
+1. an explicit route table (``Platform.add_route``) — how SimGrid XML
+   platforms describe clusters, and how our builders register routes;
+2. shortest-path search (by latency, then hop count) on the platform's
+   link graph via :mod:`networkx`, for free-form topologies.
+
+Resolved routes are cached; a platform is immutable once the engine starts
+so the cache never invalidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+
+from ..errors import RoutingError
+from .network_model import RouteParams
+from .resources import Link
+
+__all__ = ["Route", "Router"]
+
+
+@dataclass(frozen=True)
+class Router:
+    """A routing-only node (a switch): never endpoint of a transfer."""
+
+    name: str
+
+    def __hash__(self) -> int:
+        return hash(("router", self.name))
+
+
+@dataclass(frozen=True)
+class Route:
+    """An ordered sequence of links between two named endpoints."""
+
+    src: str
+    dst: str
+    links: tuple[Link, ...]
+
+    @property
+    def latency(self) -> float:
+        return sum(link.latency for link in self.links)
+
+    @property
+    def bandwidth(self) -> float:
+        if not self.links:
+            return float("inf")
+        return min(link.bandwidth for link in self.links)
+
+    @property
+    def params(self) -> RouteParams:
+        return RouteParams(latency=self.latency, bandwidth=self.bandwidth)
+
+    def reversed(self) -> "Route":
+        return Route(self.dst, self.src, tuple(reversed(self.links)))
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+
+class RoutingTable:
+    """Explicit routes + graph fallback; owned by the Platform."""
+
+    def __init__(self) -> None:
+        self._explicit: dict[tuple[str, str], tuple[Link, ...]] = {}
+        self._graph = nx.Graph()
+        self._cache: dict[tuple[str, str], Route] = {}
+
+    # -- construction --------------------------------------------------------
+
+    def add_explicit(
+        self, src: str, dst: str, links: tuple[Link, ...], symmetric: bool = True
+    ) -> None:
+        self._explicit[(src, dst)] = links
+        if symmetric and (dst, src) not in self._explicit:
+            self._explicit[(dst, src)] = tuple(reversed(links))
+        self._cache.clear()
+
+    def add_edge(self, a: str, b: str, link: Link) -> None:
+        """Connect two graph nodes (host or router names) with a link."""
+        self._graph.add_edge(a, b, link=link, weight=link.latency + 1e-9)
+        self._cache.clear()
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(self, src: str, dst: str) -> Route:
+        key = (src, dst)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        if src == dst:
+            route = Route(src, dst, ())
+        elif key in self._explicit:
+            route = Route(src, dst, self._explicit[key])
+        else:
+            route = self._shortest_path(src, dst)
+        self._cache[key] = route
+        return route
+
+    def _shortest_path(self, src: str, dst: str) -> Route:
+        if src not in self._graph or dst not in self._graph:
+            raise RoutingError(f"no route from {src!r} to {dst!r}: unknown endpoint")
+        try:
+            nodes = nx.shortest_path(self._graph, src, dst, weight="weight")
+        except nx.NetworkXNoPath:
+            raise RoutingError(f"no route from {src!r} to {dst!r}") from None
+        links = tuple(
+            self._graph.edges[a, b]["link"] for a, b in zip(nodes, nodes[1:])
+        )
+        return Route(src, dst, links)

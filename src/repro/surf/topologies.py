@@ -1,0 +1,204 @@
+"""Structured cluster topologies: fat tree and torus.
+
+The paper's evaluation uses hierarchical Ethernet clusters, but its
+"what if?" motivation (section 1) is precisely about exploring platforms
+one does not own — and the platforms people explore are fat trees and
+tori.  These builders produce :class:`~repro.surf.platform.Platform`
+objects with the same route conventions as the cluster builders, so every
+model and benchmark in the repository runs on them unchanged.
+
+* :func:`fat_tree` — a two-level k-ary fat tree described SimGrid-style:
+  ``pods`` edge switches of ``down`` hosts each, connected to ``up`` core
+  switches (full bisection when ``up * core_bandwidth >= down * link``).
+  Routes: intra-pod traffic crosses the edge switch backbone; inter-pod
+  traffic ascends to a core switch chosen by a deterministic hash of the
+  (src, dst) pair — the static D-mod-k routing real fat trees use.
+* :func:`torus` — an N-dimensional torus of directly-connected nodes
+  with dimension-ordered (e-cube) routing, the scheme of Blue Gene-class
+  machines; each inter-node hop is its own link, so neighbour traffic is
+  fully parallel and long routes pay per-hop latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from ..errors import PlatformError
+from .platform import Platform
+from .resources import Host, Link
+
+__all__ = ["fat_tree", "torus"]
+
+
+def fat_tree(
+    name: str,
+    pods: int,
+    down: int,
+    up: int,
+    host_speed: float | str = "1Gf",
+    link_bandwidth: float | str = "125MBps",
+    link_latency: float | str = "50us",
+    core_bandwidth: float | str = "1.25GBps",
+    core_latency: float | str = "20us",
+    cores: int = 1,
+    memory: int | str = "16GiB",
+    prefix: str = "node-",
+) -> Platform:
+    """A two-level fat tree: ``pods × down`` hosts, ``up`` core switches."""
+    if pods < 1 or down < 1 or up < 1:
+        raise PlatformError("fat tree needs pods, down and up >= 1")
+    platform = Platform(name)
+
+    edge_backbones = [
+        platform.add_link(
+            Link(f"{name}-edge{p}", core_bandwidth, core_latency)
+        )
+        for p in range(pods)
+    ]
+    # uplink from each pod to each core switch
+    uplinks = [
+        [
+            platform.add_link(
+                Link(f"{name}-up{p}-c{c}", core_bandwidth, core_latency)
+            )
+            for c in range(up)
+        ]
+        for p in range(pods)
+    ]
+
+    node_links: list[Link] = []
+    node_pod: list[int] = []
+    node_id = 0
+    for pod in range(pods):
+        for _ in range(down):
+            platform.add_host(
+                Host(f"{prefix}{node_id}", host_speed, cores=cores,
+                     memory=memory)
+            )
+            node_links.append(
+                platform.add_link(
+                    Link(f"{name}-l{node_id}", link_bandwidth, link_latency)
+                )
+            )
+            node_pod.append(pod)
+            node_id += 1
+
+    total = node_id
+    for i in range(total):
+        for j in range(total):
+            if i == j:
+                continue
+            pod_i, pod_j = node_pod[i], node_pod[j]
+            if pod_i == pod_j:
+                path = (node_links[i], edge_backbones[pod_i], node_links[j])
+            else:
+                # static D-mod-k-style core selection: deterministic and
+                # identical for both directions of a pair
+                core = (i + j) % up
+                path = (
+                    node_links[i],
+                    edge_backbones[pod_i],
+                    uplinks[pod_i][core],
+                    uplinks[pod_j][core],
+                    edge_backbones[pod_j],
+                    node_links[j],
+                )
+            platform.add_route(f"{prefix}{i}", f"{prefix}{j}", path,
+                               symmetric=False)
+    return platform
+
+
+def torus(
+    name: str,
+    dims: Sequence[int],
+    host_speed: float | str = "1Gf",
+    link_bandwidth: float | str = "125MBps",
+    link_latency: float | str = "10us",
+    cores: int = 1,
+    memory: int | str = "16GiB",
+    prefix: str = "node-",
+) -> Platform:
+    """An N-dimensional torus with dimension-ordered routing.
+
+    Each node links directly to its two neighbours per dimension; a route
+    corrects coordinates one dimension at a time (e-cube), taking the
+    shorter way around each ring.
+    """
+    dims = list(dims)
+    if not dims or any(d < 1 for d in dims):
+        raise PlatformError("torus needs positive dimension extents")
+    platform = Platform(name)
+    total = 1
+    for extent in dims:
+        total *= extent
+
+    def coords_of(rank: int) -> tuple[int, ...]:
+        out = []
+        for extent in reversed(dims):
+            out.append(rank % extent)
+            rank //= extent
+        return tuple(reversed(out))
+
+    def rank_of(coords: Sequence[int]) -> int:
+        rank = 0
+        for coord, extent in zip(coords, dims):
+            rank = rank * extent + coord % extent
+        return rank
+
+    for rank in range(total):
+        platform.add_host(
+            Host(f"{prefix}{rank}", host_speed, cores=cores, memory=memory)
+        )
+
+    # one link per (node, dimension, +1 direction); the -1 direction of a
+    # node is its neighbour's +1 link, giving one physical link per edge
+    edge_links: dict[tuple[int, int], Link] = {}
+    for rank in range(total):
+        coords = coords_of(rank)
+        for dim, extent in enumerate(dims):
+            if extent == 1:
+                continue
+            neighbour_coords = list(coords)
+            neighbour_coords[dim] = (coords[dim] + 1) % extent
+            neighbour = rank_of(neighbour_coords)
+            if (neighbour, dim) in edge_links and extent == 2:
+                continue  # a 2-ring has a single physical cable
+            edge_links[(rank, dim)] = platform.add_link(
+                Link(f"{name}-e{rank}d{dim}", link_bandwidth, link_latency)
+            )
+
+    def edge(a: int, dim: int, forward: bool) -> Link:
+        """The link used travelling from node ``a`` along ``dim``."""
+        if forward:
+            key = (a, dim)
+        else:
+            coords = list(coords_of(a))
+            coords[dim] = (coords[dim] - 1) % dims[dim]
+            key = (rank_of(coords), dim)
+        link = edge_links.get(key)
+        if link is None:  # 2-extent ring folded onto one cable
+            coords = list(coords_of(key[0]))
+            coords[dim] = (coords[dim] + 1) % dims[dim]
+            link = edge_links[(rank_of(coords), dim)]
+        return link
+
+    for src in range(total):
+        for dst in range(total):
+            if src == dst:
+                continue
+            path: list[Link] = []
+            position = list(coords_of(src))
+            target = coords_of(dst)
+            for dim, extent in enumerate(dims):
+                while position[dim] != target[dim]:
+                    delta = (target[dim] - position[dim]) % extent
+                    forward = delta <= extent - delta
+                    here = rank_of(position)
+                    path.append(edge(here, dim, forward))
+                    position[dim] = (
+                        position[dim] + (1 if forward else -1)
+                    ) % extent
+            platform.add_route(f"{prefix}{src}", f"{prefix}{dst}", path,
+                               symmetric=False)
+    return platform

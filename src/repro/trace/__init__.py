@@ -1,0 +1,5 @@
+"""Execution tracing."""
+
+from .tracer import CommRecord, ComputeRecord, Tracer
+
+__all__ = ["CommRecord", "ComputeRecord", "Tracer"]

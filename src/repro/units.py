@@ -1,0 +1,151 @@
+"""Parsing and formatting of physical quantities used in platform files.
+
+SimGrid platform descriptions express bandwidths as ``"1.25GBps"``,
+latencies as ``"50us"`` and host speeds as ``"2.5Gf"``.  This module
+converts such strings to plain SI floats (bytes/s, seconds, flop/s) and
+back, and provides the binary byte-size helpers (KiB/MiB/GiB) used
+throughout the evaluation scripts.
+
+Conventions (identical to SimGrid):
+
+* bandwidth  -> bytes per second.  ``Bps`` suffixes are bytes, ``bps``
+  suffixes are bits (divided by 8).  Decimal prefixes k/M/G/T are powers of
+  1000, binary prefixes Ki/Mi/Gi are powers of 1024.
+* latency / durations -> seconds, suffixes ``ns us ms s m h d``.
+* compute speed -> flop/s, suffixes ``f kf Mf Gf Tf``.
+* sizes -> bytes, suffixes ``B KiB MiB GiB kB MB GB`` (bare ints allowed).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .errors import ConfigError
+
+__all__ = [
+    "KiB",
+    "MiB",
+    "GiB",
+    "parse_bandwidth",
+    "parse_time",
+    "parse_speed",
+    "parse_size",
+    "format_size",
+    "format_time",
+    "format_bandwidth",
+]
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+
+_DECIMAL = {"": 1.0, "k": 1e3, "K": 1e3, "M": 1e6, "G": 1e9, "T": 1e12, "P": 1e15}
+_BINARY = {"Ki": 1024.0, "Mi": 1024.0**2, "Gi": 1024.0**3, "Ti": 1024.0**4}
+
+_TIME_SUFFIX = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+}
+
+_NUM_RE = re.compile(r"^\s*([-+]?\d+(?:\.\d*)?(?:[eE][-+]?\d+)?)\s*([A-Za-z]*)\s*$")
+
+
+def _split(text: str | float | int, what: str) -> tuple[float, str]:
+    """Split ``"10.5Gbps"`` into ``(10.5, "Gbps")``; bare numbers pass through."""
+    if isinstance(text, (int, float)):
+        return float(text), ""
+    match = _NUM_RE.match(text)
+    if match is None:
+        raise ConfigError(f"cannot parse {what} value {text!r}")
+    return float(match.group(1)), match.group(2)
+
+
+def _prefix_value(prefix: str, what: str) -> float:
+    if prefix in _BINARY:
+        return _BINARY[prefix]
+    if prefix in _DECIMAL:
+        return _DECIMAL[prefix]
+    raise ConfigError(f"unknown {what} prefix {prefix!r}")
+
+
+def parse_bandwidth(text: str | float | int) -> float:
+    """Return bandwidth in bytes/s.  Accepts ``"1GBps"``, ``"1Gbps"``, floats."""
+    value, suffix = _split(text, "bandwidth")
+    if not suffix:
+        return value
+    if suffix.endswith("Bps"):
+        return value * _prefix_value(suffix[:-3], "bandwidth")
+    if suffix.endswith("bps"):
+        return value * _prefix_value(suffix[:-3], "bandwidth") / 8.0
+    raise ConfigError(f"bandwidth {text!r} must end in 'Bps' or 'bps'")
+
+
+def parse_time(text: str | float | int) -> float:
+    """Return a duration in seconds.  Accepts ``"50us"``, ``"1.5ms"``, floats."""
+    value, suffix = _split(text, "time")
+    if not suffix:
+        return value
+    try:
+        return value * _TIME_SUFFIX[suffix]
+    except KeyError:
+        raise ConfigError(f"unknown time suffix in {text!r}") from None
+
+
+def parse_speed(text: str | float | int) -> float:
+    """Return a compute speed in flop/s.  Accepts ``"2.5Gf"``, floats."""
+    value, suffix = _split(text, "speed")
+    if not suffix:
+        return value
+    if suffix.endswith("f"):
+        return value * _prefix_value(suffix[:-1], "speed")
+    raise ConfigError(f"speed {text!r} must end in 'f'")
+
+
+def parse_size(text: str | float | int) -> int:
+    """Return a byte count.  Accepts ``"64KiB"``, ``"4MB"``, bare ints."""
+    value, suffix = _split(text, "size")
+    if not suffix:
+        return int(value)
+    if suffix.endswith("B"):
+        return int(round(value * _prefix_value(suffix[:-1], "size")))
+    raise ConfigError(f"size {text!r} must end in 'B'")
+
+
+def format_size(nbytes: float) -> str:
+    """Human-readable binary size: ``format_size(65536) == '64.0 KiB'``."""
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration with an auto-selected unit."""
+    if seconds == 0:
+        return "0 s"
+    if abs(seconds) < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if abs(seconds) < 1e-3:
+        return f"{seconds * 1e6:.1f} us"
+    if abs(seconds) < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"
+
+
+def format_bandwidth(bytes_per_s: float) -> str:
+    """Human-readable bandwidth: ``format_bandwidth(125e6) == '125.0 MBps'``."""
+    value = float(bytes_per_s)
+    for unit in ("Bps", "kBps", "MBps", "GBps"):
+        if abs(value) < 1000.0 or unit == "GBps":
+            return f"{value:.1f} {unit}"
+        value /= 1000.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.smpi import SmpiConfig, smpirun
+from repro.surf import cluster
+
+
+@pytest.fixture
+def small_cluster():
+    """A fresh 8-node GigE cluster with a 10G backbone."""
+    return cluster("test", 8)
+
+
+@pytest.fixture
+def crossbar_cluster():
+    """A 8-node cluster without a shared backbone (ideal crossbar)."""
+    return cluster("xbar", 8, backbone_bandwidth=None)
+
+
+@pytest.fixture
+def run_app():
+    """Run an MPI app on a fresh cluster; returns the SmpiResult."""
+
+    def runner(app, n_ranks=4, app_args=(), config=None, n_hosts=None, **kwargs):
+        platform = cluster("run", n_hosts or n_ranks)
+        return smpirun(
+            app, n_ranks, platform, app_args=app_args,
+            config=config or SmpiConfig(), **kwargs,
+        )
+
+    return runner

@@ -1,0 +1,172 @@
+"""Tests for model calibration: segmented fits, affine instantiations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration import (
+    calibrate_all,
+    fit_affine_best,
+    fit_affine_default,
+    fit_segments,
+)
+from repro.calibration.calibrate import replay_config
+from repro.errors import CalibrationError
+from repro.smpi import SmpiConfig
+from repro.surf.network_model import RouteParams
+
+ROUTE = RouteParams(latency=1e-4, bandwidth=125e6)
+
+
+def synthetic_piecewise(sizes, boundaries=(1500.0, 65536.0),
+                        alphas=(1e-4, 1.3e-4, 4e-4),
+                        betas=(50e6, 80e6, 118e6)):
+    """Ground-truth 3-segment data."""
+    sizes = np.asarray(sizes, dtype=float)
+    times = np.empty_like(sizes)
+    for i, s in enumerate(sizes):
+        seg = 0 if s < boundaries[0] else (1 if s < boundaries[1] else 2)
+        times[i] = alphas[seg] + s / betas[seg]
+    return times
+
+
+def log_sizes(n=40, max_size=16 * 2**20):
+    return np.unique(np.round(np.logspace(0, np.log10(max_size), n))).astype(float)
+
+
+class TestSegmentedFit:
+    def test_recovers_exact_piecewise_data(self):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes)
+        segments = fit_segments(sizes, times, n_segments=3)
+        assert len(segments) == 3
+        # boundaries land between the true ones' neighbouring samples
+        assert 1000 < segments[0].hi < 3000
+        assert 30000 < segments[1].hi < 120000
+        # recovered parameters close to ground truth
+        assert segments[0].alpha == pytest.approx(1e-4, rel=0.1)
+        assert segments[2].beta == pytest.approx(118e6, rel=0.1)
+        for seg in segments:
+            assert seg.correlation > 0.999
+
+    def test_single_segment_is_plain_regression(self):
+        sizes = np.linspace(1, 1e6, 30)
+        times = 2e-4 + sizes / 100e6
+        (segment,) = fit_segments(sizes, times, n_segments=1)
+        assert segment.alpha == pytest.approx(2e-4, rel=1e-6)
+        assert segment.beta == pytest.approx(100e6, rel=1e-6)
+        assert segment.lo == 0 and math.isinf(segment.hi)
+
+    def test_two_segments(self):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes, boundaries=(65536.0, math.inf),
+                                    alphas=(1e-4, 4e-4, 4e-4),
+                                    betas=(60e6, 118e6, 118e6))
+        segments = fit_segments(sizes, times, n_segments=2)
+        assert len(segments) == 2
+        assert 30000 < segments[0].hi < 130000
+
+    def test_coverage_is_contiguous_zero_to_inf(self):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes)
+        segments = fit_segments(sizes, times, n_segments=3)
+        assert segments[0].lo == 0.0
+        assert math.isinf(segments[-1].hi)
+        for left, right in zip(segments, segments[1:]):
+            assert left.hi == right.lo
+
+    def test_too_few_points_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_segments([1, 2, 3], [1.0, 2.0, 3.0], n_segments=3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(CalibrationError):
+            fit_segments([1, 2, 3, 4], [1.0, 2.0], n_segments=1)
+
+    def test_noisy_data_still_three_segments(self):
+        rng = np.random.default_rng(5)
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes) * np.exp(rng.normal(0, 0.02, sizes.size))
+        segments = fit_segments(sizes, times, n_segments=3)
+        assert len(segments) == 3
+        assert all(seg.beta > 0 for seg in segments)
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=12, deadline=None)
+    def test_prediction_positive_everywhere(self, k):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes)
+        segments = fit_segments(sizes, times, n_segments=k)
+        for seg in segments:
+            for s in (seg.lo, min(seg.hi, 1e9)):
+                assert seg.predict(max(s, 1.0)) > 0
+
+
+class TestAffine:
+    def test_default_uses_one_byte_latency_and_92pct_peak(self):
+        sizes = np.array([1.0, 1000.0, 1e6])
+        times = np.array([1.2e-4, 2e-4, 8.5e-3])
+        model = fit_affine_default(sizes, times, ROUTE)
+        assert model.alpha == pytest.approx(1.2e-4)
+        assert model.beta == pytest.approx(0.92 * 125e6)
+
+    def test_best_fit_beats_default_on_curved_data(self):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes)
+        default = fit_affine_default(sizes, times, ROUTE)
+        best = fit_affine_best(sizes, times, ROUTE)
+
+        def mean_log_err(model):
+            predicted = np.array([model.predict_time(s, ROUTE) for s in sizes])
+            return np.abs(np.log(predicted) - np.log(times)).mean()
+
+        assert mean_log_err(best) <= mean_log_err(default) + 1e-9
+
+    def test_best_fit_recovers_truly_affine_data(self):
+        sizes = log_sizes()
+        times = 3e-4 + sizes / 90e6
+        model = fit_affine_best(sizes, times, ROUTE)
+        assert model.alpha == pytest.approx(3e-4, rel=0.05)
+        assert model.beta == pytest.approx(90e6, rel=0.05)
+
+    def test_empty_measurements_raise(self):
+        with pytest.raises(CalibrationError):
+            fit_affine_default([], [], ROUTE)
+        with pytest.raises(CalibrationError):
+            fit_affine_best([1, 2], [1.0, 2.0], ROUTE)
+
+
+class TestCalibrateAll:
+    def test_bundle_has_three_models(self):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes)
+        models = calibrate_all(sizes, times, ROUTE)
+        assert models.piecewise.parameter_count == 8
+        assert models.default_affine.name == "default-affine"
+        pw = models.predict("piecewise", sizes)
+        np.testing.assert_allclose(pw, times, rtol=0.05)
+
+    def test_piecewise_most_accurate_on_piecewise_truth(self):
+        sizes = log_sizes()
+        times = synthetic_piecewise(sizes)
+        models = calibrate_all(sizes, times, ROUTE)
+
+        def err(name):
+            predicted = models.predict(name, sizes)
+            return np.abs(np.log(predicted) - np.log(times)).mean()
+
+        assert err("piecewise") < err("best_fit_affine") <= err("default_affine") + 1e-9
+
+    def test_replay_config_zeroes_protocol_extras(self):
+        base = SmpiConfig(send_overhead=1e-5, handshake_rtts=2.0,
+                          eager_copy_bandwidth=1e8)
+        cfg = replay_config(base)
+        assert cfg.send_overhead == 0.0
+        assert cfg.recv_overhead == 0.0
+        assert cfg.handshake_rtts == 0.0
+        assert math.isinf(cfg.eager_copy_bandwidth)
+        assert cfg.eager_threshold == base.eager_threshold  # semantics kept

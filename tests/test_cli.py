@@ -1,0 +1,128 @@
+"""Tests for the command-line launcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_platform, load_app, main
+from repro.errors import ConfigError
+
+APP_SOURCE = '''
+import numpy as np
+
+def app(mpi):
+    out = np.zeros(1)
+    mpi.COMM_WORLD.Allreduce(np.array([1.0]), out)
+    return float(out[0])
+
+def other_entry(mpi):
+    return "other"
+'''
+
+
+@pytest.fixture
+def app_file(tmp_path):
+    path = tmp_path / "cli_app.py"
+    path.write_text(APP_SOURCE)
+    return str(path)
+
+
+class TestBuildPlatform:
+    def test_builtin_names(self):
+        assert len(build_platform("griffon", 4).hosts) == 4
+        assert len(build_platform("gdx", 10).hosts) == 10
+
+    def test_cluster_spec(self):
+        platform = build_platform("cluster:6", 6)
+        assert len(platform.hosts) == 6
+        custom = build_platform("cluster:2:1.25GBps:10us", 2)
+        route = custom.route(custom.host_names()[0], custom.host_names()[1])
+        assert route.bandwidth == pytest.approx(1.25e9)
+
+    def test_bad_cluster_spec(self):
+        with pytest.raises(ConfigError):
+            build_platform("cluster:", 2)
+        with pytest.raises(ConfigError):
+            build_platform("cluster:2:a:b:c:d", 2)
+
+    def test_xml_file(self, tmp_path):
+        from repro.surf import cluster, save_platform_xml
+
+        path = tmp_path / "p.xml"
+        save_platform_xml(cluster("x", 3), path)
+        platform = build_platform(str(path), 3)
+        assert len(platform.hosts) == 3
+
+    def test_unknown_spec(self):
+        with pytest.raises(ConfigError):
+            build_platform("the-cloud", 4)
+
+
+class TestLoadApp:
+    def test_loads_default_entry(self, app_file):
+        assert callable(load_app(app_file))
+
+    def test_loads_custom_entry(self, app_file):
+        assert load_app(app_file, "other_entry")(None) == "other"
+
+    def test_missing_file(self):
+        with pytest.raises(ConfigError):
+            load_app("/nonexistent/app.py")
+
+    def test_missing_entry(self, app_file):
+        with pytest.raises(ConfigError):
+            load_app(app_file, "no_such_function")
+
+
+class TestCommands:
+    def test_run(self, app_file, capsys):
+        assert main(["run", app_file, "-n", "4", "--platform", "cluster:4"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated time" in out
+        assert "[4.0, 4.0, 4.0, 4.0]" in out
+
+    def test_run_with_options(self, app_file, capsys):
+        code = main([
+            "run", app_file, "-n", "4", "--platform", "cluster:4",
+            "--eager-threshold", "1KiB", "--coll", "allreduce=reduce_bcast",
+        ])
+        assert code == 0
+
+    def test_record_and_replay_and_info(self, app_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.json")
+        assert main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+                     "--record", trace_path]) == 0
+        run_out = capsys.readouterr().out
+        assert "trace written" in run_out
+
+        assert main(["info", trace_path]) == 0
+        info_out = capsys.readouterr().out
+        assert "TI trace: 2 ranks" in info_out
+
+        assert main(["replay", trace_path, "--platform", "cluster:2"]) == 0
+        replay_out = capsys.readouterr().out
+        assert "replaying" in replay_out
+
+    def test_replay_reproduces_recorded_time(self, app_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.json")
+        main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+              "--record", trace_path])
+        recorded = capsys.readouterr().out
+        main(["replay", trace_path, "--platform", "cluster:2"])
+        replayed = capsys.readouterr().out
+        line = next(l for l in recorded.splitlines() if "simulated" in l)
+        line2 = next(l for l in replayed.splitlines()
+                     if l.startswith("simulated"))
+        assert line.split(":")[1] == line2.split(":")[1]
+
+    def test_platforms_listing(self, capsys):
+        assert main(["platforms"]) == 0
+        assert "griffon" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        assert main(["run", "/nope.py", "-n", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_coll_option_validation(self, app_file, capsys):
+        assert main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+                     "--coll", "not-a-pair"]) == 2

@@ -1,0 +1,167 @@
+"""Tests for MPI datatypes: predefined, contiguous, vector, pack/unpack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MpiError
+from repro.smpi import datatype as dt
+
+
+class TestPredefined:
+    @pytest.mark.parametrize(
+        "datatype,np_dtype,size",
+        [
+            (dt.BYTE, np.uint8, 1),
+            (dt.INT, np.int32, 4),
+            (dt.LONG, np.int64, 8),
+            (dt.FLOAT, np.float32, 4),
+            (dt.DOUBLE, np.float64, 8),
+            (dt.DOUBLE_COMPLEX, np.complex128, 16),
+        ],
+    )
+    def test_sizes(self, datatype, np_dtype, size):
+        assert datatype.size == size
+        assert datatype.np_dtype == np.dtype(np_dtype)
+        assert datatype.extent == size
+
+    def test_pack_unpack_roundtrip(self):
+        src = np.arange(10, dtype=np.float64)
+        packed = dt.DOUBLE.pack(src, 10)
+        assert packed.dtype == np.uint8 and packed.size == 80
+        dst = np.zeros(10)
+        dt.DOUBLE.unpack(packed, dst, 10)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_partial_count(self):
+        src = np.arange(10, dtype=np.int32)
+        packed = dt.INT.pack(src, 4)
+        assert packed.size == 16
+        dst = np.zeros(10, dtype=np.int32)
+        dt.INT.unpack(packed, dst, 4)
+        np.testing.assert_array_equal(dst[:4], src[:4])
+        assert (dst[4:] == 0).all()
+
+    def test_pack_rejects_short_buffer(self):
+        with pytest.raises(MpiError):
+            dt.DOUBLE.pack(np.zeros(3), 5)
+
+    def test_unpack_rejects_wrong_dtype(self):
+        packed = dt.DOUBLE.pack(np.zeros(2), 2)
+        with pytest.raises(MpiError):
+            dt.DOUBLE.unpack(packed, np.zeros(2, dtype=np.float32), 2)
+
+    def test_unpack_rejects_readonly(self):
+        packed = dt.DOUBLE.pack(np.zeros(2), 2)
+        target = np.zeros(2)
+        target.setflags(write=False)
+        with pytest.raises(MpiError):
+            dt.DOUBLE.unpack(packed, target, 2)
+
+    def test_unpack_rejects_noncontiguous(self):
+        packed = dt.DOUBLE.pack(np.zeros(2), 2)
+        base = np.zeros(8)
+        with pytest.raises(MpiError):
+            dt.DOUBLE.unpack(packed, base[::2], 2)
+
+    def test_from_numpy_dtype(self):
+        assert dt.from_numpy_dtype(np.dtype("float64")) is dt.DOUBLE
+        assert dt.from_numpy_dtype(np.dtype("uint8")) is dt.BYTE
+        with pytest.raises(MpiError):
+            dt.from_numpy_dtype(np.dtype([("a", "i4")]))
+
+
+class TestContiguous:
+    def test_properties(self):
+        c = dt.ContiguousDatatype(3, dt.DOUBLE)
+        assert c.size == 24 and c.extent == 24
+        assert not c.committed
+        c.commit()
+        assert c.committed
+
+    def test_pack_unpack(self):
+        c = dt.ContiguousDatatype(3, dt.INT)
+        src = np.arange(6, dtype=np.int32)
+        packed = c.pack(src, 2)  # 2 elements = 6 ints
+        dst = np.zeros(6, dtype=np.int32)
+        c.unpack(packed, dst, 2)
+        np.testing.assert_array_equal(src, dst)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(MpiError):
+            dt.ContiguousDatatype(0, dt.INT)
+
+
+class TestVector:
+    def test_geometry(self):
+        v = dt.VectorDatatype(count=3, blocklength=2, stride=4, base=dt.DOUBLE)
+        assert v.size == 3 * 2 * 8
+        assert v.extent == ((3 - 1) * 4 + 2) * 8
+
+    def test_pack_strided_columns(self):
+        # a 4x4 row-major matrix; vector(4,1,4) picks one column
+        m = np.arange(16, dtype=np.float64).reshape(4, 4)
+        col = dt.VectorDatatype(4, 1, 4, dt.DOUBLE)
+        packed = col.pack(m, 1)
+        np.testing.assert_array_equal(
+            np.frombuffer(packed.tobytes()), m[:, 0]
+        )
+
+    def test_unpack_strided(self):
+        v = dt.VectorDatatype(2, 2, 3, dt.INT)
+        src = np.array([1, 2, 9, 3, 4], dtype=np.int32)  # blocks at 0 and 3
+        packed = v.pack(src, 1)
+        dst = np.zeros(5, dtype=np.int32)
+        v.unpack(packed, dst, 1)
+        np.testing.assert_array_equal(dst, [1, 2, 0, 3, 4])
+
+    def test_rejects_overlap(self):
+        with pytest.raises(MpiError):
+            dt.VectorDatatype(2, 4, 3, dt.INT)
+
+    def test_rejects_derived_base(self):
+        c = dt.ContiguousDatatype(2, dt.INT)
+        with pytest.raises(MpiError):
+            dt.VectorDatatype(2, 1, 2, c)  # type: ignore[arg-type]
+
+    def test_too_small_buffer(self):
+        v = dt.VectorDatatype(3, 1, 4, dt.INT)
+        with pytest.raises(MpiError):
+            v.pack(np.zeros(4, dtype=np.int32), 1)
+
+
+@given(
+    st.integers(1, 64),
+    st.sampled_from(["float64", "int32", "uint8", "complex128"]),
+)
+@settings(max_examples=50, deadline=None)
+def test_roundtrip_property(count, dtype_name):
+    """pack → unpack is the identity for every predefined type and count."""
+    datatype = dt.from_numpy_dtype(np.dtype(dtype_name))
+    rng = np.random.default_rng(count)
+    src = (rng.integers(0, 100, count)).astype(dtype_name)
+    dst = np.zeros(count, dtype=dtype_name)
+    datatype.unpack(datatype.pack(src, count), dst, count)
+    np.testing.assert_array_equal(src, dst)
+
+
+@given(st.integers(1, 5), st.integers(1, 4), st.integers(0, 5), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_vector_roundtrip_property(count, blocklength, gap, reps):
+    """Vector pack/unpack restores exactly the strided elements."""
+    stride = blocklength + gap
+    v = dt.VectorDatatype(count, blocklength, stride, dt.INT)
+    span = ((count - 1) * stride + blocklength)
+    total = span * reps + gap  # slack at the end
+    rng = np.random.default_rng(count * 7 + blocklength)
+    src = rng.integers(-50, 50, total).astype(np.int32)
+    packed = v.pack(src, reps)
+    dst = np.zeros(total, dtype=np.int32)
+    v.unpack(packed, dst, reps)
+    idx = v._indices(reps)
+    np.testing.assert_array_equal(dst[idx], src[idx])
+    mask = np.ones(total, dtype=bool)
+    mask[idx] = False
+    assert (dst[mask] == 0).all()

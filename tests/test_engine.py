@@ -1,0 +1,224 @@
+"""Tests for the analytical simulation engine (SURF)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.surf import (
+    ConstantNetworkModel,
+    Engine,
+    PiecewiseLinearNetworkModel,
+    cluster,
+)
+from repro.surf.action import ActionState
+from repro.surf.network_model import (
+    AffineNetworkModel,
+    FactorsNetworkModel,
+    RouteParams,
+    PiecewiseSegment,
+)
+
+
+def gige():  # 125 MB/s access, 1.25 GB/s backbone, 50+20+50 us latency
+    return cluster("e", 4)
+
+
+class TestTransferTiming:
+    def test_single_transfer_time(self):
+        engine = Engine(gige(), network_model=FactorsNetworkModel(1.0, 1.0))
+        action = engine.communicate("node-0", "node-1", 1_000_000)
+        engine.run()
+        expected = 120e-6 + 1_000_000 / 125e6
+        assert action.finish_time == pytest.approx(expected, rel=1e-6)
+
+    def test_disjoint_transfers_do_not_interact_without_backbone(self):
+        engine = Engine(cluster("x", 4, backbone_bandwidth=None),
+                        network_model=FactorsNetworkModel(1.0, 1.0))
+        a = engine.communicate("node-0", "node-1", 1_000_000)
+        b = engine.communicate("node-2", "node-3", 1_000_000)
+        engine.run()
+        assert a.finish_time == pytest.approx(b.finish_time)
+        assert a.finish_time == pytest.approx(100e-6 + 8e-3, rel=1e-6)
+
+    def test_backbone_contention_halves_rate(self):
+        engine = Engine(
+            cluster("y", 4, backbone_bandwidth="125MBps"),
+            network_model=FactorsNetworkModel(1.0, 1.0),
+        )
+        a = engine.communicate("node-0", "node-1", 1_000_000)
+        b = engine.communicate("node-2", "node-3", 1_000_000)
+        engine.run()
+        # both flows share the 125 MB/s backbone: 16 ms instead of 8
+        assert a.finish_time == pytest.approx(120e-6 + 16e-3, rel=1e-3)
+        assert b.finish_time == pytest.approx(a.finish_time, rel=1e-6)
+
+    def test_staggered_transfer_shares_then_speeds_up(self):
+        engine = Engine(
+            cluster("z", 4, backbone_bandwidth="125MBps"),
+            network_model=FactorsNetworkModel(1.0, 0.0 + 1.0),
+        )
+        first = engine.communicate("node-0", "node-1", 2_000_000)
+        # run alone until the second flow starts
+        engine.advance(120e-6 + 8e-3)  # first ~1 MB transferred
+        second = engine.communicate("node-2", "node-3", 1_000_000)
+        engine.run()
+        # remaining 1 MB of `first` shares with `second`: both take ~16 ms more
+        assert first.finish_time == pytest.approx(120e-6 + 8e-3 + 16e-3, rel=1e-2)
+        assert second.finish_time >= first.finish_time - 1e-9
+
+    def test_rate_cap_is_respected(self):
+        engine = Engine(gige(), network_model=FactorsNetworkModel(1.0, 1.0))
+        action = engine.communicate("node-0", "node-1", 1_000_000,
+                                    rate_cap=10e6)
+        engine.run()
+        assert action.finish_time == pytest.approx(120e-6 + 0.1, rel=1e-6)
+
+    def test_loopback_is_fast(self):
+        engine = Engine(gige())
+        action = engine.communicate("node-0", "node-0", 1_000_000)
+        engine.run()
+        assert action.finish_time < 1e-3
+
+    def test_zero_byte_transfer_costs_latency_only(self):
+        engine = Engine(gige(), network_model=FactorsNetworkModel(1.0, 1.0))
+        action = engine.communicate("node-0", "node-1", 0)
+        engine.run()
+        assert action.finish_time == pytest.approx(120e-6, rel=1e-6)
+
+    def test_extra_latency_adds_up(self):
+        engine = Engine(gige(), network_model=FactorsNetworkModel(1.0, 1.0))
+        action = engine.communicate("node-0", "node-1", 0, extra_latency=1e-3)
+        engine.run()
+        assert action.finish_time == pytest.approx(120e-6 + 1e-3, rel=1e-6)
+
+
+class TestComputeAndSleep:
+    def test_compute_duration(self):
+        engine = Engine(gige())
+        action = engine.execute("node-0", 2e9)  # hosts are 1 Gf
+        engine.run()
+        assert action.finish_time == pytest.approx(2.0)
+
+    def test_concurrent_computes_share_core(self):
+        engine = Engine(gige())
+        a = engine.execute("node-0", 1e9)
+        b = engine.execute("node-0", 1e9)
+        engine.run()
+        assert a.finish_time == pytest.approx(2.0)
+        assert b.finish_time == pytest.approx(2.0)
+
+    def test_multicore_runs_in_parallel(self):
+        engine = Engine(cluster("mc", 2, cores=4))
+        actions = [engine.execute("node-0", 1e9) for _ in range(4)]
+        engine.run()
+        for action in actions:
+            assert action.finish_time == pytest.approx(1.0)
+
+    def test_sleep(self):
+        engine = Engine(gige())
+        action = engine.sleep(0.5)
+        engine.run()
+        assert action.finish_time == pytest.approx(0.5)
+        assert engine.now == pytest.approx(0.5)
+
+    def test_zero_flops_completes_instantly(self):
+        engine = Engine(gige())
+        action = engine.execute("node-0", 0.0)
+        engine.run()
+        assert action.state is ActionState.DONE
+
+
+class TestEngineMechanics:
+    def test_observer_fires_once(self):
+        engine = Engine(gige())
+        calls = []
+        action = engine.sleep(0.1)
+        action.observer = calls.append
+        engine.run()
+        assert calls == [action]
+
+    def test_cancel_marks_failed(self):
+        engine = Engine(gige())
+        action = engine.communicate("node-0", "node-1", 1_000_000)
+        engine.cancel(action)
+        engine.run()
+        assert action.state is ActionState.FAILED
+
+    def test_negative_advance_rejected(self):
+        engine = Engine(gige())
+        with pytest.raises(SimulationError):
+            engine.advance(-1.0)
+
+    def test_stats_count_actions(self):
+        engine = Engine(gige())
+        engine.sleep(0.1)
+        engine.communicate("node-0", "node-1", 100)
+        engine.run()
+        assert engine.stats.actions_created == 2
+        assert engine.stats.actions_completed == 2
+
+
+class TestNetworkModels:
+    ROUTE = RouteParams(latency=1e-4, bandwidth=125e6)
+
+    def test_constant_model_is_unshared(self):
+        params = ConstantNetworkModel().transfer_params(1e6, self.ROUTE)
+        assert not params.shared
+        assert params.rate_bound == pytest.approx(125e6)
+
+    def test_affine_model_scales_to_other_routes(self):
+        model = AffineNetworkModel(2e-4, 100e6, self.ROUTE)
+        same = model.transfer_params(1000, self.ROUTE)
+        assert same.latency == pytest.approx(2e-4)
+        assert same.rate_bound == pytest.approx(100e6)
+        faster = RouteParams(latency=2e-4, bandwidth=250e6)
+        scaled = model.transfer_params(1000, faster)
+        assert scaled.latency == pytest.approx(4e-4)
+        assert scaled.rate_bound == pytest.approx(200e6)
+
+    def _pw(self):
+        return PiecewiseLinearNetworkModel.from_segments(
+            [
+                (0.0, 1024.0, 1e-4, 50e6),
+                (1024.0, 65536.0, 1.5e-4, 80e6),
+                (65536.0, math.inf, 4e-4, 115e6),
+            ],
+            self.ROUTE,
+        )
+
+    def test_piecewise_selects_segment(self):
+        model = self._pw()
+        assert model.segment_for(10).beta == pytest.approx(50e6)
+        assert model.segment_for(1024).beta == pytest.approx(80e6)
+        assert model.segment_for(2**20).beta == pytest.approx(115e6)
+
+    def test_piecewise_parameter_count_is_8(self):
+        assert self._pw().parameter_count == 8
+
+    def test_piecewise_predicts_fitted_time_on_calibration_route(self):
+        model = self._pw()
+        assert model.predict_time(4096, self.ROUTE) == pytest.approx(
+            1.5e-4 + 4096 / 80e6
+        )
+
+    def test_piecewise_validates_contiguity(self):
+        from repro.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            PiecewiseLinearNetworkModel(
+                [
+                    PiecewiseSegment(0, 100, 1e-4, 1e6, 1.0, 1.0),
+                    PiecewiseSegment(200, math.inf, 1e-4, 1e6, 1.0, 1.0),
+                ]
+            )
+        with pytest.raises(CalibrationError):
+            PiecewiseLinearNetworkModel(
+                [PiecewiseSegment(0, 100, 1e-4, 1e6, 1.0, 1.0)]
+            )
+
+    def test_describe_mentions_all_segments(self):
+        text = self._pw().describe()
+        assert text.count("alpha=") == 3

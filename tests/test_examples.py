@@ -1,0 +1,61 @@
+"""Smoke tests: the shipped examples must run and report success."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "results verified" in out
+
+
+def test_checkpoint_io():
+    out = run_example("checkpoint_io.py")
+    assert "✓" in out and "overhead" in out
+
+
+def test_offline_replay():
+    out = run_example("offline_replay.py")
+    assert "matches on-line exactly ✓" in out
+    assert "refused" in out
+
+
+def test_stencil_sampling():
+    out = run_example("stencil_sampling.py")
+    assert "full execution" in out and "RAM folding" in out
+
+
+@pytest.mark.slow
+def test_calibrate_and_compare():
+    out = run_example("calibrate_and_compare.py")
+    assert "piecewise" in out and "exported" in out
+
+
+@pytest.mark.slow
+def test_whatif_capacity_planning():
+    out = run_example("whatif_capacity_planning.py")
+    assert "crossover" in out
+
+
+@pytest.mark.slow
+def test_nas_dt_demo():
+    out = run_example("nas_dt_demo.py", timeout=400)
+    assert "verified" in out and "folded" in out

@@ -1,0 +1,134 @@
+"""Failure injection: link and host death during a simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ActorFailure, MpiError
+from repro.smpi import SmpiConfig, smpirun
+from repro.surf import Engine, cluster
+from repro.surf.action import ActionState
+
+
+class TestEngineFailures:
+    def test_fail_link_kills_inflight_transfer(self):
+        platform = cluster("f1", 2)
+        engine = Engine(platform)
+        action = engine.communicate("node-0", "node-1", 10_000_000)
+        engine.at(0.01, lambda: engine.fail_resource(platform.link("f1-l0")))
+        engine.run()
+        assert action.state is ActionState.FAILED
+        assert action.finish_time == pytest.approx(0.01, abs=1e-6)
+
+    def test_new_transfer_over_dead_link_fails_immediately(self):
+        platform = cluster("f2", 2)
+        engine = Engine(platform)
+        engine.fail_resource(platform.link("f2-backbone"))
+        action = engine.communicate("node-0", "node-1", 1000)
+        engine.run()
+        assert action.state is ActionState.FAILED
+
+    def test_unrelated_transfer_survives(self):
+        platform = cluster("f3", 4, backbone_bandwidth=None)
+        engine = Engine(platform)
+        doomed = engine.communicate("node-0", "node-1", 1_000_000)
+        safe = engine.communicate("node-2", "node-3", 1_000_000)
+        engine.at(0.001, lambda: engine.fail_resource(platform.link("f3-l0")))
+        engine.run()
+        assert doomed.state is ActionState.FAILED
+        assert safe.state is ActionState.DONE
+
+    def test_fail_host_kills_compute(self):
+        platform = cluster("f4", 2)
+        engine = Engine(platform)
+        action = engine.execute("node-0", 1e12)
+        engine.at(0.5, lambda: engine.fail_resource(platform.host("node-0")))
+        engine.run()
+        assert action.state is ActionState.FAILED
+
+    def test_at_runs_callback_at_time(self):
+        engine = Engine(cluster("f5", 2))
+        fired = []
+        engine.at(0.25, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [pytest.approx(0.25)]
+
+    def test_is_dead(self):
+        platform = cluster("f6", 2)
+        engine = Engine(platform)
+        link = platform.link("f6-l0")
+        assert not engine.is_dead(link)
+        engine.fail_resource(link)
+        assert engine.is_dead(link)
+
+
+class TestMpiLevelFailures:
+    def test_link_death_surfaces_as_mpi_error_in_ranks(self):
+        platform = cluster("mf1", 2)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                mpi._world.engine.at(
+                    0.005,
+                    lambda: mpi._world.engine.fail_resource(
+                        platform.link("mf1-l0")
+                    ),
+                )
+                comm.Send(np.zeros(10_000_000, dtype=np.uint8), 1, 0)
+            else:
+                comm.Recv(np.zeros(10_000_000, dtype=np.uint8), 0, 0)
+
+        with pytest.raises(ActorFailure) as info:
+            smpirun(app, 2, platform)
+        assert isinstance(info.value.original, MpiError)
+        assert "network failure" in str(info.value.original)
+
+    def test_failure_after_delivery_is_harmless(self):
+        platform = cluster("mf2", 2)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(100, dtype=np.uint8), 1, 0)
+            else:
+                comm.Recv(np.zeros(100, dtype=np.uint8), 0, 0)
+            comm.Barrier()
+            # kill the link only after all traffic is done
+            mpi._world.engine.fail_resource(platform.link("mf2-l0"))
+            return "survived"
+
+        result = smpirun(app, 2, platform)
+        assert result.returns == ["survived", "survived"]
+
+    def test_rank_can_catch_failure_and_continue(self):
+        platform = cluster("mf3", 3)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                mpi._world.engine.at(
+                    0.002,
+                    lambda: mpi._world.engine.fail_resource(
+                        platform.link("mf3-l1")
+                    ),
+                )
+                try:
+                    comm.Send(np.zeros(5_000_000, dtype=np.uint8), 1, 0)
+                except MpiError:
+                    pass
+                # rank 2's link is alive: failover succeeds
+                comm.Send(np.zeros(1000, dtype=np.uint8), 2, 1)
+                return "failover"
+            if mpi.rank == 1:
+                try:
+                    comm.Recv(np.zeros(5_000_000, dtype=np.uint8), 0, 0)
+                except MpiError:
+                    return "lost"
+            if mpi.rank == 2:
+                comm.Recv(np.zeros(1000, dtype=np.uint8), 0, 1)
+                return "received"
+
+        result = smpirun(app, 3, platform)
+        assert result.returns == ["failover", "lost", "received"]

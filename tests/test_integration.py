@@ -1,0 +1,264 @@
+"""Cross-module integration tests: whole applications end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.calibration import calibrate_all
+from repro.calibration.calibrate import replay_config
+from repro.errors import ActorFailure, DeadlockError
+from repro.metrics import mean_percent_error
+from repro.packetsim import PacketEngine, PacketParams
+from repro.refcluster import OPENMPI, run_pingpong_campaign, run_reference
+from repro.smpi import SUM, SmpiConfig, smpirun
+from repro.surf import cluster
+from repro.trace import Tracer
+
+
+class TestFullApplications:
+    def test_pi_estimation_master_worker(self, run_app):
+        """A master/worker app exercising object messaging + reductions."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            n_per_rank = 2000
+            rng = np.random.default_rng(1000 + mpi.rank)
+            xy = rng.random((n_per_rank, 2))
+            inside = int(((xy**2).sum(axis=1) <= 1.0).sum())
+            total = comm.allreduce(inside)
+            return 4.0 * total / (n_per_rank * mpi.size)
+
+        result = run_app(app, 8)
+        assert result.returns[0] == pytest.approx(np.pi, abs=0.15)
+        assert all(r == result.returns[0] for r in result.returns)
+
+    def test_ring_pipeline_keeps_order(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            token = None
+            if mpi.rank == 0:
+                token = ["start"]
+                comm.send(token, 1, 0)
+                token = comm.recv(mpi.size - 1, 0)
+            else:
+                token = comm.recv(mpi.rank - 1, 0)
+                token = token + [mpi.rank]
+                comm.send(token, (mpi.rank + 1) % mpi.size, 0)
+            return token
+
+        result = run_app(app, 5)
+        assert result.returns[0] == ["start", 1, 2, 3, 4]
+
+    def test_matvec_with_allgather(self, run_app):
+        """The mpi4py tutorial's parallel matrix-vector product."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            size = mpi.size
+            m = 4  # local rows
+            n = m * size
+            rng = np.random.default_rng(7)
+            full_a = rng.random((n, n))
+            full_x = rng.random(n)
+            local_a = full_a[mpi.rank * m : (mpi.rank + 1) * m]
+            local_x = full_x[mpi.rank * m : (mpi.rank + 1) * m].copy()
+            gathered = np.zeros(n)
+            comm.Allgather(local_x, gathered)
+            local_y = local_a @ gathered
+            result = np.zeros(n) if mpi.rank == 0 else None
+            comm.Gather(local_y, result, root=0)
+            if mpi.rank == 0:
+                return np.allclose(result, full_a @ full_x)
+
+        assert run_app(app, 4).returns[0] is True
+
+    def test_mixed_collectives_sequence(self, run_app):
+        """Back-to-back different collectives must not cross-match."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            checks = []
+            buf = np.array([float(mpi.rank)])
+            out = np.zeros(1)
+            comm.Allreduce(buf, out, op=SUM)
+            checks.append(out[0] == sum(range(mpi.size)))
+            comm.Barrier()
+            b = np.array([3.14]) if mpi.rank == 1 else np.zeros(1)
+            comm.Bcast(b, root=1)
+            checks.append(b[0] == 3.14)
+            gathered = np.zeros(mpi.size) if mpi.rank == 0 else None
+            comm.Gather(np.array([float(mpi.rank)]), gathered, root=0)
+            if mpi.rank == 0:
+                checks.append(list(gathered) == [0.0, 1.0, 2.0, 3.0])
+            comm.Barrier()
+            return all(checks)
+
+        assert all(run_app(app, 4).returns)
+
+
+class TestEngineEquivalence:
+    def test_same_app_both_kernels_same_results(self):
+        """On-line correctness is kernel-independent: the flow engine and
+        the packet engine deliver identical numerical results."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            data = np.full(100, float(mpi.rank + 1))
+            out = np.zeros(100)
+            comm.Allreduce(data, out)
+            recv = np.zeros(100 * mpi.size) if mpi.rank == 0 else None
+            comm.Gather(data, recv, root=0)
+            return (out.sum(), None if recv is None else recv.sum())
+
+        flow = smpirun(app, 4, cluster("eq1", 4))
+        packet_platform = cluster("eq2", 4)
+        packet = smpirun(app, 4, packet_platform,
+                         engine=PacketEngine(packet_platform))
+        assert flow.returns == packet.returns
+
+    def test_calibrated_flow_model_tracks_packet_times(self):
+        """Calibrate on the packet testbed, replay on the flow kernel: the
+        uncontended ping-pong times must agree closely (the Fig. 3 loop)."""
+        platform = cluster("cal", 2, backbone_bandwidth="1.25GBps")
+        campaign_sizes = sorted(
+            {100, 10_000, 1_000_000}
+            | set(int(v) for v in np.logspace(0, 7, 30))
+        )
+        campaign = run_pingpong_campaign(
+            platform, "node-0", "node-1", OPENMPI, noise=0.0,
+            sizes=campaign_sizes,
+        )
+        models = calibrate_all(campaign.sizes, campaign.times, campaign.route)
+
+        def pingpong(mpi, sizes):
+            comm = mpi.COMM_WORLD
+            out = {}
+            for size in sizes:
+                buf = np.zeros(size, dtype=np.uint8)
+                comm.Barrier()
+                t0 = mpi.wtime()
+                if mpi.rank == 0:
+                    comm.Send(buf, 1, 0)
+                    comm.Recv(buf, 1, 0)
+                else:
+                    comm.Recv(buf, 0, 0)
+                    comm.Send(buf, 0, 0)
+                if mpi.rank == 0:
+                    out[size] = (mpi.wtime() - t0) / 2
+            return out
+
+        sizes = [100, 10_000, 1_000_000]
+        replay = smpirun(
+            pingpong, 2, cluster("cal2", 2, backbone_bandwidth="1.25GBps"),
+            app_args=(sizes,),
+            config=replay_config(OPENMPI.config()),
+            network_model=models.piecewise,
+        )
+        predicted = [replay.returns[0][s] for s in sizes]
+        reference = [campaign.times[list(campaign.sizes).index(s)] for s in sizes]
+        assert mean_percent_error(predicted, reference) < 15.0
+
+
+class TestFaults:
+    def test_rank_failure_reports_rank(self, run_app):
+        def app(mpi):
+            if mpi.rank == 2:
+                raise RuntimeError("bad rank")
+            mpi.COMM_WORLD.Barrier()
+
+        with pytest.raises(ActorFailure) as info:
+            run_app(app, 4)
+        assert "rank-2" in str(info.value)
+
+    def test_collective_mismatch_deadlocks(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Barrier()
+            # other ranks never join the barrier
+
+        with pytest.raises(DeadlockError):
+            run_app(app, 3)
+
+    def test_partial_waitall_deadlock(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            from repro.smpi import request as rq
+
+            if mpi.rank == 0:
+                req = comm.Irecv(np.zeros(1), 1, 7)
+                rq.waitall([req])  # rank 1 never sends
+
+        with pytest.raises(DeadlockError):
+            run_app(app, 2)
+
+
+class TestTrace:
+    def test_tracing_records_messages_and_computes(self):
+        config = SmpiConfig(tracing=True)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(1000, dtype=np.uint8), 1, 0)
+            else:
+                comm.Recv(np.zeros(1000, dtype=np.uint8), 0, 0)
+            mpi.execute(1e6)
+
+        result = smpirun(app, 2, cluster("tr", 2), config=config)
+        trace = result.trace
+        assert len(trace.comms) == 1
+        assert trace.comms[0].nbytes == 1000
+        assert trace.comms[0].end > trace.comms[0].start
+        assert len(trace.computes) == 2
+        pairs = trace.bytes_by_pair()
+        assert pairs[(0, 1)] == 1000
+        assert len(trace.messages_of(0)) == 1
+
+    def test_trace_csv_export(self, tmp_path):
+        tracer = Tracer()
+        tracer.compute(0, 1e6, 0.0, 1.0)
+        path = tmp_path / "trace.csv"
+        tracer.save(path)
+        content = path.read_text()
+        assert "compute" in content and "kind" in content
+
+    def test_tracing_off_keeps_trace_empty(self, run_app):
+        def app(mpi):
+            mpi.COMM_WORLD.Barrier()
+
+        result = run_app(app, 2)
+        assert result.trace.comms == []
+
+
+class TestHostPlacement:
+    def test_explicit_hosts_and_oversubscription(self):
+        platform = cluster("hp", 2)
+
+        def app(mpi):
+            return mpi._world.host_of(mpi.rank)
+
+        result = smpirun(app, 4, platform,
+                         hosts=["node-0", "node-0", "node-1", "node-1"])
+        assert result.returns == ["node-0", "node-0", "node-1", "node-1"]
+
+    def test_round_robin_default(self):
+        platform = cluster("rr", 2)
+
+        def app(mpi):
+            return mpi._world.host_of(mpi.rank)
+
+        result = smpirun(app, 4, platform)
+        assert result.returns == ["node-0", "node-1", "node-0", "node-1"]
+
+    def test_colocated_ranks_share_cpu(self):
+        platform = cluster("cpu", 1, host_speed="1Gf")
+
+        def app(mpi):
+            mpi.execute(1e9)
+            return mpi.wtime()
+
+        result = smpirun(app, 2, platform, hosts=["node-0", "node-0"])
+        # two ranks share the single 1 Gf core: 2 s each, not 1 s
+        assert result.returns[0] == pytest.approx(2.0, rel=0.01)

@@ -1,0 +1,207 @@
+"""Tests for the MPI-IO extension (paper section 8 future work)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ActorFailure
+from repro.smpi import (
+    File,
+    MODE_APPEND,
+    MODE_CREATE,
+    MODE_EXCL,
+    MODE_RDONLY,
+    MODE_RDWR,
+    MODE_WRONLY,
+    smpirun,
+)
+from repro.surf import cluster
+
+
+def run(app, n=4, **kw):
+    return smpirun(app, n, cluster("io", n), **kw)
+
+
+class TestBasicIo:
+    def test_write_then_read_roundtrip(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            fh = File.Open(comm, "data.bin", MODE_CREATE | MODE_RDWR)
+            if mpi.rank == 0:
+                fh.Write_at(0, np.arange(10, dtype=np.float64))
+            comm.Barrier()
+            buf = np.zeros(10)
+            fh.Read_at(0, buf)
+            fh.Close()
+            return buf.tolist()
+
+        result = run(app, 2)
+        assert result.returns[0] == list(map(float, range(10)))
+        assert result.returns[1] == list(map(float, range(10)))
+
+    def test_collective_strided_write(self):
+        """The mpi4py tutorial's contiguous collective write pattern."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            fh = File.Open(comm, "contig.bin", MODE_CREATE | MODE_RDWR)
+            buf = np.full(8, mpi.rank, dtype=np.int32)
+            offset = mpi.rank * buf.nbytes
+            fh.Write_at_all(offset, buf)
+            # read the whole file back on rank 0
+            if mpi.rank == 0:
+                whole = np.zeros(8 * mpi.size, dtype=np.int32)
+                fh.Read_at(0, whole)
+                fh.Close()
+                return whole.tolist()
+            fh.Close()
+
+        result = run(app, 4)
+        expected = sum(([r] * 8 for r in range(4)), [])
+        assert result.returns[0] == expected
+
+    def test_individual_pointers_advance(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            fh = File.Open(comm, f"seq-{mpi.rank}.bin", MODE_CREATE | MODE_RDWR)
+            fh.Write(np.array([1.0, 2.0]))
+            fh.Write(np.array([3.0]))
+            assert fh.Get_position() == 24
+            fh.Seek(0)
+            buf = np.zeros(3)
+            fh.Read(buf)
+            fh.Close()
+            return buf.tolist()
+
+        assert run(app, 2).returns[0] == [1.0, 2.0, 3.0]
+
+    def test_seek_whence(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "seek.bin", MODE_CREATE | MODE_RDWR)
+            fh.Write_at(0, np.zeros(4, dtype=np.uint8))
+            fh.Seek(0, 2)  # end
+            end = fh.Get_position()
+            fh.Seek(-2, 1)  # back two
+            mid = fh.Get_position()
+            fh.Close()
+            return (end, mid, fh.closed)
+
+        assert run(app, 1).returns[0] == (4, 2, True)
+
+    def test_get_size(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "size.bin", MODE_CREATE | MODE_WRONLY)
+            fh.Write_at(100, np.zeros(4, dtype=np.uint8))  # sparse write
+            size = fh.Get_size()
+            fh.Close()
+            return size
+
+        assert run(app, 1).returns[0] == 104
+
+    def test_append_mode(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            fh = File.Open(comm, "log.bin", MODE_CREATE | MODE_WRONLY)
+            fh.Write_at(0, np.zeros(8, dtype=np.uint8))
+            fh.Close()
+            fh = File.Open(comm, "log.bin", MODE_WRONLY | MODE_APPEND)
+            start = fh.Get_position()
+            fh.Close()
+            return start
+
+        assert run(app, 1).returns[0] == 8
+
+    def test_short_read_returns_available(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "short.bin", MODE_CREATE | MODE_RDWR)
+            fh.Write_at(0, np.arange(3, dtype=np.uint8))
+            buf = np.zeros(10, dtype=np.uint8)
+            n = fh.Read_at(0, buf)
+            fh.Close()
+            return (n, buf[:3].tolist())
+
+        assert run(app, 1).returns[0] == (3, [0, 1, 2])
+
+
+class TestIoModes:
+    def test_excl_on_existing_raises(self):
+        def app(mpi):
+            File.Open(mpi.COMM_WORLD, "x.bin", MODE_CREATE | MODE_WRONLY).Close()
+            File.Open(mpi.COMM_WORLD, "x.bin",
+                      MODE_CREATE | MODE_EXCL | MODE_WRONLY)
+
+        with pytest.raises(ActorFailure):
+            run(app, 1)
+
+    def test_write_to_readonly_raises(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "ro.bin", MODE_CREATE | MODE_RDONLY)
+            fh.Write_at(0, np.zeros(1, dtype=np.uint8))
+
+        with pytest.raises(ActorFailure):
+            run(app, 1)
+
+    def test_read_from_writeonly_raises(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "wo.bin", MODE_CREATE | MODE_WRONLY)
+            fh.Read_at(0, np.zeros(1, dtype=np.uint8))
+
+        with pytest.raises(ActorFailure):
+            run(app, 1)
+
+    def test_closed_file_unusable(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "c.bin", MODE_CREATE | MODE_RDWR)
+            fh.Close()
+            try:
+                fh.Get_size()
+            except Exception:
+                return "caught"
+
+        assert run(app, 1).returns[0] == "caught"
+
+
+class TestIoTiming:
+    def test_io_advances_simulated_time(self):
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "t.bin", MODE_CREATE | MODE_WRONLY)
+            start = mpi.wtime()
+            fh.Write_at(0, np.zeros(100 * 1024 * 1024 // 8))  # 100 MiB
+            duration = mpi.wtime() - start
+            fh.Close()
+            return duration
+
+        result = run(app, 1)
+        # 100 MiB at the 200 MB/s default disk: ~0.52 s (+ latency)
+        assert result.returns[0] == pytest.approx(0.527, rel=0.1)
+
+    def test_concurrent_writers_share_server(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            fh = File.Open(comm, "shared.bin", MODE_CREATE | MODE_WRONLY)
+            comm.Barrier()
+            start = mpi.wtime()
+            fh.Write_at(mpi.rank * 10_000_000, np.zeros(10_000_000, np.uint8))
+            duration = mpi.wtime() - start
+            fh.Close()
+            return duration
+
+        solo = run(app, 1).returns[0]
+        contended = max(run(app, 4).returns)
+        # four writers share the 500 MB/s server backbone
+        assert contended > 1.3 * solo
+
+    def test_io_works_on_packet_engine(self):
+        from repro.packetsim import PacketEngine
+
+        def app(mpi):
+            fh = File.Open(mpi.COMM_WORLD, "p.bin", MODE_CREATE | MODE_RDWR)
+            start = mpi.wtime()
+            fh.Write_at(0, np.zeros(1_000_000, np.uint8))
+            fh.Close()
+            return mpi.wtime() - start
+
+        platform = cluster("iop", 2)
+        result = smpirun(app, 2, platform, engine=PacketEngine(platform))
+        assert all(t > 0 for t in result.returns)

@@ -1,0 +1,212 @@
+"""Unit + property tests for the max-min fairness solver."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.surf.maxmin import (
+    ConstraintSpec,
+    FlowSpec,
+    MaxMinSystem,
+    solve_maxmin,
+    solve_maxmin_reference,
+    solve_maxmin_vectorized,
+)
+
+
+def make_system(capacities, flows):
+    """flows: list of (constraint_ids, bound, weight)."""
+    system = MaxMinSystem()
+    for i, cap in enumerate(capacities):
+        system.add_constraint(f"c{i}", cap)
+    for i, (cids, bound, weight) in enumerate(flows):
+        system.add_flow(f"f{i}", cids, bound=bound, weight=weight)
+    return system
+
+
+class TestBasics:
+    def test_empty_system(self):
+        assert solve_maxmin(MaxMinSystem()).size == 0
+
+    def test_single_flow_gets_capacity(self):
+        system = make_system([100.0], [((0,), math.inf, 1.0)])
+        assert solve_maxmin_reference(system) == pytest.approx([100.0])
+
+    def test_two_flows_split_evenly(self):
+        system = make_system([100.0], [((0,), math.inf, 1.0)] * 2)
+        assert solve_maxmin_reference(system) == pytest.approx([50.0, 50.0])
+
+    def test_bound_redistributes(self):
+        system = make_system(
+            [100.0], [((0,), 10.0, 1.0), ((0,), math.inf, 1.0)]
+        )
+        assert solve_maxmin_reference(system) == pytest.approx([10.0, 90.0])
+
+    def test_bound_above_share_is_inactive(self):
+        system = make_system(
+            [100.0], [((0,), 80.0, 1.0), ((0,), math.inf, 1.0)]
+        )
+        assert solve_maxmin_reference(system) == pytest.approx([50.0, 50.0])
+
+    def test_weighted_flow_gets_smaller_share(self):
+        # weight 2 consumes twice per rate unit: rates (a, b) with
+        # 2a + b = 100 and max-min level a = b/..: progressive filling
+        # grows both at the same *rate*, so saturation at 2x + x = 100.
+        system = make_system(
+            [100.0], [((0,), math.inf, 2.0), ((0,), math.inf, 1.0)]
+        )
+        rates = solve_maxmin_reference(system)
+        assert rates == pytest.approx([100.0 / 3] * 2)
+
+    def test_multi_link_bottleneck(self):
+        # flow 0 crosses both links; flow 1 only the second (larger) one
+        system = make_system(
+            [10.0, 100.0],
+            [((0, 1), math.inf, 1.0), ((1,), math.inf, 1.0)],
+        )
+        rates = solve_maxmin_reference(system)
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(90.0)
+
+    def test_fatpipe_caps_individually(self):
+        system = MaxMinSystem()
+        cid = system.add_constraint("fat", 50.0, shared=False)
+        system.add_flow("a", (cid,))
+        system.add_flow("b", (cid,))
+        rates = solve_maxmin_reference(system)
+        assert rates == pytest.approx([50.0, 50.0])  # no sharing
+
+    def test_flow_without_constraints_needs_bound(self):
+        system = MaxMinSystem()
+        system.add_flow("free", (), bound=42.0)
+        assert solve_maxmin_reference(system) == pytest.approx([42.0])
+
+    def test_unbounded_free_flow_raises(self):
+        system = MaxMinSystem()
+        system.add_flow("free", ())
+        with pytest.raises(SimulationError):
+            solve_maxmin_reference(system)
+        system2 = MaxMinSystem()
+        system2.add_flow("free", ())
+        with pytest.raises(SimulationError):
+            solve_maxmin_vectorized(system2)
+
+    def test_zero_capacity_gives_zero_rate(self):
+        system = make_system([0.0], [((0,), math.inf, 1.0)])
+        assert solve_maxmin_reference(system) == pytest.approx([0.0])
+
+    def test_zero_bound_flow(self):
+        system = make_system(
+            [100.0], [((0,), 0.0, 1.0), ((0,), math.inf, 1.0)]
+        )
+        assert solve_maxmin_reference(system) == pytest.approx([0.0, 100.0])
+
+    def test_validation_rejects_bad_flow(self):
+        system = MaxMinSystem()
+        system.add_constraint("c", 1.0)
+        with pytest.raises(SimulationError):
+            system.add_flow("f", (3,))
+        with pytest.raises(SimulationError):
+            system.add_flow("f", (0,), weight=0.0)
+        with pytest.raises(SimulationError):
+            system.add_flow("f", (0,), bound=-1.0)
+        with pytest.raises(SimulationError):
+            MaxMinSystem().add_constraint("c", -1.0)
+
+    def test_dispatch_matches_both_solvers(self):
+        system = make_system(
+            [50.0, 80.0],
+            [((0,), math.inf, 1.0), ((0, 1), 30.0, 1.0), ((1,), math.inf, 2.0)],
+        )
+        via_dispatch = solve_maxmin(system)
+        assert via_dispatch == pytest.approx(solve_maxmin_reference(system))
+
+
+# -- property-based cross-validation --------------------------------------------------
+
+
+@st.composite
+def random_system(draw):
+    n_cons = draw(st.integers(1, 6))
+    n_flows = draw(st.integers(1, 12))
+    capacities = [draw(st.floats(0.5, 1000.0)) for _ in range(n_cons)]
+    system = MaxMinSystem()
+    for i, cap in enumerate(capacities):
+        shared = draw(st.booleans()) if i % 3 == 2 else True
+        system.add_constraint(f"c{i}", cap, shared=shared)
+    for i in range(n_flows):
+        k = draw(st.integers(1, n_cons))
+        cids = tuple(sorted(draw(
+            st.lists(st.integers(0, n_cons - 1), min_size=k, max_size=k,
+                     unique=True)
+        )))
+        bound = draw(st.one_of(st.just(math.inf), st.floats(0.1, 500.0)))
+        weight = draw(st.floats(0.5, 4.0))
+        system.add_flow(f"f{i}", cids, bound=bound, weight=weight)
+    return system
+
+
+@given(random_system())
+@settings(max_examples=120, deadline=None)
+def test_solvers_agree(system):
+    """Reference and vectorised solvers find the same fixed point."""
+    ref = solve_maxmin_reference(system)
+    vec = solve_maxmin_vectorized(system)
+    np.testing.assert_allclose(ref, vec, rtol=1e-9, atol=1e-9)
+
+
+@given(random_system())
+@settings(max_examples=120, deadline=None)
+def test_solution_is_feasible(system):
+    """No shared constraint is oversubscribed; all bounds respected."""
+    rates = solve_maxmin_reference(system)
+    assert (rates >= -1e-9).all()
+    for flow, rate in zip(system.flows, rates):
+        assert rate <= flow.bound * (1 + 1e-9)
+    for cid, constraint in enumerate(system.constraints):
+        if not constraint.shared:
+            continue
+        used = sum(
+            rate * flow.weight
+            for flow, rate in zip(system.flows, rates)
+            if cid in flow.constraints
+        )
+        assert used <= constraint.capacity * (1 + 1e-6) + 1e-9
+
+
+@given(random_system())
+@settings(max_examples=60, deadline=None)
+def test_solution_is_maximal(system):
+    """Max-min property: every flow is blocked by a bound or a saturated
+    constraint (no flow could be increased unilaterally)."""
+    rates = solve_maxmin_reference(system)
+    usage = {}
+    for flow, rate in zip(system.flows, rates):
+        for cid in flow.constraints:
+            usage[cid] = usage.get(cid, 0.0) + rate * flow.weight
+    for flow, rate in zip(system.flows, rates):
+        if rate >= flow.bound * (1 - 1e-9):
+            continue  # blocked by its own bound
+        blocked = False
+        for cid in flow.constraints:
+            constraint = system.constraints[cid]
+            if constraint.shared:
+                if usage.get(cid, 0.0) >= constraint.capacity * (1 - 1e-6) - 1e-9:
+                    blocked = True
+            elif rate * flow.weight >= constraint.capacity * (1 - 1e-9):
+                blocked = True
+        assert blocked, f"flow {flow.name} could still grow"
+
+
+@given(st.integers(2, 40), st.floats(1.0, 1e6))
+@settings(max_examples=40, deadline=None)
+def test_equal_flows_share_equally(n, capacity):
+    """n identical flows on one link each get capacity/n."""
+    system = make_system([capacity], [((0,), math.inf, 1.0)] * n)
+    rates = solve_maxmin_vectorized(system)
+    np.testing.assert_allclose(rates, capacity / n, rtol=1e-9)

@@ -1,0 +1,92 @@
+"""Tests for the logarithmic error metric and series comparison."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    compare_series,
+    from_log_space,
+    log_error,
+    log_error_series,
+    max_percent_error,
+    mean_percent_error,
+)
+
+positive = st.floats(1e-9, 1e9)
+
+
+class TestLogError:
+    def test_exact_match_is_zero(self):
+        assert log_error(5.0, 5.0) == 0.0
+
+    def test_double_and_half_are_equal(self):
+        """The symmetry that motivated the metric (paper section 7.1):
+        X = 2R and X = R/2 give the same error, unlike relative error."""
+        assert log_error(2.0, 1.0) == pytest.approx(log_error(0.5, 1.0))
+
+    def test_doubling_is_100_percent(self):
+        assert from_log_space(log_error(2.0, 1.0)) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_error(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_error(1.0, -2.0)
+
+    def test_series(self):
+        errors = log_error_series([1.0, 2.0], [1.0, 1.0])
+        assert errors[0] == 0.0
+        assert errors[1] == pytest.approx(np.log(2.0))
+
+    def test_series_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            log_error_series([1.0], [1.0, 2.0])
+
+    def test_mean_and_max_percent(self):
+        measured = [1.0, 2.0, 1.0]
+        reference = [1.0, 1.0, 1.0]
+        assert max_percent_error(measured, reference) == pytest.approx(100.0)
+        expected_mean = (np.exp(np.log(2.0) / 3) - 1) * 100
+        assert mean_percent_error(measured, reference) == pytest.approx(expected_mean)
+
+
+@given(positive, positive)
+@settings(max_examples=100, deadline=None)
+def test_symmetry_property(x, r):
+    assert log_error(x, r) == pytest.approx(log_error(r, x), rel=1e-9)
+
+
+@given(positive, positive, positive)
+@settings(max_examples=100, deadline=None)
+def test_triangle_inequality(a, b, c):
+    assert log_error(a, c) <= log_error(a, b) + log_error(b, c) + 1e-9
+
+
+@given(positive, positive, st.floats(0.1, 10.0))
+@settings(max_examples=100, deadline=None)
+def test_scale_invariance(x, r, k):
+    """Scaling both values leaves the log error unchanged."""
+    assert log_error(k * x, k * r) == pytest.approx(log_error(x, r), abs=1e-9)
+
+
+class TestCompareSeries:
+    def test_fields(self):
+        cmp = compare_series("m", [1, 2, 3], [1.0, 2.0, 3.3], [1.0, 2.0, 3.0])
+        assert cmp.label == "m"
+        assert cmp.mean_error_pct > 0
+        assert cmp.max_error_at == 3
+        assert "avg" in cmp.row()
+
+    def test_table_lists_every_point(self):
+        cmp = compare_series("m", [10, 20], [1.0, 2.0], [1.1, 1.9])
+        table = cmp.table("size")
+        assert table.count("\n") == 2
+        assert "size" in table
+
+    def test_perfect_match(self):
+        cmp = compare_series("m", [1, 2], [5.0, 6.0], [5.0, 6.0])
+        assert cmp.mean_error_pct == 0.0
+        assert cmp.max_error_pct == 0.0

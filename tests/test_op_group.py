@@ -1,0 +1,151 @@
+"""Tests for reduction operators and process groups."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MpiError
+from repro.smpi import constants, op
+from repro.smpi.group import GROUP_EMPTY, Group, IDENT, SIMILAR, UNEQUAL
+
+
+class TestPredefinedOps:
+    def test_arithmetic(self):
+        a, b = np.array([1.0, 2.0]), np.array([3.0, 4.0])
+        np.testing.assert_array_equal(op.SUM(a, b), [4.0, 6.0])
+        np.testing.assert_array_equal(op.PROD(a, b), [3.0, 8.0])
+        np.testing.assert_array_equal(op.MAX(a, b), [3.0, 4.0])
+        np.testing.assert_array_equal(op.MIN(a, b), [1.0, 2.0])
+
+    def test_logical(self):
+        a = np.array([1, 0, 2], dtype=np.int32)
+        b = np.array([1, 1, 0], dtype=np.int32)
+        np.testing.assert_array_equal(op.LAND(a, b), [1, 0, 0])
+        np.testing.assert_array_equal(op.LOR(a, b), [1, 1, 1])
+        np.testing.assert_array_equal(op.LXOR(a, b), [0, 1, 1])
+
+    def test_bitwise(self):
+        a = np.array([0b1100], dtype=np.int32)
+        b = np.array([0b1010], dtype=np.int32)
+        assert op.BAND(a, b)[0] == 0b1000
+        assert op.BOR(a, b)[0] == 0b1110
+        assert op.BXOR(a, b)[0] == 0b0110
+
+    def test_maxloc_minloc(self):
+        a = np.array([[3.0, 0.0], [1.0, 0.0]])  # (value, index) pairs
+        b = np.array([[3.0, 1.0], [2.0, 1.0]])
+        got_max = op.MAXLOC(a, b)
+        np.testing.assert_array_equal(got_max, [[3.0, 0.0], [2.0, 1.0]])
+        got_min = op.MINLOC(a, b)
+        np.testing.assert_array_equal(got_min, [[3.0, 0.0], [1.0, 0.0]])
+
+    def test_user_defined(self):
+        custom = op.create(lambda a, b: np.maximum(a, b) - 1, commute=False,
+                           name="weird")
+        assert not custom.commutative
+        np.testing.assert_array_equal(
+            custom(np.array([5.0]), np.array([9.0])), [8.0]
+        )
+
+    def test_create_rejects_non_callable(self):
+        with pytest.raises(MpiError):
+            op.create("not-a-function")  # type: ignore[arg-type]
+
+    def test_shape_change_rejected(self):
+        bad = op.create(lambda a, b: np.concatenate([a, b]))
+        with pytest.raises(MpiError):
+            bad(np.zeros(2), np.zeros(2))
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=20))
+@settings(max_examples=50, deadline=None)
+def test_sum_commutes(values):
+    a = np.array(values)
+    b = a[::-1].copy()
+    np.testing.assert_allclose(op.SUM(a, b), op.SUM(b, a))
+
+
+class TestGroup:
+    def test_basic_accessors(self):
+        group = Group((3, 1, 4))
+        assert group.size == 3
+        assert group.world_rank(0) == 3
+        assert group.rank_of(4) == 2
+        assert group.rank_of(99) == constants.UNDEFINED
+        assert group.contains(1) and not group.contains(2)
+
+    def test_rejects_duplicates_and_negative(self):
+        with pytest.raises(MpiError):
+            Group((1, 1))
+        with pytest.raises(MpiError):
+            Group((-1,))
+
+    def test_world_rank_out_of_range(self):
+        with pytest.raises(MpiError):
+            Group((0, 1)).world_rank(2)
+
+    def test_compare(self):
+        a = Group((0, 1, 2))
+        assert a.compare(Group((0, 1, 2))) == IDENT
+        assert a.compare(Group((2, 1, 0))) == SIMILAR
+        assert a.compare(Group((0, 1))) == UNEQUAL
+
+    def test_union_preserves_order(self):
+        a = Group((0, 2))
+        b = Group((1, 2, 3))
+        assert a.union(b).ranks == (0, 2, 1, 3)
+
+    def test_intersection_difference(self):
+        a = Group((0, 1, 2, 3))
+        b = Group((2, 3, 4))
+        assert a.intersection(b).ranks == (2, 3)
+        assert a.difference(b).ranks == (0, 1)
+
+    def test_incl_excl(self):
+        g = Group((10, 11, 12, 13))
+        assert g.incl([3, 0]).ranks == (13, 10)
+        assert g.excl([1, 2]).ranks == (10, 13)
+
+    def test_range_incl_excl(self):
+        g = Group(tuple(range(10)))
+        assert g.range_incl([(0, 6, 2)]).ranks == (0, 2, 4, 6)
+        assert g.range_incl([(8, 6, -1)]).ranks == (8, 7, 6)
+        assert g.range_excl([(1, 9, 1)]).ranks == (0,)
+        with pytest.raises(MpiError):
+            g.range_incl([(0, 5, 0)])
+
+    def test_translate_ranks(self):
+        a = Group((5, 6, 7))
+        b = Group((7, 5))
+        assert a.translate_ranks([0, 1, 2], b) == [1, constants.UNDEFINED, 0]
+
+    def test_empty_group(self):
+        assert GROUP_EMPTY.size == 0
+        assert Group((1,)).intersection(GROUP_EMPTY).size == 0
+
+
+world_ranks = st.lists(st.integers(0, 30), min_size=0, max_size=12,
+                       unique=True).map(tuple)
+
+
+@given(world_ranks, world_ranks)
+@settings(max_examples=80, deadline=None)
+def test_group_set_laws(ranks_a, ranks_b):
+    """Union/intersection/difference behave like their set counterparts."""
+    a, b = Group(ranks_a), Group(ranks_b)
+    assert set(a.union(b).ranks) == set(ranks_a) | set(ranks_b)
+    assert set(a.intersection(b).ranks) == set(ranks_a) & set(ranks_b)
+    assert set(a.difference(b).ranks) == set(ranks_a) - set(ranks_b)
+    # difference then union with the intersection restores the original set
+    restored = a.difference(b).union(a.intersection(b))
+    assert set(restored.ranks) == set(ranks_a)
+
+
+@given(world_ranks)
+@settings(max_examples=50, deadline=None)
+def test_group_rank_roundtrip(ranks):
+    group = Group(ranks)
+    for local in range(group.size):
+        assert group.rank_of(group.world_rank(local)) == local

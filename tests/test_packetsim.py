@@ -1,0 +1,199 @@
+"""Tests for the packet-level reference simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.packetsim import PacketEngine, PacketParams
+from repro.packetsim.core import (
+    FRAME_OVERHEAD,
+    MAX_SEGMENTS,
+    MSS,
+    FlowState,
+    LinkChannel,
+    segment_sizes,
+    wire_bytes,
+)
+from repro.surf import cluster
+from repro.surf.resources import Link, SharingPolicy
+
+
+class TestSegmentation:
+    def test_small_message_single_frame(self):
+        assert segment_sizes(100) == [100]
+
+    def test_exact_mss_multiples(self):
+        assert segment_sizes(MSS * 3) == [MSS] * 3
+
+    def test_remainder_segment(self):
+        sizes = segment_sizes(MSS * 2 + 7)
+        assert sizes == [MSS, MSS, 7]
+
+    def test_zero_bytes(self):
+        assert segment_sizes(0) == [0]
+
+    def test_adaptive_coarsening_bounds_segments(self):
+        huge = 64 * 1024 * 1024
+        sizes = segment_sizes(huge)
+        assert len(sizes) <= MAX_SEGMENTS + 1
+        assert sum(sizes) == huge
+        assert sizes[0] % MSS == 0  # super-segments stay MSS-aligned
+
+    @given(st.integers(1, 10_000_000))
+    @settings(max_examples=60, deadline=None)
+    def test_byte_conservation(self, nbytes):
+        assert sum(segment_sizes(nbytes)) == nbytes
+
+    def test_wire_bytes_adds_per_mss_headers(self):
+        assert wire_bytes(100) == 100 + FRAME_OVERHEAD
+        assert wire_bytes(MSS) == MSS + FRAME_OVERHEAD
+        assert wire_bytes(MSS * 4) == MSS * 4 + 4 * FRAME_OVERHEAD
+
+
+class TestLinkChannel:
+    def test_serialises_packets(self):
+        channel = LinkChannel(Link("l", 1000.0, 0.01))  # 1000 B/s, 10 ms
+        start1, arrive1 = channel.transmit(0.0, 100)
+        start2, arrive2 = channel.transmit(0.0, 100)
+        assert start1 == 0.0 and arrive1 == pytest.approx(0.11)
+        assert start2 == pytest.approx(0.1)  # waits for the wire
+        assert arrive2 == pytest.approx(0.21)
+
+    def test_fatpipe_does_not_queue(self):
+        channel = LinkChannel(
+            Link("fat", 1000.0, 0.0, SharingPolicy.FATPIPE)
+        )
+        _s1, a1 = channel.transmit(0.0, 100)
+        _s2, a2 = channel.transmit(0.0, 100)
+        assert a1 == a2 == pytest.approx(0.1)
+
+
+class TestFlowState:
+    def test_slow_start_growth(self):
+        flow = FlowState(1, (), [MSS] * 100, window=50, init_cwnd=2)
+        assert flow.cwnd == 2
+        flow.in_flight = 2
+        assert not flow.can_inject()
+        flow.on_ack()
+        assert flow.cwnd == 3 and flow.can_inject()
+
+    def test_cwnd_capped_by_window(self):
+        flow = FlowState(1, (), [MSS] * 10, window=4, init_cwnd=2)
+        for _ in range(10):
+            flow.on_ack()
+        assert flow.cwnd == 4
+
+
+class TestPacketEngine:
+    def test_transfer_time_close_to_nominal(self):
+        engine = PacketEngine(cluster("pk", 2))
+        action = engine.communicate("node-0", "node-1", 1_000_000)
+        engine.run()
+        nominal = 1_000_000 / 125e6
+        # within 20 %: header overhead + store-and-forward + latency
+        assert nominal < action.finish_time < nominal * 1.25
+
+    def test_contention_on_backbone(self):
+        engine = PacketEngine(cluster("pk2", 4, backbone_bandwidth="125MBps"))
+        a = engine.communicate("node-0", "node-1", 1_000_000)
+        b = engine.communicate("node-2", "node-3", 1_000_000)
+        engine.run()
+        solo_engine = PacketEngine(cluster("pk3", 4, backbone_bandwidth="125MBps"))
+        solo = solo_engine.communicate("node-0", "node-1", 1_000_000)
+        solo_engine.run()
+        # two flows through the same 125 MB/s backbone take ~2x one flow
+        assert a.finish_time > 1.7 * solo.finish_time
+        assert abs(a.finish_time - b.finish_time) < 0.2 * a.finish_time
+
+    def test_sharing_is_roughly_fair(self):
+        engine = PacketEngine(cluster("pk4", 4, backbone_bandwidth="125MBps"))
+        a = engine.communicate("node-0", "node-1", 4_000_000)
+        b = engine.communicate("node-2", "node-3", 4_000_000)
+        engine.run()
+        assert a.finish_time == pytest.approx(b.finish_time, rel=0.15)
+
+    def test_execute_and_sleep(self):
+        engine = PacketEngine(cluster("pk5", 2))
+        compute = engine.execute("node-0", 2e9)
+        nap = engine.sleep(0.25)
+        engine.run()
+        assert compute.finish_time == pytest.approx(2.0)
+        assert nap.finish_time == pytest.approx(0.25)
+
+    def test_loopback(self):
+        engine = PacketEngine(cluster("pk6", 2))
+        action = engine.communicate("node-0", "node-0", 1_000_000)
+        engine.run()
+        assert action.finish_time < 1e-3
+
+    def test_extra_latency_delays_start(self):
+        engine = PacketEngine(cluster("pk7", 2))
+        action = engine.communicate("node-0", "node-1", 1000,
+                                    extra_latency=0.5)
+        engine.run()
+        assert action.finish_time > 0.5
+
+    def test_noise_is_reproducible(self):
+        def one_run(seed):
+            engine = PacketEngine(
+                cluster(f"pk8-{seed}", 2), PacketParams(noise=0.05, seed=seed)
+            )
+            action = engine.communicate("node-0", "node-1", 100_000)
+            engine.run()
+            return action.finish_time
+
+        assert one_run(1) == one_run(1)
+        assert one_run(1) != one_run(2)
+
+    def test_cancel(self):
+        from repro.surf.action import ActionState
+
+        engine = PacketEngine(cluster("pk9", 2))
+        action = engine.communicate("node-0", "node-1", 10_000_000)
+        engine.cancel(action)
+        engine.run()
+        assert action.state is ActionState.FAILED
+
+    def test_observer_fires(self):
+        engine = PacketEngine(cluster("pk10", 2))
+        seen = []
+        action = engine.sleep(0.1)
+        action.observer = seen.append
+        engine.run()
+        assert seen == [action]
+
+    def test_stats(self):
+        engine = PacketEngine(cluster("pk11", 2))
+        engine.communicate("node-0", "node-1", 1000)
+        engine.execute("node-0", 1e6)
+        engine.run()
+        assert engine.stats.actions_created == 2
+        assert engine.stats.actions_completed == 2
+
+    def test_link_utilisation_accounts_bytes(self):
+        engine = PacketEngine(cluster("pk12", 2))
+        engine.communicate("node-0", "node-1", 100_000)
+        engine.run()
+        utilisation = engine.link_utilisation()
+        # every link on the path carried payload + headers
+        for carried in utilisation.values():
+            assert carried >= 100_000
+
+    def test_flow_vs_analytical_engine_single_transfer(self):
+        """With one uncontended flow the packet and flow kernels agree
+        within the protocol-overhead margin — the validation premise."""
+        from repro.surf import Engine
+        from repro.surf.network_model import FactorsNetworkModel
+
+        size = 4_000_000
+        packet = PacketEngine(cluster("pkA", 2))
+        pa = packet.communicate("node-0", "node-1", size)
+        packet.run()
+
+        flow = Engine(cluster("pkB", 2),
+                      network_model=FactorsNetworkModel(1.0, 1.0))
+        fa = flow.communicate("node-0", "node-1", size)
+        flow.run()
+        assert pa.finish_time == pytest.approx(fa.finish_time, rel=0.15)

@@ -1,0 +1,111 @@
+"""Tests for Probe/Iprobe (extension beyond the paper's subset)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.smpi import ANY_SOURCE, ANY_TAG, INT, Status, smpirun
+from repro.surf import cluster
+
+
+def run(app, n=2):
+    return smpirun(app, n, cluster("pb", n))
+
+
+class TestProbe:
+    def test_probe_blocks_until_message(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                mpi.sleep(0.3)
+                comm.Send(np.zeros(5, dtype=np.int32), 1, 9)
+            else:
+                status = Status()
+                comm.Probe(0, 9, status)
+                t_probe = mpi.wtime()
+                buf = np.zeros(status.get_count(INT), dtype=np.int32)
+                comm.Recv(buf, status.source, status.tag)
+                return (t_probe, status.source, status.tag, buf.size)
+
+        result = run(app, 2)
+        t_probe, source, tag, size = result.returns[1]
+        assert t_probe >= 0.3  # really waited for the announcement
+        assert (source, tag, size) == (0, 9, 5)
+
+    def test_probe_size_then_allocate(self):
+        """The classic use case: learn the size, then allocate exactly."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.arange(17, dtype=np.float64), 1, 3)
+            else:
+                status = Status()
+                comm.Probe(ANY_SOURCE, ANY_TAG, status)
+                from repro.smpi import DOUBLE
+
+                buf = np.zeros(status.get_count(DOUBLE))
+                comm.Recv(buf, status.source, status.tag)
+                return buf.tolist()
+
+        assert run(app, 2).returns[1] == list(map(float, range(17)))
+
+    def test_probe_does_not_consume(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(1), 1, 1)
+            else:
+                comm.Probe(0, 1)
+                comm.Probe(0, 1)  # still there
+                buf = np.zeros(1)
+                comm.Recv(buf, 0, 1)
+                return "ok"
+
+        assert run(app, 2).returns[1] == "ok"
+
+    def test_iprobe_polls(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                mpi.sleep(0.05)
+                comm.Send(np.zeros(1), 1, 2)
+            else:
+                polls = 0
+                status = Status()
+                while not comm.Iprobe(0, 2, status):
+                    polls += 1
+                buf = np.zeros(1)
+                comm.Recv(buf, 0, 2)
+                return (polls, status.count_bytes)
+
+        polls, nbytes = run(app, 2).returns[1]
+        assert polls > 0  # polled several times before arrival
+        assert nbytes == 8
+
+    def test_iprobe_false_without_message(self):
+        def app(mpi):
+            if mpi.rank == 1:
+                return mpi.COMM_WORLD.Iprobe(0, 5)
+            return None
+
+        assert run(app, 2).returns[1] is False
+
+    def test_probe_respects_tag_filter(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(1), 1, 10)
+                mpi.sleep(0.1)
+                comm.Send(np.zeros(2), 1, 20)
+            else:
+                status = Status()
+                comm.Probe(0, 20, status)  # must skip the tag-10 message
+                assert status.count_bytes == 16
+                a, b = np.zeros(1), np.zeros(2)
+                comm.Recv(b, 0, 20)
+                comm.Recv(a, 0, 10)
+                return "ok"
+
+        assert run(app, 2).returns[1] == "ok"

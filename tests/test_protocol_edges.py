@@ -1,0 +1,181 @@
+"""Edge cases of the point-to-point protocol and its configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.smpi import SmpiConfig, smpirun
+from repro.smpi import request as rq
+from repro.surf import cluster
+
+
+def run(app, n=2, config=None):
+    return smpirun(app, n, cluster("pe", max(n, 2)), config=config)
+
+
+class TestSelfMessaging:
+    def test_isend_to_self(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            send = comm.Isend(np.array([42.0]), mpi.rank, 7)
+            buf = np.zeros(1)
+            comm.Recv(buf, mpi.rank, 7)
+            rq.wait(send)
+            return buf[0]
+
+        assert run(app, 1).returns == [42.0]
+
+    def test_sendrecv_with_self(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            out = np.zeros(1)
+            comm.Sendrecv(np.array([float(mpi.rank)]), mpi.rank, 1,
+                          out, mpi.rank, 1)
+            return out[0]
+
+        result = run(app, 2)
+        assert result.returns == [0.0, 1.0]
+
+    def test_rendezvous_to_self_with_posted_recv(self):
+        config = SmpiConfig(eager_threshold=8)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            buf = np.zeros(100, dtype=np.uint8)
+            recv = comm.Irecv(buf, mpi.rank, 0)
+            comm.Send(np.arange(100, dtype=np.uint8), mpi.rank, 0)
+            rq.wait(recv)
+            return int(buf.sum())
+
+        expected = int(np.arange(100, dtype=np.uint8).sum())
+        assert run(app, 1, config=config).returns == [expected]
+
+
+class TestThresholdEdges:
+    def test_threshold_zero_makes_everything_rendezvous(self):
+        config = SmpiConfig(eager_threshold=0)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(1, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            mpi.sleep(0.5)
+            comm.Recv(np.zeros(1, dtype=np.uint8), 0, 0)
+
+        result = run(app, 2, config=config)
+        assert result.returns[0] > 0.5  # sender held for the receiver
+
+    def test_zero_byte_message_is_eager_even_at_threshold_zero(self):
+        config = SmpiConfig(eager_threshold=0)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(0, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            mpi.sleep(0.5)
+            comm.Recv(np.zeros(0, dtype=np.uint8), 0, 0)
+
+        result = run(app, 2, config=config)
+        assert result.returns[0] < 0.1
+
+    def test_exact_threshold_is_eager(self):
+        config = SmpiConfig(eager_threshold=100)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(100, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            mpi.sleep(0.3)
+            comm.Recv(np.zeros(100, dtype=np.uint8), 0, 0)
+
+        assert run(app, 2, config=config).returns[0] < 0.1
+
+
+class TestConfigEffects:
+    def _one_way(self, config, nbytes=100_000):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(nbytes, dtype=np.uint8), 1, 0)
+            else:
+                comm.Recv(np.zeros(nbytes, dtype=np.uint8), 0, 0)
+            return mpi.wtime()
+
+        return max(run(app, 2, config=config).returns)
+
+    def test_handshake_rtts_adds_latency(self):
+        base = SmpiConfig(eager_threshold=1024, handshake_rtts=0.0)
+        chatty = base.with_options(handshake_rtts=5.0)
+        assert self._one_way(chatty) > self._one_way(base)
+
+    def test_send_overhead_adds_latency(self):
+        base = SmpiConfig()
+        heavy = base.with_options(send_overhead=0.01)
+        assert self._one_way(heavy) >= self._one_way(base) + 0.009
+
+    def test_wire_efficiency_slows_transfers(self):
+        base = SmpiConfig(eager_threshold=0)
+        slow = base.with_options(wire_efficiency=0.5)
+        fast_t = self._one_way(base, nbytes=2_000_000)
+        slow_t = self._one_way(slow, nbytes=2_000_000)
+        assert slow_t > 1.5 * fast_t
+
+    def test_test_delay_paces_poll_loops(self):
+        config = SmpiConfig(test_delay=1e-3)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                mpi.sleep(0.05)
+                comm.Send(np.zeros(1), 1, 0)
+            else:
+                req = comm.Irecv(np.zeros(1), 0, 0)
+                polls = 0
+                while not rq.test(req)[0]:
+                    polls += 1
+                return polls
+
+        polls = run(app, 2, config=config).returns[1]
+        assert 10 <= polls <= 100  # ~50 ms / 1 ms per poll
+
+
+class TestContextIsolation:
+    def test_same_tag_different_comms_do_not_match(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            dup = comm.Dup()
+            if mpi.rank == 0:
+                comm.Send(np.array([1.0]), 1, 5)
+                dup.Send(np.array([2.0]), 1, 5)
+            else:
+                a, b = np.zeros(1), np.zeros(1)
+                # receive from the dup FIRST: must not steal comm's message
+                dup.Recv(b, 0, 5)
+                comm.Recv(a, 0, 5)
+                return (a[0], b[0])
+
+        assert run(app, 2).returns[1] == (1.0, 2.0)
+
+    def test_collective_and_pt2pt_planes_are_isolated(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            from repro.smpi.coll.util import coll_tag
+
+            tag = coll_tag("bcast")  # deliberately collide with coll tags
+            if mpi.rank == 0:
+                comm.Send(np.array([9.0]), 1, tag)
+            buf = np.array([5.0]) if mpi.rank == 0 else np.zeros(1)
+            comm.Bcast(buf, root=0)
+            if mpi.rank == 1:
+                mine = np.zeros(1)
+                comm.Recv(mine, 0, tag)
+                return (buf[0], mine[0])
+            return buf[0]
+
+        result = run(app, 2)
+        assert result.returns[0] == 5.0
+        assert result.returns[1] == (5.0, 9.0)

@@ -1,0 +1,356 @@
+"""Point-to-point semantics: matching, wildcards, protocols, ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ActorFailure, DeadlockError, MpiError
+from repro.smpi import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    SmpiConfig,
+    Status,
+    smpirun,
+)
+from repro.smpi import request as rq
+from repro.surf import cluster
+
+
+def run(app, n=2, config=None, **kw):
+    return smpirun(app, n, cluster("pt", max(n, 2)), config=config, **kw)
+
+
+class TestBlockingSendRecv:
+    def test_payload_delivered(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.arange(5, dtype=np.float64), 1, 7)
+            elif mpi.rank == 1:
+                buf = np.zeros(5)
+                comm.Recv(buf, 0, 7)
+                return buf.tolist()
+
+        result = run_app(app, 2)
+        assert result.returns[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_status_fields(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(3, dtype=np.int32), 1, 42)
+            else:
+                buf = np.zeros(3, dtype=np.int32)
+                status = Status()
+                comm.Recv(buf, ANY_SOURCE, ANY_TAG, status)
+                from repro.smpi import INT
+
+                return (status.source, status.tag, status.get_count(INT))
+
+        result = run_app(app, 2)
+        assert result.returns[1] == (0, 42, 3)
+
+    def test_truncation_is_an_error(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(10), 1, 0)
+            else:
+                comm.Recv(np.zeros(5), 0, 0)
+
+        with pytest.raises(ActorFailure) as info:
+            run_app(app, 2)
+        assert isinstance(info.value.original, MpiError)
+
+    def test_send_to_proc_null_is_noop(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            comm.Send(np.zeros(1), PROC_NULL, 0)
+            comm.Recv(np.zeros(1), PROC_NULL, 0)
+            return "ok"
+
+        assert run_app(app, 2).returns == ["ok", "ok"]
+
+    def test_bad_rank_raises(self, run_app):
+        def app(mpi):
+            mpi.COMM_WORLD.Send(np.zeros(1), 99, 0)
+
+        with pytest.raises(ActorFailure):
+            run_app(app, 2)
+
+    def test_bad_tag_raises(self, run_app):
+        def app(mpi):
+            mpi.COMM_WORLD.Send(np.zeros(1), 1, ANY_TAG)
+
+        with pytest.raises(ActorFailure):
+            run_app(app, 2)
+
+
+class TestMatching:
+    def test_tag_selectivity(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.array([1.0]), 1, 10)
+                comm.Send(np.array([2.0]), 1, 20)
+            else:
+                a, b = np.zeros(1), np.zeros(1)
+                comm.Recv(b, 0, 20)  # out of order by tag
+                comm.Recv(a, 0, 10)
+                return (a[0], b[0])
+
+        assert run_app(app, 2).returns[1] == (1.0, 2.0)
+
+    def test_non_overtaking_same_envelope(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                for value in (1.0, 2.0, 3.0):
+                    comm.Send(np.array([value]), 1, 5)
+            else:
+                got = []
+                for _ in range(3):
+                    buf = np.zeros(1)
+                    comm.Recv(buf, 0, 5)
+                    got.append(buf[0])
+                return got
+
+        assert run_app(app, 2).returns[1] == [1.0, 2.0, 3.0]
+
+    def test_any_source_matches_first_arrival(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank in (0, 1):
+                mpi.sleep(0.1 * (mpi.rank + 1))
+                comm.Send(np.array([float(mpi.rank)]), 2, 0)
+            else:
+                sources = []
+                for _ in range(2):
+                    status = Status()
+                    buf = np.zeros(1)
+                    comm.Recv(buf, ANY_SOURCE, 0, status)
+                    sources.append(status.source)
+                return sources
+
+        result = run_app(app, 3)
+        assert result.returns[2] == [0, 1]  # rank 0 sent earlier
+
+    def test_wildcard_tag(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.array([9.0]), 1, 1234)
+            else:
+                status = Status()
+                buf = np.zeros(1)
+                comm.Recv(buf, 0, ANY_TAG, status)
+                return status.tag
+
+        assert run_app(app, 2).returns[1] == 1234
+
+    def test_unexpected_message_queue(self, run_app):
+        """Send completes (eager) before the receive is even posted."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.array([7.0]), 1, 0)  # eager, no recv posted
+                return mpi.wtime()
+            mpi.sleep(0.5)  # post the receive long after arrival
+            buf = np.zeros(1)
+            comm.Recv(buf, 0, 0)
+            return (buf[0], mpi.wtime())
+
+        result = run_app(app, 2)
+        send_done = result.returns[0]
+        value, recv_done = result.returns[1]
+        assert value == 7.0
+        assert send_done < 0.01  # eager send did not wait for the receiver
+        assert recv_done == pytest.approx(0.5, abs=0.01)
+
+
+class TestProtocols:
+    def test_eager_send_completes_without_receiver(self):
+        config = SmpiConfig(eager_threshold=1024)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(64, dtype=np.uint8), 1, 0)
+                t_send = mpi.wtime()
+                return t_send
+            mpi.sleep(1.0)
+            comm.Recv(np.zeros(64, dtype=np.uint8), 0, 0)
+            return mpi.wtime()
+
+        result = run(app, 2, config=config)
+        assert result.returns[0] < 0.1
+        assert result.returns[1] == pytest.approx(1.0, abs=0.01)
+
+    def test_rendezvous_send_waits_for_receiver(self):
+        config = SmpiConfig(eager_threshold=1024)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(1_000_000, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            mpi.sleep(1.0)
+            comm.Recv(np.zeros(1_000_000, dtype=np.uint8), 0, 0)
+            return mpi.wtime()
+
+        result = run(app, 2, config=config)
+        # the sender was held until the receive was posted at t=1
+        assert result.returns[0] > 1.0
+
+    def test_protocol_switch_at_threshold(self):
+        times = {}
+        for size, key in ((1024, "eager"), (1025, "rdv")):
+            config = SmpiConfig(eager_threshold=1024)
+
+            def app(mpi, size=size):
+                comm = mpi.COMM_WORLD
+                if mpi.rank == 0:
+                    comm.Send(np.zeros(size, dtype=np.uint8), 1, 0)
+                    return mpi.wtime()
+                mpi.sleep(0.2)
+                comm.Recv(np.zeros(size, dtype=np.uint8), 0, 0)
+
+            times[key] = run(app, 2, config=config).returns[0]
+        assert times["eager"] < 0.1 < times["rdv"]
+
+    def test_eager_copy_cost_applies(self):
+        fast = SmpiConfig(eager_threshold=1 << 20)
+        slow = fast.with_options(eager_copy_bandwidth=1e6)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(100_000, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            comm.Recv(np.zeros(100_000, dtype=np.uint8), 0, 0)
+
+        t_fast = run(app, 2, config=fast).returns[0]
+        t_slow = run(app, 2, config=slow).returns[0]
+        assert t_slow > t_fast + 0.09  # 100 kB / 1 MB/s = 0.1 s of copy
+
+
+class TestZeroCopy:
+    def test_timing_preserved_payload_dropped(self):
+        """zero_copy: identical simulated timing, no data movement (the
+        paper's technique #2 applied to messages — results erroneous)."""
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            buf = np.full(200_000, 7.0) if mpi.rank == 0 else np.zeros(200_000)
+            if mpi.rank == 0:
+                comm.Send(buf, 1, 0)
+            else:
+                comm.Recv(buf, 0, 0)
+                return (mpi.wtime(), float(buf.sum()))
+
+        online = run(app, 2, config=SmpiConfig())
+        folded = run(app, 2, config=SmpiConfig(zero_copy=True))
+        t_online, sum_online = online.returns[1]
+        t_folded, sum_folded = folded.returns[1]
+        assert t_folded == pytest.approx(t_online, rel=1e-9)
+        assert sum_online == 7.0 * 200_000
+        assert sum_folded == 0.0  # documented: erroneous results
+
+    def test_zero_copy_collectives_complete(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            send = np.zeros(mpi.size * 100)
+            recv = np.zeros(mpi.size * 100)
+            comm.Alltoall(send, recv)
+            comm.Barrier()
+            return mpi.wtime()
+
+        result = run(app, 4, config=SmpiConfig(zero_copy=True))
+        assert all(t > 0 for t in result.returns)
+
+
+class TestDeadlocks:
+    def test_mutual_blocking_recv_deadlocks(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            peer = 1 - mpi.rank
+            buf = np.zeros(1)
+            comm.Recv(buf, peer, 0)
+            comm.Send(buf, peer, 0)
+
+        with pytest.raises(DeadlockError):
+            run_app(app, 2)
+
+    def test_mutual_rendezvous_send_deadlocks(self):
+        config = SmpiConfig(eager_threshold=16)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            peer = 1 - mpi.rank
+            comm.Send(np.zeros(1000, dtype=np.uint8), peer, 0)
+            comm.Recv(np.zeros(1000, dtype=np.uint8), peer, 0)
+
+        with pytest.raises(DeadlockError):
+            run(app, 2, config=config)
+
+    def test_mutual_eager_send_does_not_deadlock(self):
+        config = SmpiConfig(eager_threshold=4096)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            peer = 1 - mpi.rank
+            comm.Send(np.zeros(1000, dtype=np.uint8), peer, 0)
+            buf = np.zeros(1000, dtype=np.uint8)
+            comm.Recv(buf, peer, 0)
+            return "ok"
+
+        assert run(app, 2, config=config).returns == ["ok", "ok"]
+
+    def test_sendrecv_avoids_deadlock_at_any_size(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            peer = 1 - mpi.rank
+            out = np.full(200_000, float(mpi.rank))
+            incoming = np.zeros(200_000)
+            comm.Sendrecv(out, peer, 3, incoming, peer, 3)
+            return incoming[0]
+
+        result = run(app, 2)
+        assert result.returns == [1.0, 0.0]
+
+
+class TestObjectApi:
+    def test_send_recv_object(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.send({"x": [1, 2, 3], "y": "hello"}, 1, 0)
+            else:
+                return comm.recv(0, 0)
+
+        assert run_app(app, 2).returns[1] == {"x": [1, 2, 3], "y": "hello"}
+
+    def test_sendrecv_object(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            peer = 1 - mpi.rank
+            return comm.sendrecv(("from", mpi.rank), peer, 1, peer, 1)
+
+        result = run_app(app, 2)
+        assert result.returns == [("from", 1), ("from", 0)]
+
+    def test_object_status(self, run_app):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.send([1] * 100, 1, 9)
+            else:
+                status = Status()
+                obj = comm.recv(ANY_SOURCE, ANY_TAG, status)
+                return (obj == [1] * 100, status.source, status.tag,
+                        status.count_bytes > 0)
+
+        assert run_app(app, 2).returns[1] == (True, 0, 9, True)

@@ -1,0 +1,133 @@
+"""Tests for the reference testbed (the 'real cluster' stand-in)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.platforms import gdx, gdx_distant_pair, gdx_same_switch_pair, griffon
+from repro.refcluster import (
+    MPICH2,
+    OPENMPI,
+    run_pingpong_campaign,
+    run_reference,
+)
+from repro.refcluster.skampi import default_sizes
+
+
+class TestImplementations:
+    def test_presets_differ(self):
+        assert OPENMPI.send_overhead < MPICH2.send_overhead
+        assert OPENMPI.config().eager_threshold == 64 * 1024
+
+    def test_config_overrides(self):
+        cfg = OPENMPI.config(eager_threshold=1024)
+        assert cfg.eager_threshold == 1024
+        assert cfg.send_overhead == OPENMPI.send_overhead
+
+
+class TestPlatforms:
+    def test_griffon_structure(self):
+        platform = griffon()
+        assert len(platform.hosts) == 92
+        # intra-cabinet: 1 switch; inter-cabinet: 3 switches (paper)
+        intra = platform.route("griffon-0", "griffon-1")
+        assert len(intra.links) == 3
+        inter = platform.route("griffon-0", "griffon-91")
+        assert len(inter.links) == 7
+
+    def test_griffon_truncation(self):
+        platform = griffon(21)
+        assert len(platform.hosts) == 21
+        with pytest.raises(ValueError):
+            griffon(93)
+
+    def test_gdx_structure(self):
+        platform = gdx()
+        assert len(platform.hosts) == 312
+        a, b = gdx_same_switch_pair()
+        assert len(platform.route(a, b).links) == 3
+        a, b = gdx_distant_pair()
+        assert len(platform.route(a, b).links) == 7  # 3 switches on the path
+
+    def test_gdx_uplinks_are_1g(self):
+        platform = gdx()
+        a, b = gdx_distant_pair()
+        route = platform.route(a, b)
+        # bottleneck is the 1 GbE uplink: 125 MB/s
+        assert route.bandwidth == pytest.approx(125e6)
+
+
+class TestPingPong:
+    def test_campaign_is_reproducible_per_seed(self):
+        platform = griffon(2)
+        sizes = [1, 1000, 100_000]
+        a = run_pingpong_campaign(platform, "griffon-0", "griffon-1",
+                                  sizes=sizes, seed=3)
+        b = run_pingpong_campaign(griffon(2), "griffon-0", "griffon-1",
+                                  sizes=sizes, seed=3)
+        np.testing.assert_array_equal(a.times, b.times)
+        c = run_pingpong_campaign(griffon(2), "griffon-0", "griffon-1",
+                                  sizes=sizes, seed=4)
+        assert not np.array_equal(a.times, c.times)
+
+    def test_times_increase_with_size(self):
+        campaign = run_pingpong_campaign(
+            griffon(2), "griffon-0", "griffon-1",
+            sizes=[1, 1000, 100_000, 1_000_000], noise=0.0,
+        )
+        assert (np.diff(campaign.times) > 0).all()
+
+    def test_implementations_produce_different_times(self):
+        sizes = [10_000]
+        a = run_pingpong_campaign(griffon(2), "griffon-0", "griffon-1",
+                                  OPENMPI, sizes=sizes, noise=0.0)
+        b = run_pingpong_campaign(griffon(2), "griffon-0", "griffon-1",
+                                  MPICH2, sizes=sizes, noise=0.0)
+        assert a.times[0] != b.times[0]
+        assert abs(a.times[0] - b.times[0]) / a.times[0] < 0.25  # but close
+
+    def test_distant_pair_slower_than_same_switch(self):
+        platform = gdx(40)
+        near = run_pingpong_campaign(platform, "gdx-0", "gdx-1",
+                                     sizes=[1], noise=0.0)
+        # use a pair crossing 3 switches within the truncated platform
+        far = run_pingpong_campaign(gdx(40), "gdx-0", "gdx-30",
+                                    sizes=[1], noise=0.0)
+        assert far.times[0] > near.times[0]
+
+    def test_default_sizes_cover_range(self):
+        sizes = default_sizes()
+        assert sizes[0] == 1
+        assert sizes[-1] == 16 * 1024 * 1024
+        assert 65536 in sizes and 1460 in sizes
+
+    def test_table_renders(self):
+        campaign = run_pingpong_campaign(griffon(2), "griffon-0", "griffon-1",
+                                         sizes=[1, 100], noise=0.0)
+        table = campaign.table()
+        assert "one_way_us" in table and "OpenMPI" in table
+
+
+class TestRunReference:
+    def test_runs_arbitrary_apps(self):
+        def app(mpi):
+            out = np.zeros(1)
+            mpi.COMM_WORLD.Allreduce(np.array([1.0]), out)
+            return out[0]
+
+        result = run_reference(app, 4, griffon(4), noise=0.0)
+        assert result.returns == [4.0] * 4
+
+    def test_noise_zero_is_deterministic(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(50_000, dtype=np.uint8), 1, 0)
+            else:
+                comm.Recv(np.zeros(50_000, dtype=np.uint8), 0, 0)
+            return mpi.wtime()
+
+        a = run_reference(app, 2, griffon(2), noise=0.0)
+        b = run_reference(app, 2, griffon(2), noise=0.0)
+        assert a.simulated_time == b.simulated_time

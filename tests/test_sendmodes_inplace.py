@@ -1,0 +1,146 @@
+"""Explicit send modes (Ssend/Bsend/Rsend) and MPI_IN_PLACE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ActorFailure
+from repro.smpi import IN_PLACE, SUM, SmpiConfig, smpirun
+from repro.smpi import request as rq
+from repro.surf import cluster
+
+
+def run(app, n=2, config=None):
+    return smpirun(app, n, cluster("sm", max(n, 2)), config=config)
+
+
+class TestSendModes:
+    def test_ssend_waits_for_receiver_even_when_small(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Ssend(np.zeros(8, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            mpi.sleep(0.4)
+            comm.Recv(np.zeros(8, dtype=np.uint8), 0, 0)
+
+        result = run(app, 2)
+        assert result.returns[0] > 0.4  # tiny message, still synchronous
+
+    def test_bsend_returns_immediately_even_when_large(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Bsend(np.zeros(500_000, dtype=np.uint8), 1, 0)
+                return mpi.wtime()
+            mpi.sleep(0.4)
+            comm.Recv(np.zeros(500_000, dtype=np.uint8), 0, 0)
+
+        result = run(app, 2)
+        assert result.returns[0] < 0.1  # huge message, still buffered
+
+    def test_rsend_delivers_payload(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 1:
+                buf = np.zeros(4)
+                req = comm.Irecv(buf, 0, 0)
+                comm.Barrier()  # guarantee the receive is posted first
+                rq.wait(req)
+                return buf.tolist()
+            comm.Barrier()
+            if mpi.rank == 0:
+                comm.Rsend(np.arange(4, dtype=np.float64), 1, 0)
+
+        assert run(app, 2).returns[1] == [0.0, 1.0, 2.0, 3.0]
+
+    def test_issend_nonblocking_completion_semantics(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                req = comm.Issend(np.zeros(8, dtype=np.uint8), 1, 0)
+                done, _ = rq.test(req)
+                early = done
+                mpi.sleep(0.2)  # receiver posts at 0.1
+                rq.wait(req)
+                return (early, mpi.wtime())
+            mpi.sleep(0.1)
+            comm.Recv(np.zeros(8, dtype=np.uint8), 0, 0)
+
+        early, t_done = run(app, 2).returns[0]
+        assert early is False  # could not complete before the recv
+        assert t_done >= 0.1
+
+
+class TestInPlace:
+    def test_allreduce_in_place(self):
+        def app(mpi):
+            buf = np.full(4, float(mpi.rank + 1))
+            mpi.COMM_WORLD.Allreduce(IN_PLACE, buf, op=SUM)
+            return buf.tolist()
+
+        result = run(app, 4)
+        assert all(r == [10.0] * 4 for r in result.returns)
+
+    def test_reduce_in_place_at_root(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            buf = np.full(2, float(mpi.rank + 1))
+            if mpi.rank == 0:
+                comm.Reduce(IN_PLACE, buf, op=SUM, root=0)
+                return buf.tolist()
+            comm.Reduce(buf, None, op=SUM, root=0)
+
+        assert run(app, 3).returns[0] == [6.0, 6.0]
+
+    def test_allgather_in_place(self):
+        def app(mpi):
+            size = mpi.size
+            buf = np.zeros(size * 2)
+            buf[mpi.rank * 2 : (mpi.rank + 1) * 2] = mpi.rank
+            mpi.COMM_WORLD.Allgather(IN_PLACE, buf)
+            return buf.tolist()
+
+        result = run(app, 3)
+        assert all(r == [0.0, 0.0, 1.0, 1.0, 2.0, 2.0] for r in result.returns)
+
+    def test_gather_in_place_at_root(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            size = mpi.size
+            if mpi.rank == 0:
+                recv = np.zeros(size * 2)
+                recv[:2] = 100.0  # root's own contribution, already in place
+                comm.Gather(IN_PLACE, recv, root=0)
+                return recv.tolist()
+            comm.Gather(np.full(2, float(mpi.rank)), None, root=0)
+
+        assert run(app, 3).returns[0] == [100.0, 100.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_scatter_in_place_at_root(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            size = mpi.size
+            if mpi.rank == 0:
+                send = np.arange(size * 2, dtype=np.float64)
+                comm.Scatter(send, IN_PLACE, root=0)
+                return send[:2].tolist()  # root's chunk untouched in place
+            recv = np.zeros(2)
+            comm.Scatter(None, recv, root=0)
+            return recv.tolist()
+
+        result = run(app, 3)
+        assert result.returns == [[0.0, 1.0], [2.0, 3.0], [4.0, 5.0]]
+
+    def test_in_place_on_non_root_rejected(self):
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            buf = np.zeros(mpi.size * 2)
+            comm.Gather(IN_PLACE, buf, root=0)  # wrong on non-roots
+
+        with pytest.raises(ActorFailure):
+            run(app, 2)
+
+    def test_in_place_repr(self):
+        assert repr(IN_PLACE) == "MPI_IN_PLACE"

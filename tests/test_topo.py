@@ -1,0 +1,158 @@
+"""Tests for Cartesian topologies (extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ActorFailure, MpiError
+from repro.smpi import PROC_NULL, smpirun
+from repro.smpi.topo import cart_create, dims_create
+from repro.surf import cluster
+
+
+def run(app, n):
+    return smpirun(app, n, cluster("tp", n))
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "nnodes,ndims,expected",
+        [
+            (12, 2, [4, 3]),
+            (16, 2, [4, 4]),
+            (8, 3, [2, 2, 2]),
+            (7, 1, [7]),
+            (6, 2, [3, 2]),
+        ],
+    )
+    def test_balanced_factorisations(self, nnodes, ndims, expected):
+        assert dims_create(nnodes, ndims) == expected
+
+    def test_respects_fixed_dims(self):
+        assert dims_create(12, 2, [0, 6]) == [2, 6]
+        assert dims_create(12, 2, [3, 0]) == [3, 4]
+
+    def test_rejects_impossible(self):
+        with pytest.raises(MpiError):
+            dims_create(12, 2, [5, 0])
+        with pytest.raises(MpiError):
+            dims_create(12, 2, [3, 3])
+
+    @given(st.integers(1, 256), st.integers(1, 4))
+    @settings(max_examples=80, deadline=None)
+    def test_product_property(self, nnodes, ndims):
+        dims = dims_create(nnodes, ndims)
+        assert len(dims) == ndims
+        product = 1
+        for d in dims:
+            product *= d
+        assert product == nnodes
+        assert dims == sorted(dims, reverse=True)  # standard: decreasing
+
+
+class TestCartComm:
+    def test_coords_roundtrip(self):
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, [2, 3])
+            assert cart is not None
+            coords = cart.Get_coords(cart.Get_rank())
+            back = cart.Get_cart_rank(coords)
+            return (cart.Get_rank(), coords, back)
+
+        result = run(app, 6)
+        for rank, (r, coords, back) in enumerate(result.returns):
+            assert r == rank and back == rank
+            assert coords == [rank // 3, rank % 3]
+
+    def test_shift_interior_and_boundary(self):
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, [2, 2], periods=[False, False])
+            left, right = cart.Shift(1, 1)
+            up, down = cart.Shift(0, 1)
+            return (left, right, up, down)
+
+        result = run(app, 4)
+        # grid: rank = 2*row + col
+        assert result.returns[0] == (PROC_NULL, 1, PROC_NULL, 2)
+        assert result.returns[3] == (2, PROC_NULL, 1, PROC_NULL)
+
+    def test_periodic_shift_wraps(self):
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, [4], periods=[True])
+            src, dst = cart.Shift(0, 1)
+            return (src, dst)
+
+        result = run(app, 4)
+        assert result.returns[0] == (3, 1)
+        assert result.returns[3] == (2, 0)
+
+    def test_extra_ranks_get_none(self):
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, [2, 2])
+            return cart is None
+
+        result = run(app, 6)
+        assert result.returns == [False, False, False, False, True, True]
+
+    def test_halo_exchange_on_ring(self):
+        """A periodic 1-D ring: each rank gets both neighbours' values."""
+
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, [mpi.size], periods=[True])
+            src, dst = cart.Shift(0, 1)
+            mine = np.array([float(cart.Get_rank())])
+            from_left = np.zeros(1)
+            cart.Sendrecv(mine, dst, 1, from_left, src, 1)
+            return from_left[0]
+
+        result = run(app, 5)
+        assert result.returns == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_cart_sub_extracts_rows(self):
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, [2, 3])
+            row = cart.Sub([False, True])  # keep the column dimension
+            total = np.zeros(1)
+            row.Allreduce(np.array([1.0]), total)
+            return (row.size, total[0], row.Get_rank())
+
+        result = run(app, 6)
+        for rank, (size, count, sub_rank) in enumerate(result.returns):
+            assert size == 3 and count == 3.0
+            assert sub_rank == rank % 3
+
+    def test_2d_stencil_converges(self):
+        """Full integration: Jacobi sweep on a 2-D periodic grid."""
+
+        def app(mpi):
+            cart = cart_create(mpi.COMM_WORLD, dims_create(mpi.size, 2),
+                               periods=[True, True])
+            value = np.array([float(cart.Get_rank())])
+            for _ in range(30):
+                neighbours = []
+                for direction in (0, 1):
+                    src, dst = cart.Shift(direction, 1)
+                    incoming = np.zeros(1)
+                    cart.Sendrecv(value, dst, 0, incoming, src, 0)
+                    neighbours.append(incoming[0])
+                    incoming2 = np.zeros(1)
+                    cart.Sendrecv(value, src, 1, incoming2, dst, 1)
+                    neighbours.append(incoming2[0])
+                value = np.array([(value[0] + sum(neighbours)) / 5.0])
+            return value[0]
+
+        result = run(app, 4)
+        mean = sum(range(4)) / 4.0
+        for v in result.returns:
+            assert v == pytest.approx(mean, abs=0.05)
+
+    def test_bad_arguments(self):
+        def app(mpi):
+            try:
+                cart_create(mpi.COMM_WORLD, [5, 5])  # 25 > size
+            except MpiError:
+                return "caught"
+
+        assert run(app, 4).returns[0] == "caught"

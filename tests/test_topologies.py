@@ -1,0 +1,166 @@
+"""Tests for the fat-tree and torus platform builders."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PlatformError
+from repro.smpi import smpirun
+from repro.surf import Engine, fat_tree, torus
+from repro.surf.network_model import FactorsNetworkModel
+
+
+class TestFatTree:
+    def test_host_count(self):
+        platform = fat_tree("ft", pods=4, down=8, up=4)
+        assert len(platform.hosts) == 32
+
+    def test_intra_pod_route_short(self):
+        platform = fat_tree("ft", pods=2, down=4, up=2)
+        route = platform.route("node-0", "node-3")  # same pod
+        assert len(route.links) == 3
+
+    def test_inter_pod_route_crosses_core(self):
+        platform = fat_tree("ft", pods=2, down=4, up=2)
+        route = platform.route("node-0", "node-5")
+        assert len(route.links) == 6
+        names = [l.name for l in route.links]
+        assert any("up0" in n for n in names)
+        assert any("up1" in n for n in names)
+
+    def test_route_symmetric_core_choice(self):
+        """Both directions of a pair use the same core switch."""
+        platform = fat_tree("ft", pods=3, down=2, up=2)
+        fwd = {l.name for l in platform.route("node-0", "node-5").links}
+        rev = {l.name for l in platform.route("node-5", "node-0").links}
+        assert fwd == rev
+
+    def test_core_load_spread(self):
+        """Different pairs hash to different cores (static multipathing)."""
+        platform = fat_tree("ft", pods=2, down=4, up=2)
+        cores_used = set()
+        for i in range(4):
+            for j in range(4, 8):
+                for link in platform.route(f"node-{i}", f"node-{j}").links:
+                    if "-up0-" in link.name:
+                        cores_used.add(link.name.split("-c")[-1])
+        assert len(cores_used) == 2
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            fat_tree("ft", pods=0, down=1, up=1)
+
+    def test_full_bisection_parallel_transfers(self):
+        """With enough core capacity, disjoint inter-pod pairs don't slow
+        each other down."""
+        platform = fat_tree("ft", pods=2, down=2, up=2,
+                            core_bandwidth="1.25GBps")
+        engine = Engine(platform, network_model=FactorsNetworkModel(1.0, 1.0))
+        a = engine.communicate("node-0", "node-2", 1_000_000)
+        b = engine.communicate("node-1", "node-3", 1_000_000)
+        engine.run()
+        solo_engine = Engine(
+            fat_tree("ft2", pods=2, down=2, up=2, core_bandwidth="1.25GBps"),
+            network_model=FactorsNetworkModel(1.0, 1.0),
+        )
+        solo = solo_engine.communicate("node-0", "node-2", 1_000_000)
+        solo_engine.run()
+        assert a.finish_time == pytest.approx(solo.finish_time, rel=0.05)
+        assert b.finish_time == pytest.approx(solo.finish_time, rel=0.05)
+
+
+class TestTorus:
+    def test_host_count(self):
+        assert len(torus("t", [2, 3, 4]).hosts) == 24
+
+    def test_neighbour_route_is_one_hop(self):
+        platform = torus("t", [3, 3])
+        assert len(platform.route("node-0", "node-1").links) == 1
+        assert len(platform.route("node-0", "node-3").links) == 1
+
+    def test_wraparound_is_short(self):
+        platform = torus("t", [5])
+        # 0 -> 4 wraps backwards: 1 hop, not 4
+        assert len(platform.route("node-0", "node-4").links) == 1
+        assert len(platform.route("node-0", "node-2").links) == 2
+
+    def test_dimension_ordered_hop_count(self):
+        platform = torus("t", [4, 4])
+        # (0,0) -> (2,3): 2 hops in dim0 + 1 hop (wrap) in dim1
+        route = platform.route("node-0", "node-11")
+        assert len(route.links) == 3
+
+    def test_route_latency_scales_with_hops(self):
+        platform = torus("t", [8])
+        one = platform.route("node-0", "node-1").latency
+        four = platform.route("node-0", "node-4").latency
+        assert four == pytest.approx(4 * one)
+
+    def test_two_extent_dimension(self):
+        platform = torus("t", [2, 2])
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert len(platform.route(f"node-{a}", f"node-{b}").links) >= 1
+
+    def test_neighbour_traffic_is_contention_free(self):
+        """A shift pattern along a ring uses disjoint links."""
+        platform = torus("t", [4])
+        engine = Engine(platform, network_model=FactorsNetworkModel(1.0, 1.0))
+        actions = [
+            engine.communicate(f"node-{i}", f"node-{(i + 1) % 4}", 1_000_000)
+            for i in range(4)
+        ]
+        engine.run()
+        finish = {round(a.finish_time, 9) for a in actions}
+        assert len(finish) == 1  # all equal: no shared links
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            torus("t", [])
+        with pytest.raises(PlatformError):
+            torus("t", [0, 2])
+
+    @given(st.lists(st.integers(1, 4), min_size=1, max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_all_pairs_routable(self, dims):
+        platform = torus("t", dims)
+        names = platform.host_names()
+        total = len(names)
+        if total < 2:
+            return
+        # spot-check a handful of pairs for valid contiguous routes
+        rng = np.random.default_rng(42)
+        for _ in range(min(10, total * (total - 1))):
+            a, b = rng.choice(total, size=2, replace=False)
+            route = platform.route(names[a], names[b])
+            manhattan_bound = sum(d // 2 for d in dims)
+            assert 1 <= len(route.links) <= max(manhattan_bound, 1)
+
+
+class TestMpiOnTopologies:
+    def test_allreduce_on_fat_tree(self):
+        platform = fat_tree("mft", pods=2, down=4, up=2)
+
+        def app(mpi):
+            out = np.zeros(1)
+            mpi.COMM_WORLD.Allreduce(np.array([1.0]), out)
+            return out[0]
+
+        result = smpirun(app, 8, platform)
+        assert result.returns == [8.0] * 8
+
+    def test_ring_exchange_on_torus(self):
+        platform = torus("mt", [6])
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            out = np.zeros(1)
+            comm.Sendrecv(np.array([float(mpi.rank)]), (mpi.rank + 1) % 6, 0,
+                          out, (mpi.rank - 1) % 6, 0)
+            return out[0]
+
+        result = smpirun(app, 6, platform)
+        assert result.returns == [5.0, 0.0, 1.0, 2.0, 3.0, 4.0]

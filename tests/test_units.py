@@ -1,0 +1,130 @@
+"""Tests for quantity parsing/formatting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    format_bandwidth,
+    format_size,
+    format_time,
+    parse_bandwidth,
+    parse_size,
+    parse_speed,
+    parse_time,
+)
+
+
+class TestParseBandwidth:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("125MBps", 125e6),
+            ("1.25GBps", 1.25e9),
+            ("1Gbps", 125e6),
+            ("10Gbps", 1.25e9),
+            ("100bps", 12.5),
+            ("1KiBps", 1024.0),
+            (5e8, 5e8),
+            ("0.5MBps", 5e5),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_bandwidth(text) == pytest.approx(expected)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ConfigError):
+            parse_bandwidth("fast")
+        with pytest.raises(ConfigError):
+            parse_bandwidth("10Mz")
+        with pytest.raises(ConfigError):
+            parse_bandwidth("10Xbps")
+
+
+class TestParseTime:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("50us", 5e-5),
+            ("1.5ms", 1.5e-3),
+            ("2s", 2.0),
+            ("10ns", 1e-8),
+            ("1m", 60.0),
+            ("1h", 3600.0),
+            (0.25, 0.25),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_time(text) == pytest.approx(expected)
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ConfigError):
+            parse_time("10lightyears")
+
+
+class TestParseSpeed:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("1Gf", 1e9), ("2.5Gf", 2.5e9), ("100Mf", 1e8), ("3f", 3.0), (7e7, 7e7)],
+    )
+    def test_values(self, text, expected):
+        assert parse_speed(text) == pytest.approx(expected)
+
+    def test_rejects_missing_f(self):
+        with pytest.raises(ConfigError):
+            parse_speed("2.5GHz")
+
+
+class TestParseSize:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("64KiB", 64 * KiB),
+            ("4MiB", 4 * MiB),
+            ("16GiB", 16 * GiB),
+            ("1kB", 1000),
+            ("1MB", 10**6),
+            (12345, 12345),
+            ("0B", 0),
+        ],
+    )
+    def test_values(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_no_b(self):
+        with pytest.raises(ConfigError):
+            parse_size("64Ki")
+
+
+class TestFormatting:
+    def test_format_size(self):
+        assert format_size(512) == "512 B"
+        assert format_size(65536) == "64.0 KiB"
+        assert format_size(3 * MiB) == "3.0 MiB"
+        assert format_size(5 * GiB) == "5.0 GiB"
+
+    def test_format_time(self):
+        assert format_time(0) == "0 s"
+        assert "ns" in format_time(5e-8)
+        assert "us" in format_time(5e-5)
+        assert "ms" in format_time(5e-3)
+        assert format_time(2.5) == "2.500 s"
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(125e6) == "125.0 MBps"
+        assert format_bandwidth(999.0) == "999.0 Bps"
+
+
+@given(st.floats(1e-9, 1e9))
+def test_time_roundtrip_seconds(value):
+    assert parse_time(value) == value
+
+
+@given(st.integers(0, 2**50))
+def test_size_roundtrip_int(value):
+    assert parse_size(value) == value
