@@ -1,9 +1,16 @@
-"""Ablation — max-min solver implementations.
+"""Ablation — max-min solver implementations and incremental re-sharing.
 
 DESIGN.md commits to two cross-checked solvers with a size-based switch
 (`VECTORIZE_THRESHOLD`).  This bench measures both on growing systems and
 prints where the crossover actually falls on this machine, validating the
 constant baked into :mod:`repro.surf.maxmin`.
+
+The second half ablates the engine's *incremental* re-sharing: the same
+scatter / all-to-all workloads run once with the dirty-set solver
+(:class:`IncrementalMaxMin`) and once with ``full_reshare=True``, and the
+``EngineStats`` counters show how many flow re-solves the connected-
+component decomposition avoids while producing the exact same completion
+times.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ import numpy as np
 
 from _helpers import FigureReport
 from repro import rng as rng_mod
+from repro.smpi import SmpiConfig, smpirun
+from repro.surf import Engine, cluster
 from repro.surf.maxmin import (
     MaxMinSystem,
     VECTORIZE_THRESHOLD,
@@ -59,6 +68,94 @@ def experiment():
     return rows
 
 
+# -- incremental vs full re-share -----------------------------------------------------
+
+#: per-rank payload variability seed and compute cost of "processing" a
+#: scattered chunk (flops per byte) — enough to overlap the collective
+INCREMENTAL_SEED = 42
+SCATTER_FLOPS_PER_BYTE = 100.0
+N_RANKS = 16
+
+
+def _chunk_sizes(n: int, base: int, seed: int) -> list[int]:
+    gen = rng_mod.substream(seed, "ablation-maxmin", "sizes")
+    return [int(base * (0.5 + gen.random())) for _ in range(n)]
+
+
+def _displs(counts: list[int]) -> list[int]:
+    displs, offset = [], 0
+    for count in counts:
+        displs.append(offset)
+        offset += count
+    return displs
+
+
+def scatterv_compute_app(mpi, base: int):
+    """Root scatters rank-dependent chunks; every rank processes its own.
+
+    The per-rank compute actions are disjoint max-min components that
+    complete at staggered times while the scatter is still draining —
+    exactly the structure incremental re-sharing exploits.
+    """
+    comm = mpi.COMM_WORLD
+    counts = _chunk_sizes(mpi.size, base, INCREMENTAL_SEED)
+    recv = np.zeros(counts[mpi.rank], dtype=np.uint8)
+    send = np.zeros(sum(counts), dtype=np.uint8) if mpi.rank == 0 else None
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Scatterv(send, counts, _displs(counts), recv, root=0)
+    mpi.execute(counts[mpi.rank] * SCATTER_FLOPS_PER_BYTE)
+    return mpi.wtime() - start
+
+
+def alltoallv_app(mpi, base: int):
+    """Pairwise all-to-all with per-pair payload sizes (MPI_Alltoallv)."""
+    comm = mpi.COMM_WORLD
+    n = mpi.size
+    all_counts = [_chunk_sizes(n, base, INCREMENTAL_SEED + i) for i in range(n)]
+    send_counts = all_counts[mpi.rank]
+    recv_counts = [all_counts[i][mpi.rank] for i in range(n)]
+    send = np.zeros(sum(send_counts), dtype=np.uint8)
+    recv = np.zeros(sum(recv_counts), dtype=np.uint8)
+    comm.Barrier()
+    start = mpi.wtime()
+    comm.Alltoallv(send, send_counts, _displs(send_counts),
+                   recv, recv_counts, _displs(recv_counts))
+    return mpi.wtime() - start
+
+
+INCREMENTAL_WORKLOADS = [
+    ("scatter 4MiB + compute", scatterv_compute_app, 4 << 20,
+     {"scatter": "binomial"}),
+    ("all-to-all 1MiB pairwise", alltoallv_app, 1 << 20,
+     {"alltoallv": "pairwise"}),
+]
+
+
+def run_incremental_case(app, base: int, coll: dict, full_reshare: bool):
+    """One SMPI run on a split-duplex crossbar; returns (time, stats)."""
+    platform = cluster(
+        "ablation", N_RANKS, backbone_bandwidth=None, split_duplex=True
+    )
+    engine = Engine(platform, full_reshare=full_reshare)
+    result = smpirun(
+        app, N_RANKS, platform,
+        app_args=(base,),
+        config=SmpiConfig(coll_algorithms=coll),
+        engine=engine,
+    )
+    return result.simulated_time, engine.stats
+
+
+def incremental_experiment():
+    rows = []
+    for label, app, base, coll in INCREMENTAL_WORKLOADS:
+        t_inc, s_inc = run_incremental_case(app, base, coll, full_reshare=False)
+        t_full, s_full = run_incremental_case(app, base, coll, full_reshare=True)
+        rows.append((label, t_inc, t_full, s_inc, s_full))
+    return rows
+
+
 def test_ablation_maxmin(once):
     rows = once(experiment)
     report = FigureReport(
@@ -80,9 +177,35 @@ def test_ablation_maxmin(once):
         f"configured threshold {VECTORIZE_THRESHOLD}; measured crossover "
         f"around {crossover} flows"
     )
+
+    # -- incremental vs full re-share ------------------------------------------------
+    report.line()
+    report.line("incremental vs full re-share "
+                f"({N_RANKS} ranks, split-duplex crossbar):")
+    report.line(f"  {'workload':<26} {'flow re-solves':>16} {'saving':>8} "
+                f"{'partial':>9} {'same time':>10}")
+    inc_rows = incremental_experiment()
+    for label, t_inc, t_full, s_inc, s_full in inc_rows:
+        ratio = s_full.flows_resolved / max(1, s_inc.flows_resolved)
+        report.line(
+            f"  {label:<26} {s_inc.flows_resolved:>6} vs {s_full.flows_resolved:>6} "
+            f"{ratio:>7.2f}x {s_inc.partial_shares:>4}/{s_inc.shares:<4} "
+            f"{str(t_inc == t_full):>10}"
+        )
+    report.measured(
+        "incremental re-sharing solves >=2x fewer flows at identical "
+        "simulated times"
+    )
     report.finish()
 
     big = rows[-1]
     assert big[2] < big[1], "vectorised must win on large systems"
     small = rows[0]
     assert small[1] < small[2] * 5, "reference competitive on small systems"
+
+    for label, t_inc, t_full, s_inc, s_full in inc_rows:
+        assert t_inc == t_full, f"{label}: incremental changed the simulation"
+        assert s_full.flows_resolved >= 2 * s_inc.flows_resolved, (
+            f"{label}: expected >=2x fewer flow re-solves, got "
+            f"{s_inc.flows_resolved} vs {s_full.flows_resolved}"
+        )

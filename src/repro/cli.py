@@ -35,7 +35,7 @@ from .errors import ConfigError, ReproError
 from .offline import TiTrace, record_trace, replay_trace
 from .platforms import gdx, griffon
 from .smpi import SmpiConfig, smpirun
-from .surf import Platform, cluster, load_platform_xml
+from .surf import Engine, Platform, cluster, load_platform_xml
 from .units import format_size, format_time
 
 __all__ = ["main", "build_platform", "load_app"]
@@ -103,7 +103,7 @@ def _config_from_args(args: argparse.Namespace) -> SmpiConfig:
     return SmpiConfig(**options)
 
 
-def _report(result, n_ranks: int) -> None:
+def _report(result, n_ranks: int, show_stats: bool = False) -> None:
     print(f"simulated time : {format_time(result.simulated_time)}")
     print(f"wall-clock time: {format_time(result.wall_time)}")
     print(f"ranks          : {n_ranks}")
@@ -113,32 +113,54 @@ def _report(result, n_ranks: int) -> None:
         shown = non_null[:4]
         suffix = " ..." if len(non_null) > 4 else ""
         print(f"rank returns   : {shown}{suffix}")
+    if show_stats and result.stats is not None:
+        stats = result.stats
+        print("kernel stats   :")
+        print(f"  steps            : {stats.steps}")
+        print(f"  shares           : {stats.shares}")
+        print(f"  partial shares   : {stats.partial_shares}")
+        print(f"  flows resolved   : {stats.flows_resolved}")
+        print(f"  components solved: {stats.components_solved}")
+        print(f"  actions          : {stats.actions_created} created, "
+              f"{stats.actions_completed} completed")
+        print(f"  peak concurrent  : {stats.peak_concurrent}")
+
+
+def _make_engine(platform, args):
+    """The simulation kernel for a run/replay command, honouring
+    ``--full-reshare`` (None lets the runtime build its default engine)."""
+    if getattr(args, "full_reshare", False):
+        return Engine(platform, full_reshare=True)
+    return None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     app = load_app(args.app, args.entry)
     platform = build_platform(args.platform, args.n)
     config = _config_from_args(args)
+    engine = _make_engine(platform, args)
     if args.record:
-        result, trace = record_trace(app, args.n, platform, config=config)
+        result, trace = record_trace(app, args.n, platform, config=config,
+                                     engine=engine)
         trace.save(args.record)
         print(f"trace written  : {args.record} ({trace.summary()})")
     else:
-        result = smpirun(app, args.n, platform, config=config)
-    _report(result, args.n)
+        result = smpirun(app, args.n, platform, config=config, engine=engine)
+    _report(result, args.n, show_stats=args.stats)
     return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = TiTrace.load(args.trace)
     platform = build_platform(args.platform, trace.n_ranks)
-    result = replay_trace(trace, platform, config=_config_from_args(args))
+    result = replay_trace(trace, platform, config=_config_from_args(args),
+                          engine=_make_engine(platform, args))
     print(f"replaying      : {trace.summary()}")
     if "recorded_on" in trace.meta:
         recorded_t = trace.meta.get("recorded_simulated_time")
         print(f"recorded on    : {trace.meta['recorded_on']}"
               + (f" ({format_time(recorded_t)})" if recorded_t else ""))
-    _report(result, trace.n_ranks)
+    _report(result, trace.n_ranks, show_stats=args.stats)
     return 0
 
 
@@ -185,6 +207,10 @@ def make_parser() -> argparse.ArgumentParser:
                      help="force a collective algorithm (repeatable)")
     run.add_argument("--record", metavar="TRACE.json",
                      help="record a time-independent trace")
+    run.add_argument("--stats", action="store_true",
+                     help="print kernel counters (shares, flow re-solves)")
+    run.add_argument("--full-reshare", action="store_true",
+                     help="disable incremental re-sharing (debug escape hatch)")
     run.set_defaults(func=_cmd_run)
 
     replay = sub.add_parser("replay", help="replay a recorded trace")
@@ -193,6 +219,10 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("--eager-threshold", default=None)
     replay.add_argument("--zero-copy", action="store_true")
     replay.add_argument("--coll", action="append", metavar="NAME=ALGO")
+    replay.add_argument("--stats", action="store_true",
+                        help="print kernel counters (shares, flow re-solves)")
+    replay.add_argument("--full-reshare", action="store_true",
+                        help="disable incremental re-sharing (debug escape hatch)")
     replay.set_defaults(func=_cmd_replay)
 
     platforms = sub.add_parser("platforms", help="list built-in platforms")

@@ -37,6 +37,7 @@ from .alltoall import (
     alltoall_bruck,
     alltoall_pairwise,
     alltoallv_basic_linear,
+    alltoallv_pairwise,
     pairwise_schedule,
 )
 from .barrier import barrier_dissemination, barrier_tree
@@ -125,6 +126,10 @@ ALGORITHMS: dict[str, dict[str, object]] = {
         "pairwise": alltoall_pairwise,
         "basic_linear": alltoall_basic_linear,
         "bruck": alltoall_bruck,
+    },
+    "alltoallv": {
+        "pairwise": alltoallv_pairwise,
+        "basic_linear": alltoallv_basic_linear,
     },
 }
 
@@ -272,6 +277,7 @@ def alltoall(comm, sendspec: BufferSpec, recvspec: BufferSpec) -> None:
 
 def alltoallv(comm, sendspec, sendcounts, sdispls, recvspec, recvcounts,
               rdispls) -> None:
-    alltoallv_basic_linear(
+    forced = select(comm, "alltoallv", _config_choice(comm, "alltoallv"))
+    (forced or alltoallv_basic_linear)(
         comm, sendspec, sendcounts, sdispls, recvspec, recvcounts, rdispls
     )

@@ -6,7 +6,8 @@ every rank sends to ``(rank + s) % P`` while receiving from
 network carries a perfect matching of P simultaneous transfers — the
 maximum-contention pattern the evaluation uses.  ``basic_linear`` posts
 everything at once (OpenMPI's medium-size choice); ``bruck`` is the
-log-round algorithm for short messages.
+log-round algorithm for short messages.  The vector variants reuse the
+same schedules with per-peer counts/displacements.
 """
 
 from __future__ import annotations
@@ -28,6 +29,7 @@ __all__ = [
     "alltoall_basic_linear",
     "alltoall_bruck",
     "alltoallv_basic_linear",
+    "alltoallv_pairwise",
     "pairwise_schedule",
 ]
 
@@ -133,16 +135,7 @@ def alltoall_bruck(
         ]
 
 
-def alltoallv_basic_linear(
-    comm: "Communicator",
-    sendspec: BufferSpec,
-    sendcounts: list[int],
-    sdispls: list[int],
-    recvspec: BufferSpec,
-    recvcounts: list[int],
-    rdispls: list[int],
-) -> None:
-    """MPI_Alltoallv (both implementations use the linear schedule)."""
+def _init_v(comm, sendspec, sendcounts, sdispls, recvspec, recvcounts, rdispls):
     size = comm.size
     rank = comm.Get_rank()
     for name, seq in (
@@ -153,9 +146,26 @@ def alltoallv_basic_linear(
             raise MpiError(constants.ERR_COUNT, f"alltoallv {name} needs {size} entries")
     send_flat = flat_view(sendspec)
     recv_flat = flat_view(recvspec)
+    # local block first, like step 0 of the pairwise schedule
     recv_flat[rdispls[rank] : rdispls[rank] + recvcounts[rank]] = send_flat[
         sdispls[rank] : sdispls[rank] + sendcounts[rank]
     ]
+    return size, rank, send_flat, recv_flat
+
+
+def alltoallv_basic_linear(
+    comm: "Communicator",
+    sendspec: BufferSpec,
+    sendcounts: list[int],
+    sdispls: list[int],
+    recvspec: BufferSpec,
+    recvcounts: list[int],
+    rdispls: list[int],
+) -> None:
+    """MPI_Alltoallv with the linear schedule: post everything, wait."""
+    size, rank, send_flat, recv_flat = _init_v(
+        comm, sendspec, sendcounts, sdispls, recvspec, recvcounts, rdispls
+    )
     reqs = []
     for peer in range(size):
         if peer == rank or recvcounts[peer] == 0:
@@ -172,3 +182,38 @@ def alltoallv_basic_linear(
                        "alltoallv")
         )
     rq.waitall(reqs)
+
+
+def alltoallv_pairwise(
+    comm: "Communicator",
+    sendspec: BufferSpec,
+    sendcounts: list[int],
+    sdispls: list[int],
+    recvspec: BufferSpec,
+    recvcounts: list[int],
+    rdispls: list[int],
+) -> None:
+    """MPI_Alltoallv on the P-step pairwise schedule (paper Fig. 10).
+
+    Each step exchanges with exactly one peer, so a rank never has more
+    than one send and one receive in flight — the bounded-contention
+    schedule SimGrid's ``pair`` alltoallv algorithm uses.
+    """
+    size, rank, send_flat, recv_flat = _init_v(
+        comm, sendspec, sendcounts, sdispls, recvspec, recvcounts, rdispls
+    )
+    for step in range(1, size):
+        dst = (rank + step) % size
+        src = (rank - step) % size
+        reqs = []
+        if sendcounts[dst]:
+            reqs.append(
+                isend_view(comm, send_flat, sdispls[dst], sendcounts[dst], dst,
+                           "alltoallv")
+            )
+        if recvcounts[src]:
+            reqs.append(
+                irecv_view(comm, recv_flat, rdispls[src], recvcounts[src], src,
+                           "alltoallv")
+            )
+        rq.waitall(reqs)

@@ -16,8 +16,8 @@ affine and the contributed piece-wise linear model — live in
 
 from .action import Action, ActionState
 from .cpu_model import CpuModel
-from .engine import Engine
-from .maxmin import MaxMinSystem, solve_maxmin
+from .engine import Engine, EngineStats
+from .maxmin import IncrementalMaxMin, MaxMinSystem, solve_maxmin
 from .network_model import (
     AffineNetworkModel,
     ConstantNetworkModel,
@@ -38,7 +38,9 @@ __all__ = [
     "ConstantNetworkModel",
     "CpuModel",
     "Engine",
+    "EngineStats",
     "Host",
+    "IncrementalMaxMin",
     "Link",
     "MaxMinSystem",
     "NetworkModel",

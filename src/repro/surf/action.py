@@ -109,8 +109,14 @@ class Action:
             return math.inf
         return self.remaining / self.rate
 
-    def advance(self, delta: float) -> None:
-        """Progress the action by ``delta`` simulated seconds."""
+    def advance(self, delta: float) -> bool:
+        """Progress the action by ``delta`` simulated seconds.
+
+        Returns True when the action changed state (latency expired, work
+        completed) — the engine uses this resource-change notification to
+        know a re-share is needed at all; which resources it invalidates
+        is derived from the action's constraints at the next share.
+        """
         if self.state is ActionState.LATENCY:
             self.latency_remaining -= delta
             if self.latency_remaining <= 1e-15:
@@ -118,11 +124,14 @@ class Action:
                 self.state = ActionState.RUNNING
                 if self.remaining <= 0:
                     self.state = ActionState.DONE
+                return True
         elif self.state is ActionState.RUNNING:
             self.remaining -= self.rate * delta
             if self.remaining <= 1e-9 * max(1.0, self.rate):
                 self.remaining = 0.0
                 self.state = ActionState.DONE
+                return True
+        return False
 
     def fail(self) -> None:
         """Cancel the action; the observer is notified by the engine."""

@@ -15,6 +15,16 @@ to sidestep parallel-DES synchronisation — and fast because sharing is one
 analytical solve, not per-packet events.  It can run standalone (``run()``)
 for model-level studies, or be driven step-by-step by
 :class:`repro.simix.context.Scheduler` for on-line application simulation.
+
+Sharing is *incremental* by default: the engine keeps one persistent
+:class:`~repro.surf.maxmin.IncrementalMaxMin` system alive across steps.
+Action arrivals/departures mark only the resources they touch dirty, and
+each share re-solves only the connected components of the flow/resource
+graph containing a dirty resource — the 500 flows of an all-to-all that
+never cross a completed flow's links keep their rates and completion
+estimates untouched.  ``full_reshare=True`` restores the historical
+rebuild-everything path (same results, used as the equivalence oracle by
+the tests and the ablation benchmark).
 """
 
 from __future__ import annotations
@@ -26,7 +36,7 @@ from ..errors import SimulationError
 from ..log import bind_clock, get_logger
 from .action import Action, ActionState, ComputeAction, NetworkAction, SleepAction
 from .cpu_model import CpuModel
-from .maxmin import MaxMinSystem, solve_maxmin
+from .maxmin import IncrementalMaxMin, MaxMinSystem, solve_maxmin
 from .network_model import FactorsNetworkModel, NetworkModel
 from .platform import Platform
 from .resources import Host, Link, SharingPolicy
@@ -38,13 +48,24 @@ _log = get_logger("surf")
 
 @dataclass
 class EngineStats:
-    """Counters for the speed evaluation (Figs. 17/18)."""
+    """Counters for the speed evaluation (Figs. 17/18).
+
+    ``partial_shares`` counts the share calls that re-solved only a strict
+    subset of the live flows (possibly none); ``flows_resolved`` is the
+    total number of flow rates recomputed across all shares, and
+    ``components_solved`` the number of connected components those
+    re-solves covered.  Under ``full_reshare=True`` every share re-solves
+    all flows as one component, so the counters stay comparable.
+    """
 
     steps: int = 0
     shares: int = 0
     actions_created: int = 0
     actions_completed: int = 0
     peak_concurrent: int = 0
+    partial_shares: int = 0
+    flows_resolved: int = 0
+    components_solved: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -56,15 +77,20 @@ class Engine:
         platform: Platform,
         network_model: NetworkModel | None = None,
         cpu_model: CpuModel | None = None,
+        full_reshare: bool = False,
     ) -> None:
         platform.freeze()
         self.platform = platform
         self.network_model = network_model or FactorsNetworkModel()
         self.cpu_model = cpu_model or CpuModel()
+        self.full_reshare = full_reshare
         self.now = 0.0
         self.pending: list[Action] = []
         self.stats = EngineStats()
-        self._dirty = True  # resource shares need recomputation
+        self._needs_share = True  # resource shares need recomputation
+        self._solver = IncrementalMaxMin()
+        #: RUNNING actions currently registered as solver flows, by aid
+        self._members: dict[int, Action] = {}
         self._instant_done: list[Action] = []
         self._dead_resources: set[str] = set()
         bind_clock(lambda: self.now)
@@ -86,15 +112,13 @@ class Engine:
         rate bound; ``rate_cap`` lets callers throttle further (SimGrid's
         ``rate`` argument) and ``extra_latency`` adds protocol delays
         (per-message overheads, rendezvous handshakes).  Host-local
-        transfers get a fixed high-speed loopback treatment.
+        transfers route over the platform's loopback link when one is
+        configured (:meth:`~repro.surf.platform.Platform.set_loopback`),
+        so the installed network model applies to self-sends too; without
+        one they fall back to a fixed high-speed loopback treatment.
         """
         route = self.platform.route(src, dst)
-        if not route.links:  # same host: loopback
-            action = NetworkAction(
-                name, size, (), latency=1e-7 + extra_latency,
-                rate_bound=min(rate_cap, 12.5e9), src=src, dst=dst,
-            )
-        else:
+        if route.links:
             params = self.network_model.transfer_params(size, route.params)
             links = route.links if params.shared else ()
             action = NetworkAction(
@@ -105,6 +129,11 @@ class Engine:
                 rate_bound=min(params.rate_bound, rate_cap),
                 src=src,
                 dst=dst,
+            )
+        else:  # same host, no loopback link configured: constant fallback
+            action = NetworkAction(
+                name, size, (), latency=1e-7 + extra_latency,
+                rate_bound=min(rate_cap, 12.5e9), src=src, dst=dst,
             )
         if self._route_is_dead(route.links):
             action.fail()
@@ -138,7 +167,7 @@ class Engine:
         else:
             self.pending.append(action)
             self.stats.peak_concurrent = max(self.stats.peak_concurrent, len(self.pending))
-        self._dirty = True
+        self._needs_share = True
 
     @property
     def _completed_now(self) -> list[Action]:
@@ -153,13 +182,70 @@ class Engine:
     # -- stepping ----------------------------------------------------------------
 
     def share_resources(self) -> None:
-        """Recompute every RUNNING action's rate with the max-min solver."""
+        """Recompute the rates invalidated since the last share.
+
+        The incremental path syncs the persistent solver's flow membership
+        with the RUNNING actions (arrivals and departures mark the
+        resources they touch dirty) and re-solves only the dirty connected
+        components; every other RUNNING action keeps its rate, which is
+        still the exact max-min solution of its untouched component.  With
+        ``full_reshare=True`` the historical path rebuilds and re-solves
+        the entire system instead.
+        """
         self.stats.shares += 1
+        if self.full_reshare:
+            self._share_full()
+        else:
+            self._share_incremental()
+        self._needs_share = False
+
+    def _share_incremental(self) -> None:
+        solver = self._solver
+        members = self._members
+        for action in self.pending:
+            if action.state is ActionState.RUNNING and action.aid not in members:
+                self._enroll(action)
+        stale = [aid for aid, action in members.items()
+                 if action.state is not ActionState.RUNNING]
+        for aid in stale:
+            solver.remove_flow(aid)
+            del members[aid]
+
+        solved = solver.solve_dirty()
+        for aid in solved:
+            members[aid].rate = solver.rate(aid)
+        self.stats.flows_resolved += len(solved)
+        self.stats.components_solved += solver.last_components
+        if members and len(solved) < len(members):
+            self.stats.partial_shares += 1
+
+    def _enroll(self, action: Action) -> None:
+        """Register a newly-RUNNING action as a solver flow."""
+        solver = self._solver
+        resources = action.constraints()
+        for resource in resources:
+            if isinstance(resource, Link):
+                solver.ensure_constraint(
+                    resource,
+                    resource.bandwidth,
+                    shared=resource.sharing is SharingPolicy.SHARED,
+                    name=resource.name,
+                )
+            else:
+                solver.ensure_constraint(
+                    resource, self.cpu_model.capacity(resource),
+                    name=resource.name,
+                )
+        solver.add_flow(action.aid, resources, bound=action.rate_bound,
+                        weight=action.weight, name=action.name)
+        self._members[action.aid] = action
+
+    def _share_full(self) -> None:
+        """The historical rebuild-everything share (equivalence oracle)."""
         running = [a for a in self.pending if a.state is ActionState.RUNNING]
         for action in running:
             action.rate = 0.0
         if not running:
-            self._dirty = False
             return
 
         system = MaxMinSystem()
@@ -191,11 +277,12 @@ class Engine:
         rates = solve_maxmin(system)
         for action, rate in zip(flow_action, rates):
             action.rate = float(rate)
-        self._dirty = False
+        self.stats.flows_resolved += len(running)
+        self.stats.components_solved += 1
 
     def next_event_delta(self) -> float:
         """Time until the next action completes (inf when none will)."""
-        if self._dirty:
+        if self._needs_share:
             self.share_resources()
         delta = math.inf
         for action in self.pending:
@@ -228,30 +315,39 @@ class Engine:
     def _advance_raw(self, delta: float) -> None:
         """Progress every pending action by ``delta`` (must not cross more
         than one phase boundary — callers bound delta by next_event_delta)."""
-        if self._dirty:
+        if self._needs_share:
             self.share_resources()
         self.now += delta
+        changed = False
         for action in self.pending:
-            action.advance(delta)
-        self._dirty = True
+            changed = action.advance(delta) or changed
+        if changed:
+            # a state transition (latency expiry, completion) invalidates
+            # the shares of the resources that action touches
+            self._needs_share = True
 
     def advance(self, delta: float) -> None:
         """Progress simulated time by exactly ``delta`` seconds.
 
         Unlike :meth:`_advance_raw` this safely crosses any number of
         event boundaries (latency expiries, completions), re-sharing
-        resources and delivering observers at each one.
+        resources and delivering observers at each one.  Like :meth:`step`
+        it raises :class:`SimulationError` when pending actions exist but
+        none can ever finish; the clock only warps to the target when
+        nothing is pending.
         """
         if delta < 0:
             raise SimulationError(f"cannot advance time by {delta}")
         target = self.now + delta
         while self.now < target - 1e-15:
+            self._harvest()  # deliver cancellations before stall detection
+            if not self.pending:
+                break  # nothing left to progress: warp to the target below
             next_delta = self.next_event_delta()
-            chunk = min(next_delta, target - self.now)
-            if math.isinf(chunk):
-                self.now = target
-                break
-            self._advance_raw(chunk)
+            if math.isinf(next_delta):
+                stalled = ", ".join(a.name for a in self.pending[:8])
+                raise SimulationError(f"no action can complete: {stalled}")
+            self._advance_raw(min(next_delta, target - self.now))
             self._harvest()
         self.now = max(self.now, target)
 
@@ -290,7 +386,7 @@ class Engine:
     def cancel(self, action: Action) -> None:
         """Fail a pending action; its observer fires on the next harvest."""
         action.fail()
-        self._dirty = True
+        self._needs_share = True
 
     # -- failure injection (extension) ----------------------------------------------
 
@@ -323,7 +419,7 @@ class Engine:
         for action in self.pending:
             if any(res.name == resource.name for res in action.constraints()):
                 action.fail()
-        self._dirty = True
+        self._needs_share = True
 
     def _route_is_dead(self, links) -> bool:
         return any(link.name in self._dead_resources for link in links)

@@ -28,6 +28,16 @@ Both handle *weighted* sharing (a flow counting as ``weight`` concurrent
 flows on each of its links — SimGrid uses this to model TCP RTT unfairness)
 and links with a FATPIPE policy (no sharing: every flow may use the full
 capacity, used for backplanes that are provisioned not to contend).
+
+On top of the one-shot solvers, :class:`IncrementalMaxMin` keeps a
+bandwidth-sharing problem *alive* across engine steps: flows come and go
+(``add_flow`` / ``remove_flow``), each change marks the constraints it
+touches dirty, and :meth:`IncrementalMaxMin.solve_dirty` re-solves only the
+connected components of the flow/constraint graph reachable from a dirty
+constraint.  The max-min fixed point decomposes exactly over connected
+components (flows in different components share no constraint, transitively),
+so untouched components keep their rates — this is the lazy partial
+invalidation the SimGrid kernel uses to keep the sequential share cheap.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ __all__ = [
     "FlowSpec",
     "ConstraintSpec",
     "MaxMinSystem",
+    "IncrementalMaxMin",
     "solve_maxmin",
     "solve_maxmin_reference",
     "solve_maxmin_vectorized",
@@ -229,12 +240,11 @@ def solve_maxmin_vectorized(system: MaxMinSystem) -> np.ndarray:
     """
     n_flows = len(system.flows)
     n_cons = len(system.constraints)
-    rates = np.zeros(n_flows)
     if n_flows == 0:
-        return rates
+        return np.zeros(0)
 
     # Incidence in index form: entry k means flow frow[k] crosses constraint
-    # fcol[k] with weight fw[k].
+    # fcol[k].
     frow: list[int] = []
     fcol: list[int] = []
     for fid, flow in enumerate(system.flows):
@@ -244,13 +254,45 @@ def solve_maxmin_vectorized(system: MaxMinSystem) -> np.ndarray:
     row = np.asarray(frow, dtype=np.intp)
     col = np.asarray(fcol, dtype=np.intp)
     weights = np.asarray([f.weight for f in system.flows])
-    entry_weight = weights[row]
-
     shared = np.asarray([c.shared for c in system.constraints], dtype=bool)
-    remaining = np.asarray([float(c.capacity) for c in system.constraints])
+    capacities = np.asarray([float(c.capacity) for c in system.constraints])
+    bounds = np.asarray([f.bound for f in system.flows])
+
+    def name_of(fid: int) -> str:
+        return system.flows[fid].name
+
+    return _progressive_fill_arrays(
+        n_flows, n_cons, row, col, weights, bounds, shared, capacities, name_of
+    )
+
+
+def _progressive_fill_arrays(
+    n_flows: int,
+    n_cons: int,
+    row: np.ndarray,
+    col: np.ndarray,
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    shared: np.ndarray,
+    capacities: np.ndarray,
+    name_of,
+) -> np.ndarray:
+    """Array core of progressive filling (shared by the one-shot vectorised
+    solver and the incremental per-component solver).
+
+    ``row``/``col`` are COO-style incidence entries (flow ``row[k]`` crosses
+    constraint ``col[k]``); ``weights``/``bounds`` are per flow, ``shared``/
+    ``capacities`` per constraint; ``name_of`` maps a flow index to a name
+    for error messages.
+    """
+    rates = np.zeros(n_flows)
+    if n_flows == 0:
+        return rates
+    entry_weight = weights[row]
+    remaining = capacities.astype(float, copy=True)
 
     # Per-flow static cap: own bound plus any FATPIPE constraint it crosses.
-    caps = np.asarray([f.bound for f in system.flows])
+    caps = bounds.astype(float, copy=True)
     if not shared.all():
         fat_entries = ~shared[col]
         if fat_entries.any():
@@ -274,7 +316,7 @@ def solve_maxmin_vectorized(system: MaxMinSystem) -> np.ndarray:
         flow_min = caps[active].min()
         level = min(cons_min, flow_min)
         if math.isinf(level):
-            names = [system.flows[i].name for i in np.flatnonzero(active)]
+            names = [name_of(i) for i in np.flatnonzero(active)]
             raise SimulationError("max-min system is unbounded: flows " + ", ".join(names))
 
         if flow_min <= level + _EPS:
@@ -297,3 +339,259 @@ def solve_maxmin_vectorized(system: MaxMinSystem) -> np.ndarray:
         live_entry &= active[row]
 
     raise SimulationError("progressive filling failed to converge")
+
+
+# -- incremental sharing ------------------------------------------------------------
+
+
+class _IncConstraint:
+    """Internal per-resource record of an :class:`IncrementalMaxMin`."""
+
+    __slots__ = ("key", "index", "name", "capacity", "shared", "flows")
+
+    def __init__(self, key, index: int, name: str, capacity: float, shared: bool):
+        self.key = key
+        self.index = index  # stable global index into the capacity arrays
+        self.name = name
+        self.capacity = capacity
+        self.shared = shared
+        self.flows: set = set()  # keys of flows crossing this constraint
+
+
+class _IncFlow:
+    """Internal per-consumer record of an :class:`IncrementalMaxMin`."""
+
+    __slots__ = ("key", "seq", "name", "cons", "cid_array", "bound", "weight")
+
+    def __init__(self, key, seq: int, name: str, cons, cid_array, bound, weight):
+        self.key = key
+        self.seq = seq  # registration order, for deterministic solves
+        self.name = name
+        self.cons = cons  # tuple of _IncConstraint
+        self.cid_array = cid_array  # cached incidence: global constraint ids
+        self.bound = bound
+        self.weight = weight
+
+
+class IncrementalMaxMin:
+    """A max-min sharing problem kept alive across simulation steps.
+
+    Where :class:`MaxMinSystem` is built fresh and solved once, this class
+    holds persistent state — constraints registered by opaque key, flows
+    with cached incidence index arrays, the last solved rate of every flow
+    — and tracks a *dirty set* of constraints touched since the last solve
+    (by flow arrival/departure or capacity change).
+
+    :meth:`solve_dirty` re-solves only the connected components of the
+    flow/constraint graph reachable from a dirty constraint.  Because the
+    max-min fixed point is unique and decomposes over connected components
+    (two flows that share no constraint, even transitively, cannot affect
+    each other's rate), untouched components keep their previous rates —
+    the solution is identical to a full re-solve.  FATPIPE constraints cap
+    flows individually without coupling them, so they seed dirtiness but do
+    not merge components.
+    """
+
+    def __init__(self) -> None:
+        self._cons: dict = {}  # key -> _IncConstraint
+        self._flows: dict = {}  # key -> _IncFlow
+        self._rates: dict = {}  # key -> last solved rate
+        self._dirty_cons: set = set()
+        self._dirty_flows: set = set()
+        self._seq = 0
+        # global capacity/shared arrays indexed by _IncConstraint.index,
+        # grown geometrically so component solves can fancy-index them
+        self._cap_arr = np.zeros(16)
+        self._shared_arr = np.ones(16, dtype=bool)
+        self._n_cons = 0
+        #: statistics of the most recent :meth:`solve_dirty` call
+        self.last_components = 0
+        self.last_flows_solved = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._flows)
+
+    def __contains__(self, key) -> bool:
+        return key in self._flows
+
+    def ensure_constraint(
+        self, key, capacity: float, shared: bool = True, name: str | None = None
+    ) -> None:
+        """Register (or update) the resource identified by ``key``.
+
+        Re-registering with a different capacity or policy marks the
+        constraint dirty so dependent flows are re-solved.
+        """
+        cons = self._cons.get(key)
+        if cons is None:
+            if capacity < 0:
+                raise SimulationError(f"constraint {name or key!r}: negative capacity")
+            index = self._n_cons
+            self._n_cons += 1
+            if index >= len(self._cap_arr):
+                self._cap_arr = np.resize(self._cap_arr, 2 * len(self._cap_arr))
+                self._shared_arr = np.resize(self._shared_arr, len(self._cap_arr))
+            self._cap_arr[index] = capacity
+            self._shared_arr[index] = shared
+            self._cons[key] = _IncConstraint(key, index, name or str(key), capacity, shared)
+        elif cons.capacity != capacity or cons.shared != shared:
+            cons.capacity = capacity
+            cons.shared = shared
+            self._cap_arr[cons.index] = capacity
+            self._shared_arr[cons.index] = shared
+            self._dirty_cons.add(key)
+
+    def add_flow(
+        self,
+        key,
+        constraint_keys,
+        bound: float = math.inf,
+        weight: float = 1.0,
+        name: str | None = None,
+    ) -> None:
+        """Register a consumer crossing ``constraint_keys`` (all pre-registered)."""
+        if key in self._flows:
+            raise SimulationError(f"flow {name or key!r} already registered")
+        if weight <= 0:
+            raise SimulationError(f"flow {name or key!r}: weight must be > 0")
+        if bound < 0:
+            raise SimulationError(f"flow {name or key!r}: negative bound")
+        cons = []
+        for ckey in constraint_keys:
+            record = self._cons.get(ckey)
+            if record is None:
+                raise SimulationError(
+                    f"flow {name or key!r} references unknown constraint {ckey!r}"
+                )
+            cons.append(record)
+        flow = _IncFlow(
+            key,
+            self._seq,
+            name or str(key),
+            tuple(cons),
+            np.asarray([c.index for c in cons], dtype=np.intp),
+            bound,
+            weight,
+        )
+        self._seq += 1
+        self._flows[key] = flow
+        self._dirty_flows.add(key)
+        for record in cons:
+            record.flows.add(key)
+            if record.shared:
+                self._dirty_cons.add(record.key)
+
+    def remove_flow(self, key) -> None:
+        """Unregister a consumer, freeing its share for its neighbours."""
+        flow = self._flows.pop(key)
+        self._rates.pop(key, None)
+        self._dirty_flows.discard(key)
+        for record in flow.cons:
+            record.flows.discard(key)
+            if record.shared:
+                # neighbours on a shared constraint inherit the freed share
+                self._dirty_cons.add(record.key)
+
+    def mark_dirty(self, key) -> None:
+        """Force re-solving of the component around constraint ``key``."""
+        if key in self._cons:
+            self._dirty_cons.add(key)
+
+    def rate(self, key) -> float:
+        """Last solved rate of flow ``key``."""
+        return self._rates[key]
+
+    # -- solving --------------------------------------------------------------
+
+    def solve_dirty(self) -> set:
+        """Re-solve every component touching a dirty constraint.
+
+        Returns the keys of the flows whose rate was recomputed; all other
+        flows keep their previous rate (which is still the exact max-min
+        solution for their untouched component).  Sets
+        :attr:`last_components` / :attr:`last_flows_solved`.
+        """
+        self.last_components = 0
+        self.last_flows_solved = 0
+        if not self._dirty_cons and not self._dirty_flows:
+            return set()
+        seeds = set(self._dirty_flows)
+        for ckey in self._dirty_cons:
+            record = self._cons.get(ckey)
+            if record is not None:
+                seeds.update(record.flows)
+        self._dirty_cons.clear()
+        self._dirty_flows.clear()
+
+        solved: set = set()
+        flows = self._flows
+        for seed in sorted(seeds, key=lambda k: flows[k].seq):
+            if seed in solved or seed not in flows:
+                continue
+            component = self._collect_component(seed, solved)
+            self._solve_component(component)
+            self.last_components += 1
+            self.last_flows_solved += len(component)
+        return solved
+
+    def _collect_component(self, seed, solved: set) -> list:
+        """Flows transitively connected to ``seed`` via shared constraints."""
+        members = []
+        stack = [seed]
+        seen_cons: set = set()
+        while stack:
+            key = stack.pop()
+            if key in solved:
+                continue
+            solved.add(key)
+            flow = self._flows[key]
+            members.append(flow)
+            for record in flow.cons:
+                # FATPIPE constraints cap flows individually: they do not
+                # couple flows into one component
+                if not record.shared or record.key in seen_cons:
+                    continue
+                seen_cons.add(record.key)
+                stack.extend(record.flows)
+        members.sort(key=lambda f: f.seq)
+        return members
+
+    def _solve_component(self, members: list) -> None:
+        if len(members) == 1:
+            # closed form: a lone flow takes its bound or its tightest cap
+            flow = members[0]
+            rate = flow.bound
+            for record in flow.cons:
+                rate = min(rate, record.capacity / flow.weight)
+            if math.isinf(rate):
+                raise SimulationError(
+                    "max-min system is unbounded: flows " + flow.name
+                )
+            self._rates[flow.key] = float(rate)
+            return
+
+        counts = [len(f.cid_array) for f in members]
+        row = np.repeat(np.arange(len(members), dtype=np.intp), counts)
+        if row.size:
+            concat = np.concatenate([f.cid_array for f in members])
+            local_cons, col = np.unique(concat, return_inverse=True)
+            col = col.astype(np.intp, copy=False)
+        else:
+            local_cons = np.zeros(0, dtype=np.intp)
+            col = np.zeros(0, dtype=np.intp)
+        weights = np.asarray([f.weight for f in members])
+        bounds = np.asarray([f.bound for f in members])
+        capacities = self._cap_arr[local_cons]
+        shared = self._shared_arr[local_cons]
+
+        def name_of(fid: int) -> str:
+            return members[fid].name
+
+        rates = _progressive_fill_arrays(
+            len(members), len(local_cons), row, col, weights, bounds,
+            shared, capacities, name_of,
+        )
+        for flow, rate in zip(members, rates):
+            self._rates[flow.key] = float(rate)

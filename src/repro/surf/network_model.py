@@ -143,14 +143,22 @@ class AffineNetworkModel(NetworkModel):
         self.alpha = alpha
         self.beta = beta
         self.calibration_route = calibration_route
-        self.latency_factor = alpha / calibration_route.latency if calibration_route.latency > 0 else 1.0
+        if calibration_route.latency > 0:
+            self.latency_factor = alpha / calibration_route.latency
+            self.latency_offset = 0.0
+        else:
+            # A zero-latency calibration route cannot express α as a
+            # relative factor; charge it as absolute extra latency rather
+            # than silently discarding the fitted overhead.
+            self.latency_factor = 1.0
+            self.latency_offset = alpha
         self.bandwidth_factor = beta / calibration_route.bandwidth
         if label:
             self.name = label
 
     def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
         return TransferParams(
-            latency=self.latency_factor * route.latency,
+            latency=self.latency_factor * route.latency + self.latency_offset,
             rate_bound=self.bandwidth_factor * route.bandwidth,
         )
 
@@ -161,7 +169,9 @@ class PiecewiseSegment:
 
     α, β are the absolute fitted values on the calibration route;
     ``latency_factor`` / ``bandwidth_factor`` are the corrections relative
-    to the calibration route's physical parameters.
+    to the calibration route's physical parameters.  ``latency_offset``
+    carries α as an absolute extra latency when the calibration route has
+    zero latency (no factor can express it then).
     """
 
     lo: float
@@ -170,6 +180,7 @@ class PiecewiseSegment:
     beta: float
     latency_factor: float
     bandwidth_factor: float
+    latency_offset: float = 0.0
 
     def predict(self, size: float) -> float:
         return self.alpha + size / self.beta
@@ -217,13 +228,16 @@ class PiecewiseLinearNetworkModel(NetworkModel):
         for lo, hi, alpha, beta in fitted:
             if beta <= 0:
                 raise CalibrationError(f"segment [{lo},{hi}): beta must be > 0")
-            lat_f = (
-                alpha / calibration_route.latency
-                if calibration_route.latency > 0
-                else 1.0
-            )
+            if calibration_route.latency > 0:
+                lat_f, lat_off = alpha / calibration_route.latency, 0.0
+            else:
+                # zero-latency calibration route: keep the fitted α as an
+                # absolute offset instead of discarding it
+                lat_f, lat_off = 1.0, alpha
             bw_f = beta / calibration_route.bandwidth
-            segments.append(PiecewiseSegment(lo, hi, alpha, beta, lat_f, bw_f))
+            segments.append(
+                PiecewiseSegment(lo, hi, alpha, beta, lat_f, bw_f, lat_off)
+            )
         return cls(segments, label=label)
 
     def segment_for(self, size: float) -> PiecewiseSegment:
@@ -239,7 +253,7 @@ class PiecewiseLinearNetworkModel(NetworkModel):
     def transfer_params(self, size: float, route: RouteParams) -> TransferParams:
         seg = self.segment_for(size)
         return TransferParams(
-            latency=seg.latency_factor * route.latency,
+            latency=seg.latency_factor * route.latency + seg.latency_offset,
             rate_bound=seg.bandwidth_factor * route.bandwidth,
         )
 

@@ -38,6 +38,8 @@ class Platform:
         self._hosts: dict[str, Host] = {}
         self._links: dict[str, Link] = {}
         self._routing = RoutingTable()
+        self._loopbacks: dict[str, Link] = {}
+        self._default_loopback: Link | None = None
         self._frozen = False
 
     # -- construction ---------------------------------------------------------
@@ -79,6 +81,28 @@ class Platform:
         """Add a graph edge between two nodes (host or router names)."""
         self._check_mutable()
         self._routing.add_edge(a, b, self._resolve_link(link))
+
+    def set_loopback(self, link: Link | str, host: str | None = None) -> Link:
+        """Route host-local transfers through ``link``.
+
+        With ``host=None`` the link becomes the loopback of every host;
+        a per-host loopback overrides the default.  Routing self-sends
+        over a real link lets calibrated network models apply to them
+        (the engine otherwise falls back to fixed loopback constants).
+        """
+        self._check_mutable()
+        resolved = self._resolve_link(link)
+        if host is None:
+            self._default_loopback = resolved
+        else:
+            if host not in self._hosts:
+                raise PlatformError(f"loopback endpoint {host!r} is not a host")
+            self._loopbacks[host] = resolved
+        return resolved
+
+    def loopback(self, host: str) -> Link | None:
+        """The loopback link of ``host`` (None when not configured)."""
+        return self._loopbacks.get(host, self._default_loopback)
 
     def _resolve_link(self, link: Link | str) -> Link:
         if isinstance(link, Link):
@@ -123,6 +147,10 @@ class Platform:
         for endpoint in (src, dst):
             if endpoint not in self._hosts:
                 raise PlatformError(f"route endpoint {endpoint!r} is not a host")
+        if src == dst:
+            loopback = self.loopback(src)
+            if loopback is not None:
+                return Route(src, dst, (loopback,))
         return self._routing.resolve(src, dst)
 
     def host_names(self) -> list[str]:
@@ -147,12 +175,22 @@ def cluster(
     cores: int = 1,
     memory: int | str = "16GiB",
     prefix: str = "node-",
+    loopback_bandwidth: float | str | None = None,
+    loopback_latency: float | str = "100ns",
+    split_duplex: bool = False,
 ) -> Platform:
     """A single-switch cluster with per-node access links and a backbone.
 
     The defaults model a Gigabit-Ethernet cluster (125 MB/s access links)
     with a 10 Gb switch fabric.  Pass ``backbone_bandwidth=None`` for an
-    ideal crossbar without any shared fabric.
+    ideal crossbar without any shared fabric.  ``loopback_bandwidth``
+    adds a FATPIPE loopback link shared by all hosts so the network model
+    applies to self-sends (SimGrid's ``<cluster loopback_bw=...>``); left
+    ``None``, the engine uses its fixed loopback constants.
+    ``split_duplex=True`` models full-duplex access links as two SHARED
+    half-links per node (SimGrid's SPLITDUPLEX cluster sharing policy):
+    a route then crosses the sender's up-link and the receiver's
+    down-link, so opposite directions do not contend.
     """
     if n_hosts < 1:
         raise PlatformError("cluster needs at least one host")
@@ -163,22 +201,41 @@ def cluster(
             Link(f"{name}-backbone", backbone_bandwidth, backbone_latency,
                  backbone_sharing)
         )
-    node_links = []
+    if loopback_bandwidth is not None:
+        platform.set_loopback(
+            Link(f"{name}-loopback", loopback_bandwidth, loopback_latency,
+                 SharingPolicy.FATPIPE)
+        )
+    up_links: list[Link] = []
+    down_links: list[Link] = []
     for i in range(n_hosts):
-        host = platform.add_host(
+        platform.add_host(
             Host(f"{prefix}{i}", host_speed, cores=cores, memory=memory)
         )
-        node_links.append(
-            platform.add_link(Link(f"{name}-l{i}", link_bandwidth, link_latency))
-        )
-        del host
+        if split_duplex:
+            up_links.append(
+                platform.add_link(
+                    Link(f"{name}-l{i}-up", link_bandwidth, link_latency)
+                )
+            )
+            down_links.append(
+                platform.add_link(
+                    Link(f"{name}-l{i}-down", link_bandwidth, link_latency)
+                )
+            )
+        else:
+            link = platform.add_link(
+                Link(f"{name}-l{i}", link_bandwidth, link_latency)
+            )
+            up_links.append(link)
+            down_links.append(link)
     for i in range(n_hosts):
         for j in range(n_hosts):
             if i == j:
                 continue
-            path: tuple[Link, ...] = (node_links[i],) + (
+            path: tuple[Link, ...] = (up_links[i],) + (
                 (backbone,) if backbone is not None else ()
-            ) + (node_links[j],)
+            ) + (down_links[j],)
             platform.add_route(f"{prefix}{i}", f"{prefix}{j}", path, symmetric=False)
     return platform
 

@@ -126,3 +126,33 @@ class TestCommands:
     def test_coll_option_validation(self, app_file, capsys):
         assert main(["run", app_file, "-n", "2", "--platform", "cluster:2",
                      "--coll", "not-a-pair"]) == 2
+
+
+class TestStatsFlag:
+    def test_run_prints_kernel_stats(self, app_file, capsys):
+        assert main(["run", app_file, "-n", "4", "--platform", "cluster:4",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel stats" in out
+        assert "flows resolved" in out
+        assert "partial shares" in out
+        assert "components solved" in out
+
+    def test_full_reshare_same_simulated_time(self, app_file, capsys):
+        main(["run", app_file, "-n", "4", "--platform", "cluster:4"])
+        default_out = capsys.readouterr().out
+        main(["run", app_file, "-n", "4", "--platform", "cluster:4",
+              "--full-reshare"])
+        full_out = capsys.readouterr().out
+        pick = lambda out: next(l for l in out.splitlines()
+                                if l.startswith("simulated"))
+        assert pick(default_out) == pick(full_out)
+
+    def test_replay_accepts_stats(self, app_file, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.json")
+        main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+              "--record", trace_path])
+        capsys.readouterr()
+        assert main(["replay", trace_path, "--platform", "cluster:2",
+                     "--stats"]) == 0
+        assert "kernel stats" in capsys.readouterr().out

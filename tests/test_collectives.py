@@ -377,7 +377,8 @@ def test_alltoall(algo, n):
             assert block == expected.tolist(), (rank, peer)
 
 
-def test_alltoallv_uneven():
+@pytest.mark.parametrize("algo", sorted(ALGORITHMS["alltoallv"]))
+def test_alltoallv_uneven(algo):
     def app(mpi, _elems):
         comm = mpi.COMM_WORLD
         size = mpi.size
@@ -392,7 +393,7 @@ def test_alltoallv_uneven():
         return recv.tolist()
 
     n = 4
-    result = run_coll(app, n)
+    result = run_coll(app, n, {"alltoallv": algo})
     for rank, got in enumerate(result.returns):
         offset = 0
         for peer in range(n):
@@ -403,6 +404,32 @@ def test_alltoallv_uneven():
             )
             assert got[offset : offset + count] == expected.tolist()
             offset += count
+
+
+def test_alltoallv_pairwise_skips_zero_counts():
+    """The pairwise schedule must stay matched when some counts are 0."""
+
+    def app(mpi, _elems):
+        comm = mpi.COMM_WORLD
+        size = mpi.size
+        # rank r sends only to peers with the opposite parity
+        sendcounts = [2 if (mpi.rank + p) % 2 else 0 for p in range(size)]
+        sdispls = np.concatenate([[0], np.cumsum(sendcounts)[:-1]]).astype(int).tolist()
+        send = np.full(sum(sendcounts), float(mpi.rank))
+        recvcounts = [2 if (mpi.rank + p) % 2 else 0 for p in range(size)]
+        rdispls = np.concatenate([[0], np.cumsum(recvcounts)[:-1]]).astype(int).tolist()
+        recv = np.full(sum(recvcounts), -1.0)
+        comm.Alltoallv(send, sendcounts, sdispls, recv, recvcounts, rdispls)
+        return recv.tolist()
+
+    n = 4
+    result = run_coll(app, n, {"alltoallv": "pairwise"})
+    for rank, got in enumerate(result.returns):
+        expected = []
+        for peer in range(n):
+            if (rank + peer) % 2:
+                expected.extend([float(peer)] * 2)
+        assert got == expected, rank
 
 
 # ---------------------------------------------------------------- schedules

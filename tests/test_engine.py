@@ -222,3 +222,184 @@ class TestNetworkModels:
     def test_describe_mentions_all_segments(self):
         text = self._pw().describe()
         assert text.count("alpha=") == 3
+
+
+class TestAdvanceConsistency:
+    """advance() must behave like repeated step(): raise on stalled
+    pending actions and warp to the target only when nothing is pending."""
+
+    def test_advance_warps_when_idle(self):
+        engine = Engine(gige())
+        engine.advance(5.0)
+        assert engine.now == pytest.approx(5.0)
+
+    def test_advance_crosses_events_and_lands_on_target(self):
+        engine = Engine(gige())
+        action = engine.communicate("node-0", "node-1", 1_000_000)
+        engine.advance(1.0)
+        assert engine.now == pytest.approx(1.0)
+        assert action.state is ActionState.DONE
+        assert action.finish_time < 1.0
+
+    def test_advance_raises_on_stalled_action(self):
+        engine = Engine(gige())
+        stalled = engine.communicate("node-0", "node-1", 1_000, rate_cap=0.0)
+        # burn the latency phase, then the transfer can never progress
+        with pytest.raises(SimulationError, match="no action can complete"):
+            engine.advance(10.0)
+        assert stalled.is_pending
+
+    def test_step_raises_on_stalled_action_too(self):
+        engine = Engine(gige())
+        engine.communicate("node-0", "node-1", 1_000, rate_cap=0.0)
+        with pytest.raises(SimulationError, match="no action can complete"):
+            while True:
+                engine.step()
+
+    def test_advance_delivers_cancellations_without_stall_error(self):
+        engine = Engine(gige())
+        action = engine.communicate("node-0", "node-1", 1_000, rate_cap=0.0)
+        engine.cancel(action)
+        engine.advance(1.0)  # must not raise: the only action was cancelled
+        assert engine.now == pytest.approx(1.0)
+        assert action.state is ActionState.FAILED
+
+
+class TestLoopbackRouting:
+    def test_loopback_link_uses_network_model(self):
+        platform = cluster("lb", 2, loopback_bandwidth="10GBps",
+                           loopback_latency="1us")
+        engine = Engine(platform, network_model=FactorsNetworkModel(1.0, 1.0))
+        action = engine.communicate("node-0", "node-0", 10_000_000)
+        engine.run()
+        assert action.finish_time == pytest.approx(1e-6 + 10_000_000 / 10e9,
+                                                   rel=1e-6)
+
+    def test_loopback_fallback_constants_without_link(self):
+        engine = Engine(cluster("lb2", 2))
+        action = engine.communicate("node-0", "node-0", 12.5e9)
+        engine.run()
+        # fixed fallback: 100 ns latency at 12.5 GB/s
+        assert action.finish_time == pytest.approx(1e-7 + 1.0, rel=1e-6)
+
+    def test_loopback_is_fatpipe_not_contended(self):
+        platform = cluster("lb3", 2, loopback_bandwidth="10GBps",
+                           loopback_latency="1us")
+        engine = Engine(platform, network_model=FactorsNetworkModel(1.0, 1.0))
+        first = engine.communicate("node-0", "node-0", 10_000_000)
+        second = engine.communicate("node-1", "node-1", 10_000_000)
+        engine.run()
+        # FATPIPE: both self-sends run at the full loopback rate
+        assert first.finish_time == pytest.approx(second.finish_time)
+        assert first.finish_time == pytest.approx(1e-6 + 10_000_000 / 10e9,
+                                                  rel=1e-6)
+
+
+class TestLatencyOffsetFallback:
+    ZERO_LAT_ROUTE = RouteParams(latency=0.0, bandwidth=125e6)
+
+    def test_affine_alpha_survives_zero_latency_calibration(self):
+        model = AffineNetworkModel(2e-4, 100e6, self.ZERO_LAT_ROUTE)
+        params = model.transfer_params(1000, self.ZERO_LAT_ROUTE)
+        assert params.latency == pytest.approx(2e-4)
+        other = RouteParams(latency=5e-5, bandwidth=125e6)
+        assert model.transfer_params(1000, other).latency == pytest.approx(
+            5e-5 + 2e-4
+        )
+
+    def test_piecewise_alpha_survives_zero_latency_calibration(self):
+        model = PiecewiseLinearNetworkModel.from_segments(
+            [
+                (0.0, 1024.0, 1e-4, 50e6),
+                (1024.0, math.inf, 4e-4, 115e6),
+            ],
+            self.ZERO_LAT_ROUTE,
+        )
+        assert model.predict_time(100, self.ZERO_LAT_ROUTE) == pytest.approx(
+            1e-4 + 100 / 50e6
+        )
+        assert model.predict_time(1 << 20, self.ZERO_LAT_ROUTE) == pytest.approx(
+            4e-4 + (1 << 20) / 115e6
+        )
+
+
+class TestIncrementalSharing:
+    """The dirty-set engine must match full re-sharing exactly while
+    re-solving fewer flows."""
+
+    @staticmethod
+    def _staggered_workload(engine):
+        """Disjoint pairs with staggered starts/sizes on a crossbar."""
+        finish = {}
+        for i in range(0, 8, 2):
+            size = 1_000_000 * (i + 1)
+
+            def make_next(src, dst, nxt_size):
+                def start_next(_action):
+                    follow = engine.communicate(src, dst, nxt_size,
+                                                name=f"follow-{src}")
+                    finish[follow.name] = follow
+                return start_next
+
+            first = engine.communicate(f"node-{i}", f"node-{i + 1}", size,
+                                       name=f"pair-{i}")
+            first.observer = make_next(f"node-{i}", f"node-{i + 1}",
+                                       size // 2)
+            finish[first.name] = first
+        engine.execute("node-0", 5e8, name="overlap-compute")
+        engine.run()
+        return {name: a.finish_time for name, a in finish.items()}
+
+    def _platform(self):
+        return cluster("inceq", 8, backbone_bandwidth=None, split_duplex=True)
+
+    def test_identical_times_and_fewer_resolves(self):
+        inc = Engine(self._platform())
+        t_inc = self._staggered_workload(inc)
+        full = Engine(self._platform(), full_reshare=True)
+        t_full = self._staggered_workload(full)
+        assert t_inc == t_full
+        assert inc.stats.flows_resolved < full.stats.flows_resolved
+        assert inc.stats.partial_shares > 0
+        assert full.stats.partial_shares == 0
+
+    def test_full_reshare_flag_is_recorded(self):
+        engine = Engine(self._platform(), full_reshare=True)
+        assert engine.full_reshare
+
+    def test_component_counters_populate(self):
+        engine = Engine(self._platform())
+        engine.communicate("node-0", "node-1", 1_000_000)
+        engine.communicate("node-2", "node-3", 1_000_000)
+        engine.run()
+        assert engine.stats.flows_resolved >= 2
+        assert engine.stats.components_solved >= 2
+
+    def test_cancel_triggers_reshare_for_neighbours(self):
+        engine = Engine(cluster("cx", 2))
+        slow = engine.communicate("node-0", "node-1", 10_000_000, name="slow")
+        victim = engine.communicate("node-0", "node-1", 10_000_000,
+                                    name="victim")
+        engine.advance(0.01)  # both past latency, sharing the access link
+        engine.cancel(victim)
+        engine.run()
+        solo = Engine(cluster("cy", 2))
+        alone = solo.communicate("node-0", "node-1", 10_000_000, name="slow")
+        solo.advance(0.01)
+        solo.run()
+        # after the cancel the survivor speeds up to the solo rate; its
+        # finish time sits between the solo and the fully-contended case
+        assert slow.finish_time < 2 * alone.finish_time - 0.01
+        assert victim.state is ActionState.FAILED
+
+    def test_fail_resource_matches_between_modes(self):
+        for full in (False, True):
+            platform = cluster("fr", 4)
+            engine = Engine(platform, full_reshare=full)
+            doomed = engine.communicate("node-0", "node-1", 50_000_000)
+            safe = engine.communicate("node-2", "node-3", 1_000_000)
+            engine.advance(0.001)
+            engine.fail_resource(platform.link("fr-l0"))
+            engine.run()
+            assert doomed.state is ActionState.FAILED, full
+            assert safe.state is ActionState.DONE, full

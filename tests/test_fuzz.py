@@ -230,3 +230,44 @@ def test_offline_replay_matches_online_for_random_chains(sizes):
     assert replayed.simulated_time == pytest.approx(
         online.simulated_time, rel=1e-12
     )
+
+
+# -- incremental vs full re-sharing ---------------------------------------------------
+
+
+@given(st.lists(exchange, min_size=1, max_size=10), st.integers(0, 50))
+@settings(max_examples=15, deadline=None)
+def test_incremental_sharing_is_invisible(pattern, seed):
+    """For any message pattern, the incremental dirty-set kernel and the
+    full re-share kernel produce bit-identical simulated times."""
+    from repro.surf import Engine
+
+    pattern = [(s, d, n, t) for (s, d, n, t) in pattern if s != d]
+    if not pattern:
+        return
+
+    def app(mpi):
+        from repro.smpi import request as rq
+
+        comm = mpi.COMM_WORLD
+        reqs = []
+        for index, (src, dst, nbytes, tag) in enumerate(pattern):
+            if mpi.rank == dst:
+                buf = np.zeros(nbytes, dtype=np.uint8)
+                reqs.append(comm.Irecv(buf, src, tag * 100 + index))
+        for index, (src, dst, nbytes, tag) in enumerate(pattern):
+            if mpi.rank == src:
+                payload = np.full(nbytes, index % 251, dtype=np.uint8)
+                reqs.append(comm.Isend(payload, dst, tag * 100 + index))
+        rq.waitall(reqs)
+        if seed % 2:
+            mpi.execute(1e6 * (mpi.rank + 1))
+        return mpi.wtime()
+
+    times = {}
+    for full in (False, True):
+        platform = cluster("inv", 4, split_duplex=bool(seed % 3))
+        engine = Engine(platform, full_reshare=full)
+        result = smpirun(app, 4, platform, engine=engine)
+        times[full] = (result.simulated_time, tuple(result.returns))
+    assert times[False] == times[True]

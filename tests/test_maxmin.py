@@ -210,3 +210,189 @@ def test_equal_flows_share_equally(n, capacity):
     system = make_system([capacity], [((0,), math.inf, 1.0)] * n)
     rates = solve_maxmin_vectorized(system)
     np.testing.assert_allclose(rates, capacity / n, rtol=1e-9)
+
+
+# -- incremental solver ---------------------------------------------------------------
+
+
+class TestIncrementalMaxMin:
+    """Unit behaviour of the persistent dirty-set solver."""
+
+    def _solver(self):
+        from repro.surf.maxmin import IncrementalMaxMin
+
+        return IncrementalMaxMin()
+
+    def test_single_flow_gets_capacity(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        assert inc.solve_dirty() == {"f0"}
+        assert inc.rate("f0") == pytest.approx(100.0)
+
+    def test_arrival_only_resolves_its_component(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.ensure_constraint("c1", 60.0)
+        inc.add_flow("f0", ["c0"])
+        inc.add_flow("f1", ["c1"])
+        inc.solve_dirty()
+        # a new flow on c1 must not re-solve the c0 component
+        inc.add_flow("f2", ["c1"])
+        solved = inc.solve_dirty()
+        assert solved == {"f1", "f2"}
+        assert inc.last_components == 1
+        assert inc.rate("f0") == pytest.approx(100.0)
+        assert inc.rate("f1") == pytest.approx(30.0)
+        assert inc.rate("f2") == pytest.approx(30.0)
+
+    def test_departure_redistributes_to_neighbours(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.add_flow("f1", ["c0"])
+        inc.solve_dirty()
+        assert inc.rate("f0") == pytest.approx(50.0)
+        inc.remove_flow("f1")
+        assert inc.solve_dirty() == {"f0"}
+        assert inc.rate("f0") == pytest.approx(100.0)
+        assert "f1" not in inc
+
+    def test_nothing_dirty_solves_nothing(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.solve_dirty()
+        assert inc.solve_dirty() == set()
+        assert inc.last_components == 0
+
+    def test_capacity_update_marks_dirty(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.solve_dirty()
+        inc.ensure_constraint("c0", 40.0)
+        assert inc.solve_dirty() == {"f0"}
+        assert inc.rate("f0") == pytest.approx(40.0)
+
+    def test_fatpipe_does_not_couple_components(self):
+        inc = self._solver()
+        inc.ensure_constraint("pipe", 100.0, shared=False)
+        inc.ensure_constraint("c0", 80.0)
+        inc.ensure_constraint("c1", 60.0)
+        inc.add_flow("f0", ["c0", "pipe"])
+        inc.add_flow("f1", ["c1", "pipe"])
+        inc.solve_dirty()
+        # the FATPIPE caps each flow individually but must not merge the
+        # c0 and c1 components: a change on c1 leaves f0 untouched
+        inc.ensure_constraint("c1", 30.0)
+        assert inc.solve_dirty() == {"f1"}
+        assert inc.rate("f0") == pytest.approx(80.0)
+        assert inc.rate("f1") == pytest.approx(30.0)
+
+    def test_transitive_component_is_resolved_together(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.ensure_constraint("c1", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.add_flow("bridge", ["c0", "c1"])
+        inc.add_flow("f1", ["c1"])
+        inc.solve_dirty()
+        inc.ensure_constraint("c0", 10.0)
+        # the chain c0 -bridge- c1 is one component
+        assert inc.solve_dirty() == {"f0", "bridge", "f1"}
+
+    def test_bound_and_weight_respected(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"], bound=10.0)
+        inc.add_flow("f1", ["c0"], weight=2.0)
+        inc.solve_dirty()
+        assert inc.rate("f0") == pytest.approx(10.0)
+        assert inc.rate("f1") == pytest.approx(45.0)
+
+    def test_unknown_constraint_rejected(self):
+        inc = self._solver()
+        with pytest.raises(SimulationError):
+            inc.add_flow("f0", ["nope"])
+
+    def test_unconstrained_unbounded_flow_raises(self):
+        inc = self._solver()
+        inc.add_flow("free", [])
+        with pytest.raises(SimulationError):
+            inc.solve_dirty()
+
+    def test_duplicate_flow_rejected(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        with pytest.raises(SimulationError):
+            inc.add_flow("f0", ["c0"])
+
+    def test_validation(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        with pytest.raises(SimulationError):
+            inc.add_flow("f0", ["c0"], weight=0.0)
+        with pytest.raises(SimulationError):
+            inc.add_flow("f0", ["c0"], bound=-1.0)
+        with pytest.raises(SimulationError):
+            inc.ensure_constraint("neg", -5.0)
+
+
+def _random_incremental_trace(gen, n_cons=6, n_events=40):
+    """Yield (incremental solver, batch solver snapshot) after random churn.
+
+    Drives an :class:`IncrementalMaxMin` through a random sequence of flow
+    arrivals and departures with a :meth:`solve_dirty` after every event,
+    and cross-checks the surviving rates against a fresh batch solve of
+    the same system after each one.
+    """
+    from repro.surf.maxmin import IncrementalMaxMin
+
+    inc = IncrementalMaxMin()
+    capacities = [float(gen.uniform(10, 1000)) for _ in range(n_cons)]
+    shared = [bool(gen.random() < 0.85) for _ in range(n_cons)]
+    for i, (cap, sh) in enumerate(zip(capacities, shared)):
+        inc.ensure_constraint(i, cap, shared=sh)
+    live: dict[int, tuple[tuple[int, ...], float, float]] = {}
+    next_id = 0
+    for _ in range(n_events):
+        departing = live and gen.random() < 0.4
+        if departing:
+            key = sorted(live)[int(gen.integers(0, len(live)))]
+            inc.remove_flow(key)
+            del live[key]
+        else:
+            k = int(gen.integers(1, min(4, n_cons) + 1))
+            cids = tuple(sorted(gen.choice(n_cons, size=k, replace=False).tolist()))
+            bound = math.inf if gen.random() < 0.5 else float(gen.uniform(1, 500))
+            weight = float(gen.uniform(0.5, 3.0))
+            inc.add_flow(next_id, cids, bound=bound, weight=weight)
+            live[next_id] = (cids, bound, weight)
+            next_id += 1
+        inc.solve_dirty()
+        yield inc, live, capacities, shared
+
+
+def test_incremental_matches_batch_solvers_under_churn():
+    """Property-style fuzz: after every arrival/departure the incremental
+    rates equal a fresh reference *and* vectorised solve of the live
+    system (seeded via repro.rng)."""
+    from repro import rng as rng_mod
+
+    for trial in range(8):
+        gen = rng_mod.substream(2026, "maxmin-incremental", trial)
+        for inc, live, capacities, shared in _random_incremental_trace(gen):
+            system = MaxMinSystem()
+            for i, (cap, sh) in enumerate(zip(capacities, shared)):
+                system.add_constraint(f"c{i}", cap, shared=sh)
+            order = sorted(live)
+            for key in order:
+                cids, bound, weight = live[key]
+                system.add_flow(f"f{key}", cids, bound=bound, weight=weight)
+            ref = solve_maxmin_reference(system)
+            vec = solve_maxmin_vectorized(system)
+            got = np.array([inc.rate(key) for key in order])
+            np.testing.assert_allclose(ref, vec, rtol=1e-9, atol=1e-9)
+            np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)

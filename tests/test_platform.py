@@ -229,3 +229,55 @@ class TestXml:
         platform.add_route("a", "b", [fat])
         xml = dumps_platform_xml(platform)
         assert 'sharing_policy="FATPIPE"' in xml
+
+
+class TestLoopbackConfiguration:
+    def test_default_loopback_applies_to_every_host(self):
+        platform = cluster("lbp", 3, loopback_bandwidth="10GBps")
+        for name in platform.host_names():
+            route = platform.route(name, name)
+            assert [l.name for l in route.links] == ["lbp-loopback"]
+
+    def test_per_host_loopback_overrides_default(self):
+        platform = cluster("lbq", 2, loopback_bandwidth="10GBps")
+        special = Link("special-lb", "20GBps", "1ns")
+        platform.set_loopback(special, host="node-0")
+        assert platform.route("node-0", "node-0").links[0].name == "special-lb"
+        assert platform.route("node-1", "node-1").links[0].name == "lbq-loopback"
+
+    def test_no_loopback_keeps_empty_self_route(self):
+        platform = cluster("lbr", 2)
+        assert platform.route("node-0", "node-0").links == ()
+
+    def test_loopback_rejects_unknown_host(self):
+        platform = cluster("lbs", 2)
+        with pytest.raises(PlatformError):
+            platform.set_loopback(Link("x-lb", "1GBps", "1ns"), host="nope")
+
+    def test_loopback_link_is_fatpipe(self):
+        platform = cluster("lbt", 2, loopback_bandwidth="10GBps")
+        assert platform.link("lbt-loopback").sharing is SharingPolicy.FATPIPE
+
+
+class TestSplitDuplexCluster:
+    def test_routes_cross_up_then_down(self):
+        platform = cluster("sd", 3, backbone_bandwidth=None, split_duplex=True)
+        route = platform.route("node-0", "node-2")
+        assert [l.name for l in route.links] == ["sd-l0-up", "sd-l2-down"]
+
+    def test_opposite_directions_use_disjoint_links(self):
+        platform = cluster("sd2", 2, backbone_bandwidth=None,
+                           split_duplex=True)
+        forward = {l.name for l in platform.route("node-0", "node-1").links}
+        backward = {l.name for l in platform.route("node-1", "node-0").links}
+        assert not (forward & backward)
+
+    def test_backbone_still_shared_between_directions(self):
+        platform = cluster("sd3", 2, split_duplex=True)
+        forward = [l.name for l in platform.route("node-0", "node-1").links]
+        assert forward == ["sd3-l0-up", "sd3-backbone", "sd3-l1-down"]
+
+    def test_plain_cluster_keeps_single_access_links(self):
+        platform = cluster("sd4", 2)
+        forward = [l.name for l in platform.route("node-0", "node-1").links]
+        assert forward == ["sd4-l0", "sd4-backbone", "sd4-l1"]
