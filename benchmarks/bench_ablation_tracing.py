@@ -1,0 +1,101 @@
+"""Ablation — cost of the observability layer.
+
+The acceptance bar for tracing (docs/tracing.md §7) is asymmetric:
+
+* **off** (the default): zero overhead.  The tracer hooks are never
+  called and the engine's sampling branch is never entered, so the
+  simulation runs the identical code path as before the layer existed.
+* **on**: cheap.  Utilization sampling piggybacks on the incremental
+  solver's dirty-component re-solves, so only resources whose share
+  actually changed are visited.
+
+This bench runs the same contention-heavy workload (pairwise all-to-all
+plus staggered compute) in both modes, asserts the simulated clock is
+bit-identical, and reports wall-time and sample-count deltas.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from _helpers import FigureReport
+from repro.smpi import SmpiConfig, smpirun
+from repro.surf import cluster
+from repro.trace import makespan
+
+N_RANKS = 16
+PAYLOAD = 256 << 10
+REPEATS = 3
+
+
+def traffic_app(mpi):
+    comm = mpi.COMM_WORLD
+    mpi.execute(1e7 * (1 + mpi.rank % 4))
+    objs = [b"x" * PAYLOAD for _ in range(mpi.size)]
+    comm.alltoall(objs)
+    mpi.execute(5e6)
+    comm.barrier()
+
+
+def run_once(tracing: bool):
+    platform = cluster("trace-bench", N_RANKS)
+    start = time.perf_counter()
+    result = smpirun(traffic_app, N_RANKS, platform,
+                     config=SmpiConfig(tracing=tracing))
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def experiment():
+    rows = []
+    for tracing in (False, True):
+        best = None
+        for _ in range(REPEATS):
+            result, wall = run_once(tracing)
+            if best is None or wall < best[1]:
+                best = (result, wall)
+        rows.append((tracing, *best))
+    return rows
+
+
+def test_ablation_tracing(once):
+    rows = once(experiment)
+    (_, off_result, off_wall), (_, on_result, on_wall) = rows
+
+    # the model is untouched: identical simulated clock either way
+    assert on_result.simulated_time == off_result.simulated_time
+
+    # off really is off: no records, no timeline, no samples
+    assert off_result.trace.timeline is None
+    assert not off_result.trace.comms and not off_result.trace.computes
+    assert off_result.stats.link_samples == 0
+
+    # on really observes: records, per-resource samples, closed intervals
+    trace = on_result.trace
+    assert trace.comms and trace.computes and trace.timeline is not None
+    assert not trace.open_records()
+    assert makespan(trace) == on_result.simulated_time
+    assert on_result.stats.link_samples == trace.timeline.n_samples
+
+    overhead = on_wall / off_wall - 1.0
+    report = FigureReport(
+        "ablation_tracing", "observability layer on/off overhead"
+    )
+    report.line(f"  {'tracing':>8} {'wall':>10} {'simulated':>11} "
+                f"{'samples':>8} {'records':>8}")
+    for tracing, result, wall in rows:
+        samples = result.stats.link_samples
+        records = len(result.trace.comms) + len(result.trace.computes)
+        report.line(f"  {str(tracing).lower():>8} {wall * 1e3:>8.1f}ms "
+                    f"{result.simulated_time * 1e3:>9.2f}ms "
+                    f"{samples:>8} {records:>8}")
+    report.line()
+    report.measured(
+        f"tracing-on wall overhead {overhead * 100:+.1f}% "
+        f"({trace.timeline.n_samples} samples over "
+        f"{len(trace.timeline.names())} resources); simulated times "
+        f"bit-identical"
+    )
+    report.finish()

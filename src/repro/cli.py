@@ -15,6 +15,14 @@ Usage (see ``python -m repro --help``)::
     python -m repro run my_app.py -n 4 --record trace.json
     python -m repro replay trace.json --platform gdx
 
+    # export an execution trace and analyse it
+    python -m repro run my_app.py -n 4 --trace run.csv
+    python -m repro run my_app.py -n 4 --trace run.paje --trace-format paje
+    python -m repro trace summary run.csv
+    python -m repro trace gantt run.csv --critical
+    python -m repro trace critical-path run.csv
+    python -m repro trace export run.csv --format paje -o run.paje
+
     # inspect things
     python -m repro platforms
     python -m repro info trace.json
@@ -36,6 +44,16 @@ from .offline import TiTrace, record_trace, replay_trace
 from .platforms import gdx, griffon
 from .smpi import SmpiConfig, smpirun
 from .surf import Engine, Platform, cluster, load_platform_xml
+from .trace import (
+    Tracer,
+    ascii_gantt,
+    critical_path,
+    export_paje,
+    makespan,
+    parse_paje,
+    state_fractions,
+    svg_gantt,
+)
 from .units import format_size, format_time
 
 __all__ = ["main", "build_platform", "load_app"]
@@ -124,6 +142,8 @@ def _report(result, n_ranks: int, show_stats: bool = False) -> None:
         print(f"  actions          : {stats.actions_created} created, "
               f"{stats.actions_completed} completed")
         print(f"  peak concurrent  : {stats.peak_concurrent}")
+        if stats.link_samples:
+            print(f"  link samples     : {stats.link_samples}")
 
 
 def _make_engine(platform, args):
@@ -134,32 +154,62 @@ def _make_engine(platform, args):
     return None
 
 
+def _export_run_trace(result, n_ranks: int, args: argparse.Namespace) -> None:
+    """Write ``result.trace`` to ``args.trace`` in csv or paje form."""
+    tracer = result.trace
+    if args.trace_format == "paje":
+        text = export_paje(tracer, n_ranks)
+    else:
+        text = tracer.to_csv()
+    Path(args.trace).write_text(text, encoding="utf-8")
+    print(f"trace written  : {args.trace} ({args.trace_format}, "
+          f"{len(tracer.comms)} messages, "
+          f"{len(tracer.computes)} compute bursts)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     app = load_app(args.app, args.entry)
     platform = build_platform(args.platform, args.n)
     config = _config_from_args(args)
     engine = _make_engine(platform, args)
-    if args.record:
+    want_ti = args.trace and args.trace_format == "ti"
+    if args.trace and not want_ti:
+        config = config.with_options(tracing=True)
+    if args.record or want_ti:
         result, trace = record_trace(app, args.n, platform, config=config,
                                      engine=engine)
-        trace.save(args.record)
-        print(f"trace written  : {args.record} ({trace.summary()})")
+        for target in filter(None, [args.record,
+                                    args.trace if want_ti else None]):
+            trace.save(target)
+            print(f"trace written  : {target} ({trace.summary()})")
     else:
         result = smpirun(app, args.n, platform, config=config, engine=engine)
+    if args.trace and not want_ti:
+        _export_run_trace(result, args.n, args)
     _report(result, args.n, show_stats=args.stats)
     return 0
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
-    trace = TiTrace.load(args.trace)
+    trace = TiTrace.load(args.trace_file)
     platform = build_platform(args.platform, trace.n_ranks)
-    result = replay_trace(trace, platform, config=_config_from_args(args),
+    config = _config_from_args(args)
+    if args.trace:
+        if args.trace_format == "ti":
+            raise ConfigError(
+                "replay consumes a TI trace; re-exporting it as 'ti' would "
+                "copy the input — use --trace-format csv or paje"
+            )
+        config = config.with_options(tracing=True)
+    result = replay_trace(trace, platform, config=config,
                           engine=_make_engine(platform, args))
     print(f"replaying      : {trace.summary()}")
     if "recorded_on" in trace.meta:
         recorded_t = trace.meta.get("recorded_simulated_time")
         print(f"recorded on    : {trace.meta['recorded_on']}"
               + (f" ({format_time(recorded_t)})" if recorded_t else ""))
+    if args.trace:
+        _export_run_trace(result, trace.n_ranks, args)
     _report(result, trace.n_ranks, show_stats=args.stats)
     return 0
 
@@ -170,6 +220,94 @@ def _cmd_platforms(_args: argparse.Namespace) -> int:
     print("  gdx              312 nodes, 18 switch groups, GigE throughout")
     print("  cluster:N[:bw[:lat]]   ad-hoc single-switch cluster")
     print("  <file>.xml       SimGrid-style platform description")
+    return 0
+
+
+def _load_trace(args: argparse.Namespace) -> tuple[Tracer, int]:
+    """Sniff and load a trace file for the ``trace`` subcommands.
+
+    Accepts the three ``--trace-format`` outputs: CSV, Paje, or a
+    time-independent JSON trace.  TI traces carry amounts, not times, so
+    they are replayed (``--platform`` required) with tracing enabled to
+    synthesize the timed records the analyses need.
+    """
+    text = Path(args.file).read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        ti = TiTrace.load(args.file)
+        if args.platform is None:
+            raise ConfigError(
+                f"{args.file!r} is a time-independent trace: it has no "
+                "timestamps of its own — pass --platform to replay it "
+                "and analyse the resulting timed trace"
+            )
+        platform = build_platform(args.platform, ti.n_ranks)
+        result = replay_trace(ti, platform,
+                              config=SmpiConfig(tracing=True))
+        return result.trace, ti.n_ranks
+    if stripped.startswith("%EventDef"):
+        return parse_paje(text)
+    tracer = Tracer.from_csv(text)
+    ranks = {r.src for r in tracer.comms} | {r.dst for r in tracer.comms}
+    ranks |= {c.rank for c in tracer.computes}
+    return tracer, (max(ranks) + 1) if ranks else 0
+
+
+def _cmd_trace_summary(args: argparse.Namespace) -> int:
+    tracer, n_ranks = _load_trace(args)
+    horizon = makespan(tracer)
+    closed = [r for r in tracer.comms if r.closed]
+    total_bytes = sum(r.nbytes for r in closed)
+    print(f"makespan       : {format_time(horizon)}")
+    print(f"ranks          : {n_ranks}")
+    print(f"messages       : {len(closed)} "
+          f"({format_size(total_bytes)} total)")
+    print(f"compute bursts : {len([c for c in tracer.computes if c.closed])}")
+    fractions = state_fractions(tracer, n_ranks)
+    if fractions:
+        print("rank activity  : (fraction of makespan)")
+        print("  rank   computing  communicating  waiting")
+        for rank, frac in enumerate(fractions):
+            print(f"  {rank:>4}   {frac['computing']:>9.1%}  "
+                  f"{frac['communicating']:>13.1%}  {frac['waiting']:>7.1%}")
+    if tracer.timeline is not None:
+        top = tracer.timeline.top(horizon, k=5)
+        if top:
+            print("top links      : (mean / peak utilization)")
+            for usage in top:
+                print(f"  {usage.name:<20} {usage.mean_utilization:>6.1%} / "
+                      f"{usage.peak_utilization:>6.1%}  "
+                      f"busy {format_time(usage.busy_time)}")
+    return 0
+
+
+def _cmd_trace_gantt(args: argparse.Namespace) -> int:
+    tracer, n_ranks = _load_trace(args)
+    if args.svg:
+        svg = svg_gantt(tracer, n_ranks, critical=args.critical)
+        Path(args.svg).write_text(svg, encoding="utf-8")
+        print(f"svg written    : {args.svg}")
+    else:
+        print(ascii_gantt(tracer, n_ranks, width=args.width,
+                          critical=args.critical))
+    return 0
+
+
+def _cmd_trace_critical(args: argparse.Namespace) -> int:
+    tracer, _n_ranks = _load_trace(args)
+    path = critical_path(tracer)
+    print(path.describe())
+    return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    tracer, n_ranks = _load_trace(args)
+    if args.format == "paje":
+        text = export_paje(tracer, n_ranks)
+    else:
+        text = tracer.to_csv()
+    Path(args.output).write_text(text, encoding="utf-8")
+    print(f"trace written  : {args.output} ({args.format})")
     return 0
 
 
@@ -207,6 +345,11 @@ def make_parser() -> argparse.ArgumentParser:
                      help="force a collective algorithm (repeatable)")
     run.add_argument("--record", metavar="TRACE.json",
                      help="record a time-independent trace")
+    run.add_argument("--trace", metavar="FILE",
+                     help="export an execution trace to FILE")
+    run.add_argument("--trace-format", choices=("csv", "paje", "ti"),
+                     default="csv",
+                     help="format for --trace (default: csv)")
     run.add_argument("--stats", action="store_true",
                      help="print kernel counters (shares, flow re-solves)")
     run.add_argument("--full-reshare", action="store_true",
@@ -214,16 +357,60 @@ def make_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     replay = sub.add_parser("replay", help="replay a recorded trace")
-    replay.add_argument("trace", help="trace JSON file")
+    replay.add_argument("trace_file", metavar="trace",
+                        help="time-independent trace JSON file")
     replay.add_argument("--platform", default="cluster:64")
     replay.add_argument("--eager-threshold", default=None)
     replay.add_argument("--zero-copy", action="store_true")
     replay.add_argument("--coll", action="append", metavar="NAME=ALGO")
+    replay.add_argument("--trace", metavar="FILE",
+                        help="export an execution trace of the replay")
+    replay.add_argument("--trace-format", choices=("csv", "paje", "ti"),
+                        default="csv",
+                        help="format for --trace (default: csv)")
     replay.add_argument("--stats", action="store_true",
                         help="print kernel counters (shares, flow re-solves)")
     replay.add_argument("--full-reshare", action="store_true",
                         help="disable incremental re-sharing (debug escape hatch)")
     replay.set_defaults(func=_cmd_replay)
+
+    trace = sub.add_parser("trace", help="analyse an exported trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_input(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="trace file (.csv, .paje, or TI .json)")
+        p.add_argument("--platform", default=None,
+                       help="platform for replaying TI traces "
+                            "(required for .json inputs)")
+
+    summary = trace_sub.add_parser("summary",
+                                   help="per-rank fractions, top links")
+    _trace_input(summary)
+    summary.set_defaults(func=_cmd_trace_summary)
+
+    gantt = trace_sub.add_parser("gantt", help="render a Gantt chart")
+    _trace_input(gantt)
+    gantt.add_argument("--width", type=int, default=72,
+                       help="chart width in characters (default: 72)")
+    gantt.add_argument("--critical", action="store_true",
+                       help="overlay the critical path")
+    gantt.add_argument("--svg", metavar="OUT.svg",
+                       help="write an SVG chart instead of ASCII")
+    gantt.set_defaults(func=_cmd_trace_gantt)
+
+    crit = trace_sub.add_parser("critical-path",
+                                help="extract the critical path")
+    _trace_input(crit)
+    crit.set_defaults(func=_cmd_trace_critical)
+
+    export = trace_sub.add_parser("export",
+                                  help="convert between trace formats")
+    _trace_input(export)
+    export.add_argument("--format", choices=("csv", "paje"), required=True,
+                        help="output format")
+    export.add_argument("-o", "--output", required=True, metavar="OUT",
+                        help="output file")
+    export.set_defaults(func=_cmd_trace_export)
 
     platforms = sub.add_parser("platforms", help="list built-in platforms")
     platforms.set_defaults(func=_cmd_platforms)

@@ -68,6 +68,13 @@ class SmpiWorld:
         self.sampler = Sampler(self)
         self.heap = SharedHeap(self)
         self.trace = Tracer()
+        if self.config.tracing:
+            # engine-level observability: per-link utilization sampling
+            # piggybacks on the incremental share (PacketEngine and other
+            # duck-typed kernels without the hook are simply not sampled)
+            enable = getattr(self.engine, "enable_timeline", None)
+            if enable is not None:
+                self.trace.timeline = enable()
         self.n_ranks = n_ranks
 
         names = hosts if hosts is not None else platform.host_names()
@@ -361,6 +368,9 @@ def smpirun(
     wall_start = time.perf_counter()
     simulated = world.scheduler.run()
     wall = time.perf_counter() - wall_start
+    if world.trace.timeline is not None:
+        world.trace.timeline.close(simulated)
+        world.engine.stats.link_samples = world.trace.timeline.n_samples
 
     return SmpiResult(
         simulated_time=simulated,

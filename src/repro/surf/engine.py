@@ -66,6 +66,9 @@ class EngineStats:
     partial_shares: int = 0
     flows_resolved: int = 0
     components_solved: int = 0
+    #: utilization samples recorded on the attached timeline (0 unless
+    #: :meth:`Engine.enable_timeline` was called)
+    link_samples: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -93,7 +96,28 @@ class Engine:
         self._members: dict[int, Action] = {}
         self._instant_done: list[Action] = []
         self._dead_resources: set[str] = set()
+        #: per-resource utilization timeline; None (the default) keeps the
+        #: share path free of any sampling work
+        self.timeline = None
+        self._last_full_usage: dict = {}
         bind_clock(lambda: self.now)
+
+    def enable_timeline(self):
+        """Attach (and return) a :class:`~repro.trace.Timeline`.
+
+        From then on every share also records the consumed bandwidth of
+        the links (and the load of the hosts) whose sharing was
+        recomputed.  With the incremental solver this piggybacks on the
+        component re-solve — clean components cost nothing extra — and
+        with the timeline detached (the default) the sampling code is
+        never reached at all.
+        """
+        if self.timeline is None:
+            from ..trace.timeline import Timeline
+
+            self.timeline = Timeline()
+            self._solver.track_usage = True
+        return self.timeline
 
     # -- action factories -------------------------------------------------------
 
@@ -218,6 +242,14 @@ class Engine:
         self.stats.components_solved += solver.last_components
         if members and len(solved) < len(members):
             self.stats.partial_shares += 1
+        if self.timeline is not None and solver.last_usage:
+            now = self.now
+            for record, usage in solver.last_usage:
+                self.timeline.record(
+                    now, record.name, usage, record.capacity,
+                    kind="link" if isinstance(record.key, Link) else "host",
+                )
+            self.stats.link_samples = self.timeline.n_samples
 
     def _enroll(self, action: Action) -> None:
         """Register a newly-RUNNING action as a solver flow."""
@@ -246,6 +278,8 @@ class Engine:
         for action in running:
             action.rate = 0.0
         if not running:
+            if self.timeline is not None and self._last_full_usage:
+                self._sample_full_usage([])
             return
 
         system = MaxMinSystem()
@@ -279,6 +313,29 @@ class Engine:
             action.rate = float(rate)
         self.stats.flows_resolved += len(running)
         self.stats.components_solved += 1
+        if self.timeline is not None:
+            self._sample_full_usage(running)
+
+    def _sample_full_usage(self, running: list[Action]) -> None:
+        """Timeline sampling for the rebuild-everything share path."""
+        usage: dict = {}
+        for action in running:
+            for resource in action.constraints():
+                usage[resource] = usage.get(resource, 0.0) \
+                    + action.rate * action.weight
+        now = self.now
+        for resource in self._last_full_usage:
+            if resource not in usage:  # fell idle since the last share
+                usage[resource] = 0.0
+        for resource, used in usage.items():
+            capacity = (resource.bandwidth if isinstance(resource, Link)
+                        else self.cpu_model.capacity(resource))
+            self.timeline.record(
+                now, resource.name, used, capacity,
+                kind="link" if isinstance(resource, Link) else "host",
+            )
+        self._last_full_usage = {r: u for r, u in usage.items() if u > 0.0}
+        self.stats.link_samples = self.timeline.n_samples
 
     def next_event_delta(self) -> float:
         """Time until the next action completes (inf when none will)."""

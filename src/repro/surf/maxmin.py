@@ -407,6 +407,15 @@ class IncrementalMaxMin:
         #: statistics of the most recent :meth:`solve_dirty` call
         self.last_components = 0
         self.last_flows_solved = 0
+        #: when True, each component solve also recomputes the total
+        #: consumed rate of every constraint it touches (utilization
+        #: sampling for the observability layer).  Off by default so the
+        #: tracing-disabled hot path pays nothing.
+        self.track_usage = False
+        self._usage: dict = {}  # constraint key -> consumed rate
+        #: (``_IncConstraint``, usage) pairs updated by the most recent
+        #: :meth:`solve_dirty`; clean components never appear here
+        self.last_usage: list = []
 
     # -- registration ---------------------------------------------------------
 
@@ -503,6 +512,14 @@ class IncrementalMaxMin:
         """Last solved rate of flow ``key``."""
         return self._rates[key]
 
+    def usage(self, key) -> float:
+        """Last computed consumed rate of constraint ``key``.
+
+        Only maintained while :attr:`track_usage` is on; unknown or
+        never-used constraints report 0.
+        """
+        return self._usage.get(key, 0.0)
+
     # -- solving --------------------------------------------------------------
 
     def solve_dirty(self) -> set:
@@ -515,6 +532,7 @@ class IncrementalMaxMin:
         """
         self.last_components = 0
         self.last_flows_solved = 0
+        self.last_usage = []
         if not self._dirty_cons and not self._dirty_flows:
             return set()
         seeds = set(self._dirty_flows)
@@ -522,6 +540,11 @@ class IncrementalMaxMin:
             record = self._cons.get(ckey)
             if record is not None:
                 seeds.update(record.flows)
+                if self.track_usage and not record.flows:
+                    # last flow left: the constraint falls idle without any
+                    # component re-solve touching it
+                    self._usage[ckey] = 0.0
+                    self.last_usage.append((record, 0.0))
         self._dirty_cons.clear()
         self._dirty_flows.clear()
 
@@ -570,6 +593,8 @@ class IncrementalMaxMin:
                     "max-min system is unbounded: flows " + flow.name
                 )
             self._rates[flow.key] = float(rate)
+            if self.track_usage:
+                self._update_usage(members)
             return
 
         counts = [len(f.cid_array) for f in members]
@@ -595,3 +620,29 @@ class IncrementalMaxMin:
         )
         for flow, rate in zip(members, rates):
             self._rates[flow.key] = float(rate)
+        if self.track_usage:
+            self._update_usage(members)
+
+    def _update_usage(self, members: list) -> None:
+        """Refresh the consumed rate of every constraint ``members`` touch.
+
+        Flows crossing a SHARED constraint are all inside the component
+        just solved, so their rates are fresh; FATPIPE constraints may be
+        crossed by flows of other components, whose cached rates are still
+        the exact solution of their own (untouched) component.
+        """
+        flows = self._flows
+        rates = self._rates
+        seen: set = set()
+        for flow in members:
+            for record in flow.cons:
+                if record.key in seen:
+                    continue
+                seen.add(record.key)
+                usage = 0.0
+                for fkey in record.flows:
+                    other = flows.get(fkey)
+                    if other is not None:
+                        usage += rates.get(fkey, 0.0) * other.weight
+                self._usage[record.key] = usage
+                self.last_usage.append((record, usage))

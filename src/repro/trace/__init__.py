@@ -1,5 +1,39 @@
-"""Execution tracing."""
+"""Execution tracing, metrics and trace analysis (the observability layer).
 
+* :class:`Tracer` — per-message / per-burst records, CSV round-trip;
+* :class:`Timeline` — per-link utilization sampled by the engine;
+* :mod:`~repro.trace.analysis` — state timelines and critical paths;
+* :mod:`~repro.trace.gantt` — ASCII/SVG Gantt renderers;
+* :mod:`~repro.trace.paje` — Paje (Vite/pj_dump) export and import.
+"""
+
+from .analysis import (
+    CriticalPath,
+    PathStep,
+    critical_path,
+    makespan,
+    state_fractions,
+    state_intervals,
+)
+from .gantt import ascii_gantt, svg_gantt
+from .paje import export_paje, parse_paje
+from .timeline import LinkUsage, Timeline
 from .tracer import CommRecord, ComputeRecord, Tracer
 
-__all__ = ["CommRecord", "ComputeRecord", "Tracer"]
+__all__ = [
+    "CommRecord",
+    "ComputeRecord",
+    "CriticalPath",
+    "LinkUsage",
+    "PathStep",
+    "Timeline",
+    "Tracer",
+    "ascii_gantt",
+    "critical_path",
+    "export_paje",
+    "makespan",
+    "parse_paje",
+    "state_fractions",
+    "state_intervals",
+    "svg_gantt",
+]

@@ -1,0 +1,260 @@
+"""Post-mortem analyses over a recorded execution trace.
+
+Everything here consumes the per-message / per-burst records of a
+:class:`~repro.trace.Tracer` (open records — ``end`` never set — are
+ignored, they carry no interval):
+
+* :func:`state_intervals` / :func:`state_fractions` — flatten each
+  rank's records into a non-overlapping computing/communicating/waiting
+  timeline (the per-process state strips of a Paje visualisation);
+* :func:`critical_path` — walk the comm/compute record DAG backwards
+  from the record that determines the makespan, always jumping to the
+  latest-finishing predecessor on an involved rank.  The result names
+  the messages and bursts that bound the completion time — the
+  question the paper's Figs. 7-12 keep asking ("which transfers make
+  this scheme slow?") answered mechanically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CriticalPath",
+    "PathStep",
+    "critical_path",
+    "makespan",
+    "state_fractions",
+    "state_intervals",
+]
+
+#: canonical rank states, most- to least-specific (computing wins overlaps:
+#: a rank overlapping a nonblocking transfer is not "waiting" for it)
+STATES = ("computing", "communicating", "waiting")
+
+_EPS = 1e-12
+
+
+def _closed(records):
+    """Records whose interval is complete (finite start and end)."""
+    return [r for r in records
+            if math.isfinite(r.start) and math.isfinite(r.end)]
+
+
+def makespan(tracer) -> float:
+    """Latest completion time over all closed records (0.0 when empty)."""
+    out = 0.0
+    for record in _closed(tracer.comms) + _closed(tracer.computes):
+        out = max(out, record.end)
+    return out
+
+
+def _rank_count(tracer, n_ranks: int | None) -> int:
+    if n_ranks is not None:
+        return n_ranks
+    top = -1
+    for r in tracer.comms:
+        top = max(top, r.src, r.dst)
+    for c in tracer.computes:
+        top = max(top, c.rank)
+    return top + 1
+
+
+def state_intervals(
+    tracer, n_ranks: int | None = None, end: float | None = None
+) -> list[list[tuple[float, float, str]]]:
+    """Per-rank ``(start, end, state)`` strips covering ``[0, end]``.
+
+    A rank is *computing* while any of its compute bursts runs,
+    otherwise *communicating* while any message it sends or receives is
+    in flight, otherwise *waiting*.  Intervals are non-overlapping,
+    adjacent same-state intervals are merged, and every rank's strip
+    spans exactly ``[0, end]`` (default: the trace makespan).
+    """
+    n = _rank_count(tracer, n_ranks)
+    horizon = makespan(tracer) if end is None else end
+    compute: list[list[tuple[float, float]]] = [[] for _ in range(n)]
+    comm: list[list[tuple[float, float]]] = [[] for _ in range(n)]
+    for c in _closed(tracer.computes):
+        if 0 <= c.rank < n:
+            compute[c.rank].append((c.start, c.end))
+    for r in _closed(tracer.comms):
+        for rank in {r.src, r.dst}:
+            if 0 <= rank < n:
+                comm[rank].append((r.start, r.end))
+
+    strips = []
+    for rank in range(n):
+        if horizon <= 0:
+            strips.append([])
+            continue
+        cuts = {0.0, horizon}
+        for lo, hi in compute[rank] + comm[rank]:
+            if lo < horizon:
+                cuts.add(max(lo, 0.0))
+            if hi < horizon:
+                cuts.add(max(hi, 0.0))
+        points = sorted(cuts)
+        strip: list[tuple[float, float, str]] = []
+        for a, b in zip(points, points[1:]):
+            mid = (a + b) / 2
+            if any(lo <= mid < hi for lo, hi in compute[rank]):
+                state = "computing"
+            elif any(lo <= mid < hi for lo, hi in comm[rank]):
+                state = "communicating"
+            else:
+                state = "waiting"
+            if strip and strip[-1][2] == state:
+                strip[-1] = (strip[-1][0], b, state)
+            else:
+                strip.append((a, b, state))
+        strips.append(strip)
+    return strips
+
+
+def state_fractions(
+    tracer, n_ranks: int | None = None, end: float | None = None
+) -> list[dict[str, float]]:
+    """Per-rank fraction of time in each state (each dict sums to 1)."""
+    out = []
+    for strip in state_intervals(tracer, n_ranks, end):
+        total = sum(b - a for a, b, _ in strip)
+        fractions = {state: 0.0 for state in STATES}
+        for a, b, state in strip:
+            fractions[state] += (b - a) / total if total > 0 else 0.0
+        out.append(fractions)
+    return out
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One record on the critical path."""
+
+    kind: str  # "comm" or "compute"
+    start: float
+    end: float
+    ranks: tuple[int, ...]  # (rank,) for compute, (src, dst) for comm
+    detail: str  # human-readable description
+    record: object = field(repr=False, default=None)
+    #: idle gap between this step's end and the next step's start
+    slack: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The chain of records bounding the simulated completion time."""
+
+    steps: list[PathStep]
+    makespan: float
+
+    @property
+    def comm_time(self) -> float:
+        return sum(s.duration for s in self.steps if s.kind == "comm")
+
+    @property
+    def compute_time(self) -> float:
+        return sum(s.duration for s in self.steps if s.kind == "compute")
+
+    @property
+    def idle_time(self) -> float:
+        """Makespan not covered by path records (gaps + lead-in)."""
+        covered = self.comm_time + self.compute_time
+        return max(self.makespan - covered, 0.0)
+
+    def describe(self) -> str:
+        """Printable report: summary line plus one row per step."""
+        lines = []
+        if self.makespan > 0:
+            lines.append(
+                f"critical path: {len(self.steps)} records over "
+                f"{self.makespan:.6g}s makespan — "
+                f"{100 * self.comm_time / self.makespan:.1f}% communication, "
+                f"{100 * self.compute_time / self.makespan:.1f}% compute, "
+                f"{100 * self.idle_time / self.makespan:.1f}% idle"
+            )
+        else:
+            lines.append("critical path: empty trace")
+        lines.append(f"{'start':>12}  {'end':>12}  {'duration':>10}  event")
+        for step in self.steps:
+            lines.append(
+                f"{step.start:>12.6g}  {step.end:>12.6g}  "
+                f"{step.duration:>10.3g}  {step.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _as_steps(tracer) -> list[PathStep]:
+    steps = []
+    for r in _closed(tracer.comms):
+        steps.append(PathStep(
+            "comm", r.start, r.end, (r.src, r.dst),
+            f"comm {r.src}->{r.dst} {r.nbytes}B "
+            f"({'eager' if r.eager else 'rendezvous'}, mid={r.mid})",
+            record=r,
+        ))
+    for c in _closed(tracer.computes):
+        steps.append(PathStep(
+            "compute", c.start, c.end, (c.rank,),
+            f"compute rank {c.rank} ({c.flops:.3g} flops)", record=c,
+        ))
+    return steps
+
+
+def critical_path(tracer) -> CriticalPath:
+    """Extract the chain of records that bounds the makespan.
+
+    Starting from the globally last-finishing record, repeatedly jump to
+    the latest-finishing record (on any rank the current record
+    involves) that completed no later than the current record started.
+    This is the standard backward walk over a timed DAG: when a record
+    starts the moment its predecessor ends, that predecessor was the
+    binding dependency; any remaining gap is reported as the step's
+    ``slack`` (time the rank sat idle, e.g. in a rendezvous handshake).
+    """
+    steps = _as_steps(tracer)
+    if not steps:
+        return CriticalPath([], 0.0)
+    by_rank: dict[int, list[PathStep]] = {}
+    for step in steps:
+        for rank in step.ranks:
+            by_rank.setdefault(rank, []).append(step)
+    for chain in by_rank.values():
+        chain.sort(key=lambda s: (s.end, s.start))
+
+    current = max(steps, key=lambda s: (s.end, -s.start))
+    path = [current]
+    visited = {id(current)}
+    while True:
+        best = None
+        for rank in current.ranks:
+            for candidate in reversed(by_rank.get(rank, [])):
+                if id(candidate) in visited:
+                    continue
+                if candidate.end <= current.start + _EPS:
+                    if best is None or candidate.end > best.end:
+                        best = candidate
+                    break  # chains are end-sorted: first hit is rank's best
+        if best is None or best.end <= _EPS:
+            if best is not None:
+                path.append(best)
+                visited.add(id(best))
+            break
+        path.append(best)
+        visited.add(id(best))
+        current = best
+    path.reverse()
+
+    # annotate slack between consecutive steps
+    annotated = []
+    for i, step in enumerate(path):
+        nxt = path[i + 1] if i + 1 < len(path) else None
+        slack = max(nxt.start - step.end, 0.0) if nxt is not None else 0.0
+        annotated.append(PathStep(step.kind, step.start, step.end,
+                                  step.ranks, step.detail, step.record,
+                                  slack))
+    return CriticalPath(annotated, makespan(tracer))

@@ -1,0 +1,153 @@
+"""Gantt rendering of execution traces — ASCII for terminals, SVG for docs.
+
+Both renderers consume a :class:`~repro.trace.Tracer` via
+:func:`~repro.trace.analysis.state_intervals`: one lane per rank,
+painted by state.  The ASCII form is what ``python -m repro trace
+gantt`` prints; the SVG form adds message lines (one per comm record,
+from the sender's lane to the receiver's) and is self-contained — no
+external stylesheet, loads in any browser.
+"""
+
+from __future__ import annotations
+
+from .analysis import critical_path, makespan, state_intervals
+
+__all__ = ["ascii_gantt", "svg_gantt"]
+
+#: lane glyph per state
+GLYPHS = {"computing": "#", "communicating": "=", "waiting": "."}
+
+#: fill color per state (colorblind-safe trio on white)
+COLORS = {
+    "computing": "#2e7d32",
+    "communicating": "#1565c0",
+    "waiting": "#e0e0e0",
+}
+
+
+def ascii_gantt(tracer, n_ranks: int | None = None, width: int = 72,
+                critical: bool = False) -> str:
+    """One text lane per rank over ``[0, makespan]``.
+
+    ``#`` computing, ``=`` communicating, ``.`` waiting; with
+    ``critical=True`` the cells covered by critical-path records are
+    overpainted with ``*``.
+    """
+    strips = state_intervals(tracer, n_ranks)
+    horizon = makespan(tracer)
+    width = max(int(width), 10)
+    if horizon <= 0 or not strips:
+        return "(empty trace)"
+
+    def cell_span(start: float, end: float) -> tuple[int, int]:
+        a = int(start / horizon * width)
+        b = int(end / horizon * width)
+        b = max(b, a + 1)  # every interval paints at least one cell
+        return min(a, width - 1), min(b, width)
+
+    lanes = []
+    for strip in strips:
+        lane = ["."] * width
+        for start, end, state in strip:
+            if state == "waiting":
+                continue
+            a, b = cell_span(start, end)
+            for i in range(a, b):
+                lane[i] = GLYPHS[state]
+        lanes.append(lane)
+
+    if critical:
+        for step in critical_path(tracer).steps:
+            a, b = cell_span(step.start, step.end)
+            for rank in step.ranks:
+                if 0 <= rank < len(lanes):
+                    for i in range(a, b):
+                        lanes[rank][i] = "*"
+
+    label_width = len(f"r{len(lanes) - 1}")
+    lines = [f"{'':>{label_width}} 0{'':{width - 2}}{horizon:.4g}s"]
+    for rank, lane in enumerate(lanes):
+        lines.append(f"{f'r{rank}':>{label_width}} |{''.join(lane)}|")
+    legend = "# computing   = communicating   . waiting"
+    if critical:
+        legend += "   * critical path"
+    lines.append(f"{'':>{label_width}} {legend}")
+    return "\n".join(lines)
+
+
+def svg_gantt(tracer, n_ranks: int | None = None, width: int = 800,
+              lane_height: int = 18, critical: bool = False,
+              messages: bool = True) -> str:
+    """Self-contained SVG: state lanes plus per-message transfer lines."""
+    strips = state_intervals(tracer, n_ranks)
+    horizon = makespan(tracer)
+    n = len(strips)
+    margin_left, margin_top = 46, 22
+    gap = 4
+    height = margin_top + n * (lane_height + gap) + 24
+
+    def x(t: float) -> float:
+        return margin_left + (t / horizon) * (width - margin_left - 10)
+
+    def y(rank: int) -> float:
+        return margin_top + rank * (lane_height + gap)
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="monospace" font-size="11">',
+        f'<text x="{margin_left}" y="14" fill="#555">0s</text>',
+        f'<text x="{width - 10}" y="14" fill="#555" '
+        f'text-anchor="end">{horizon:.4g}s</text>',
+    ]
+    if horizon <= 0 or n == 0:
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    for rank, strip in enumerate(strips):
+        parts.append(f'<text x="4" y="{y(rank) + lane_height - 5:.1f}" '
+                     f'fill="#333">r{rank}</text>')
+        for start, end, state in strip:
+            parts.append(
+                f'<rect x="{x(start):.2f}" y="{y(rank):.1f}" '
+                f'width="{max(x(end) - x(start), 0.5):.2f}" '
+                f'height="{lane_height}" fill="{COLORS[state]}">'
+                f'<title>rank {rank}: {state} '
+                f'[{start:.6g}s, {end:.6g}s]</title></rect>'
+            )
+
+    if messages:
+        for r in tracer.comms:
+            if not (r.end == r.end and r.start == r.start):  # NaN guard
+                continue
+            x1, y1 = x(r.start), y(r.src) + lane_height / 2
+            x2, y2 = x(r.end), y(r.dst) + lane_height / 2
+            parts.append(
+                f'<line x1="{x1:.2f}" y1="{y1:.1f}" x2="{x2:.2f}" '
+                f'y2="{y2:.1f}" stroke="#9e9e9e" stroke-width="0.8">'
+                f'<title>{r.src}-&gt;{r.dst} {r.nbytes}B</title></line>'
+            )
+
+    if critical:
+        for step in critical_path(tracer).steps:
+            for rank in step.ranks:
+                parts.append(
+                    f'<rect x="{x(step.start):.2f}" y="{y(rank):.1f}" '
+                    f'width="{max(x(step.end) - x(step.start), 0.5):.2f}" '
+                    f'height="{lane_height}" fill="none" '
+                    f'stroke="#c62828" stroke-width="1.5"/>'
+                )
+
+    legend_y = height - 8
+    parts.append(
+        f'<text x="{margin_left}" y="{legend_y}" fill="#333">'
+        f'<tspan fill="{COLORS["computing"]}">&#9632;</tspan> computing  '
+        f'<tspan fill="{COLORS["communicating"]}">&#9632;</tspan> '
+        f'communicating  '
+        f'<tspan fill="{COLORS["waiting"]}">&#9632;</tspan> waiting'
+        + ('  <tspan fill="#c62828">&#9633;</tspan> critical path'
+           if critical else '')
+        + '</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,159 @@
+"""Per-resource utilization timelines sampled by the simulation kernel.
+
+A :class:`Timeline` holds one step function per resource — the consumed
+rate of a link (bytes/s) or the load of a host CPU (flop/s) over
+simulated time.  The engine records a sample whenever a max-min re-solve
+changes a resource's share (:meth:`repro.surf.Engine.enable_timeline`);
+with the incremental solver that is exactly the set of resources inside
+re-solved components, so clean components are never even visited.
+
+Samples are stored sparsely: a new point is appended only when the value
+actually changed, which keeps all-to-all-sized runs at a few samples per
+link per communication phase.  Utilization queries integrate the step
+function, treating the resource as idle before its first sample and
+holding the last value until the queried horizon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["LinkUsage", "Timeline"]
+
+
+@dataclass(frozen=True)
+class LinkUsage:
+    """Aggregated utilization of one resource over ``[0, until]``."""
+
+    name: str
+    kind: str  # "link" or "host"
+    capacity: float
+    mean_utilization: float  # time-weighted mean of usage/capacity
+    peak_utilization: float
+    busy_time: float  # simulated seconds with usage > 0
+
+
+class Timeline:
+    """Sparse per-resource usage-over-time samples."""
+
+    def __init__(self) -> None:
+        # name -> [(time, consumed rate), ...] in non-decreasing time order
+        self._series: dict[str, list[tuple[float, float]]] = {}
+        self.capacities: dict[str, float] = {}
+        self.kinds: dict[str, str] = {}
+        #: total samples stored (mirrored into ``EngineStats.link_samples``)
+        self.n_samples = 0
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def record(self, t: float, name: str, usage: float, capacity: float,
+               kind: str = "link") -> None:
+        """Append one sample; collapses same-time and same-value samples."""
+        series = self._series.get(name)
+        if series is None:
+            series = self._series[name] = []
+            self.kinds[name] = kind
+        self.capacities[name] = capacity
+        if series:
+            last_t, last_u = series[-1]
+            if last_t == t:
+                if last_u != usage:
+                    series[-1] = (t, usage)
+                return
+            if last_u == usage:
+                return
+        elif usage == 0.0:
+            return  # still idle: keep the implicit leading zero implicit
+        series.append((t, usage))
+        self.n_samples += 1
+
+    def close(self, t: float) -> None:
+        """Mark every resource idle at ``t`` (end of simulation).
+
+        The last action's completion ends the run without a further
+        re-share, so resources it used would otherwise appear busy
+        forever; the runtime calls this once the scheduler drains.
+        """
+        for name, series in self._series.items():
+            if series and series[-1][1] != 0.0:
+                self.record(t, name, 0.0, self.capacities[name],
+                            self.kinds[name])
+
+    # -- queries -----------------------------------------------------------------
+
+    def names(self, kind: str | None = None) -> list[str]:
+        """Sampled resource names, insertion-ordered (optionally by kind)."""
+        if kind is None:
+            return list(self._series)
+        return [n for n in self._series if self.kinds[n] == kind]
+
+    def samples(self, name: str) -> list[tuple[float, float]]:
+        """Raw ``(time, consumed rate)`` step points of one resource."""
+        return list(self._series.get(name, ()))
+
+    def utilization(self, name: str) -> list[tuple[float, float]]:
+        """Step points normalised by capacity: ``(time, fraction)``."""
+        capacity = self.capacities.get(name, 0.0)
+        if capacity <= 0:
+            return [(t, 0.0) for t, _ in self._series.get(name, ())]
+        return [(t, u / capacity) for t, u in self._series.get(name, ())]
+
+    def _integrate(self, name: str, until: float) -> tuple[float, float, float]:
+        """(integral of usage dt, peak usage, busy seconds) over [0, until]."""
+        series = self._series.get(name, [])
+        integral = peak = busy = 0.0
+        for i, (t, usage) in enumerate(series):
+            if t >= until:
+                break
+            t_next = series[i + 1][0] if i + 1 < len(series) else until
+            span = min(t_next, until) - t
+            if span <= 0:
+                continue
+            integral += usage * span
+            peak = max(peak, usage)
+            if usage > 0:
+                busy += span
+        return integral, peak, busy
+
+    def summarize(self, name: str, until: float) -> LinkUsage:
+        """Aggregate one resource's step function over ``[0, until]``."""
+        capacity = self.capacities.get(name, 0.0)
+        integral, peak, busy = self._integrate(name, max(until, 0.0))
+        scale = capacity * until
+        return LinkUsage(
+            name=name,
+            kind=self.kinds.get(name, "link"),
+            capacity=capacity,
+            mean_utilization=integral / scale if scale > 0 else 0.0,
+            peak_utilization=peak / capacity if capacity > 0 else 0.0,
+            busy_time=busy,
+        )
+
+    def top(self, until: float, k: int = 5, kind: str = "link"
+            ) -> list[LinkUsage]:
+        """The ``k`` most-utilized resources of ``kind`` over ``[0, until]``."""
+        usages = [self.summarize(n, until) for n in self.names(kind)]
+        usages.sort(key=lambda u: (-u.mean_utilization, u.name))
+        return usages[:k]
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def as_rows(self) -> list[tuple[str, str, float, float, float]]:
+        """Flat ``(name, kind, capacity, time, usage)`` rows for CSV export."""
+        rows = []
+        for name, series in self._series.items():
+            kind = self.kinds[name]
+            capacity = self.capacities[name]
+            for t, usage in series:
+                rows.append((name, kind, capacity, t, usage))
+        return rows
+
+    def load_row(self, name: str, kind: str, capacity: float,
+                 t: float, usage: float) -> None:
+        """Re-insert one :meth:`as_rows` row (CSV import path)."""
+        series = self._series.setdefault(name, [])
+        self.kinds.setdefault(name, kind)
+        self.capacities[name] = capacity
+        series.append((t, usage))
+        self.n_samples += 1

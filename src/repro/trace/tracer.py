@@ -2,17 +2,40 @@
 
 When ``SmpiConfig.tracing`` is on, the runtime records one
 :class:`CommRecord` per message (start/end simulated times, endpoints,
-bytes, protocol) and one :class:`ComputeRecord` per compute burst.  The
-trace supports the analyses behind the evaluation figures (per-process
-completion times, message-size sweeps) and can be dumped as CSV for
-external tooling — a light-weight stand-in for SimGrid's Paje traces.
+bytes, protocol) and one :class:`ComputeRecord` per compute burst, and
+the engine samples per-resource utilization into a
+:class:`~repro.trace.Timeline` attached as :attr:`Tracer.timeline`.
+The trace supports the analyses behind the evaluation figures
+(:mod:`repro.trace.analysis`), renders as a Gantt chart
+(:mod:`repro.trace.gantt`), and exports as CSV here or as a Paje trace
+(:mod:`repro.trace.paje`) for external tooling.
+
+CSV schema (one flat table, ``kind`` discriminates)::
+
+    kind,mid,src,dst,tag,nbytes_or_flops,eager,start,end,capacity
+    comm,3,0,1,0,1000,1,0.0001,0.0082,
+    compute,,0,,,1e6,,0.0,0.001,
+    link,,cli-l0,,,9.8e7,,0.0001,,1.25e8
+
+``comm`` rows carry the message id, endpoints, byte count and protocol
+(``eager`` 1/0); ``compute`` rows put the rank in ``src`` and the flop
+count in ``nbytes_or_flops``; ``link`` rows are utilization samples —
+the resource name in ``src``, the consumed rate in ``nbytes_or_flops``,
+the sample time in ``start`` and the resource capacity in ``capacity``
+(``dst`` holds ``host`` for CPU samples, empty for links).
+
+Records whose ``end`` was never set (the simulation aborted mid-flight)
+are *dropped* by every exporter — a half-open interval would serialize
+as ``nan`` and break downstream CSV consumers; pass
+``include_open=True`` to keep them with an empty ``end`` field instead.
 """
 
 from __future__ import annotations
 
 import csv
 import io
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass
 from pathlib import Path
 
 __all__ = ["CommRecord", "ComputeRecord", "Tracer"]
@@ -33,6 +56,11 @@ class CommRecord:
     def duration(self) -> float:
         return self.end - self.start
 
+    @property
+    def closed(self) -> bool:
+        """True once the transfer completed (``end`` was recorded)."""
+        return math.isfinite(self.end)
+
 
 @dataclass
 class ComputeRecord:
@@ -40,6 +68,10 @@ class ComputeRecord:
     flops: float
     start: float
     end: float = float("nan")
+
+    @property
+    def closed(self) -> bool:
+        return math.isfinite(self.end)
 
 
 class Tracer:
@@ -49,6 +81,9 @@ class Tracer:
         self.comms: list[CommRecord] = []
         self.computes: list[ComputeRecord] = []
         self._open_comms: dict[int, CommRecord] = {}
+        #: per-resource utilization samples, attached by the runtime when
+        #: the engine supports it (:meth:`repro.surf.Engine.enable_timeline`)
+        self.timeline = None
 
     # -- hooks called by the runtime ------------------------------------------------
 
@@ -88,21 +123,94 @@ class Tracer:
     def messages_of(self, rank: int) -> list[CommRecord]:
         return [r for r in self.comms if r.src == rank or r.dst == rank]
 
+    def open_records(self) -> list[CommRecord | ComputeRecord]:
+        """Records never finalized (the simulation died around them)."""
+        return [r for r in self.comms + self.computes  # type: ignore[operator]
+                if not r.closed]
+
     # -- export ------------------------------------------------------------------------------
 
-    def to_csv(self) -> str:
+    CSV_HEADER = ("kind", "mid", "src", "dst", "tag", "nbytes_or_flops",
+                  "eager", "start", "end", "capacity")
+
+    def to_csv(self, include_open: bool = False) -> str:
+        """Serialise as CSV (schema in the module docstring).
+
+        Open records (aborted/failed simulations leave transfers whose
+        ``end`` was never recorded) are dropped by default so the file
+        never contains ``nan``; ``include_open=True`` keeps them with an
+        empty ``end`` field instead.
+        """
         buf = io.StringIO()
-        writer = csv.writer(buf)
-        writer.writerow(
-            ["kind", "src", "dst", "tag", "nbytes_or_flops", "eager", "start", "end"]
-        )
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.CSV_HEADER)
+
+        def end_field(record) -> str | float:
+            return record.end if record.closed else ""
+
         for r in self.comms:
-            writer.writerow(
-                ["comm", r.src, r.dst, r.tag, r.nbytes, int(r.eager), r.start, r.end]
-            )
+            if not (r.closed or include_open):
+                continue
+            writer.writerow(["comm", r.mid, r.src, r.dst, r.tag, r.nbytes,
+                             int(r.eager), r.start, end_field(r), ""])
         for c in self.computes:
-            writer.writerow(["compute", c.rank, c.rank, "", c.flops, "", c.start, c.end])
+            if not (c.closed or include_open):
+                continue
+            writer.writerow(["compute", "", c.rank, "", "", c.flops, "",
+                             c.start, end_field(c), ""])
+        if self.timeline is not None:
+            for name, kind, capacity, t, usage in self.timeline.as_rows():
+                writer.writerow(["link", "", name,
+                                 kind if kind != "link" else "", "", usage,
+                                 "", t, "", capacity])
         return buf.getvalue()
+
+    @classmethod
+    def from_csv(cls, text: str) -> "Tracer":
+        """Rebuild a tracer (and timeline) from :meth:`to_csv` output."""
+        from ..errors import ConfigError
+        from .timeline import Timeline
+
+        tracer = cls()
+        timeline = Timeline()
+        reader = csv.reader(io.StringIO(text))
+        header = next(reader, None)
+        if header is None or tuple(header[:2]) != ("kind", "mid"):
+            raise ConfigError("not a repro trace CSV (bad header)")
+
+        def _end(field: str) -> float:
+            return float(field) if field else float("nan")
+
+        for row in reader:
+            if not row:
+                continue
+            kind = row[0]
+            if kind == "comm":
+                tracer.comms.append(CommRecord(
+                    mid=int(row[1]), src=int(row[2]), dst=int(row[3]),
+                    tag=int(row[4]), nbytes=int(float(row[5])),
+                    eager=bool(int(row[6])), start=float(row[7]),
+                    end=_end(row[8]),
+                ))
+            elif kind == "compute":
+                tracer.computes.append(ComputeRecord(
+                    rank=int(row[2]), flops=float(row[5]),
+                    start=float(row[7]), end=_end(row[8]),
+                ))
+            elif kind == "link":
+                timeline.load_row(
+                    name=row[2], kind=row[3] or "link",
+                    capacity=float(row[9]) if row[9] else 0.0,
+                    t=float(row[7]), usage=float(row[5]),
+                )
+            else:
+                raise ConfigError(f"unknown trace CSV row kind {kind!r}")
+        tracer.timeline = timeline if timeline.names() else None
+        return tracer
 
     def save(self, path: str | Path) -> None:
         Path(path).write_text(self.to_csv(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Tracer":
+        return cls.from_csv(Path(path).read_text(encoding="utf-8"))

@@ -156,3 +156,95 @@ class TestStatsFlag:
         assert main(["replay", trace_path, "--platform", "cluster:2",
                      "--stats"]) == 0
         assert "kernel stats" in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    @pytest.fixture
+    def csv_trace(self, app_file, tmp_path, capsys):
+        path = str(tmp_path / "run.csv")
+        assert main(["run", app_file, "-n", "4", "--platform", "cluster:4",
+                     "--trace", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_run_exports_csv(self, csv_trace):
+        content = open(csv_trace).read()
+        assert content.startswith("kind,mid")
+        assert "comm," in content and "link," in content
+
+    def test_run_exports_paje(self, app_file, tmp_path, capsys):
+        path = str(tmp_path / "run.paje")
+        assert main(["run", app_file, "-n", "4", "--platform", "cluster:4",
+                     "--trace", path, "--trace-format", "paje"]) == 0
+        assert open(path).read().startswith("%EventDef")
+        assert main(["trace", "summary", path]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "top links" in out
+
+    def test_run_exports_ti(self, app_file, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        assert main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+                     "--trace", path, "--trace-format", "ti"]) == 0
+        run_out = capsys.readouterr().out
+        assert main(["replay", path, "--platform", "cluster:2"]) == 0
+        replay_out = capsys.readouterr().out
+        pick = lambda out: next(l for l in out.splitlines()
+                                if l.startswith("simulated"))
+        assert pick(run_out) == pick(replay_out)
+
+    def test_summary(self, csv_trace, capsys):
+        assert main(["trace", "summary", csv_trace]) == 0
+        out = capsys.readouterr().out
+        assert "rank activity" in out
+        assert "computing" in out
+
+    def test_gantt_ascii_and_svg(self, csv_trace, tmp_path, capsys):
+        assert main(["trace", "gantt", csv_trace, "--width", "40",
+                     "--critical"]) == 0
+        out = capsys.readouterr().out
+        assert "r0 |" in out and "*" in out
+        svg_path = str(tmp_path / "g.svg")
+        assert main(["trace", "gantt", csv_trace, "--svg", svg_path]) == 0
+        assert open(svg_path).read().startswith("<svg")
+
+    def test_critical_path(self, csv_trace, capsys):
+        assert main(["trace", "critical-path", csv_trace]) == 0
+        assert "critical path:" in capsys.readouterr().out
+
+    def test_export_round_trip(self, csv_trace, tmp_path, capsys):
+        paje_path = str(tmp_path / "out.paje")
+        assert main(["trace", "export", csv_trace, "--format", "paje",
+                     "-o", paje_path]) == 0
+        back_path = str(tmp_path / "back.csv")
+        assert main(["trace", "export", paje_path, "--format", "csv",
+                     "-o", back_path]) == 0
+        assert open(back_path).read().startswith("kind,mid")
+
+    def test_ti_input_needs_platform(self, app_file, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+              "--record", path])
+        capsys.readouterr()
+        assert main(["trace", "summary", path]) == 2
+        assert "--platform" in capsys.readouterr().err
+        assert main(["trace", "summary", path,
+                     "--platform", "cluster:2"]) == 0
+
+    def test_replay_rejects_ti_reexport(self, app_file, tmp_path, capsys):
+        path = str(tmp_path / "run.json")
+        main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+              "--record", path])
+        capsys.readouterr()
+        assert main(["replay", path, "--platform", "cluster:2",
+                     "--trace", str(tmp_path / "x.json"),
+                     "--trace-format", "ti"]) == 2
+
+    def test_replay_exports_trace(self, app_file, tmp_path, capsys):
+        ti_path = str(tmp_path / "run.json")
+        main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+              "--record", ti_path])
+        capsys.readouterr()
+        csv_path = str(tmp_path / "replay.csv")
+        assert main(["replay", ti_path, "--platform", "cluster:2",
+                     "--trace", csv_path]) == 0
+        assert main(["trace", "summary", csv_path]) == 0
