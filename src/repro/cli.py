@@ -141,16 +141,22 @@ def _report(result, n_ranks: int, show_stats: bool = False) -> None:
         print(f"  components solved: {stats.components_solved}")
         print(f"  actions          : {stats.actions_created} created, "
               f"{stats.actions_completed} completed")
+        print(f"  actions touched  : {stats.actions_touched}")
+        print(f"  heap pops        : {stats.heap_pops} "
+              f"({stats.stale_heap_entries} stale)")
         print(f"  peak concurrent  : {stats.peak_concurrent}")
         if stats.link_samples:
             print(f"  link samples     : {stats.link_samples}")
 
 
 def _make_engine(platform, args):
-    """The simulation kernel for a run/replay command, honouring
-    ``--full-reshare`` (None lets the runtime build its default engine)."""
-    if getattr(args, "full_reshare", False):
-        return Engine(platform, full_reshare=True)
+    """The simulation kernel for a run/replay command, honouring the
+    ``--full-reshare`` / ``--eager-updates`` escape hatches (None lets the
+    runtime build its default engine)."""
+    full = getattr(args, "full_reshare", False)
+    eager = getattr(args, "eager_updates", False)
+    if full or eager:
+        return Engine(platform, full_reshare=full, eager_updates=eager)
     return None
 
 
@@ -354,6 +360,9 @@ def make_parser() -> argparse.ArgumentParser:
                      help="print kernel counters (shares, flow re-solves)")
     run.add_argument("--full-reshare", action="store_true",
                      help="disable incremental re-sharing (debug escape hatch)")
+    run.add_argument("--eager-updates", action="store_true",
+                     help="disable lazy action updates / the completion-date "
+                          "heap (debug escape hatch)")
     run.set_defaults(func=_cmd_run)
 
     replay = sub.add_parser("replay", help="replay a recorded trace")
@@ -372,6 +381,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="print kernel counters (shares, flow re-solves)")
     replay.add_argument("--full-reshare", action="store_true",
                         help="disable incremental re-sharing (debug escape hatch)")
+    replay.add_argument("--eager-updates", action="store_true",
+                        help="disable lazy action updates / the completion-date "
+                             "heap (debug escape hatch)")
     replay.set_defaults(func=_cmd_replay)
 
     trace = sub.add_parser("trace", help="analyse an exported trace")

@@ -77,6 +77,12 @@ class PacketEngine:
     def busy(self) -> bool:
         return bool(self._events) or bool(self._completed)
 
+    def poll_progress(self) -> bool:
+        """True while :meth:`step` can make progress (everything the
+        packet engine simulates is event-queue driven, so this is just
+        ``busy``; the scheduler uses it for deadlock detection)."""
+        return self.busy
+
     @property
     def pending(self) -> list:
         # only used by diagnostics; expose a count-ish stand-in

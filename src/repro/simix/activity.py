@@ -63,6 +63,8 @@ class Activity:
             callback()
         waiters, self._waiters = self._waiters, []
         for actor in waiters:
+            if actor.waiting_on is self:
+                actor.waiting_on = None
             self.scheduler.wake(actor)
 
     # -- actor side -----------------------------------------------------------------
@@ -70,6 +72,7 @@ class Activity:
     def add_waiter(self, actor: "Actor") -> None:
         if actor not in self._waiters:
             self._waiters.append(actor)
+        actor.waiting_on = self
 
     def wait(self, actor: "Actor") -> None:
         """Block ``actor`` until this activity completes."""

@@ -65,6 +65,10 @@ class Actor:
         self._killed = False
         #: True while the actor sits in the scheduler's runnable queue
         self.scheduled = False
+        #: the activity this actor is blocked on, if any (maintained by
+        #: :meth:`repro.simix.activity.Activity.add_waiter`; used by the
+        #: scheduler's deadlock report to say who waits on what)
+        self.waiting_on = None
 
         self._baton_actor = threading.Event()  # set -> actor may run
         self._baton_sched = threading.Event()  # set -> scheduler may run

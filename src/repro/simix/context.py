@@ -120,8 +120,12 @@ class Scheduler:
                     break
                 # Step the engine until some completion made an actor
                 # runnable again (several steps may only expire latency
-                # phases or finish activities nobody waits on).
-                while not self._runnable and self.engine.busy:
+                # phases or finish activities nobody waits on).  The
+                # poll is an O(1) peek at the engine's completion heap:
+                # when no scheduled event can ever fire, stepping would
+                # never wake anyone, so bail out to the deadlock report
+                # instead of scanning (or spinning on) the pending set.
+                while not self._runnable and self.engine.poll_progress():
                     self.engine.step()
                 if not self._runnable:
                     self._raise_deadlock(alive)
@@ -143,9 +147,17 @@ class Scheduler:
 
     def _raise_deadlock(self, alive: list[Actor]) -> None:
         # Engine may still hold latency-phase actions even when nothing is
-        # RUNNING; step() would have advanced those, so reaching here means
-        # a genuine application deadlock.
-        names = ", ".join(a.name for a in alive[:16])
+        # RUNNING; poll_progress() would have reported those, so reaching
+        # here means a genuine application deadlock.  Each actor records
+        # the activity it blocked on, so the report can say who waits on
+        # what (the classic unmatched-recv shows up by name).
+        def describe(actor: Actor) -> str:
+            activity = actor.waiting_on
+            if activity is None:
+                return actor.name
+            return f"{actor.name} (waiting on {activity.name!r})"
+
+        names = ", ".join(describe(a) for a in alive[:16])
         more = "" if len(alive) <= 16 else f" (+{len(alive) - 16} more)"
         raise DeadlockError(
             f"all {len(alive)} remaining actors are blocked with no pending "

@@ -17,6 +17,17 @@ computation, a sleep.  Actions move through a small state machine::
 The engine owns the clocking; actions only record their parameters and
 bookkeeping (who to wake on completion, via an opaque ``observer`` the
 SIMIX layer sets).
+
+Actions are *lazily updated*: ``remaining`` is the work left **as of**
+``last_touched``, not as of the engine clock.  The pair is only
+re-materialized when the action's rate actually changes
+(:meth:`Action.set_rate`) or when its predicted ``deadline`` — the
+absolute simulated date at which the current phase ends — is reached
+(:meth:`Action.expire`).  Between those two moments the action is never
+touched, which is what lets the engine process an event without visiting
+every pending action.  ``epoch`` counts invalidations of the prediction;
+the engine stamps heap entries with it so stale predictions are skipped
+on pop rather than eagerly deleted.
 """
 
 from __future__ import annotations
@@ -58,6 +69,9 @@ class Action:
         "start_time",
         "finish_time",
         "observer",
+        "last_touched",
+        "deadline",
+        "epoch",
     )
 
     def __init__(
@@ -84,6 +98,15 @@ class Action:
         self.finish_time = math.nan
         #: callable invoked by the engine when the action completes/fails
         self.observer: Callable[[Action], None] | None = None
+        #: simulated time at which ``remaining``/``latency_remaining`` were
+        #: last materialized (engine-maintained; 0 for standalone use)
+        self.last_touched = 0.0
+        #: absolute date of the next phase change at the current rate
+        #: (latency expiry or completion; inf while unknowable)
+        self.deadline = math.inf
+        #: bumped on every prediction invalidation — heap entries carrying
+        #: an older epoch are stale and skipped on pop
+        self.epoch = 0
 
     # -- engine-facing ------------------------------------------------------
 
@@ -109,13 +132,61 @@ class Action:
             return math.inf
         return self.remaining / self.rate
 
+    # -- lazy updates (engine hot path) -------------------------------------
+
+    def set_rate(self, rate: float, now: float) -> None:
+        """Assign a new sharing rate at simulated time ``now``.
+
+        Materializes ``remaining`` (work done since ``last_touched`` at the
+        old rate is subtracted), re-anchors the action at ``now``, and
+        recomputes the completion ``deadline``.  Callers must skip the call
+        when the rate is unchanged: the existing prediction is still exact,
+        and re-anchoring would perturb the floating-point trajectory.
+        """
+        if self.rate > 0.0:
+            self.remaining = max(
+                self.remaining - self.rate * (now - self.last_touched), 0.0
+            )
+        self.last_touched = now
+        self.rate = rate
+        self.epoch += 1
+        if self.remaining <= 0:
+            self.deadline = now
+        elif rate > 0.0:
+            self.deadline = now + self.remaining / rate
+        else:
+            self.deadline = math.inf
+
+    def expire(self, now: float) -> None:
+        """Apply the phase change whose ``deadline`` has been reached.
+
+        LATENCY actions become RUNNING (or DONE when they carry no work,
+        e.g. sleeps) and wait for the next share to receive a rate;
+        RUNNING actions complete.
+        """
+        self.epoch += 1
+        if self.state is ActionState.LATENCY:
+            self.latency_remaining = 0.0
+            self.last_touched = now
+            if self.remaining <= 0:
+                self.state = ActionState.DONE
+            else:
+                self.state = ActionState.RUNNING
+                self.rate = 0.0
+                self.deadline = math.inf
+        elif self.state is ActionState.RUNNING:
+            self.remaining = 0.0
+            self.state = ActionState.DONE
+
+    # -- standalone countdown API (kept for model-level callers/tests) ------
+
     def advance(self, delta: float) -> bool:
         """Progress the action by ``delta`` simulated seconds.
 
-        Returns True when the action changed state (latency expired, work
-        completed) — the engine uses this resource-change notification to
-        know a re-share is needed at all; which resources it invalidates
-        is derived from the action's constraints at the next share.
+        Countdown-style companion to the engine's deadline-driven path,
+        for standalone use of actions outside an :class:`Engine` (it does
+        not maintain ``last_touched``/``deadline``).  Returns True when
+        the action changed state (latency expired, work completed).
         """
         if self.state is ActionState.LATENCY:
             self.latency_remaining -= delta
@@ -137,6 +208,7 @@ class Action:
         """Cancel the action; the observer is notified by the engine."""
         if self.is_pending:
             self.state = ActionState.FAILED
+            self.epoch += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

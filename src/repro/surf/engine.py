@@ -25,12 +25,28 @@ never cross a completed flow's links keep their rates and completion
 estimates untouched.  ``full_reshare=True`` restores the historical
 rebuild-everything path (same results, used as the equivalence oracle by
 the tests and the ablation benchmark).
+
+The step loop itself is *event-driven*: every pending action carries an
+absolute ``deadline`` (predicted completion, latency expiry, sleep wake-
+up) that is recomputed only when its rate actually changes — the rates
+that stayed equal after a re-share, reported by
+:attr:`~repro.surf.maxmin.IncrementalMaxMin.last_rate_changed`, keep
+their predictions untouched.  The engine keeps those deadlines in a
+min-heap of epoch-stamped entries: advancing to the next event is a heap
+peek, and harvesting is driven by heap pops, so an event that completes
+one flow among 2048 costs O(affected · log P) instead of O(P).  Stale
+entries (the action's epoch moved on) are skipped on pop rather than
+deleted.  ``eager_updates=True`` restores the historical scan-everything
+event loop — every pending action's deadline is examined at every event —
+with bit-identical results, as the lazy path's equivalence oracle.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from itertools import islice
 
 from ..errors import SimulationError
 from ..log import bind_clock, get_logger
@@ -56,6 +72,13 @@ class EngineStats:
     ``components_solved`` the number of connected components those
     re-solves covered.  Under ``full_reshare=True`` every share re-solves
     all flows as one component, so the counters stay comparable.
+
+    ``actions_touched`` counts per-action updates in the event loop: rate
+    re-anchors plus, in the lazy engine, heap-popped expiries — or, under
+    ``eager_updates=True``, every pending action examined at every event.
+    The lazy/eager ratio of ``actions_touched / steps`` is the speedup the
+    completion-date heap buys.  ``heap_pops`` and ``stale_heap_entries``
+    instrument the heap itself (both stay 0 under eager updates).
     """
 
     steps: int = 0
@@ -66,6 +89,12 @@ class EngineStats:
     partial_shares: int = 0
     flows_resolved: int = 0
     components_solved: int = 0
+    #: per-action updates performed by the event loop (see class docstring)
+    actions_touched: int = 0
+    #: completion-heap entries popped (lazy mode only)
+    heap_pops: int = 0
+    #: popped entries whose prediction was stale and skipped (lazy mode only)
+    stale_heap_entries: int = 0
     #: utilization samples recorded on the attached timeline (0 unless
     #: :meth:`Engine.enable_timeline` was called)
     link_samples: int = 0
@@ -81,20 +110,32 @@ class Engine:
         network_model: NetworkModel | None = None,
         cpu_model: CpuModel | None = None,
         full_reshare: bool = False,
+        eager_updates: bool = False,
     ) -> None:
         platform.freeze()
         self.platform = platform
         self.network_model = network_model or FactorsNetworkModel()
         self.cpu_model = cpu_model or CpuModel()
         self.full_reshare = full_reshare
+        self.eager_updates = eager_updates
         self.now = 0.0
-        self.pending: list[Action] = []
+        #: pending actions by aid (insertion order == registration order)
+        self.pending: dict[int, Action] = {}
         self.stats = EngineStats()
         self._needs_share = True  # resource shares need recomputation
         self._solver = IncrementalMaxMin()
         #: RUNNING actions currently registered as solver flows, by aid
         self._members: dict[int, Action] = {}
         self._instant_done: list[Action] = []
+        #: min-heap of (deadline, aid, epoch) completion predictions; only
+        #: maintained by the lazy path (``eager_updates=False``)
+        self._heap: list[tuple[float, int, int]] = []
+        #: actions that reached DONE/FAILED and await observer delivery
+        self._finished: list[Action] = []
+        #: actions that entered RUNNING since the last share (to enroll)
+        self._newly_running: list[Action] = []
+        #: actions that left RUNNING since the last share (to retire)
+        self._retired: list[Action] = []
         self._dead_resources: set[str] = set()
         #: per-resource utilization timeline; None (the default) keeps the
         #: share path free of any sampling work
@@ -182,6 +223,7 @@ class Engine:
 
     def _register(self, action: Action) -> None:
         action.start_time = self.now
+        action.last_touched = self.now
         self.stats.actions_created += 1
         if action.state in (ActionState.DONE, ActionState.FAILED):
             # zero-work (or stillborn-failed) actions complete immediately;
@@ -189,9 +231,21 @@ class Engine:
             action.finish_time = self.now
             self._completed_now.append(action)
         else:
-            self.pending.append(action)
+            if action.state is ActionState.LATENCY:
+                action.deadline = self.now + action.latency_remaining
+                self._push(action)
+            else:
+                # RUNNING from birth: deadline stays inf until a share
+                # assigns a rate
+                self._newly_running.append(action)
+            self.pending[action.aid] = action
             self.stats.peak_concurrent = max(self.stats.peak_concurrent, len(self.pending))
         self._needs_share = True
+
+    def _push(self, action: Action) -> None:
+        """Schedule ``action``'s current deadline on the completion heap."""
+        if not self.eager_updates and action.deadline < math.inf:
+            heappush(self._heap, (action.deadline, action.aid, action.epoch))
 
     @property
     def _completed_now(self) -> list[Action]:
@@ -226,23 +280,29 @@ class Engine:
     def _share_incremental(self) -> None:
         solver = self._solver
         members = self._members
-        for action in self.pending:
+        # Membership is synced from the arrival/departure queues the event
+        # loop maintains, not by scanning ``pending`` — a share after one
+        # completion costs O(affected), however many actions are in flight.
+        for action in self._newly_running:
             if action.state is ActionState.RUNNING and action.aid not in members:
                 self._enroll(action)
-        stale = [aid for aid, action in members.items()
-                 if action.state is not ActionState.RUNNING]
-        for aid in stale:
-            solver.remove_flow(aid)
-            del members[aid]
+        self._newly_running.clear()
+        for action in self._retired:
+            if members.pop(action.aid, None) is not None:
+                solver.remove_flow(action.aid)
+        self._retired.clear()
 
         solved = solver.solve_dirty()
-        for aid in solved:
-            members[aid].rate = solver.rate(aid)
+        # Only the flows whose rate actually changed value are re-anchored
+        # and re-scheduled; every other flow's completion prediction is
+        # still exact, so its heap entry survives untouched.
+        for aid in solver.last_rate_changed:
+            self._apply_rate(members[aid], solver.rate(aid))
         self.stats.flows_resolved += len(solved)
         self.stats.components_solved += solver.last_components
         if members and len(solved) < len(members):
             self.stats.partial_shares += 1
-        if self.timeline is not None and solver.last_usage:
+        if self.timeline is not None:
             now = self.now
             for record, usage in solver.last_usage:
                 self.timeline.record(
@@ -250,6 +310,19 @@ class Engine:
                     kind="link" if isinstance(record.key, Link) else "host",
                 )
             self.stats.link_samples = self.timeline.n_samples
+
+    def _apply_rate(self, action: Action, rate: float) -> None:
+        """Re-anchor ``action`` at a new rate and reschedule its deadline.
+
+        Equal rates are skipped entirely — the existing prediction stays
+        exact, and skipping keeps the floating-point trajectory identical
+        between the lazy and eager engines.
+        """
+        if rate == action.rate:
+            return
+        action.set_rate(rate, self.now)
+        self.stats.actions_touched += 1
+        self._push(action)
 
     def _enroll(self, action: Action) -> None:
         """Register a newly-RUNNING action as a solver flow."""
@@ -274,9 +347,12 @@ class Engine:
 
     def _share_full(self) -> None:
         """The historical rebuild-everything share (equivalence oracle)."""
-        running = [a for a in self.pending if a.state is ActionState.RUNNING]
-        for action in running:
-            action.rate = 0.0
+        # rebuilds from a pending scan; the incremental membership queues
+        # would otherwise grow unboundedly
+        self._newly_running.clear()
+        self._retired.clear()
+        running = [a for a in self.pending.values()
+                   if a.state is ActionState.RUNNING]
         if not running:
             if self.timeline is not None and self._last_full_usage:
                 self._sample_full_usage([])
@@ -310,7 +386,7 @@ class Engine:
 
         rates = solve_maxmin(system)
         for action, rate in zip(flow_action, rates):
-            action.rate = float(rate)
+            self._apply_rate(action, float(rate))
         self.stats.flows_resolved += len(running)
         self.stats.components_solved += 1
         if self.timeline is not None:
@@ -337,14 +413,41 @@ class Engine:
         self._last_full_usage = {r: u for r, u in usage.items() if u > 0.0}
         self.stats.link_samples = self.timeline.n_samples
 
-    def next_event_delta(self) -> float:
-        """Time until the next action completes (inf when none will)."""
+    def next_deadline(self) -> float:
+        """Absolute date of the next scheduled event (inf when none).
+
+        Lazy mode peeks the completion heap, skipping stale entries;
+        eager mode scans every pending action's deadline.
+        """
         if self._needs_share:
             self.share_resources()
-        delta = math.inf
-        for action in self.pending:
-            delta = min(delta, action.time_to_completion())
-        return delta
+        if self.eager_updates:
+            date = math.inf
+            for action in self.pending.values():
+                if action.is_pending and action.deadline < date:
+                    date = action.deadline
+            return date
+        heap = self._heap
+        stats = self.stats
+        while heap:
+            deadline, aid, epoch = heap[0]
+            action = self.pending.get(aid)
+            if action is None or epoch != action.epoch or not action.is_pending:
+                heappop(heap)
+                stats.heap_pops += 1
+                stats.stale_heap_entries += 1
+                continue
+            return deadline
+        return math.inf
+
+    def next_event_delta(self) -> float:
+        """Time until the next action completes (inf when none will)."""
+        date = self.next_deadline()
+        return date - self.now if date < math.inf else math.inf
+
+    def _stalled_error(self) -> SimulationError:
+        stalled = ", ".join(a.name for a in islice(self.pending.values(), 8))
+        return SimulationError(f"no action can complete: {stalled}")
 
     def step(self) -> list[Action]:
         """Advance to the next completion; return the finished actions.
@@ -354,6 +457,7 @@ class Engine:
         that indicates an internal inconsistency, since max-min always
         grants positive rates to flows on positive-capacity resources.
         """
+        self.stats.steps += 1
         instant = self._drain_instant()
         if instant:
             return instant
@@ -362,36 +466,79 @@ class Engine:
             return finished
         if not self.pending:
             return []
-        delta = self.next_event_delta()
-        if math.isinf(delta):
-            stalled = ", ".join(a.name for a in self.pending[:8])
-            raise SimulationError(f"no action can complete: {stalled}")
-        self._advance_raw(delta)
+        date = self.next_deadline()
+        if math.isinf(date):
+            raise self._stalled_error()
+        self._advance_to(date)
         return self._harvest()
 
-    def _advance_raw(self, delta: float) -> None:
-        """Progress every pending action by ``delta`` (must not cross more
-        than one phase boundary — callers bound delta by next_event_delta)."""
+    def _advance_to(self, date: float) -> None:
+        """Move the clock to ``date`` (at most the next event deadline) and
+        expire the actions whose deadline has been reached."""
         if self._needs_share:
             self.share_resources()
-        self.now += delta
-        changed = False
-        for action in self.pending:
-            changed = action.advance(delta) or changed
-        if changed:
-            # a state transition (latency expiry, completion) invalidates
-            # the shares of the resources that action touches
-            self._needs_share = True
+        self.now = date
+        if self.eager_updates:
+            self._expire_eager()
+        else:
+            self._expire_lazy()
+
+    def _expire_eager(self) -> None:
+        """Historical O(P) event processing: visit every pending action."""
+        now = self.now
+        stats = self.stats
+        for action in self.pending.values():
+            stats.actions_touched += 1
+            if action.is_pending and action.deadline <= now:
+                self._expire(action)
+
+    def _expire_lazy(self) -> None:
+        """Heap-driven event processing: pop exactly the due predictions."""
+        now = self.now
+        heap = self._heap
+        stats = self.stats
+        pending = self.pending
+        while heap and heap[0][0] <= now:
+            _deadline, aid, epoch = heappop(heap)
+            stats.heap_pops += 1
+            action = pending.get(aid)
+            if action is None or epoch != action.epoch or not action.is_pending:
+                stats.stale_heap_entries += 1
+                continue
+            stats.actions_touched += 1
+            self._expire(action)
+
+    def _expire(self, action: Action) -> None:
+        """Apply one due phase change and queue completions for harvest."""
+        action.expire(self.now)
+        if action.state is ActionState.DONE:
+            self._finished.append(action)
+            self._retired.append(action)
+        else:  # latency expired: a new flow arrives at the next share
+            self._newly_running.append(action)
+        # any transition (latency expiry -> new flow, completion ->
+        # departure) invalidates the shares of the resources it touches
+        self._needs_share = True
+
+    def poll_progress(self) -> bool:
+        """True when :meth:`step` can make progress: something to deliver
+        now, or a future event scheduled on the heap.  The SIMIX scheduler
+        uses this O(1) peek for deadlock detection instead of scanning."""
+        if self._instant_done or self._finished:
+            return True
+        if not self.pending:
+            return False
+        return not math.isinf(self.next_deadline())
 
     def advance(self, delta: float) -> None:
         """Progress simulated time by exactly ``delta`` seconds.
 
-        Unlike :meth:`_advance_raw` this safely crosses any number of
-        event boundaries (latency expiries, completions), re-sharing
-        resources and delivering observers at each one.  Like :meth:`step`
-        it raises :class:`SimulationError` when pending actions exist but
-        none can ever finish; the clock only warps to the target when
-        nothing is pending.
+        Unlike :meth:`step` this safely crosses any number of event
+        boundaries (latency expiries, completions), re-sharing resources
+        and delivering observers at each one.  Like :meth:`step` it raises
+        :class:`SimulationError` when pending actions exist but none can
+        ever finish; the clock only warps to the target when nothing is
+        pending.
         """
         if delta < 0:
             raise SimulationError(f"cannot advance time by {delta}")
@@ -400,24 +547,26 @@ class Engine:
             self._harvest()  # deliver cancellations before stall detection
             if not self.pending:
                 break  # nothing left to progress: warp to the target below
-            next_delta = self.next_event_delta()
-            if math.isinf(next_delta):
-                stalled = ", ".join(a.name for a in self.pending[:8])
-                raise SimulationError(f"no action can complete: {stalled}")
-            self._advance_raw(min(next_delta, target - self.now))
+            date = self.next_deadline()
+            if math.isinf(date):
+                raise self._stalled_error()
+            self._advance_to(min(date, target))
             self._harvest()
         self.now = max(self.now, target)
 
     def _harvest(self) -> list[Action]:
-        finished = [a for a in self.pending
-                    if a.state in (ActionState.DONE, ActionState.FAILED)]
-        if finished:
-            self.pending = [a for a in self.pending if a.is_pending]
-            for action in finished:
-                action.finish_time = self.now
-                self.stats.actions_completed += 1
-                if action.observer is not None:
-                    action.observer(action)
+        if not self._finished:
+            return []
+        finished, self._finished = self._finished, []
+        # observers fire in registration order, whatever order completions
+        # and cancellations were discovered in
+        finished.sort(key=lambda a: a.aid)
+        for action in finished:
+            self.pending.pop(action.aid, None)
+            action.finish_time = self.now
+            self.stats.actions_completed += 1
+            if action.observer is not None:
+                action.observer(action)
         return finished
 
     def _drain_instant(self) -> list[Action]:
@@ -433,17 +582,23 @@ class Engine:
         return done
 
     def run(self) -> float:
-        """Run standalone until every action completed; return final clock."""
-        self.stats.steps += 1
+        """Run standalone until every action completed; return final clock.
+
+        ``stats.steps`` is counted by :meth:`step` itself, so the counter
+        is accurate whichever driver (``run()`` or the SIMIX scheduler)
+        paces the simulation.
+        """
         while self.pending or self._completed_now:
             self.step()
-            self.stats.steps += 1
         return self.now
 
     def cancel(self, action: Action) -> None:
         """Fail a pending action; its observer fires on the next harvest."""
-        action.fail()
-        self._needs_share = True
+        if action.is_pending:
+            action.fail()
+            self._finished.append(action)
+            self._retired.append(action)
+            self._needs_share = True
 
     # -- failure injection (extension) ----------------------------------------------
 
@@ -473,9 +628,13 @@ class Engine:
         waiting ranks), and new actions over it fail immediately.
         """
         self._dead_resources.add(resource.name)
-        for action in self.pending:
-            if any(res.name == resource.name for res in action.constraints()):
+        for action in self.pending.values():
+            if action.is_pending and any(
+                res.name == resource.name for res in action.constraints()
+            ):
                 action.fail()
+                self._finished.append(action)
+                self._retired.append(action)
         self._needs_share = True
 
     def _route_is_dead(self, links) -> bool:

@@ -407,6 +407,12 @@ class IncrementalMaxMin:
         #: statistics of the most recent :meth:`solve_dirty` call
         self.last_components = 0
         self.last_flows_solved = 0
+        #: keys of the flows whose solved rate actually *changed* value in
+        #: the most recent :meth:`solve_dirty` (new flows included).  A
+        #: re-solved component usually contains many flows that keep their
+        #: exact previous rate — e.g. flows bottlenecked elsewhere — and
+        #: lazily-updated engines only need to re-anchor the changed ones.
+        self.last_rate_changed: set = set()
         #: when True, each component solve also recomputes the total
         #: consumed rate of every constraint it touches (utilization
         #: sampling for the observability layer).  Off by default so the
@@ -528,11 +534,13 @@ class IncrementalMaxMin:
         Returns the keys of the flows whose rate was recomputed; all other
         flows keep their previous rate (which is still the exact max-min
         solution for their untouched component).  Sets
-        :attr:`last_components` / :attr:`last_flows_solved`.
+        :attr:`last_components` / :attr:`last_flows_solved` /
+        :attr:`last_rate_changed`.
         """
         self.last_components = 0
         self.last_flows_solved = 0
         self.last_usage = []
+        self.last_rate_changed = set()
         if not self._dirty_cons and not self._dirty_flows:
             return set()
         seeds = set(self._dirty_flows)
@@ -592,7 +600,7 @@ class IncrementalMaxMin:
                 raise SimulationError(
                     "max-min system is unbounded: flows " + flow.name
                 )
-            self._rates[flow.key] = float(rate)
+            self._store_rate(flow.key, float(rate))
             if self.track_usage:
                 self._update_usage(members)
             return
@@ -619,9 +627,15 @@ class IncrementalMaxMin:
             shared, capacities, name_of,
         )
         for flow, rate in zip(members, rates):
-            self._rates[flow.key] = float(rate)
+            self._store_rate(flow.key, float(rate))
         if self.track_usage:
             self._update_usage(members)
+
+    def _store_rate(self, key, rate: float) -> None:
+        """Record a solved rate, tracking whether its value changed."""
+        if self._rates.get(key) != rate:
+            self.last_rate_changed.add(key)
+        self._rates[key] = rate
 
     def _update_usage(self, members: list) -> None:
         """Refresh the consumed rate of every constraint ``members`` touch.

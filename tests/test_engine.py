@@ -403,3 +403,95 @@ class TestIncrementalSharing:
             engine.run()
             assert doomed.state is ActionState.FAILED, full
             assert safe.state is ActionState.DONE, full
+
+
+class TestLazyUpdates:
+    """The heap-driven event loop must match the eager scan exactly while
+    touching far fewer actions."""
+
+    @staticmethod
+    def _crossbar_workload(engine):
+        """Disjoint staggered pairs plus a compute, a sleep and a cancel."""
+        comms = [
+            engine.communicate(f"node-{i}", f"node-{(i + 1) % 8}",
+                               1_000_000 * (i + 1), name=f"c{i}")
+            for i in range(8)
+        ]
+        engine.execute("node-0", 5e8, name="burst")
+        engine.sleep(0.003, name="nap")
+        engine.advance(0.001)
+        engine.cancel(comms[3])
+        engine.run()
+        return [(a.name, a.state.value, a.finish_time) for a in comms]
+
+    def _platform(self, tag):
+        return cluster(tag, 8, backbone_bandwidth=None, split_duplex=True)
+
+    def test_lazy_matches_eager_bit_for_bit(self):
+        lazy = Engine(self._platform("lz"))
+        eager = Engine(self._platform("eg"), eager_updates=True)
+        r_lazy = self._crossbar_workload(lazy)
+        r_eager = self._crossbar_workload(eager)
+        assert r_lazy == r_eager
+        assert lazy.now == eager.now
+
+    def test_lazy_touches_fewer_actions(self):
+        lazy = Engine(self._platform("lt"))
+        eager = Engine(self._platform("et"), eager_updates=True)
+        self._crossbar_workload(lazy)
+        self._crossbar_workload(eager)
+        assert lazy.stats.actions_touched < eager.stats.actions_touched
+        assert lazy.stats.heap_pops > 0
+        # the eager oracle never consults the heap
+        assert eager.stats.heap_pops == 0
+        assert eager.stats.stale_heap_entries == 0
+
+    def test_eager_flag_is_recorded(self):
+        engine = Engine(self._platform("ef"), eager_updates=True)
+        assert engine.eager_updates
+
+    def test_poll_progress_tracks_pending_events(self):
+        engine = Engine(self._platform("pp"))
+        assert not engine.poll_progress()  # nothing pending
+        engine.sleep(0.5)
+        assert engine.poll_progress()
+        engine.run()
+        assert not engine.poll_progress()
+
+    def test_link_samples_stay_in_sync_after_idle_shares(self):
+        # regression: the counter used to be refreshed only when the
+        # solver re-solved something, so shares where every component was
+        # clean (e.g. only a sleep pending) could leave it stale
+        engine = Engine(self._platform("ls"))
+        timeline = engine.enable_timeline()
+        engine.communicate("node-0", "node-1", 1_000_000)
+        engine.run()
+        engine.sleep(0.01)  # idle tail: shares re-solve nothing
+        engine.run()
+        assert engine.stats.link_samples == timeline.n_samples
+
+
+class TestStepsCounter:
+    """``stats.steps`` is counted by ``step()`` itself, whichever driver
+    paces the simulation (regression: ``run()`` used to count — off by one
+    — and Scheduler-driven simulations never counted at all)."""
+
+    def test_run_counts_actual_steps(self):
+        engine = Engine(cluster("sc1", 2))
+        engine.sleep(0.1)
+        engine.sleep(0.2)
+        engine.run()
+        assert engine.stats.steps == 2
+
+    def test_scheduler_driver_counts_steps(self):
+        from repro.simix import Scheduler
+
+        engine = Engine(cluster("sc2", 2))
+        scheduler = Scheduler(engine)
+
+        def actor():
+            scheduler.sleep_activity(0.1).wait(scheduler.current)
+
+        scheduler.add_actor("a0", "node-0", actor)
+        scheduler.run()
+        assert engine.stats.steps > 0

@@ -93,6 +93,19 @@ class TestScheduling:
         with pytest.raises(DeadlockError):
             sched.run()
 
+    def test_deadlock_report_names_waited_on_activity(self):
+        sched = make_scheduler()
+
+        def stuck():
+            # an activity nothing will ever complete (no engine action)
+            from repro.simix.activity import Activity
+
+            Activity(sched, None, name="phantom-recv").wait(sched.current)
+
+        sched.add_actor("a", "node-0", stuck)
+        with pytest.raises(DeadlockError, match="'phantom-recv'"):
+            sched.run()
+
     def test_threads_are_cleaned_up(self):
         before = threading.active_count()
         sched = make_scheduler()
