@@ -23,6 +23,10 @@ Usage (see ``python -m repro --help``)::
     python -m repro trace critical-path run.csv
     python -m repro trace export run.csv --format paje -o run.paje
 
+    # dynamic platforms: availability profiles and scripted faults
+    python -m repro run my_app.py -n 4 --availability cli-l0=wave.trace \\
+        --fail-at 0.5:cli-l1 --restore-at 1.0:cli-l1 --comm-retries 3
+
     # inspect things
     python -m repro platforms
     python -m repro info trace.json
@@ -43,7 +47,7 @@ from .errors import ConfigError, ReproError
 from .offline import TiTrace, record_trace, replay_trace
 from .platforms import gdx, griffon
 from .smpi import SmpiConfig, smpirun
-from .surf import Engine, Platform, cluster, load_platform_xml
+from .surf import Engine, Platform, cluster, load_platform_xml, load_profile
 from .trace import (
     Tracer,
     ascii_gantt,
@@ -118,7 +122,52 @@ def _config_from_args(args: argparse.Namespace) -> SmpiConfig:
         except ValueError:
             raise ConfigError(f"--coll expects name=algorithm, got {pair!r}")
         options.setdefault("coll_algorithms", {})[collective] = algorithm
+    if getattr(args, "comm_retries", None) is not None:
+        options["comm_retries"] = args.comm_retries
+    if getattr(args, "retry_backoff", None) is not None:
+        options["retry_backoff"] = args.retry_backoff
+    if getattr(args, "comm_timeout", None) is not None:
+        options["comm_timeout"] = args.comm_timeout
+    if getattr(args, "on_host_down", None) is not None:
+        options["on_host_down"] = args.on_host_down
     return SmpiConfig(**options)
+
+
+def _find_resource(platform: Platform, name: str):
+    """A link or host by name (fault flags accept either)."""
+    for getter in (platform.link, platform.host):
+        try:
+            return getter(name)
+        except ReproError:
+            continue
+    raise ConfigError(f"no link or host named {name!r} on this platform")
+
+
+def _attach_profiles(platform: Platform, args: argparse.Namespace) -> None:
+    """Apply --availability / --state-profile RES=FILE flags.
+
+    Must run before the engine is built: the engine scans the platform's
+    resources for profiles at construction time.
+    """
+    for attr, flag in (("availability_profile", "availability"),
+                       ("state_profile", "state_profile")):
+        for pair in getattr(args, flag, None) or []:
+            try:
+                name, file = pair.split("=", 1)
+            except ValueError:
+                raise ConfigError(
+                    f"--{flag.replace('_', '-')} expects RESOURCE=FILE, "
+                    f"got {pair!r}")
+            setattr(_find_resource(platform, name), attr,
+                    load_profile(file))
+
+
+def _parse_at(spec: str, flag: str) -> tuple[float, str]:
+    try:
+        t_s, name = spec.split(":", 1)
+        return float(t_s), name
+    except ValueError:
+        raise ConfigError(f"--{flag} expects TIME:RESOURCE, got {spec!r}")
 
 
 def _report(result, n_ranks: int, show_stats: bool = False) -> None:
@@ -147,17 +196,39 @@ def _report(result, n_ranks: int, show_stats: bool = False) -> None:
         print(f"  peak concurrent  : {stats.peak_concurrent}")
         if stats.link_samples:
             print(f"  link samples     : {stats.link_samples}")
+        if getattr(stats, "capacity_events", 0):
+            print(f"  capacity events  : {stats.capacity_events}")
+        failures = getattr(stats, "resource_failures", 0)
+        restores = getattr(stats, "resource_restores", 0)
+        if failures or restores:
+            print(f"  resource faults  : {failures} failed, "
+                  f"{restores} restored")
 
 
 def _make_engine(platform, args):
-    """The simulation kernel for a run/replay command, honouring the
-    ``--full-reshare`` / ``--eager-updates`` escape hatches (None lets the
-    runtime build its default engine)."""
+    """The simulation kernel for a run/replay command.
+
+    Honours the ``--full-reshare`` / ``--eager-updates`` escape hatches
+    and builds an explicit engine whenever ``--fail-at``/``--restore-at``
+    events need scripting (None lets the runtime build its default
+    engine; profiles attached to platform resources work either way).
+    """
     full = getattr(args, "full_reshare", False)
     eager = getattr(args, "eager_updates", False)
-    if full or eager:
-        return Engine(platform, full_reshare=full, eager_updates=eager)
-    return None
+    fail_specs = getattr(args, "fail_at", None) or []
+    restore_specs = getattr(args, "restore_at", None) or []
+    if not (full or eager or fail_specs or restore_specs):
+        return None
+    engine = Engine(platform, full_reshare=full, eager_updates=eager)
+    for spec in fail_specs:
+        t, name = _parse_at(spec, "fail-at")
+        resource = _find_resource(platform, name)
+        engine.at(t, lambda r=resource: engine.fail_resource(r))
+    for spec in restore_specs:
+        t, name = _parse_at(spec, "restore-at")
+        resource = _find_resource(platform, name)
+        engine.at(t, lambda r=resource: engine.restore_resource(r))
+    return engine
 
 
 def _export_run_trace(result, n_ranks: int, args: argparse.Namespace) -> None:
@@ -176,6 +247,7 @@ def _export_run_trace(result, n_ranks: int, args: argparse.Namespace) -> None:
 def _cmd_run(args: argparse.Namespace) -> int:
     app = load_app(args.app, args.entry)
     platform = build_platform(args.platform, args.n)
+    _attach_profiles(platform, args)
     config = _config_from_args(args)
     engine = _make_engine(platform, args)
     want_ti = args.trace and args.trace_format == "ti"
@@ -199,6 +271,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     trace = TiTrace.load(args.trace_file)
     platform = build_platform(args.platform, trace.n_ranks)
+    _attach_profiles(platform, args)
     config = _config_from_args(args)
     if args.trace:
         if args.trace_format == "ti":
@@ -329,6 +402,33 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_fault_flags(p: argparse.ArgumentParser) -> None:
+    """Dynamic-platform and fault-semantics flags (docs/faults.md)."""
+    p.add_argument("--availability", action="append", metavar="RES=FILE",
+                   help="attach a capacity-scaling profile file to a link "
+                        "or host (repeatable)")
+    p.add_argument("--state-profile", action="append", metavar="RES=FILE",
+                   help="attach an ON/OFF state profile file to a link or "
+                        "host (repeatable)")
+    p.add_argument("--fail-at", action="append", metavar="T:RES",
+                   help="fail a link or host at simulated time T "
+                        "(repeatable)")
+    p.add_argument("--restore-at", action="append", metavar="T:RES",
+                   help="restore a failed link or host at simulated time T "
+                        "(repeatable)")
+    p.add_argument("--comm-retries", type=int, default=None, metavar="N",
+                   help="retry failed pt2pt transfers up to N times")
+    p.add_argument("--retry-backoff", type=float, default=None, metavar="S",
+                   help="base retry delay in seconds (doubles per attempt)")
+    p.add_argument("--comm-timeout", type=float, default=None, metavar="S",
+                   help="give up on transfers still in flight after S "
+                        "simulated seconds")
+    p.add_argument("--on-host-down", choices=("raise", "kill-rank"),
+                   default=None,
+                   help="host-failure policy: fail-fast (raise) or "
+                        "terminate the host's ranks (kill-rank)")
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -363,6 +463,7 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--eager-updates", action="store_true",
                      help="disable lazy action updates / the completion-date "
                           "heap (debug escape hatch)")
+    _add_fault_flags(run)
     run.set_defaults(func=_cmd_run)
 
     replay = sub.add_parser("replay", help="replay a recorded trace")
@@ -384,6 +485,7 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("--eager-updates", action="store_true",
                         help="disable lazy action updates / the completion-date "
                              "heap (debug escape hatch)")
+    _add_fault_flags(replay)
     replay.set_defaults(func=_cmd_replay)
 
     trace = sub.add_parser("trace", help="analyse an exported trace")

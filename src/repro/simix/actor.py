@@ -69,6 +69,10 @@ class Actor:
         #: :meth:`repro.simix.activity.Activity.add_waiter`; used by the
         #: scheduler's deadlock report to say who waits on what)
         self.waiting_on = None
+        #: human-readable label of a predicate wait (set by
+        #: :meth:`wait_for`); the deadlock report falls back to it when
+        #: there is no activity to name
+        self.waiting_reason: str | None = None
 
         self._baton_actor = threading.Event()  # set -> actor may run
         self._baton_sched = threading.Event()  # set -> scheduler may run
@@ -133,10 +137,21 @@ class Actor:
         self.scheduler._on_yield(self)
         self._yield_control()
 
-    def wait_for(self, predicate: Callable[[], bool]) -> None:
-        """Suspend until ``predicate()`` holds; tolerant of spurious wakes."""
-        while not predicate():
-            self.suspend()
+    def wait_for(self, predicate: Callable[[], bool],
+                 reason: str | None = None) -> None:
+        """Suspend until ``predicate()`` holds; tolerant of spurious wakes.
+
+        ``reason`` labels the wait in deadlock reports — predicate waits
+        have no activity whose name could be shown otherwise.
+        """
+        if reason is not None:
+            self.waiting_reason = reason
+        try:
+            while not predicate():
+                self.suspend()
+        finally:
+            if reason is not None:
+                self.waiting_reason = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "alive"

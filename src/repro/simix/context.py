@@ -153,9 +153,11 @@ class Scheduler:
         # what (the classic unmatched-recv shows up by name).
         def describe(actor: Actor) -> str:
             activity = actor.waiting_on
-            if activity is None:
-                return actor.name
-            return f"{actor.name} (waiting on {activity.name!r})"
+            if activity is not None:
+                return f"{actor.name} (waiting on {activity.name!r})"
+            if actor.waiting_reason:
+                return f"{actor.name} ({actor.waiting_reason})"
+            return actor.name
 
         names = ", ".join(describe(a) for a in alive[:16])
         more = "" if len(alive) <= 16 else f" (+{len(alive) - 16} more)"

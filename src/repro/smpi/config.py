@@ -73,6 +73,21 @@ class SmpiConfig:
     #: record an event trace of every message and compute burst
     tracing: bool = False
 
+    # -- fault semantics (dynamic platforms, docs/faults.md) -------------------
+    #: automatic pt2pt retries after a transfer dies on a network failure
+    #: (0 = fail fast with MPI_ERR_OTHER, the default)
+    comm_retries: int = 0
+    #: base delay before the first retry; doubles on each further attempt
+    retry_backoff: float = 1e-3
+    #: give up on a pt2pt transfer still in flight after this many simulated
+    #: seconds (None = never); timeouts raise MPI_ERR_OTHER like failures
+    comm_timeout: float | None = None
+    #: what a host failure does to the ranks running on it: ``"raise"``
+    #: fails their pending operations (fail-fast), ``"kill-rank"``
+    #: terminates them silently and fails *peers* talking to them with
+    #: MPI_ERR_PROC_FAILED (graceful degradation)
+    on_host_down: str = "raise"
+
     def algorithm_for(self, collective: str) -> str:
         """Selected algorithm name for a collective ('auto' if unset)."""
         return self.coll_algorithms.get(collective, "auto")
@@ -93,3 +108,12 @@ class SmpiConfig:
             raise ConfigError("per-message overheads must be >= 0")
         if self.speed_factor <= 0:
             raise ConfigError("speed_factor must be > 0")
+        if self.comm_retries < 0:
+            raise ConfigError("comm_retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigError("retry_backoff must be >= 0")
+        if self.comm_timeout is not None and self.comm_timeout <= 0:
+            raise ConfigError("comm_timeout must be > 0 (or None)")
+        if self.on_host_down not in ("raise", "kill-rank"):
+            raise ConfigError(
+                "on_host_down must be 'raise' or 'kill-rank'")

@@ -27,6 +27,7 @@ __all__ = [
     "ERR_INTERN",
     "ERR_PENDING",
     "ERR_IN_STATUS",
+    "ERR_PROC_FAILED",
     "ANY_SOURCE",
     "ANY_TAG",
     "IN_PLACE",
@@ -57,6 +58,9 @@ ERR_OTHER = 16
 ERR_INTERN = 17
 ERR_IN_STATUS = 18
 ERR_PENDING = 19
+#: peer process is dead (host failed); numbering follows ULFM's
+#: MPIX_ERR_PROC_FAILED being allocated above the MPI-1 classes
+ERR_PROC_FAILED = 20
 
 _ERROR_NAMES = {
     SUCCESS: "MPI_SUCCESS",
@@ -77,6 +81,7 @@ _ERROR_NAMES = {
     ERR_INTERN: "MPI_ERR_INTERN",
     ERR_IN_STATUS: "MPI_ERR_IN_STATUS",
     ERR_PENDING: "MPI_ERR_PENDING",
+    ERR_PROC_FAILED: "MPI_ERR_PROC_FAILED",
 }
 
 

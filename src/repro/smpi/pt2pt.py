@@ -67,6 +67,13 @@ class Message:
     delivered: bool = False
     #: the network activity, once started
     transfer: object = None
+    #: transfer attempts so far (retry accounting, ``comm_retries``)
+    attempts: int = 0
+    #: the last attempt was cancelled by the ``comm_timeout`` watchdog
+    timed_out: bool = False
+    #: whether the transfer pays the rendezvous handshake (memoised so
+    #: retries reproduce the protocol timing of the original attempt)
+    handshake: bool = False
 
     def __post_init__(self) -> None:
         if self.wire_bytes < 0:
@@ -140,6 +147,11 @@ class Protocol:
         (its constraint is on the application, not the timing).
         """
         self.world.flush_deferred()
+        if dst in self.world.dead_ranks:
+            raise MpiError(
+                constants.ERR_PROC_FAILED,
+                f"cannot send to rank {dst}: peer is dead (host failure)",
+            )
         cfg = self.world.config
         nbytes = int(data.size) if wire_bytes is None else wire_bytes
         if mode == "synchronous":
@@ -182,6 +194,12 @@ class Protocol:
     ) -> None:
         """Post a receive; matches an unexpected message or queues up."""
         self.world.flush_deferred()
+        if source != constants.ANY_SOURCE and source in self.world.dead_ranks:
+            raise MpiError(
+                constants.ERR_PROC_FAILED,
+                f"cannot receive from rank {source}: peer is dead "
+                f"(host failure)",
+            )
         if self.world.recorder is not None:
             request.trace_id = self.world.recorder.recv(dst, source, tag, ctx)
         posted, unexpected = self._queues(ctx, dst)
@@ -263,26 +281,35 @@ class Protocol:
             rate_cap=rate_cap,
         )
         message.transfer = activity
-        if cfg.tracing:
+        message.attempts += 1
+        message.handshake = handshake
+        if cfg.tracing and message.attempts == 1:
             world.trace.comm_start(message)
+        if cfg.comm_timeout is not None:
+            self._arm_timeout(message, activity, cfg.comm_timeout)
         if activity.done:
             self._on_transfer_done(message)
         else:
             activity.callbacks.append(lambda: self._on_transfer_done(message))
 
+    def _arm_timeout(self, message: Message, activity, timeout: float) -> None:
+        """Cancel the attempt if it is still in flight after ``timeout``."""
+        engine = self.world.scheduler.engine
+        at = getattr(engine, "at", None)
+        if at is None:  # duck-typed kernels without scheduled observers
+            return
+
+        def expire() -> None:
+            if not activity.done:
+                message.timed_out = True
+                activity.cancel()
+
+        at(engine.now + timeout, expire)
+
     def _on_transfer_done(self, message: Message) -> None:
         transfer = message.transfer
         if transfer is not None and getattr(transfer, "failed", False):
-            # network failure (link death): surface in both ranks
-            error = MpiError(
-                constants.ERR_OTHER,
-                f"network failure while transferring message "
-                f"{message.src}->{message.dst} (tag {message.tag})",
-            )
-            for req in (message.send_req, message.recv_req):
-                if req is not None:
-                    req.error_exc = error
-                    req.finish()
+            self._on_transfer_failed(message)
             return
         message.delivered = True
         if self.world.config.tracing:
@@ -291,6 +318,89 @@ class Protocol:
             message.send_req.finish()
         if message.recv_req is not None:
             self._deliver(message)
+
+    def _on_transfer_failed(self, message: Message) -> None:
+        """A transfer attempt died (link failure or timeout cancel).
+
+        With retries budgeted, re-issue the transfer after an exponential
+        backoff; otherwise surface the error in both ranks.  Runs in
+        engine-callback context (no actor holds the baton), exactly like
+        the completion path.
+        """
+        world = self.world
+        cfg = world.config
+        if message.attempts <= cfg.comm_retries:
+            delay = cfg.retry_backoff * (2.0 ** (message.attempts - 1))
+            _log.debug(
+                "msg %d attempt %d failed; retrying in %g s",
+                message.mid, message.attempts, delay,
+            )
+            message.timed_out = False
+            message.transfer = None
+            handshake = message.handshake
+
+            def retry() -> None:
+                self._start_transfer(message, handshake=handshake)
+
+            at = getattr(world.scheduler.engine, "at", None)
+            if at is not None and delay > 0:
+                at(world.scheduler.engine.now + delay, retry)
+            else:
+                retry()
+            return
+        if cfg.tracing:
+            world.trace.comm_fail(message)
+        if message.timed_out:
+            error = MpiError(
+                constants.ERR_OTHER,
+                f"message {message.src}->{message.dst} (tag {message.tag}) "
+                f"timed out after {message.attempts} attempt(s)",
+            )
+        else:
+            error = MpiError(
+                constants.ERR_OTHER,
+                f"network failure while transferring message "
+                f"{message.src}->{message.dst} (tag {message.tag})",
+            )
+        for req in (message.send_req, message.recv_req):
+            if req is not None:
+                req.error_exc = error
+                req.finish()
+
+    def fail_peer(self, rank: int) -> None:
+        """Fail every pending operation talking to a now-dead rank.
+
+        Called by the runtime when ``on_host_down="kill-rank"`` terminates
+        the ranks of a failed host: receives posted *from* the dead rank
+        and unmatched rendezvous sends *to* it complete with
+        MPI_ERR_PROC_FAILED in their (live) owner ranks; queues owned by
+        the dead rank itself are simply dropped.
+        """
+        error = MpiError(
+            constants.ERR_PROC_FAILED,
+            f"peer rank {rank} died (host failure)",
+        )
+        for (_ctx, dst), posted in self._posted.items():
+            if dst == rank:  # receives posted by the dead rank: drop
+                while posted.pop_first(lambda r: True) is not None:
+                    pass
+                continue
+            while True:
+                recv = posted.pop_first(lambda r: r.source == rank)
+                if recv is None:
+                    break
+                recv.request.error_exc = error
+                recv.request.finish()
+        for (_ctx, dst), unexpected in self._unexpected.items():
+            if dst != rank:
+                continue
+            while True:  # rendezvous senders still holding their payload
+                message = unexpected.pop_first(lambda m: not m.eager)
+                if message is None:
+                    break
+                if message.send_req is not None:
+                    message.send_req.error_exc = error
+                    message.send_req.finish()
 
     def _deliver(self, message: Message) -> None:
         """Copy payload into the receive buffer and complete the recv."""

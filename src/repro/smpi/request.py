@@ -204,6 +204,21 @@ def _world_of(requests: list[Request]) -> "SmpiWorld":
     raise MpiError(constants.ERR_REQUEST, "no live request to wait on")
 
 
+def _describe_requests(requests: list[Request]) -> str:
+    """Short label of what is being waited on, for deadlock reports."""
+
+    def one(req: Request) -> str:
+        message = req.message
+        if message is not None:
+            return f"{req.kind} {message.src}->{message.dst} tag {message.tag}"
+        return f"unmatched {req.kind}"
+
+    parts = [one(r) for r in requests[:4]]
+    if len(requests) > 4:
+        parts.append(f"+{len(requests) - 4} more")
+    return ", ".join(parts)
+
+
 def wait(request: Request) -> Status:
     """MPI_Wait: block until the request completes; returns its status."""
     _record_wait([request])
@@ -211,7 +226,8 @@ def wait(request: Request) -> Status:
         return request.make_status()
     assert request.world is not None
     actor = request.world.current_actor
-    actor.wait_for(lambda: request.complete)
+    actor.wait_for(lambda: request.complete,
+                   reason=f"in MPI_Wait: {_describe_requests([request])}")
     return request.make_status()
 
 
@@ -238,7 +254,8 @@ def waitall(requests: list[Request]) -> list[Status]:
     live = [r for r in requests if not r.is_null and not r.complete]
     if live:
         actor = _world_of(live).current_actor
-        actor.wait_for(lambda: all(r.complete for r in live))
+        actor.wait_for(lambda: all(r.complete for r in live),
+                       reason=f"in MPI_Waitall: {_describe_requests(live)}")
     return [r.make_status() for r in requests]
 
 
@@ -268,7 +285,8 @@ def waitany(requests: list[Request]) -> tuple[int, Status]:
     idx = ready()
     if idx is None:
         actor = _world_of(requests).current_actor
-        actor.wait_for(lambda: ready() is not None)
+        actor.wait_for(lambda: ready() is not None,
+                       reason=f"in MPI_Waitany: {_describe_requests(requests)}")
         idx = ready()
     assert idx is not None
     _record_wait([requests[idx]])
@@ -302,7 +320,8 @@ def waitsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
     indices = done_indices()
     if not indices:
         actor = _world_of(requests).current_actor
-        actor.wait_for(lambda: bool(done_indices()))
+        actor.wait_for(lambda: bool(done_indices()),
+                       reason=f"in MPI_Waitsome: {_describe_requests(requests)}")
         indices = done_indices()
     _record_wait([requests[i] for i in indices])
     return indices, [requests[i].make_status() for i in indices]

@@ -29,7 +29,7 @@ import numpy as np
 from ..errors import MpiError, SimulationError
 from ..simix import Scheduler
 from ..simix.actor import Actor
-from ..surf import Engine, Platform
+from ..surf import Engine, Host, Platform
 from ..surf.network_model import NetworkModel
 from ..trace import Tracer
 from . import constants
@@ -82,6 +82,14 @@ class SmpiWorld:
             raise SimulationError("platform has no hosts")
         #: host name of each world rank (round-robin placement by default)
         self.rank_hosts = [names[i % len(names)] for i in range(n_ranks)]
+
+        #: ranks terminated by a host failure (``on_host_down="kill-rank"``)
+        self.dead_ranks: set[int] = set()
+        # observe resource failures/recoveries for tracing and the
+        # host-down policy (duck-typed kernels without the hook opt out)
+        listeners = getattr(self.engine, "resource_listeners", None)
+        if listeners is not None:
+            listeners.append(self._on_resource_event)
 
         limit = self.config.memory_limit
         if limit is None:
@@ -178,6 +186,31 @@ class SmpiWorld:
         if 0 <= rank < len(self._actors):
             self.scheduler.wake(self._actors[rank])
 
+    # -- fault handling (docs/faults.md) ------------------------------------------------
+
+    def _on_resource_event(self, event: str, resource, now: float) -> None:
+        """Engine listener: trace resource events, apply the host-down policy."""
+        if event == "capacity":
+            return  # capacity steps already land in the engine timeline
+        kind = "host" if isinstance(resource, Host) else "link"
+        if self.config.tracing:
+            self.trace.resource_event(resource.name, kind, event, now)
+        if (event == "fail" and kind == "host"
+                and self.config.on_host_down == "kill-rank"):
+            for rank, host in enumerate(self.rank_hosts):
+                if host == resource.name and rank not in self.dead_ranks:
+                    self._kill_rank(rank)
+
+    def _kill_rank(self, rank: int) -> None:
+        """Terminate a rank whose host died; fail peers waiting on it."""
+        self.dead_ranks.add(rank)
+        if rank < len(self._actors):
+            actor = self._actors[rank]
+            if not actor.finished:
+                actor.kill()
+                self.scheduler.wake(actor)
+        self.protocol.fail_peer(rank)
+
     # -- services used by Mpi facade and the protocol -----------------------------------------
 
     def defer_flops(self, flops: float) -> None:
@@ -209,6 +242,12 @@ class SmpiWorld:
         start = self.engine.now
         activity = self.scheduler.execute(actor, flops, f"exec-r{self.current_rank}")
         activity.wait(actor)
+        if activity.failed:
+            raise MpiError(
+                constants.ERR_OTHER,
+                f"host failure killed compute burst on rank "
+                f"{self.current_rank}",
+            )
         if self.config.tracing:
             self.trace.compute(self.current_rank, flops, start, self.engine.now)
 

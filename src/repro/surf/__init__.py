@@ -26,6 +26,7 @@ from .network_model import (
     PiecewiseSegment,
 )
 from .platform import Platform, cluster, multi_cabinet_cluster
+from .profiles import Profile, load_profile, parse_profile
 from .topologies import fat_tree, torus
 from .platform_xml import load_platform_xml, save_platform_xml
 from .resources import Host, Link, SharingPolicy
@@ -47,12 +48,15 @@ __all__ = [
     "PiecewiseLinearNetworkModel",
     "PiecewiseSegment",
     "Platform",
+    "Profile",
     "Route",
     "SharingPolicy",
     "cluster",
     "fat_tree",
     "load_platform_xml",
+    "load_profile",
     "multi_cabinet_cluster",
+    "parse_profile",
     "save_platform_xml",
     "solve_maxmin",
     "torus",

@@ -39,6 +39,18 @@ entries (the action's epoch moved on) are skipped on pop rather than
 deleted.  ``eager_updates=True`` restores the historical scan-everything
 event loop — every pending action's deadline is examined at every event —
 with bit-identical results, as the lazy path's equivalence oracle.
+
+Resources are *dynamic* (see ``docs/faults.md``): availability profiles
+scale a link's bandwidth or a host's speed over time, state profiles turn
+resources OFF and back ON, and :meth:`Engine.fail_resource` /
+:meth:`Engine.restore_resource` / :meth:`Engine.set_availability` script
+the same transitions directly.  Profile points are ordinary events on the
+engine's event loop (a dedicated min-heap of upcoming points feeds
+:meth:`Engine.next_deadline`), and capacity changes flow through the
+incremental solver as constraint updates — the affected component is
+re-solved and only the flows whose rate changed are re-anchored, so the
+lazy/eager and incremental/full oracles stay bit-identical under any mix
+of failures, recoveries and capacity noise.
 """
 
 from __future__ import annotations
@@ -98,6 +110,12 @@ class EngineStats:
     #: utilization samples recorded on the attached timeline (0 unless
     #: :meth:`Engine.enable_timeline` was called)
     link_samples: int = 0
+    #: capacity changes applied (availability profiles + set_availability)
+    capacity_events: int = 0
+    #: resources turned OFF (state profiles + fail_resource)
+    resource_failures: int = 0
+    #: resources turned back ON (state profiles + restore_resource)
+    resource_restores: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -137,10 +155,24 @@ class Engine:
         #: actions that left RUNNING since the last share (to retire)
         self._retired: list[Action] = []
         self._dead_resources: set[str] = set()
+        #: per-resource capacity factor (1.0 when absent); maintained by
+        #: :meth:`set_availability` and read everywhere a constraint
+        #: capacity is built, so both solver paths see identical values
+        self._availability: dict[str, float] = {}
+        #: callbacks ``listener(event, resource, now)`` invoked on every
+        #: resource transition — ``event`` is ``"fail"``, ``"restore"`` or
+        #: ``"capacity"`` (the SMPI runtime uses these for fault semantics
+        #: and failure tracing)
+        self.resource_listeners: list = []
+        #: installed profile cursors: (resource, kind, event iterator)
+        self._profile_cursors: list[tuple] = []
+        #: min-heap of (time, cursor index, value) upcoming profile points
+        self._profile_heap: list[tuple[float, int, float]] = []
         #: per-resource utilization timeline; None (the default) keeps the
         #: share path free of any sampling work
         self.timeline = None
         self._last_full_usage: dict = {}
+        self._install_profiles()
         bind_clock(lambda: self.now)
 
     def enable_timeline(self):
@@ -324,23 +356,33 @@ class Engine:
         self.stats.actions_touched += 1
         self._push(action)
 
+    def _capacity_of(self, resource: "Link | Host") -> float:
+        """Current constraint capacity: nominal scaled by availability."""
+        base = (resource.bandwidth if isinstance(resource, Link)
+                else self.cpu_model.capacity(resource))
+        factor = self._availability.get(resource.name)
+        return base if factor is None else base * factor
+
+    def _ensure_solver_constraint(self, resource: "Link | Host") -> None:
+        """Register (or capacity-update) ``resource`` in the solver."""
+        if isinstance(resource, Link):
+            self._solver.ensure_constraint(
+                resource,
+                self._capacity_of(resource),
+                shared=resource.sharing is SharingPolicy.SHARED,
+                name=resource.name,
+            )
+        else:
+            self._solver.ensure_constraint(
+                resource, self._capacity_of(resource), name=resource.name
+            )
+
     def _enroll(self, action: Action) -> None:
         """Register a newly-RUNNING action as a solver flow."""
         solver = self._solver
         resources = action.constraints()
         for resource in resources:
-            if isinstance(resource, Link):
-                solver.ensure_constraint(
-                    resource,
-                    resource.bandwidth,
-                    shared=resource.sharing is SharingPolicy.SHARED,
-                    name=resource.name,
-                )
-            else:
-                solver.ensure_constraint(
-                    resource, self.cpu_model.capacity(resource),
-                    name=resource.name,
-                )
+            self._ensure_solver_constraint(resource)
         solver.add_flow(action.aid, resources, bound=action.rate_bound,
                         weight=action.weight, name=action.name)
         self._members[action.aid] = action
@@ -367,12 +409,12 @@ class Engine:
                 if isinstance(resource, Link):
                     cid = system.add_constraint(
                         resource.name,
-                        resource.bandwidth,
+                        self._capacity_of(resource),
                         shared=resource.sharing is SharingPolicy.SHARED,
                     )
                 else:
                     cid = system.add_constraint(
-                        resource.name, self.cpu_model.capacity(resource)
+                        resource.name, self._capacity_of(resource)
                     )
                 resource_index[resource] = cid
             return cid
@@ -404,8 +446,7 @@ class Engine:
             if resource not in usage:  # fell idle since the last share
                 usage[resource] = 0.0
         for resource, used in usage.items():
-            capacity = (resource.bandwidth if isinstance(resource, Link)
-                        else self.cpu_model.capacity(resource))
+            capacity = self._capacity_of(resource)
             self.timeline.record(
                 now, resource.name, used, capacity,
                 kind="link" if isinstance(resource, Link) else "host",
@@ -417,12 +458,17 @@ class Engine:
         """Absolute date of the next scheduled event (inf when none).
 
         Lazy mode peeks the completion heap, skipping stale entries;
-        eager mode scans every pending action's deadline.
+        eager mode scans every pending action's deadline.  Upcoming
+        profile points (capacity changes, failures, recoveries) are
+        events too — a flow stalled at rate 0 by a zero-availability
+        phase legitimately waits for the restoring point, so the profile
+        horizon bounds the result in both modes.
         """
         if self._needs_share:
             self.share_resources()
+        horizon = self._next_profile_time()
         if self.eager_updates:
-            date = math.inf
+            date = horizon
             for action in self.pending.values():
                 if action.is_pending and action.deadline < date:
                     date = action.deadline
@@ -437,8 +483,8 @@ class Engine:
                 stats.heap_pops += 1
                 stats.stale_heap_entries += 1
                 continue
-            return deadline
-        return math.inf
+            return min(deadline, horizon)
+        return horizon
 
     def next_event_delta(self) -> float:
         """Time until the next action completes (inf when none will)."""
@@ -474,10 +520,17 @@ class Engine:
 
     def _advance_to(self, date: float) -> None:
         """Move the clock to ``date`` (at most the next event deadline) and
-        expire the actions whose deadline has been reached."""
+        expire the actions whose deadline has been reached.
+
+        Profile points due at ``date`` are applied after the clock moves
+        (the share before it covers the interval the old capacities ruled)
+        and before expiry processing, so an action completing exactly at a
+        capacity change still completes, deterministically in both modes.
+        """
         if self._needs_share:
             self.share_resources()
         self.now = date
+        self._fire_profiles_due()
         if self.eager_updates:
             self._expire_eager()
         else:
@@ -546,10 +599,15 @@ class Engine:
         while self.now < target - 1e-15:
             self._harvest()  # deliver cancellations before stall detection
             if not self.pending:
-                break  # nothing left to progress: warp to the target below
-            date = self.next_deadline()
-            if math.isinf(date):
-                raise self._stalled_error()
+                # nothing left to progress; still replay the profile points
+                # inside the window so resource state stays consistent
+                date = self._next_profile_time()
+                if date > target:
+                    break  # idle until the target: warp below
+            else:
+                date = self.next_deadline()
+                if math.isinf(date):
+                    raise self._stalled_error()
             self._advance_to(min(date, target))
             self._harvest()
         self.now = max(self.now, target)
@@ -592,21 +650,35 @@ class Engine:
             self.step()
         return self.now
 
+    def _retire(self, action: Action) -> None:
+        """The one external-failure path: mark ``action`` FAILED, queue it
+        for observer delivery at the next harvest, and schedule its solver
+        departure (its epoch bump staled any live heap entry).
+
+        Both :meth:`cancel` and :meth:`fail_resource` funnel through here
+        so lazy-heap and solver membership stay in sync whichever way an
+        action dies mid-flight.
+        """
+        action.fail()
+        self._finished.append(action)
+        self._retired.append(action)
+        self._needs_share = True
+
     def cancel(self, action: Action) -> None:
         """Fail a pending action; its observer fires on the next harvest."""
         if action.is_pending:
-            action.fail()
-            self._finished.append(action)
-            self._retired.append(action)
-            self._needs_share = True
+            self._retire(action)
 
-    # -- failure injection (extension) ----------------------------------------------
+    # -- dynamic resources: failure, recovery, availability ---------------------------
 
     def at(self, when: float, callback) -> Action:
         """Invoke ``callback()`` at absolute simulated time ``when``.
 
         Implemented as a zero-length sleep whose observer runs the
         callback; useful for injecting failures and other scripted events.
+        Note the observer fires even if the sleep is cancelled or a
+        resource failure kills it — guard the callback if it must not
+        outlive the scenario it was scheduled for.
         """
         delay = max(when - self.now, 0.0)
         action = self.sleep(delay, name=f"at-{when}")
@@ -618,24 +690,146 @@ class Engine:
         return action
 
     def is_dead(self, resource: "Link | Host") -> bool:
+        """Whether ``resource`` is currently OFF (failed, not yet restored)."""
         return resource.name in self._dead_resources
 
     def fail_resource(self, resource: "Link | Host") -> None:
-        """Kill a link or host: every action using it fails, now and later.
+        """Turn a link or host OFF: every action using it fails, now and
+        until :meth:`restore_resource` turns it back ON.
 
         Mirrors SimGrid's resource failures: pending transfers/computes
         crossing the resource turn FAILED (surfacing as errors in the
         waiting ranks), and new actions over it fail immediately.
+        Idempotent while the resource is already down.
         """
+        if resource.name in self._dead_resources:
+            return
         self._dead_resources.add(resource.name)
+        self.stats.resource_failures += 1
         for action in self.pending.values():
             if action.is_pending and any(
                 res.name == resource.name for res in action.constraints()
             ):
-                action.fail()
-                self._finished.append(action)
-                self._retired.append(action)
+                self._retire(action)
         self._needs_share = True
+        self._notify("fail", resource)
+
+    def restore_resource(self, resource: "Link | Host") -> None:
+        """Turn a failed link or host back ON (recovery).
+
+        New actions over the resource work again immediately; the actions
+        its failure killed stay FAILED (retry is an upper-layer policy —
+        see ``SmpiConfig.comm_retries``).  No-op while the resource is up.
+        """
+        if resource.name not in self._dead_resources:
+            return
+        self._dead_resources.discard(resource.name)
+        self.stats.resource_restores += 1
+        self._needs_share = True
+        self._notify("restore", resource)
+
+    def availability(self, resource: "Link | Host") -> float:
+        """Current capacity factor of ``resource`` (1.0 = nominal)."""
+        return self._availability.get(resource.name, 1.0)
+
+    def set_availability(self, resource: "Link | Host", factor: float) -> None:
+        """Scale ``resource``'s capacity by ``factor`` from now on.
+
+        The constraint's capacity becomes ``nominal * factor``; the solver
+        re-solves the affected component at the next share and the lazy
+        heap re-anchors exactly the flows whose rate changed.  ``0.0``
+        stalls flows on the resource without failing them (they resume
+        when capacity returns); use :meth:`fail_resource` for hard
+        outages.  Unchanged factors are ignored.
+        """
+        if not math.isfinite(factor) or factor < 0:
+            raise SimulationError(
+                f"availability of {resource.name!r} must be finite and >= 0, "
+                f"got {factor}"
+            )
+        if factor == self._availability.get(resource.name, 1.0):
+            return
+        if factor == 1.0:
+            self._availability.pop(resource.name, None)
+        else:
+            self._availability[resource.name] = factor
+        self.stats.capacity_events += 1
+        if self._solver.has_constraint(resource):
+            # updates the registered capacity and marks the constraint
+            # dirty, so dependent flows re-solve at the next share
+            self._ensure_solver_constraint(resource)
+        self._needs_share = True
+        if self.timeline is not None:
+            self.timeline.record_capacity(
+                self.now, resource.name, self._capacity_of(resource),
+                kind="link" if isinstance(resource, Link) else "host",
+            )
+        self._notify("capacity", resource)
+
+    def _notify(self, event: str, resource: "Link | Host") -> None:
+        for listener in self.resource_listeners:
+            listener(event, resource, self.now)
 
     def _route_is_dead(self, links) -> bool:
         return any(link.name in self._dead_resources for link in links)
+
+    # -- availability/state profiles ------------------------------------------------
+
+    def attach_profile(self, resource: "Link | Host", profile,
+                       kind: str = "availability") -> None:
+        """Install a :class:`~repro.surf.profiles.Profile` on ``resource``.
+
+        ``kind`` is ``"availability"`` (points are capacity factors fed to
+        :meth:`set_availability`) or ``"state"`` (0 points fail the
+        resource, non-zero points restore it).  Points at or before the
+        current clock apply immediately; later ones fire as engine events.
+        Platform resources carrying ``availability_profile`` /
+        ``state_profile`` attributes are installed automatically at engine
+        construction.
+        """
+        if kind not in ("availability", "state"):
+            raise SimulationError(
+                f"unknown profile kind {kind!r} (availability or state)"
+            )
+        cursor = len(self._profile_cursors)
+        self._profile_cursors.append((resource, kind, profile.iter_events()))
+        self._advance_cursor(cursor)
+        self._fire_profiles_due()
+
+    def _install_profiles(self) -> None:
+        """Install the profiles attached to the platform's resources."""
+        for resource in (*self.platform.links, *self.platform.hosts):
+            for kind in ("availability", "state"):
+                profile = getattr(resource, f"{kind}_profile", None)
+                if profile is not None:
+                    self.attach_profile(resource, profile, kind)
+
+    def _advance_cursor(self, cursor: int) -> None:
+        """Schedule the next point of one profile (pulled one at a time,
+        so infinite periodic profiles never materialize)."""
+        entry = next(self._profile_cursors[cursor][2], None)
+        if entry is not None:
+            heappush(self._profile_heap, (entry[0], cursor, entry[1]))
+
+    def _next_profile_time(self) -> float:
+        """Absolute date of the earliest scheduled profile point."""
+        return self._profile_heap[0][0] if self._profile_heap else math.inf
+
+    def _fire_profiles_due(self) -> None:
+        """Apply every profile point due at the current clock.
+
+        Same-time points fire in installation order (heap ties break on
+        the cursor index), keeping multi-profile scenarios deterministic.
+        """
+        heap = self._profile_heap
+        while heap and heap[0][0] <= self.now:
+            _t, cursor, value = heappop(heap)
+            resource, kind, _events = self._profile_cursors[cursor]
+            if kind == "state":
+                if value <= 0.0:
+                    self.fail_resource(resource)
+                else:
+                    self.restore_resource(resource)
+            else:
+                self.set_availability(resource, value)
+            self._advance_cursor(cursor)

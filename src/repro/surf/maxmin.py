@@ -509,6 +509,10 @@ class IncrementalMaxMin:
                 # neighbours on a shared constraint inherit the freed share
                 self._dirty_cons.add(record.key)
 
+    def has_constraint(self, key) -> bool:
+        """Whether the resource ``key`` was ever registered as a constraint."""
+        return key in self._cons
+
     def mark_dirty(self, key) -> None:
         """Force re-solving of the component around constraint ``key``."""
         if key in self._cons:

@@ -22,6 +22,21 @@ with the same semantics SimGrid gives them (per-node access link plus a
 shared backbone).  :func:`save_platform_xml` writes any programmatically
 built platform back out, so calibrated "what if?" variants can be shared
 as files — the paper's suggested workflow for third-party instantiations.
+
+Dynamic platforms (docs/faults.md) use SimGrid's ``<trace>`` elements::
+
+    <trace id="wave" periodicity="2.0">
+      0.0 1.0
+      1.0 0.5
+    </trace>
+    <trace_connect trace="wave" element="l0" kind="BANDWIDTH"/>
+
+``kind`` follows SimGrid: ``SPEED``/``BANDWIDTH`` attach an availability
+(capacity-scaling) profile to a host/link, ``HOST_AVAIL``/``LINK_AVAIL``
+attach an ON/OFF state profile (0 fails the resource, non-zero restores
+it).  A ``file=`` attribute loads the points from a trace file relative
+to the platform file; hosts additionally accept ``availability_file``/
+``state_file`` attributes and links ``bandwidth_file``/``state_file``.
 """
 
 from __future__ import annotations
@@ -32,6 +47,7 @@ from pathlib import Path
 
 from ..errors import PlatformError
 from .platform import Platform, cluster
+from .profiles import load_profile, parse_profile
 from .resources import Host, Link, SharingPolicy
 
 __all__ = ["load_platform_xml", "loads_platform_xml", "save_platform_xml",
@@ -41,7 +57,8 @@ __all__ = ["load_platform_xml", "loads_platform_xml", "save_platform_xml",
 def load_platform_xml(path: str | Path) -> Platform:
     """Parse a platform file from disk."""
     tree = ET.parse(str(path))
-    return _build(tree.getroot(), name=Path(path).stem)
+    return _build(tree.getroot(), name=Path(path).stem,
+                  base_dir=Path(path).parent)
 
 
 def loads_platform_xml(text: str) -> Platform:
@@ -67,37 +84,57 @@ def _parse_radical(radical: str) -> list[int]:
     return out
 
 
-def _build(root: ET.Element, name: str) -> Platform:
+def _build(root: ET.Element, name: str,
+           base_dir: Path | None = None) -> Platform:
     if root.tag != "platform":
         raise PlatformError(f"expected <platform> root, got <{root.tag}>")
     platform = Platform(name)
     zones = root.findall("zone") or root.findall("AS")  # old DTD spelling
     containers = zones if zones else [root]
     for zone in containers:
-        _build_zone(platform, zone)
+        _build_zone(platform, zone, base_dir)
+    _apply_traces(platform, root, base_dir)
     return platform
 
 
-def _build_zone(platform: Platform, zone: ET.Element) -> None:
+def _profile_from_file(base_dir: Path | None, file_attr: str, name: str):
+    path = Path(file_attr)
+    if base_dir is not None and not path.is_absolute():
+        path = base_dir / path
+    return load_profile(path, name=name)
+
+
+def _build_zone(platform: Platform, zone: ET.Element,
+                base_dir: Path | None = None) -> None:
     for el in zone:
         if el.tag == "host":
-            platform.add_host(
-                Host(
-                    _req(el, "id"),
-                    _req(el, "speed"),
-                    cores=int(el.get("core", "1")),
-                    memory=el.get("memory", "16GiB"),
-                )
+            host = Host(
+                _req(el, "id"),
+                _req(el, "speed"),
+                cores=int(el.get("core", "1")),
+                memory=el.get("memory", "16GiB"),
             )
+            if el.get("availability_file"):
+                host.availability_profile = _profile_from_file(
+                    base_dir, el.get("availability_file"), host.name)
+            if el.get("state_file"):
+                host.state_profile = _profile_from_file(
+                    base_dir, el.get("state_file"), host.name)
+            platform.add_host(host)
         elif el.tag == "link":
-            platform.add_link(
-                Link(
-                    _req(el, "id"),
-                    _req(el, "bandwidth"),
-                    el.get("latency", "0s"),
-                    SharingPolicy(el.get("sharing_policy", "SHARED")),
-                )
+            link = Link(
+                _req(el, "id"),
+                _req(el, "bandwidth"),
+                el.get("latency", "0s"),
+                SharingPolicy(el.get("sharing_policy", "SHARED")),
             )
+            if el.get("bandwidth_file"):
+                link.availability_profile = _profile_from_file(
+                    base_dir, el.get("bandwidth_file"), link.name)
+            if el.get("state_file"):
+                link.state_profile = _profile_from_file(
+                    base_dir, el.get("state_file"), link.name)
+            platform.add_link(link)
         elif el.tag == "route":
             links = [_req(sub, "id") for sub in el.findall("link_ctn")]
             platform.add_route(
@@ -109,8 +146,52 @@ def _build_zone(platform: Platform, zone: ET.Element) -> None:
         elif el.tag == "cluster":
             _expand_cluster(platform, el)
         elif el.tag in ("zone", "AS"):
-            _build_zone(platform, el)
-        # unknown elements are ignored, like SimGrid does for forward compat
+            _build_zone(platform, el, base_dir)
+        # <trace>/<trace_connect> handled in _apply_traces (they may
+        # reference elements defined later); other unknown elements are
+        # ignored, like SimGrid does for forward compat
+
+
+def _apply_traces(platform: Platform, root: ET.Element,
+                  base_dir: Path | None) -> None:
+    """Resolve ``<trace>`` definitions and ``<trace_connect>`` bindings."""
+    profiles = {}
+    for el in root.iter("trace"):
+        tid = _req(el, "id")
+        if el.get("file"):
+            profiles[tid] = _profile_from_file(base_dir, el.get("file"), tid)
+            continue
+        text = el.text or ""
+        period = el.get("periodicity")
+        if period is not None:
+            text = f"PERIODICITY {period}\n{text}"
+        profiles[tid] = parse_profile(text, name=tid)
+    for el in root.iter("trace_connect"):
+        tid = _req(el, "trace")
+        profile = profiles.get(tid)
+        if profile is None:
+            raise PlatformError(
+                f"<trace_connect> references unknown trace {tid!r}")
+        _connect_trace(platform, profile, _req(el, "kind"),
+                       _req(el, "element"))
+
+
+def _connect_trace(platform: Platform, profile, kind: str,
+                   element: str) -> None:
+    kind_u = kind.upper()
+    if kind_u in ("HOST_AVAIL", "SPEED"):
+        resource = platform.host(element)
+        attr = ("state_profile" if kind_u == "HOST_AVAIL"
+                else "availability_profile")
+    elif kind_u in ("LINK_AVAIL", "BANDWIDTH"):
+        resource = platform.link(element)
+        attr = ("state_profile" if kind_u == "LINK_AVAIL"
+                else "availability_profile")
+    else:
+        raise PlatformError(
+            f"unsupported trace_connect kind {kind!r} (expected SPEED, "
+            f"BANDWIDTH, HOST_AVAIL or LINK_AVAIL)")
+    setattr(resource, attr, profile)
 
 
 def _expand_cluster(platform: Platform, el: ET.Element) -> None:
@@ -188,9 +269,30 @@ def dumps_platform_xml(platform: Platform) -> str:
             r_el = ET.SubElement(zone, "route", src=src, dst=dst, symmetrical="NO")
             for link in route.links:
                 ET.SubElement(r_el, "link_ctn", id=link.name)
+    _dump_traces(zone, platform)
     buf = io.BytesIO()
     ET.ElementTree(root).write(buf, encoding="utf-8", xml_declaration=True)
     return buf.getvalue().decode("utf-8")
+
+
+def _dump_traces(zone: ET.Element, platform: Platform) -> None:
+    """Emit ``<trace>``/``<trace_connect>`` pairs for attached profiles."""
+    bindings = []
+    for host in platform.hosts:
+        bindings.append((host, "availability_profile", "SPEED", host.name))
+        bindings.append((host, "state_profile", "HOST_AVAIL", host.name))
+    for link in platform.links:
+        bindings.append((link, "availability_profile", "BANDWIDTH", link.name))
+        bindings.append((link, "state_profile", "LINK_AVAIL", link.name))
+    for resource, attr, kind, element in bindings:
+        profile = getattr(resource, attr, None)
+        if profile is None:
+            continue
+        tid = f"{element}:{kind}"
+        t_el = ET.SubElement(zone, "trace", id=tid)
+        t_el.text = "\n" + profile.dumps()
+        ET.SubElement(zone, "trace_connect", trace=tid, kind=kind,
+                      element=element)
 
 
 def save_platform_xml(platform: Platform, path: str | Path) -> None:

@@ -59,6 +59,11 @@ class Link:
         self.bandwidth = parse_bandwidth(bandwidth)
         self.latency = parse_time(latency)
         self.sharing = SharingPolicy(sharing) if isinstance(sharing, str) else sharing
+        #: optional capacity-scaling trace (:class:`repro.surf.profiles.Profile`);
+        #: the engine replays it as bandwidth changes (1.0 = nominal)
+        self.availability_profile = None
+        #: optional ON/OFF trace: 0 fails the link, non-zero restores it
+        self.state_profile = None
         if self.bandwidth <= 0:
             raise PlatformError(f"link {name!r}: bandwidth must be > 0")
         if self.latency < 0:
@@ -105,6 +110,11 @@ class Host:
         self.speed = parse_speed(speed)
         self.cores = int(cores)
         self.memory = parse_size(memory)
+        #: optional speed-scaling trace (:class:`repro.surf.profiles.Profile`);
+        #: the engine replays it as CPU-capacity changes (1.0 = nominal)
+        self.availability_profile = None
+        #: optional ON/OFF trace: 0 fails the host, non-zero restores it
+        self.state_profile = None
         if self.speed <= 0:
             raise PlatformError(f"host {name!r}: speed must be > 0")
         if self.cores < 1:

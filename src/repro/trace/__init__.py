@@ -18,12 +18,13 @@ from .analysis import (
 from .gantt import ascii_gantt, svg_gantt
 from .paje import export_paje, parse_paje
 from .timeline import LinkUsage, Timeline
-from .tracer import CommRecord, ComputeRecord, Tracer
+from .tracer import CommRecord, ComputeRecord, ResourceEventRecord, Tracer
 
 __all__ = [
     "CommRecord",
     "ComputeRecord",
     "CriticalPath",
+    "ResourceEventRecord",
     "LinkUsage",
     "PathStep",
     "Timeline",

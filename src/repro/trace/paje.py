@@ -31,7 +31,7 @@ import shlex
 from ..errors import ConfigError
 from .analysis import makespan, state_intervals
 from .timeline import Timeline
-from .tracer import CommRecord, ComputeRecord, Tracer
+from .tracer import CommRecord, ComputeRecord, ResourceEventRecord, Tracer
 
 __all__ = ["export_paje", "parse_paje"]
 
@@ -132,6 +132,21 @@ def export_paje(tracer, n_ranks: int | None = None,
     strips = state_intervals(tracer, n_ranks)
     horizon = makespan(tracer)
 
+    # resource containers: sampled resources first (legacy order), then
+    # resources known only through capacity steps or failure events
+    res_kinds: dict[str, str] = {}
+    if timeline is not None:
+        for name in timeline.names():
+            res_kinds[name] = timeline.kinds[name]
+        for name in timeline.capacity_series:
+            res_kinds.setdefault(name, timeline.kinds.get(name, "link"))
+    res_events = list(getattr(tracer, "resource_events", ()))
+    for event in res_events:
+        res_kinds.setdefault(event.name, event.kind)
+    has_failed_comm = any(getattr(r, "failed", False) for r in tracer.comms)
+    links_have_events = any(e.kind == "link" for e in res_events)
+    hosts_have_events = any(e.kind == "host" for e in res_events)
+
     lines = [_HEADER.rstrip("\n")]
     out = lines.append
     # -- type hierarchy ---------------------------------------------------
@@ -143,13 +158,24 @@ def export_paje(tracer, n_ranks: int | None = None,
     out('3 LK R P P "message"')
     out('4 e LK "eager" "0.95 0.61 0.07"')
     out('4 r LK "rendezvous" "0.55 0.14 0.67"')
-    if timeline is not None and timeline.names():
+    if has_failed_comm:
+        out('4 f LK "failed" "0.84 0.11 0.11"')
+    if res_kinds:
         out('0 L R "link"')
         out('0 H R "host"')
+    if timeline is not None and (timeline.names() or timeline.capacity_series):
         out('2 UL L "bandwidth_used"')
         out('2 CL L "capacity"')
         out('2 UH H "flops_used"')
         out('2 CH H "capacity"')
+    if links_have_events:
+        out('1 SL L "resource state"')
+        out('4 on SL "up" "0.18 0.49 0.20"')
+        out('4 off SL "down" "0.84 0.11 0.11"')
+    if hosts_have_events:
+        out('1 SH H "resource state"')
+        out('4 onh SH "up" "0.18 0.49 0.20"')
+        out('4 offh SH "down" "0.84 0.11 0.11"')
 
     # -- containers -------------------------------------------------------
     zero = _t(0.0)
@@ -157,13 +183,11 @@ def export_paje(tracer, n_ranks: int | None = None,
     for rank in range(len(strips)):
         out(f'5 {zero} rank{rank} P root "rank {rank}"')
     resource_alias: dict[str, str] = {}
-    if timeline is not None:
-        for i, name in enumerate(timeline.names()):
-            kind = timeline.kinds[name]
-            alias = f"{'L' if kind == 'link' else 'H'}{i}"
-            resource_alias[name] = alias
-            out(f'5 {zero} {alias} {"L" if kind == "link" else "H"} '
-                f'root "{name}"')
+    for i, (name, kind) in enumerate(res_kinds.items()):
+        alias = f"{'L' if kind == 'link' else 'H'}{i}"
+        resource_alias[name] = alias
+        out(f'5 {zero} {alias} {"L" if kind == "link" else "H"} '
+            f'root "{name}"')
 
     # -- timed events, globally time-ordered ------------------------------
     events: list[tuple[float, int, str]] = []
@@ -182,10 +206,15 @@ def export_paje(tracer, n_ranks: int | None = None,
         if not (math.isfinite(r.start) and math.isfinite(r.end)):
             continue
         value = "e" if r.eager else "r"
+        # a failed transfer keeps its protocol on the start link and is
+        # flagged by the distinct "failed" value on the end link
+        end_value = "f" if getattr(r, "failed", False) else value
         emit(r.start, f'9 {_t(r.start)} LK root {value} rank{r.src} '
                       f'm{r.mid} {r.nbytes} {r.tag}')
-        emit(r.end, f'10 {_t(r.end)} LK root {value} rank{r.dst} m{r.mid}')
+        emit(r.end, f'10 {_t(r.end)} LK root {end_value} rank{r.dst} '
+                    f'm{r.mid}')
     if timeline is not None:
+        sampled = set(timeline.names())
         for name in timeline.names():
             alias = resource_alias[name]
             is_link = timeline.kinds[name] == "link"
@@ -194,11 +223,26 @@ def export_paje(tracer, n_ranks: int | None = None,
                       f'{timeline.capacities[name]:g}')
             for t, usage in timeline.samples(name):
                 emit(t, f'8 {_t(t)} {used} {alias} {usage:g}')
+        for name, steps in timeline.capacity_series.items():
+            alias = resource_alias[name]
+            cap = "CL" if res_kinds[name] == "link" else "CH"
+            if name not in sampled:  # capacity-only resources still get
+                emit(0.0, f'8 {zero} {cap} {alias} '  # an initial value
+                          f'{timeline.capacities[name]:g}')
+            for t, capacity in steps:
+                emit(t, f'8 {_t(t)} {cap} {alias} {capacity:g}')
+    for event in res_events:
+        alias = resource_alias[event.name]
+        stype = "SL" if event.kind == "link" else "SH"
+        value = ("off" if event.event == "fail" else "on")
+        if event.kind == "host":
+            value += "h"
+        emit(event.t, f'7 {_t(event.t)} {stype} {alias} {value}')
 
     for rank in range(len(strips)):
         emit(horizon, f'6 {_t(horizon)} P rank{rank}')
     for name, alias in resource_alias.items():
-        kind = "L" if timeline.kinds[name] == "link" else "H"
+        kind = "L" if res_kinds[name] == "link" else "H"
         emit(horizon, f'6 {_t(horizon)} {kind} {alias}')
     emit(horizon, f'6 {_t(horizon)} R root')
 
@@ -250,6 +294,7 @@ def parse_paje(text: str) -> tuple[Tracer, int]:
     open_links: dict[str, dict] = {}
     capacities: dict[str, float] = {}
     pending_samples: dict[str, list[tuple[float, float]]] = {}
+    pending_cap_steps: dict[str, list[tuple[float, float]]] = {}
 
     def fieldmap(ident: str, parts: list[str]) -> dict[str, str]:
         names = defs[ident][1]
@@ -283,9 +328,18 @@ def parse_paje(text: str) -> tuple[Tracer, int]:
         elif event == "PajeSetState":
             container = row["Container"]
             t = float(row["Time"])
-            close_state(container, t)
-            state_open[container] = (t, values.get(row["Value"],
-                                                   row["Value"]))
+            state = values.get(row["Value"], row["Value"])
+            if row["Type"] in ("SL", "SH"):  # resource up/down strip
+                _ctype, name = containers.get(container, ("L", container))
+                tracer.resource_events.append(ResourceEventRecord(
+                    name=name,
+                    kind="link" if row["Type"] == "SL" else "host",
+                    event="fail" if state == "down" else "restore",
+                    t=t,
+                ))
+            else:
+                close_state(container, t)
+                state_open[container] = (t, state)
         elif event == "PajeStartLink":
             open_links[row["Key"]] = {
                 "start": float(row["Time"]),
@@ -309,6 +363,7 @@ def parse_paje(text: str) -> tuple[Tracer, int]:
                 eager=started["eager"],
                 start=started["start"],
                 end=float(row["Time"]),
+                failed=values.get(row["Value"], row["Value"]) == "failed",
             ))
         elif event == "PajeSetVariable":
             container = row["Container"]
@@ -316,7 +371,11 @@ def parse_paje(text: str) -> tuple[Tracer, int]:
             value = float(row["Value"])
             vtype = row["Type"]
             if vtype in ("CL", "CH"):
-                capacities[container] = value
+                if container in capacities:  # later values are steps
+                    pending_cap_steps.setdefault(container, []).append(
+                        (t, value))
+                else:  # the t=0 initial value is the nominal capacity
+                    capacities[container] = value
             elif vtype in ("UL", "UH"):
                 pending_samples.setdefault(container, []).append((t, value))
         elif event == "PajeDestroyContainer":
@@ -331,7 +390,14 @@ def parse_paje(text: str) -> tuple[Tracer, int]:
         capacity = capacities.get(container, 0.0)
         for t, usage in samples:
             timeline.load_row(name, kind, capacity, t, usage)
-    tracer.timeline = timeline if timeline.names() else None
+    for container, steps in pending_cap_steps.items():
+        ctype, name = containers.get(container, ("L", container))
+        kind = "host" if ctype == "H" else "link"
+        for t, capacity in steps:
+            timeline.load_capacity_row(name, kind, t, capacity)
+    tracer.timeline = (timeline if timeline.names()
+                       or timeline.capacity_series else None)
+    tracer.resource_events.sort(key=lambda e: (e.t, e.name))
     tracer.comms.sort(key=lambda r: (r.start, r.mid))
     tracer.computes.sort(key=lambda c: (c.start, c.rank))
     return tracer, len(rank_of)

@@ -41,6 +41,12 @@ class Timeline:
         self._series: dict[str, list[tuple[float, float]]] = {}
         self.capacities: dict[str, float] = {}
         self.kinds: dict[str, str] = {}
+        #: per-resource capacity *steps*: ``name -> [(time, capacity), ...]``
+        #: recorded by the engine when availability profiles (or
+        #: ``set_availability``) change a resource's effective capacity.
+        #: ``capacities`` keeps holding the latest value, so utilization
+        #: summaries stay meaningful; the step series preserves the history.
+        self.capacity_series: dict[str, list[tuple[float, float]]] = {}
         #: total samples stored (mirrored into ``EngineStats.link_samples``)
         self.n_samples = 0
 
@@ -67,6 +73,23 @@ class Timeline:
             return  # still idle: keep the implicit leading zero implicit
         series.append((t, usage))
         self.n_samples += 1
+
+    def record_capacity(self, t: float, name: str, capacity: float,
+                        kind: str = "link") -> None:
+        """Append one capacity step (effective capacity from ``t`` on)."""
+        series = self.capacity_series.setdefault(name, [])
+        self.kinds.setdefault(name, kind)
+        self.capacities[name] = capacity
+        if series and series[-1][0] == t:
+            series[-1] = (t, capacity)
+            return
+        if series and series[-1][1] == capacity:
+            return
+        series.append((t, capacity))
+
+    def capacity_steps(self, name: str) -> list[tuple[float, float]]:
+        """Recorded ``(time, effective capacity)`` steps of one resource."""
+        return list(self.capacity_series.get(name, ()))
 
     def close(self, t: float) -> None:
         """Mark every resource idle at ``t`` (end of simulation).
@@ -157,3 +180,19 @@ class Timeline:
         self.capacities[name] = capacity
         series.append((t, usage))
         self.n_samples += 1
+
+    def capacity_rows(self) -> list[tuple[str, str, float, float]]:
+        """Flat ``(name, kind, time, capacity)`` capacity-step rows."""
+        rows = []
+        for name, series in self.capacity_series.items():
+            kind = self.kinds.get(name, "link")
+            for t, capacity in series:
+                rows.append((name, kind, t, capacity))
+        return rows
+
+    def load_capacity_row(self, name: str, kind: str, t: float,
+                          capacity: float) -> None:
+        """Re-insert one :meth:`capacity_rows` row (CSV import path)."""
+        self.capacity_series.setdefault(name, []).append((t, capacity))
+        self.kinds.setdefault(name, kind)
+        self.capacities[name] = capacity

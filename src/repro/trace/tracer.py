@@ -12,17 +12,26 @@ The trace supports the analyses behind the evaluation figures
 
 CSV schema (one flat table, ``kind`` discriminates)::
 
-    kind,mid,src,dst,tag,nbytes_or_flops,eager,start,end,capacity
-    comm,3,0,1,0,1000,1,0.0001,0.0082,
-    compute,,0,,,1e6,,0.0,0.001,
-    link,,cli-l0,,,9.8e7,,0.0001,,1.25e8
+    kind,mid,src,dst,tag,nbytes_or_flops,eager,start,end,capacity,failed
+    comm,3,0,1,0,1000,1,0.0001,0.0082,,0
+    compute,,0,,,1e6,,0.0,0.001,,
+    link,,cli-l0,,,9.8e7,,0.0001,,1.25e8,
+    resource,,cli-l0,link,,,fail,0.004,,,
+    capacity,,cli-l0,link,,,,0.002,,6.25e7,
 
-``comm`` rows carry the message id, endpoints, byte count and protocol
-(``eager`` 1/0); ``compute`` rows put the rank in ``src`` and the flop
-count in ``nbytes_or_flops``; ``link`` rows are utilization samples —
-the resource name in ``src``, the consumed rate in ``nbytes_or_flops``,
-the sample time in ``start`` and the resource capacity in ``capacity``
-(``dst`` holds ``host`` for CPU samples, empty for links).
+``comm`` rows carry the message id, endpoints, byte count, protocol
+(``eager`` 1/0) and whether the transfer died on a network failure
+(``failed`` 1/0 — failed comms close at the failure time); ``compute``
+rows put the rank in ``src`` and the flop count in ``nbytes_or_flops``;
+``link`` rows are utilization samples — the resource name in ``src``,
+the consumed rate in ``nbytes_or_flops``, the sample time in ``start``
+and the resource capacity in ``capacity`` (``dst`` holds ``host`` for
+CPU samples, empty for links).  ``resource`` rows record failures and
+recoveries (name in ``src``, kind in ``dst``, ``fail``/``restore`` in
+``eager``, time in ``start``); ``capacity`` rows are availability steps
+(new effective capacity in ``capacity``, time in ``start``).  Loading a
+pre-fault 10-column trace still works: the missing trailing columns
+default to empty.
 
 Records whose ``end`` was never set (the simulation aborted mid-flight)
 are *dropped* by every exporter — a half-open interval would serialize
@@ -38,7 +47,7 @@ import math
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["CommRecord", "ComputeRecord", "Tracer"]
+__all__ = ["CommRecord", "ComputeRecord", "ResourceEventRecord", "Tracer"]
 
 
 @dataclass
@@ -51,6 +60,8 @@ class CommRecord:
     eager: bool
     start: float
     end: float = float("nan")
+    #: the transfer died on a resource failure; ``end`` is the failure time
+    failed: bool = False
 
     @property
     def duration(self) -> float:
@@ -58,7 +69,7 @@ class CommRecord:
 
     @property
     def closed(self) -> bool:
-        """True once the transfer completed (``end`` was recorded)."""
+        """True once the transfer completed or failed (``end`` recorded)."""
         return math.isfinite(self.end)
 
 
@@ -74,12 +85,23 @@ class ComputeRecord:
         return math.isfinite(self.end)
 
 
+@dataclass
+class ResourceEventRecord:
+    """A resource failure or recovery observed during the run."""
+
+    name: str
+    kind: str  # "link" or "host"
+    event: str  # "fail" or "restore"
+    t: float
+
+
 class Tracer:
     """Accumulates records; negligible overhead when tracing is off."""
 
     def __init__(self) -> None:
         self.comms: list[CommRecord] = []
         self.computes: list[ComputeRecord] = []
+        self.resource_events: list[ResourceEventRecord] = []
         self._open_comms: dict[int, CommRecord] = {}
         #: per-resource utilization samples, attached by the runtime when
         #: the engine supports it (:meth:`repro.surf.Engine.enable_timeline`)
@@ -107,8 +129,19 @@ class Tracer:
         if record is not None and message.transfer is not None:
             record.end = message.transfer.scheduler.engine.now
 
+    def comm_fail(self, message) -> None:
+        """Close a transfer's record at the failure time, flagged failed."""
+        record = self._open_comms.pop(message.mid, None)
+        if record is not None and message.transfer is not None:
+            record.end = message.transfer.scheduler.engine.now
+            record.failed = True
+
     def compute(self, rank: int, flops: float, start: float, end: float) -> None:
         self.computes.append(ComputeRecord(rank, flops, start, end))
+
+    def resource_event(self, name: str, kind: str, event: str, t: float) -> None:
+        """Record a resource failure/recovery (engine listener hook)."""
+        self.resource_events.append(ResourceEventRecord(name, kind, event, t))
 
     # -- analysis helpers --------------------------------------------------------------
 
@@ -131,7 +164,7 @@ class Tracer:
     # -- export ------------------------------------------------------------------------------
 
     CSV_HEADER = ("kind", "mid", "src", "dst", "tag", "nbytes_or_flops",
-                  "eager", "start", "end", "capacity")
+                  "eager", "start", "end", "capacity", "failed")
 
     def to_csv(self, include_open: bool = False) -> str:
         """Serialise as CSV (schema in the module docstring).
@@ -152,17 +185,24 @@ class Tracer:
             if not (r.closed or include_open):
                 continue
             writer.writerow(["comm", r.mid, r.src, r.dst, r.tag, r.nbytes,
-                             int(r.eager), r.start, end_field(r), ""])
+                             int(r.eager), r.start, end_field(r), "",
+                             int(r.failed)])
         for c in self.computes:
             if not (c.closed or include_open):
                 continue
             writer.writerow(["compute", "", c.rank, "", "", c.flops, "",
-                             c.start, end_field(c), ""])
+                             c.start, end_field(c), "", ""])
+        for e in self.resource_events:
+            writer.writerow(["resource", "", e.name, e.kind, "", "",
+                             e.event, e.t, "", "", ""])
         if self.timeline is not None:
             for name, kind, capacity, t, usage in self.timeline.as_rows():
                 writer.writerow(["link", "", name,
                                  kind if kind != "link" else "", "", usage,
-                                 "", t, "", capacity])
+                                 "", t, "", capacity, ""])
+            for name, kind, t, capacity in self.timeline.capacity_rows():
+                writer.writerow(["capacity", "", name, kind, "", "", "",
+                                 t, "", capacity, ""])
         return buf.getvalue()
 
     @classmethod
@@ -181,9 +221,12 @@ class Tracer:
         def _end(field: str) -> float:
             return float(field) if field else float("nan")
 
+        n_cols = len(cls.CSV_HEADER)
         for row in reader:
             if not row:
                 continue
+            if len(row) < n_cols:  # pre-fault traces lack trailing columns
+                row = row + [""] * (n_cols - len(row))
             kind = row[0]
             if kind == "comm":
                 tracer.comms.append(CommRecord(
@@ -191,11 +234,17 @@ class Tracer:
                     tag=int(row[4]), nbytes=int(float(row[5])),
                     eager=bool(int(row[6])), start=float(row[7]),
                     end=_end(row[8]),
+                    failed=bool(int(row[10])) if row[10] else False,
                 ))
             elif kind == "compute":
                 tracer.computes.append(ComputeRecord(
                     rank=int(row[2]), flops=float(row[5]),
                     start=float(row[7]), end=_end(row[8]),
+                ))
+            elif kind == "resource":
+                tracer.resource_events.append(ResourceEventRecord(
+                    name=row[2], kind=row[3] or "link",
+                    event=row[6], t=float(row[7]),
                 ))
             elif kind == "link":
                 timeline.load_row(
@@ -203,9 +252,15 @@ class Tracer:
                     capacity=float(row[9]) if row[9] else 0.0,
                     t=float(row[7]), usage=float(row[5]),
                 )
+            elif kind == "capacity":
+                timeline.load_capacity_row(
+                    name=row[2], kind=row[3] or "link",
+                    t=float(row[7]), capacity=float(row[9]),
+                )
             else:
                 raise ConfigError(f"unknown trace CSV row kind {kind!r}")
-        tracer.timeline = timeline if timeline.names() else None
+        tracer.timeline = (timeline if timeline.names()
+                           or timeline.capacity_series else None)
         return tracer
 
     def save(self, path: str | Path) -> None:

@@ -1,0 +1,70 @@
+"""Docstring-coverage gate for the public API of ``src/repro``.
+
+Walks every module's AST and checks that the fraction of documented
+public definitions (modules, public classes, and public functions or
+methods reachable through public scopes; dunders are exempt) never drops
+below the recorded baseline.  New code should arrive documented: when
+coverage rises meaningfully, ratchet ``BASELINE`` up to lock it in.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: minimum fraction of documented public definitions (current: ~0.64)
+BASELINE = 0.62
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _collect(tree: ast.Module, module: str):
+    """Yield ``(qualname, has_docstring)`` for the module's public defs."""
+    yield module, ast.get_docstring(tree) is not None
+
+    def walk(node, prefix: str, public_scope: bool):
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(child, (ast.ClassDef, ast.FunctionDef,
+                                      ast.AsyncFunctionDef)):
+                continue
+            name = child.name
+            qual = f"{prefix}.{name}"
+            if public_scope and _is_public(name):
+                yield qual, ast.get_docstring(child) is not None
+            # only classes open a new documentable scope (methods);
+            # functions nested in functions are implementation detail
+            yield from walk(child, qual,
+                            public_scope and _is_public(name)
+                            and isinstance(child, ast.ClassDef))
+
+    yield from walk(tree, module, True)
+
+
+def test_public_api_docstring_coverage_meets_baseline():
+    entries = []
+    for path in sorted(SRC.rglob("*.py")):
+        module = str(path.relative_to(SRC.parent)).replace("/", ".")[:-3]
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        entries.extend(_collect(tree, module))
+    assert entries, f"no python sources found under {SRC}"
+    documented = sum(1 for _, has in entries if has)
+    coverage = documented / len(entries)
+    missing = [qual for qual, has in entries if not has]
+    assert coverage >= BASELINE, (
+        f"public docstring coverage fell to {coverage:.1%} "
+        f"({documented}/{len(entries)}), below the {BASELINE:.0%} gate; "
+        f"first undocumented: {missing[:10]}"
+    )
+
+
+def test_every_module_has_a_docstring():
+    bare = []
+    for path in sorted(SRC.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        if ast.get_docstring(tree) is None:
+            bare.append(str(path.relative_to(SRC.parent)))
+    assert not bare, f"modules without a module docstring: {bare}"
