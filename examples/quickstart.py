@@ -19,6 +19,10 @@ from repro.units import format_time
 
 
 def app(mpi):
+    # Written in the generator dialect (yield from comm.co.* / mpi.co.*),
+    # so each rank runs as a coroutine continuation — no OS thread per
+    # rank.  Drop the yields and call comm.Scatter(...) directly and the
+    # same code runs on the greenlet/thread backends instead.
     comm = mpi.COMM_WORLD
     rank, size = mpi.rank, mpi.size
     n_local = 4096
@@ -26,31 +30,32 @@ def app(mpi):
     # rank 0 owns the full input and scatters one slice per rank
     full = np.arange(size * n_local, dtype=np.float64) if rank == 0 else None
     local = np.empty(n_local)
-    comm.Scatter(full, local, root=0)
+    yield from comm.co.Scatter(full, local, root=0)
 
     # local computation: the simulated clock advances by the declared flops
     local_result = np.sqrt(local + 1.0)
-    mpi.execute(flops=5.0 * n_local)
+    yield from mpi.co.execute(flops=5.0 * n_local)
 
     # global statistics with collectives
     local_sum = np.array([local_result.sum()])
     total = np.empty(1)
-    comm.Allreduce(local_sum, total)
+    yield from comm.co.Allreduce(local_sum, total)
 
     mins = np.array([local_result.min()])
     global_min = np.empty(1)
-    comm.Reduce(mins, global_min if rank == 0 else None, op=MIN, root=0)
+    yield from comm.co.Reduce(mins, global_min if rank == 0 else None,
+                              op=MIN, root=0)
 
     # a neighbour exchange, the halo pattern of stencil codes
     right, left = (rank + 1) % size, (rank - 1) % size
     halo_out = local_result[-8:].copy()
     halo_in = np.empty(8)
-    comm.Sendrecv(halo_out, right, 5, halo_in, left, 5)
+    yield from comm.co.Sendrecv(halo_out, right, 5, halo_in, left, 5)
 
-    comm.Barrier()
+    yield from comm.co.Barrier()
     if rank == 0:
         return {"total": float(total[0]), "min": float(global_min[0]),
-                "t": mpi.wtime()}
+                "t": (yield from mpi.co.wtime())}
     return None
 
 

@@ -194,6 +194,8 @@ def _report(result, n_ranks: int, show_stats: bool = False) -> None:
         print(f"  heap pops        : {stats.heap_pops} "
               f"({stats.stale_heap_entries} stale)")
         print(f"  peak concurrent  : {stats.peak_concurrent}")
+        print(f"  context switches : {stats.ctx_switches} "
+              f"({stats.ctx_fast_resumes} fast resumes)")
         if stats.link_samples:
             print(f"  link samples     : {stats.link_samples}")
         if getattr(stats, "capacity_events", 0):
@@ -255,13 +257,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.with_options(tracing=True)
     if args.record or want_ti:
         result, trace = record_trace(app, args.n, platform, config=config,
-                                     engine=engine)
+                                     engine=engine, ctx=args.ctx)
         for target in filter(None, [args.record,
                                     args.trace if want_ti else None]):
             trace.save(target)
             print(f"trace written  : {target} ({trace.summary()})")
     else:
-        result = smpirun(app, args.n, platform, config=config, engine=engine)
+        result = smpirun(app, args.n, platform, config=config, engine=engine,
+                         ctx=args.ctx)
     if args.trace and not want_ti:
         _export_run_trace(result, args.n, args)
     _report(result, args.n, show_stats=args.stats)
@@ -281,7 +284,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
             )
         config = config.with_options(tracing=True)
     result = replay_trace(trace, platform, config=config,
-                          engine=_make_engine(platform, args))
+                          engine=_make_engine(platform, args), ctx=args.ctx)
     print(f"replaying      : {trace.summary()}")
     if "recorded_on" in trace.meta:
         recorded_t = trace.meta.get("recorded_simulated_time")
@@ -463,6 +466,13 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--eager-updates", action="store_true",
                      help="disable lazy action updates / the completion-date "
                           "heap (debug escape hatch)")
+    run.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
+                                             "thread"),
+                     default=None,
+                     help="execution-context backend for rank actors "
+                          "(default: auto — coroutine for generator apps, "
+                          "greenlet/thread for plain functions; REPRO_CTX "
+                          "env var overrides)")
     _add_fault_flags(run)
     run.set_defaults(func=_cmd_run)
 
@@ -485,6 +495,13 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("--eager-updates", action="store_true",
                         help="disable lazy action updates / the completion-date "
                              "heap (debug escape hatch)")
+    replay.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
+                                             "thread"),
+                     default=None,
+                     help="execution-context backend for rank actors "
+                          "(default: auto — coroutine for generator apps, "
+                          "greenlet/thread for plain functions; REPRO_CTX "
+                          "env var overrides)")
     _add_fault_flags(replay)
     replay.set_defaults(func=_cmd_replay)
 

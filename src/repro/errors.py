@@ -44,6 +44,32 @@ class ActorFailure(SimulationError):
         self.original = original
 
 
+class ContextError(SimulationError):
+    """An execution-context backend was used outside its contract.
+
+    The common case: an actor on the ``coroutine`` backend tried to block
+    from a plain (non-generator) frame — pure-Python continuations cannot
+    suspend a synchronous call stack, so the blocking path must be written
+    in the generator dialect or the actor run on a stack-capable backend.
+    """
+
+
+class ContextLeakError(SimulationError):
+    """Actor contexts survived simulation teardown.
+
+    Raised (or logged, when teardown is already unwinding another error)
+    when execution contexts still hold live frames or kernel threads after
+    every actor was killed and resumed — previously this leaked silently.
+    """
+
+    def __init__(self, leaks: list[str]):
+        super().__init__(
+            f"{len(leaks)} actor context(s) still alive after teardown: "
+            + ", ".join(leaks)
+        )
+        self.leaks = leaks
+
+
 class MpiError(ReproError):
     """An MPI call failed.  ``code`` is the MPI error class constant."""
 

@@ -274,6 +274,10 @@ def dt_app(mpi, graph: DtGraph, seed: int = 0, folded: bool = False):
     folding, Fig. 16): footprint collapses, but — as the paper states —
     the numerical results become erroneous, so checksums are only
     meaningful unfolded.
+
+    Written in the generator dialect (``yield from`` at every blocking
+    call) so it runs on the coroutine backend without an OS thread per
+    rank.
     """
     comm = mpi.COMM_WORLD
     node = graph.nodes[mpi.rank]
@@ -292,17 +296,17 @@ def dt_app(mpi, graph: DtGraph, seed: int = 0, folded: bool = False):
         offset = 0
         for src in node.in_edges:
             n = graph.nodes[src].out_elems
-            comm.Recv([work[offset : offset + n], n], src, _TAG)
+            yield from comm.co.Recv([work[offset : offset + n], n], src, _TAG)
             offset += n
-    mpi.execute(_FLOPS_PER_ELEM * in_elems)
+    yield from mpi.co.execute(_FLOPS_PER_ELEM * in_elems)
     _node_process(graph, node, work)
 
     for k, dst in enumerate(node.out_edges):
         if graph.scheme == "SH":
             view = work[k * out_elems : (k + 1) * out_elems]
-            comm.Send([view, out_elems], dst, _TAG)
+            yield from comm.co.Send([view, out_elems], dst, _TAG)
         else:
-            comm.Send([work, out_elems], dst, _TAG)
+            yield from comm.co.Send([work, out_elems], dst, _TAG)
 
     checksum = float(np.sum(work)) if node.is_sink else None
     if folded:

@@ -41,6 +41,7 @@ def replay_trace(
     config: SmpiConfig | None = None,
     network_model=None,
     engine=None,
+    ctx: str | None = None,
 ) -> SmpiResult:
     """Simulate the recorded execution on ``platform``.
 
@@ -57,18 +58,21 @@ def replay_trace(
     import time
 
     world = SmpiWorld(platform, trace.n_ranks, hosts, config, network_model,
-                      engine)
+                      engine, ctx=ctx)
 
     def make_replayer(rank: int):
         events = trace.events[rank]
 
         def replay_rank():
+            # generator dialect: the auto backend runs each replayer as a
+            # coroutine continuation instead of a parked OS thread
+
             protocol = world.protocol
             live: dict[int, Request] = {}
             for event in events:
                 kind = event.kind
                 if kind == "compute":
-                    world.execute_flops(event.args[0])
+                    yield from world.co_execute_flops(event.args[0])
                 elif kind == "send":
                     op_id, dst, nbytes, tag, ctx = event.args
                     request = Request(world, "send", rank)
@@ -89,11 +93,11 @@ def replay_trace(
                     (op_ids,) = event.args
                     pending = [live.pop(i) for i in op_ids if i in live]
                     if pending:
-                        rq.waitall(pending)
+                        yield from rq.co_waitall(pending)
             # reap anything the application never waited on explicitly
             leftovers = list(live.values())
             if leftovers:
-                rq.waitall(leftovers)
+                yield from rq.co_waitall(leftovers)
 
         return replay_rank
 

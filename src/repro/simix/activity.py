@@ -16,6 +16,7 @@ import itertools
 from typing import TYPE_CHECKING, Any
 
 from ..surf.action import Action, ActionState
+from .contexts import run_blocking
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .actor import Actor
@@ -76,9 +77,19 @@ class Activity:
 
     def wait(self, actor: "Actor") -> None:
         """Block ``actor`` until this activity completes."""
+        run_blocking(self.co_wait(actor), lambda: actor)
+
+    def co_wait(self, actor: "Actor"):
+        """Generator twin of :meth:`wait` — ``yield from`` to block.
+
+        This is the canonical implementation (:meth:`wait` drives it), so
+        both dialects suspend at exactly the same points: the activity
+        ``wait()`` seam is where every MPI-blocking call reaches the
+        execution-context backends.
+        """
         while not self.done:
             self.add_waiter(actor)
-            actor.suspend()
+            yield from actor.co_suspend()
 
     def cancel(self) -> None:
         if self.action is not None and not self.done:

@@ -1,29 +1,38 @@
-"""Simulated processes: one OS thread each, strictly sequential execution.
+"""Simulated processes, strictly sequential, on pluggable execution contexts.
 
-The baton protocol: the scheduler thread and every actor thread share a
-pair of :class:`threading.Event` objects.  At any instant at most one
-thread — the scheduler *or* one actor — holds the baton.  ``resume()``
-hands it to the actor and blocks the scheduler; ``_yield_control()`` hands
-it back.  User code therefore never needs locks: it is plain sequential
-code interleaved at MPI-call granularity, exactly like SMPI runs C code.
+An :class:`Actor` is the scheduler-facing identity of one simulated
+process: its bookkeeping (runnable/blocked state, result, exception) plus
+the blocking primitives user code calls.  *How* its frames are parked
+between resumes is delegated to an
+:class:`~repro.simix.contexts.ExecutionContext` — an OS thread with a
+baton of Events, a greenlet, or a generator continuation resumed on the
+scheduler's own stack (see :mod:`repro.simix.contexts.base`).
 
-An actor blocks by calling :meth:`suspend`; anything that might unblock it
-calls :meth:`Scheduler.wake`.  Waits are predicate-based (the waker may be
+Each blocking primitive exists in two dialects with identical scheduler
+interactions:
+
+* synchronous — ``suspend()``, ``yield_now()``, ``wait_for()`` — parks
+  the real stack via ``context.block()``; needs a stack-capable backend.
+* generator — ``co_suspend()``, ``co_yield_now()``, ``co_wait_for()`` —
+  does the same bookkeeping, then ``yield``\\ s; works on every backend,
+  and is the *only* way to block on the coroutine backend.
+
+An actor blocks by suspending; anything that might unblock it calls
+:meth:`Scheduler.wake`.  Waits are predicate-based (the waker may be
 spurious) which keeps the MPI layer's matching logic simple and correct.
 """
 
 from __future__ import annotations
 
 import itertools
-import threading
-from typing import TYPE_CHECKING, Any, Callable
+from typing import TYPE_CHECKING, Any, Callable, Generator
 
-from ..errors import SimulationError
 from ..log import get_logger
 from ..surf.resources import Host
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .context import Scheduler
+    from .contexts import ExecutionContext
 
 __all__ = ["Actor", "ActorKilled"]
 
@@ -32,7 +41,7 @@ _ids = itertools.count()
 
 
 class ActorKilled(BaseException):
-    """Raised *inside* an actor thread to unwind it at simulation teardown.
+    """Raised *inside* an actor's frames to unwind it at simulation teardown.
 
     Derives from BaseException so user ``except Exception`` blocks cannot
     swallow it.
@@ -73,69 +82,52 @@ class Actor:
         #: :meth:`wait_for`); the deadlock report falls back to it when
         #: there is no activity to name
         self.waiting_reason: str | None = None
-
-        self._baton_actor = threading.Event()  # set -> actor may run
-        self._baton_sched = threading.Event()  # set -> scheduler may run
-        self._thread = threading.Thread(
-            target=self._bootstrap, name=f"actor-{name}", daemon=True
-        )
-        self._started = False
+        #: the execution context carrying this actor's frames; attached by
+        #: :meth:`Scheduler.add_actor` from the scheduler's backend
+        self._context: "ExecutionContext" = None  # type: ignore[assignment]
 
     # -- scheduler side ---------------------------------------------------------
 
+    @property
+    def context_kind(self) -> str:
+        """Backend tag of this actor's execution context (e.g. ``thread``)."""
+        return self._context.kind
+
     def resume(self) -> None:
-        """Hand the baton to the actor; returns when it blocks or finishes."""
-        if self.finished:
-            return
-        if not self._started:
-            self._started = True
-            self._thread.start()
-        self._baton_sched.clear()
-        self._baton_actor.set()
-        self._baton_sched.wait()
+        """Run the actor until it blocks or finishes; then return."""
+        self._context.resume()
 
     def kill(self) -> None:
-        """Unwind the actor thread (teardown); must be resumed once after."""
+        """Unwind the actor (teardown); must be resumed once after.
+
+        Idempotent across backends: repeated kills, or killing an actor
+        that already finished, are no-ops.
+        """
         self._killed = True
 
-    def join_thread(self, timeout: float | None = 5.0) -> None:
-        if self._started:
-            self._thread.join(timeout)
+    def join_context(self, timeout: float | None = 5.0) -> None:
+        """Wait for the context's kernel resources (if any) to unwind."""
+        self._context.join(timeout)
 
-    # -- actor side ---------------------------------------------------------------
+    # retained under the historical name for callers of the thread era
+    join_thread = join_context
 
-    def _bootstrap(self) -> None:
-        try:
-            self._baton_actor.wait()
-            self._baton_actor.clear()
-            if self._killed:
-                raise ActorKilled()
-            self.result = self.func(*self.args, **self.kwargs)
-        except ActorKilled:
-            pass
-        except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
-            self.exception = exc
-        finally:
-            self.finished = True
-            self._baton_sched.set()
+    @property
+    def context_alive(self) -> bool:
+        """True while the context still holds live frames after teardown."""
+        return self._context.alive
 
-    def _yield_control(self) -> None:
-        """Give the baton back and wait for it to return."""
-        self._baton_sched.set()
-        self._baton_actor.wait()
-        self._baton_actor.clear()
-        if self._killed:
-            raise ActorKilled()
+    # -- actor side: synchronous dialect ------------------------------------------
 
     def suspend(self) -> None:
         """Block until some event wakes this actor (possibly spuriously)."""
         self.scheduler._on_suspend(self)
-        self._yield_control()
+        self._context.block()
 
     def yield_now(self) -> None:
         """Stay runnable but let the scheduler process other actors first."""
         self.scheduler._on_yield(self)
-        self._yield_control()
+        self._context.block()
 
     def wait_for(self, predicate: Callable[[], bool],
                  reason: str | None = None) -> None:
@@ -149,6 +141,31 @@ class Actor:
         try:
             while not predicate():
                 self.suspend()
+        finally:
+            if reason is not None:
+                self.waiting_reason = None
+
+    # -- actor side: generator dialect ---------------------------------------------
+
+    def co_suspend(self) -> Generator[None, None, None]:
+        """Generator twin of :meth:`suspend` (``yield from`` to block)."""
+        self.scheduler._on_suspend(self)
+        yield
+
+    def co_yield_now(self) -> Generator[None, None, None]:
+        """Generator twin of :meth:`yield_now`."""
+        self.scheduler._on_yield(self)
+        yield
+
+    def co_wait_for(self, predicate: Callable[[], bool],
+                    reason: str | None = None) -> Generator[None, None, None]:
+        """Generator twin of :meth:`wait_for` — same bookkeeping, same order."""
+        if reason is not None:
+            self.waiting_reason = reason
+        try:
+            while not predicate():
+                self.scheduler._on_suspend(self)
+                yield
         finally:
             if reason is not None:
                 self.waiting_reason = None

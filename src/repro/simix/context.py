@@ -18,15 +18,17 @@ itself determined by completion order and spawn order.
 
 from __future__ import annotations
 
+import sys
 from collections import deque
 from typing import Any, Callable
 
-from ..errors import ActorFailure, DeadlockError
+from ..errors import ActorFailure, ContextLeakError, DeadlockError
 from ..log import get_logger
 from ..surf.engine import Engine
 from ..surf.resources import Host
 from .activity import CommActivity, ExecActivity, SleepActivity
 from .actor import Actor
+from .contexts import ContextBackend, select_backend
 
 __all__ = ["Scheduler"]
 
@@ -34,10 +36,18 @@ _log = get_logger("simix")
 
 
 class Scheduler:
-    """Cooperative scheduler over one SURF engine."""
+    """Cooperative scheduler over one SURF engine.
 
-    def __init__(self, engine: Engine) -> None:
+    ``ctx`` picks the execution-context backend actors run on: a name
+    from :func:`repro.simix.contexts.available_backends`, a
+    :class:`~repro.simix.contexts.ContextBackend` instance, or ``None``
+    to honour the ``REPRO_CTX`` environment variable (default ``auto``).
+    """
+
+    def __init__(self, engine: Engine,
+                 ctx: str | ContextBackend | None = None) -> None:
         self.engine = engine
+        self.backend = select_backend(ctx)
         self.actors: list[Actor] = []
         self._runnable: deque[Actor] = deque()
         self._current: Actor | None = None
@@ -57,6 +67,7 @@ class Scheduler:
         if isinstance(host, str):
             host = self.engine.platform.host(host)
         actor = Actor(self, name, host, func, args, kwargs)
+        actor._context = self.backend.create(actor)
         self.actors.append(actor)
         self._make_runnable(actor)
         return actor
@@ -135,15 +146,30 @@ class Scheduler:
             self._teardown()
 
     def _drain_runnable(self) -> None:
-        while self._runnable:
-            actor = self._runnable.popleft()
-            if actor.finished:
-                continue
-            self._current = actor
-            actor.resume()
-            self._current = None
-            if actor.exception is not None:
-                raise ActorFailure(actor.name, actor.exception) from actor.exception
+        runnable = self._runnable
+        stats = self.engine.stats
+        while runnable:
+            actor = runnable.popleft()
+            while True:
+                if actor.finished:
+                    break
+                self._current = actor
+                actor.resume()
+                self._current = None
+                stats.ctx_switches += 1
+                if actor.exception is not None:
+                    raise ActorFailure(
+                        actor.name, actor.exception
+                    ) from actor.exception
+                # Fast path: the actor merely yielded (or woke itself) and
+                # is the sole runnable — resume it again immediately
+                # instead of cycling it through the deque and re-entering
+                # the outer scan.
+                if len(runnable) == 1 and runnable[0] is actor:
+                    runnable.popleft()
+                    stats.ctx_fast_resumes += 1
+                    continue
+                break
 
     def _raise_deadlock(self, alive: list[Actor]) -> None:
         # Engine may still hold latency-phase actions even when nothing is
@@ -167,9 +193,27 @@ class Scheduler:
         )
 
     def _teardown(self) -> None:
-        """Unwind every still-alive actor thread so nothing leaks."""
+        """Unwind every still-alive actor context so nothing leaks.
+
+        Contexts that survive the kill+resume+join cycle (e.g. user code
+        swallowing :class:`~repro.simix.actor.ActorKilled`, or a wedged
+        actor thread) used to leak silently; now they raise a
+        :class:`~repro.errors.ContextLeakError` naming the culprits — or
+        log it when teardown is already unwinding a primary error, so the
+        diagnostic never masks the real failure.
+        """
         for actor in self.actors:
             if not actor.finished:
                 actor.kill()
                 actor.resume()
-            actor.join_thread()
+            actor.join_context()
+        leaks = [
+            f"{actor.name} ({actor.context_kind})"
+            for actor in self.actors
+            if actor.context_alive
+        ]
+        if leaks:
+            error = ContextLeakError(leaks)
+            if sys.exc_info()[0] is None:
+                raise error
+            _log.error("%s", error)

@@ -1,0 +1,80 @@
+"""The coroutine backend: actors as generator continuations.
+
+The actor's entry point is a generator function; every blocking library
+call it makes is a ``co_*`` generator twin reached through ``yield from``.
+A bare ``yield`` therefore always means "my suspension bookkeeping is
+done — return to the scheduler", and ``resume()`` is a single
+``gen.send(None)`` on the scheduler's own stack: no kernel objects, no
+Event round-trips, switch cost is one Python frame activation.
+
+Kill semantics mirror the thread oracle exactly: a killed actor has
+:class:`~repro.simix.actor.ActorKilled` thrown *into* its continuation at
+the next resume, so ``finally`` blocks along the whole ``yield from``
+chain run in the same order a real stack unwind would run them.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from .base import ExecutionContext, blocking_unsupported
+
+__all__ = ["CoroutineContext"]
+
+
+class CoroutineContext(ExecutionContext):
+    """Parks the actor as a suspended generator; resumes via ``send``."""
+
+    kind = "coroutine"
+
+    def __init__(self, actor) -> None:
+        super().__init__(actor)
+        self._gen = None
+        self._started = False
+
+    # -- scheduler side ----------------------------------------------------------
+
+    def resume(self) -> None:
+        from ..actor import ActorKilled
+
+        actor = self.actor
+        if actor.finished:
+            return
+        try:
+            if not self._started:
+                self._started = True
+                if actor._killed:
+                    raise ActorKilled()
+                if not inspect.isgeneratorfunction(actor.func):
+                    # A plain function can still run here as long as it
+                    # never blocks (any attempt raises ContextError via
+                    # block() below); it completes on this first resume.
+                    actor.result = actor.func(*actor.args, **actor.kwargs)
+                    self._finish()
+                    return
+                self._gen = actor.func(*actor.args, **actor.kwargs)
+            if actor._killed:
+                self._gen.throw(ActorKilled())
+            else:
+                self._gen.send(None)
+        except StopIteration as stop:
+            actor.result = stop.value
+            self._finish()
+        except ActorKilled:
+            self._finish()
+        except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
+            actor.exception = exc
+            self._finish()
+
+    def _finish(self) -> None:
+        self.actor.finished = True
+        self._gen = None
+
+    @property
+    def alive(self) -> bool:
+        return self._started and not self.actor.finished
+
+    # -- actor side --------------------------------------------------------------
+
+    def block(self) -> None:
+        raise blocking_unsupported(self.actor)

@@ -1,0 +1,72 @@
+"""The greenlet backend: real user-level stack switching.
+
+When the optional :mod:`greenlet` extension is importable, plain
+synchronous actors — arbitrarily deep call stacks through ``smpi.pt2pt``
+and ``smpi.coll`` — suspend at user-level switch cost instead of paying
+the thread backend's kernel round-trips.  This module is only imported
+once :func:`~repro.simix.contexts.base.greenlet_available` returned True.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import greenlet
+
+from .base import ExecutionContext, drive_on_stack
+
+__all__ = ["GreenletContext"]
+
+
+class GreenletContext(ExecutionContext):
+    """Parks the actor's frames on a greenlet micro-stack."""
+
+    kind = "greenlet"
+
+    def __init__(self, actor) -> None:
+        super().__init__(actor)
+        self._glet = greenlet.greenlet(self._bootstrap)
+        self._started = False
+
+    # -- scheduler side ----------------------------------------------------------
+
+    def resume(self) -> None:
+        if self.actor.finished:
+            return
+        self._started = True
+        # (re)parent to whoever runs the scheduler so that falling off
+        # the bootstrap returns control here.
+        self._glet.parent = greenlet.getcurrent()
+        self._glet.switch()
+
+    @property
+    def alive(self) -> bool:
+        return self._started and not self._glet.dead
+
+    # -- actor side --------------------------------------------------------------
+
+    def block(self) -> None:
+        from ..actor import ActorKilled
+
+        self._glet.parent.switch()
+        if self.actor._killed:
+            raise ActorKilled()
+
+    def _bootstrap(self) -> None:
+        from ..actor import ActorKilled
+
+        actor = self.actor
+        try:
+            if actor._killed:
+                raise ActorKilled()
+            if inspect.isgeneratorfunction(actor.func):
+                gen = actor.func(*actor.args, **actor.kwargs)
+                actor.result = drive_on_stack(self, gen)
+            else:
+                actor.result = actor.func(*actor.args, **actor.kwargs)
+        except ActorKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to the scheduler
+            actor.exception = exc
+        finally:
+            actor.finished = True

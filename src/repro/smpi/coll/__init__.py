@@ -163,67 +163,67 @@ def _config_choice(comm: "Communicator", collective: str) -> str:
 
 def barrier(comm: "Communicator") -> None:
     forced = select(comm, "barrier", _config_choice(comm, "barrier"))
-    (forced or barrier_dissemination)(comm)
+    yield from (forced or barrier_dissemination)(comm)
 
 
 def bcast(comm: "Communicator", spec: BufferSpec, root: int) -> None:
     forced = select(comm, "bcast", _config_choice(comm, "bcast"))
     if forced is not None:
-        forced(comm, spec, root)
+        yield from forced(comm, spec, root)
         return
     nbytes = spec.nbytes
     if nbytes < _BCAST_SHORT or comm.size < 8:
-        bcast_binomial(comm, spec, root)
+        yield from bcast_binomial(comm, spec, root)
     else:
-        bcast_scatter_allgather(comm, spec, root)
+        yield from bcast_scatter_allgather(comm, spec, root)
 
 
 def scatter(comm: "Communicator", sendbuf, recvspec: BufferSpec, root: int) -> None:
     forced = select(comm, "scatter", _config_choice(comm, "scatter"))
-    (forced or scatter_binomial)(comm, sendbuf, recvspec, root)
+    yield from (forced or scatter_binomial)(comm, sendbuf, recvspec, root)
 
 
 def scatterv(comm, sendbuf, counts, displs, recvspec, root) -> None:
-    scatterv_linear(comm, sendbuf, counts, displs, recvspec, root)
+    yield from scatterv_linear(comm, sendbuf, counts, displs, recvspec, root)
 
 
 def gather(comm, sendspec: BufferSpec, recvspec, root: int) -> None:
     forced = select(comm, "gather", _config_choice(comm, "gather"))
-    (forced or gather_binomial)(comm, sendspec, recvspec, root)
+    yield from (forced or gather_binomial)(comm, sendspec, recvspec, root)
 
 
 def gatherv(comm, sendspec, recvspec, counts, displs, root) -> None:
-    gatherv_linear(comm, sendspec, recvspec, counts, displs, root)
+    yield from gatherv_linear(comm, sendspec, recvspec, counts, displs, root)
 
 
 def allgather(comm, sendspec: BufferSpec, recvspec: BufferSpec) -> None:
     forced = select(comm, "allgather", _config_choice(comm, "allgather"))
     if forced is not None:
-        forced(comm, sendspec, recvspec)
+        yield from forced(comm, sendspec, recvspec)
         return
     total = sendspec.nbytes * comm.size
     power_of_two = comm.size & (comm.size - 1) == 0
     if total >= _ALLGATHER_LONG or comm.size < 2:
-        allgather_ring(comm, sendspec, recvspec)
+        yield from allgather_ring(comm, sendspec, recvspec)
     elif power_of_two:
-        allgather_recursive_doubling(comm, sendspec, recvspec)
+        yield from allgather_recursive_doubling(comm, sendspec, recvspec)
     else:
-        allgather_bruck(comm, sendspec, recvspec)
+        yield from allgather_bruck(comm, sendspec, recvspec)
 
 
 def allgatherv(comm, sendspec, recvspec, counts, displs) -> None:
-    allgatherv_ring(comm, sendspec, recvspec, counts, displs)
+    yield from allgatherv_ring(comm, sendspec, recvspec, counts, displs)
 
 
 def reduce(comm, sendspec: BufferSpec, recvspec, op: Op, root: int) -> None:
     forced = select(comm, "reduce", _config_choice(comm, "reduce"))
     if forced is not None:
-        forced(comm, sendspec, recvspec, op, root)
+        yield from forced(comm, sendspec, recvspec, op, root)
         return
     if op.commutative:
-        reduce_binomial(comm, sendspec, recvspec, op, root)
+        yield from reduce_binomial(comm, sendspec, recvspec, op, root)
     else:
-        reduce_linear(comm, sendspec, recvspec, op, root)
+        yield from reduce_linear(comm, sendspec, recvspec, op, root)
 
 
 _ALLREDUCE_LONG = 512 * 1024
@@ -232,52 +232,52 @@ _ALLREDUCE_LONG = 512 * 1024
 def allreduce(comm, sendspec: BufferSpec, recvspec: BufferSpec, op: Op) -> None:
     forced = select(comm, "allreduce", _config_choice(comm, "allreduce"))
     if forced is not None:
-        forced(comm, sendspec, recvspec, op)
+        yield from forced(comm, sendspec, recvspec, op)
         return
     if not op.commutative:
-        allreduce_reduce_bcast(comm, sendspec, recvspec, op)
+        yield from allreduce_reduce_bcast(comm, sendspec, recvspec, op)
     elif sendspec.nbytes >= _ALLREDUCE_LONG and comm.size > 2:
-        allreduce_rabenseifner(comm, sendspec, recvspec, op)
+        yield from allreduce_rabenseifner(comm, sendspec, recvspec, op)
     else:
-        allreduce_recursive_doubling(comm, sendspec, recvspec, op)
+        yield from allreduce_recursive_doubling(comm, sendspec, recvspec, op)
 
 
 def scan(comm, sendspec, recvspec, op: Op) -> None:
-    scan_recursive_doubling(comm, sendspec, recvspec, op)
+    yield from scan_recursive_doubling(comm, sendspec, recvspec, op)
 
 
 def exscan(comm, sendspec, recvspec, op: Op) -> None:
-    exscan_recursive_doubling(comm, sendspec, recvspec, op)
+    yield from exscan_recursive_doubling(comm, sendspec, recvspec, op)
 
 
 def reduce_scatter(comm, sendspec, recvspec, counts, op: Op) -> None:
     forced = select(comm, "reduce_scatter", _config_choice(comm, "reduce_scatter"))
     if forced is not None:
-        forced(comm, sendspec, recvspec, counts, op)
+        yield from forced(comm, sendspec, recvspec, counts, op)
         return
     if op.commutative:
-        reduce_scatter_pairwise(comm, sendspec, recvspec, counts, op)
+        yield from reduce_scatter_pairwise(comm, sendspec, recvspec, counts, op)
     else:
-        reduce_scatter_reduce_scatterv(comm, sendspec, recvspec, counts, op)
+        yield from reduce_scatter_reduce_scatterv(comm, sendspec, recvspec, counts, op)
 
 
 def alltoall(comm, sendspec: BufferSpec, recvspec: BufferSpec) -> None:
     forced = select(comm, "alltoall", _config_choice(comm, "alltoall"))
     if forced is not None:
-        forced(comm, sendspec, recvspec)
+        yield from forced(comm, sendspec, recvspec)
         return
     per_peer = sendspec.nbytes // max(comm.size, 1)
     if per_peer <= _ALLTOALL_SHORT and comm.size >= 8:
-        alltoall_bruck(comm, sendspec, recvspec)
+        yield from alltoall_bruck(comm, sendspec, recvspec)
     elif per_peer <= _ALLTOALL_MEDIUM:
-        alltoall_basic_linear(comm, sendspec, recvspec)
+        yield from alltoall_basic_linear(comm, sendspec, recvspec)
     else:
-        alltoall_pairwise(comm, sendspec, recvspec)
+        yield from alltoall_pairwise(comm, sendspec, recvspec)
 
 
 def alltoallv(comm, sendspec, sendcounts, sdispls, recvspec, recvcounts,
               rdispls) -> None:
     forced = select(comm, "alltoallv", _config_choice(comm, "alltoallv"))
-    (forced or alltoallv_basic_linear)(
+    yield from (forced or alltoallv_basic_linear)(
         comm, sendspec, sendcounts, sdispls, recvspec, recvcounts, rdispls
     )

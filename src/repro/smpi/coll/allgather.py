@@ -56,7 +56,7 @@ def allgather_ring(
         rreq = irecv_view(
             comm, recv_flat, recv_block * chunk, chunk, left, "allgather"
         )
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
         send_block = recv_block
         recv_block = (recv_block - 1) % size
 
@@ -85,7 +85,7 @@ def allgather_recursive_doubling(
         rreq = irecv_view(
             comm, recv_flat, partner_lo * chunk, have_n * chunk, partner, "allgather"
         )
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
         have_lo = min(have_lo, partner_lo)
         have_n *= 2
         mask <<= 1
@@ -110,7 +110,7 @@ def allgather_bruck(
         dst = (rank - pof2) % size
         sreq = isend_view(comm, work, 0, send_n * chunk, dst, "allgather")
         rreq = irecv_view(comm, work, have * chunk, send_n * chunk, src, "allgather")
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
         have += send_n
         pof2 <<= 1
     # un-rotate: work block i -> recv block (rank + i) % size
@@ -161,6 +161,6 @@ def allgatherv_ring(
                     left, "allgatherv",
                 )
             )
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
         send_block = recv_block
         recv_block = (recv_block - 1) % size

@@ -46,10 +46,10 @@ def allreduce_recursive_doubling(
     # pre-phase: fold the ``rem`` trailing odd ranks into their even peers
     if rank < 2 * rem:
         if rank % 2:  # odd: hand my data over, sit out the core phase
-            rq.wait(isend_view(comm, acc, 0, count, rank - 1, "allreduce"))
+            yield from rq.co_wait(isend_view(comm, acc, 0, count, rank - 1, "allreduce"))
             new_rank = -1
         else:
-            rq.wait(irecv_view(comm, incoming, 0, count, rank + 1, "allreduce"))
+            yield from rq.co_wait(irecv_view(comm, incoming, 0, count, rank + 1, "allreduce"))
             acc = op(acc, incoming)
             new_rank = rank // 2
     else:
@@ -64,7 +64,7 @@ def allreduce_recursive_doubling(
             )
             sreq = isend_view(comm, acc, 0, count, partner, "allreduce")
             rreq = irecv_view(comm, incoming, 0, count, partner, "allreduce")
-            rq.waitall([sreq, rreq])
+            yield from rq.co_waitall([sreq, rreq])
             if partner_new < new_rank:
                 acc = op(incoming, acc)
             else:
@@ -74,9 +74,9 @@ def allreduce_recursive_doubling(
     # post-phase: return results to the ranks folded away in the pre-phase
     if rank < 2 * rem:
         if rank % 2:
-            rq.wait(irecv_view(comm, acc, 0, count, rank - 1, "allreduce"))
+            yield from rq.co_wait(irecv_view(comm, acc, 0, count, rank - 1, "allreduce"))
         else:
-            rq.wait(isend_view(comm, acc, 0, count, rank + 1, "allreduce"))
+            yield from rq.co_wait(isend_view(comm, acc, 0, count, rank + 1, "allreduce"))
 
     flat_view(recvspec)[:count] = acc
 
@@ -89,10 +89,10 @@ def allreduce_reduce_bcast(
     from .reduce import reduce_binomial, reduce_linear
 
     if op.commutative:
-        reduce_binomial(comm, sendspec, recvspec, op, 0)
+        yield from reduce_binomial(comm, sendspec, recvspec, op, 0)
     else:
-        reduce_linear(comm, sendspec, recvspec, op, 0)
-    bcast_binomial(comm, recvspec, 0)
+        yield from reduce_linear(comm, sendspec, recvspec, op, 0)
+    yield from bcast_binomial(comm, recvspec, 0)
 
 
 def allreduce_rabenseifner(
@@ -120,7 +120,7 @@ def allreduce_rabenseifner(
     count = elements_of(sendspec)
     dtype = base_dtype(sendspec)
     if size == 1 or count < size:
-        allreduce_recursive_doubling(comm, sendspec, recvspec, op)
+        yield from allreduce_recursive_doubling(comm, sendspec, recvspec, op)
         return
 
     base = count // size
@@ -130,9 +130,9 @@ def allreduce_rabenseifner(
     rank = comm.Get_rank()
 
     my_block = np.empty(counts[rank], dtype=dtype.np_dtype)
-    reduce_scatter_pairwise(
+    yield from reduce_scatter_pairwise(
         comm, sendspec, BS(my_block, counts[rank], dtype), counts, op
     )
-    allgatherv_ring(
+    yield from allgatherv_ring(
         comm, BS(my_block, counts[rank], dtype), recvspec, counts, displs
     )

@@ -71,7 +71,7 @@ def alltoall_pairwise(
         src = (rank - step) % size
         sreq = isend_view(comm, send_flat, dst * chunk, chunk, dst, "alltoall")
         rreq = irecv_view(comm, recv_flat, src * chunk, chunk, src, "alltoall")
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
 
 
 def alltoall_basic_linear(
@@ -91,7 +91,7 @@ def alltoall_basic_linear(
         if peer == rank:
             continue
         reqs.append(isend_view(comm, send_flat, peer * chunk, chunk, peer, "alltoall"))
-    rq.waitall(reqs)
+    yield from rq.co_waitall(reqs)
 
 
 def alltoall_bruck(
@@ -123,7 +123,7 @@ def alltoall_bruck(
         ) if n else np.empty(0, dtype=dtype.np_dtype)
         sreq = isend_view(comm, outbound, 0, n * chunk, dst, "alltoall")
         rreq = irecv_view(comm, incoming, 0, n * chunk, src, "alltoall")
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
         for j, b in enumerate(blocks):
             work[b * chunk : (b + 1) * chunk] = incoming[j * chunk : (j + 1) * chunk]
         pof2 <<= 1
@@ -181,7 +181,7 @@ def alltoallv_basic_linear(
             isend_view(comm, send_flat, sdispls[peer], sendcounts[peer], peer,
                        "alltoallv")
         )
-    rq.waitall(reqs)
+    yield from rq.co_waitall(reqs)
 
 
 def alltoallv_pairwise(
@@ -216,4 +216,4 @@ def alltoallv_pairwise(
                 irecv_view(comm, recv_flat, rdispls[src], recvcounts[src], src,
                            "alltoallv")
             )
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)

@@ -31,7 +31,7 @@ def barrier_dissemination(comm: "Communicator") -> None:
         recv = np.zeros(1, dtype=np.uint8)
         rreq = comm.Irecv([recv, 1], src, tag, _ctx=comm.ctx + 1)
         sreq = comm.Isend([_token, 1], dst, tag, _ctx=comm.ctx + 1)
-        rq.waitall([rreq, sreq])
+        yield from rq.co_waitall([rreq, sreq])
         mask <<= 1
 
 
@@ -49,17 +49,17 @@ def barrier_tree(comm: "Communicator") -> None:
     while mask < size and not (rank & mask):
         child = rank + mask
         if child < size:
-            rq.wait(comm.Irecv([token, 1], child, tag, _ctx=comm.ctx + 1))
+            yield from rq.co_wait(comm.Irecv([token, 1], child, tag, _ctx=comm.ctx + 1))
         mask <<= 1
     if rank != 0:
         # mask is now lowbit(rank); report to the parent, await release
-        rq.wait(comm.Isend([_token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
-        rq.wait(comm.Irecv([token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
+        yield from rq.co_wait(comm.Isend([_token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
+        yield from rq.co_wait(comm.Irecv([token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
 
     # fan-out: release my subtree (children masks below my lowbit)
     mask >>= 1
     while mask >= 1:
         child = rank + mask
         if child < size:
-            rq.wait(comm.Isend([_token, 1], child, tag, _ctx=comm.ctx + 1))
+            yield from rq.co_wait(comm.Isend([_token, 1], child, tag, _ctx=comm.ctx + 1))
         mask >>= 1

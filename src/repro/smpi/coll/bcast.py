@@ -38,7 +38,7 @@ def bcast_binomial(comm: "Communicator", spec: BufferSpec, root: int) -> None:
         while not (relative & mask):
             mask <<= 1
         parent = (relative - mask + root) % size
-        rq.wait(irecv_view(comm, flat, 0, count, parent, "bcast"))
+        yield from rq.co_wait(irecv_view(comm, flat, 0, count, parent, "bcast"))
         mask >>= 1
     else:
         while mask < size:
@@ -50,7 +50,7 @@ def bcast_binomial(comm: "Communicator", spec: BufferSpec, root: int) -> None:
         child_rel = relative + mask
         if child_rel < size:
             child = (child_rel + root) % size
-            rq.wait(isend_view(comm, flat, 0, count, child, "bcast"))
+            yield from rq.co_wait(isend_view(comm, flat, 0, count, child, "bcast"))
         mask >>= 1
 
 
@@ -68,9 +68,9 @@ def bcast_linear(comm: "Communicator", spec: BufferSpec, root: int) -> None:
             for dest in range(size)
             if dest != root
         ]
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
     else:
-        rq.wait(irecv_view(comm, flat, 0, count, root, "bcast"))
+        yield from rq.co_wait(irecv_view(comm, flat, 0, count, root, "bcast"))
 
 
 def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -> None:
@@ -98,7 +98,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
 
     if base == 0:
         # message shorter than the process count: fall back
-        bcast_binomial(comm, spec, root)
+        yield from bcast_binomial(comm, spec, root)
         return
 
     # --- phase 1: binomial scatter of the pieces (by relative rank) -----------
@@ -117,7 +117,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
         held_n = min(mask, size - relative)
         lo = int(displs[held_lo])
         n_elems = int(sum(counts[held_lo : held_lo + held_n]))
-        rq.wait(irecv_view(comm, flat, lo, n_elems, parent, "bcast"))
+        yield from rq.co_wait(irecv_view(comm, flat, lo, n_elems, parent, "bcast"))
         mask >>= 1
 
     while mask >= 1:
@@ -127,7 +127,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
             child = (child_rel + root) % size
             lo = int(displs[child_rel])
             n_elems = int(sum(counts[child_rel : child_rel + n_child]))
-            rq.wait(isend_view(comm, flat, lo, n_elems, child, "bcast"))
+            yield from rq.co_wait(isend_view(comm, flat, lo, n_elems, child, "bcast"))
         mask >>= 1
 
     # --- phase 2: ring allgather of the pieces ---------------------------------
@@ -146,7 +146,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
             comm, flat, int(displs[recv_piece]), counts[recv_piece],
             left_rank, "allgather",
         )
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
         send_piece = recv_piece
         recv_piece = (recv_piece - 1) % size
     del dtype

@@ -65,14 +65,14 @@ def gather_binomial(
     while mask < size:
         if relative & mask:
             parent = (relative - mask + root) % size
-            rq.wait(
+            yield from rq.co_wait(
                 isend_view(comm, held, 0, filled * chunk, parent, "gather")
             )
             break
         child_rel = relative + mask
         if child_rel < size:
             n_child = min(mask, size - child_rel)
-            rq.wait(
+            yield from rq.co_wait(
                 irecv_view(
                     comm, held, mask * chunk, n_child * chunk,
                     (child_rel + root) % size, "gather",
@@ -115,9 +115,9 @@ def gather_linear(
             for src in range(size)
             if src != root
         ]
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
     else:
-        rq.wait(isend_view(comm, flat_view(sendspec), 0, chunk, root, "gather"))
+        yield from rq.co_wait(isend_view(comm, flat_view(sendspec), 0, chunk, root, "gather"))
 
 
 def gatherv_linear(
@@ -153,8 +153,8 @@ def gatherv_linear(
             for src in range(size)
             if src != root and counts[src] > 0
         ]
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
     elif counts[rank] > 0:
-        rq.wait(
+        yield from rq.co_wait(
             isend_view(comm, flat_view(sendspec), 0, counts[rank], root, "gatherv")
         )

@@ -31,7 +31,7 @@ __all__ = [
 
 def _send_obj(comm: "Communicator", obj: Any, dest: int) -> None:
     spec = pack_object(obj)
-    rq.wait(
+    yield from rq.co_wait(
         comm.Isend([spec.array, spec.count], dest, coll_tag("object"),
                    _ctx=comm.ctx + 1)
     )
@@ -39,7 +39,7 @@ def _send_obj(comm: "Communicator", obj: Any, dest: int) -> None:
 
 def _recv_obj(comm: "Communicator", source: int) -> Any:
     req = comm.irecv(source, coll_tag("object"), _ctx=comm.ctx + 1)
-    rq.wait(req)
+    yield from rq.co_wait(req)
     raw = getattr(req, "raw_data", None)
     return unpack_object(raw) if raw is not None else None
 
@@ -55,7 +55,7 @@ def bcast_object(comm: "Communicator", obj: Any, root: int) -> Any:
     if relative != 0:
         while not (relative & mask):
             mask <<= 1
-        obj = _recv_obj(comm, (relative - mask + root) % size)
+        obj = yield from _recv_obj(comm, (relative - mask + root) % size)
         mask >>= 1
     else:
         while mask < size:
@@ -64,7 +64,7 @@ def bcast_object(comm: "Communicator", obj: Any, root: int) -> Any:
     while mask >= 1:
         child_rel = relative + mask
         if child_rel < size:
-            _send_obj(comm, obj, (child_rel + root) % size)
+            yield from _send_obj(comm, obj, (child_rel + root) % size)
         mask >>= 1
     return obj
 
@@ -83,9 +83,9 @@ def scatter_object(comm: "Communicator", objs: list[Any] | None, root: int) -> A
             )
         for dest in range(size):
             if dest != root:
-                _send_obj(comm, objs[dest], dest)
+                yield from _send_obj(comm, objs[dest], dest)
         return objs[root]
-    return _recv_obj(comm, root)
+    return (yield from _recv_obj(comm, root))
 
 
 def gather_object(comm: "Communicator", obj: Any, root: int) -> list[Any] | None:
@@ -94,16 +94,17 @@ def gather_object(comm: "Communicator", obj: Any, root: int) -> list[Any] | None
     if rank == root:
         out = []
         for src in range(comm.size):
-            out.append(obj if src == root else _recv_obj(comm, src))
+            out.append(obj if src == root
+                       else (yield from _recv_obj(comm, src)))
         return out
-    _send_obj(comm, obj, root)
+    yield from _send_obj(comm, obj, root)
     return None
 
 
 def allgather_object(comm: "Communicator", obj: Any) -> list[Any]:
     """Gather to 0, then broadcast the list."""
-    gathered = gather_object(comm, obj, 0)
-    return bcast_object(comm, gathered, 0)
+    gathered = yield from gather_object(comm, obj, 0)
+    return (yield from bcast_object(comm, gathered, 0))
 
 
 def alltoall_object(comm: "Communicator", objs: list[Any]) -> list[Any]:
@@ -124,7 +125,7 @@ def alltoall_object(comm: "Communicator", objs: list[Any]) -> list[Any]:
         sreq = comm.Isend([spec.array, spec.count], dst, coll_tag("object"),
                           _ctx=comm.ctx + 1)
         rreq = comm.irecv(src, coll_tag("object"), _ctx=comm.ctx + 1)
-        rq.waitall([sreq, rreq])
+        yield from rq.co_waitall([sreq, rreq])
         raw = getattr(rreq, "raw_data", None)
         out[src] = unpack_object(raw) if raw is not None else None
     return out
@@ -135,7 +136,7 @@ def reduce_object(
 ) -> Any:
     """Gather to root, fold in rank order with ``op`` (default ``+``)."""
     fold = op or operator.add
-    gathered = gather_object(comm, obj, root)
+    gathered = yield from gather_object(comm, obj, root)
     if gathered is None:
         return None
     acc = gathered[0]
@@ -147,5 +148,5 @@ def reduce_object(
 def allreduce_object(
     comm: "Communicator", obj: Any, op: Callable[[Any, Any], Any] | None
 ) -> Any:
-    result = reduce_object(comm, obj, op, 0)
-    return bcast_object(comm, result, 0)
+    result = yield from reduce_object(comm, obj, op, 0)
+    return (yield from bcast_object(comm, result, 0))

@@ -44,12 +44,12 @@ def reduce_binomial(
     while mask < size:
         if relative & mask:
             parent = (relative - mask + root) % size
-            rq.wait(isend_view(comm, acc, 0, count, parent, "reduce"))
+            yield from rq.co_wait(isend_view(comm, acc, 0, count, parent, "reduce"))
             break
         child_rel = relative + mask
         if child_rel < size:
             child = (child_rel + root) % size
-            rq.wait(irecv_view(comm, incoming, 0, count, child, "reduce"))
+            yield from rq.co_wait(irecv_view(comm, incoming, 0, count, child, "reduce"))
             # ``acc`` covers lower relative ranks than the child subtree,
             # so acc-first ordering is also valid for non-commutative ops
             # when root == 0; the dispatcher is conservative anyway.
@@ -75,7 +75,7 @@ def reduce_linear(
     dtype = base_dtype(sendspec)
 
     if rank != root:
-        rq.wait(isend_view(comm, flat_view(sendspec), 0, count, root, "reduce"))
+        yield from rq.co_wait(isend_view(comm, flat_view(sendspec), 0, count, root, "reduce"))
         return
     if recvspec is None:
         raise MpiError(constants.ERR_BUFFER, "reduce root needs a receive buffer")
@@ -91,7 +91,7 @@ def reduce_linear(
             buf = np.empty(count, dtype=dtype.np_dtype)
             parts.append(buf)
             reqs.append(irecv_view(comm, buf, 0, count, src, "reduce"))
-    rq.waitall([r for r in reqs if r is not None])
+    yield from rq.co_waitall([r for r in reqs if r is not None])
     acc = parts[0]
     for part in parts[1:]:
         acc = op(acc, part)

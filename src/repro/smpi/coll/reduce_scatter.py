@@ -71,7 +71,7 @@ def reduce_scatter_pairwise(
             reqs.append(
                 irecv_view(comm, incoming, 0, my_count, src, "reduce_scatter")
             )
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
         if my_count > 0:
             acc = op(acc, incoming)
     flat_view(recvspec)[:my_count] = acc
@@ -92,10 +92,10 @@ def reduce_scatter_reduce_scatterv(
     redspec = None if reduced is None else BS(reduced, total, dtype)
     sendfull = BS(flat_view(sendspec)[:total], total, dtype)
     if op.commutative:
-        reduce_binomial(comm, sendfull, redspec, op, 0)
+        yield from reduce_binomial(comm, sendfull, redspec, op, 0)
     else:
-        reduce_linear(comm, sendfull, redspec, op, 0)
-    scatterv_linear(
+        yield from reduce_linear(comm, sendfull, redspec, op, 0)
+    yield from scatterv_linear(
         comm,
         redspec if rank == 0 else BS(np.empty(0, dtype=dtype.np_dtype), 0, dtype),
         list(counts),

@@ -43,7 +43,7 @@ def scan_recursive_doubling(
         if partner < size:
             sreq = isend_view(comm, total, 0, count, partner, "scan")
             rreq = irecv_view(comm, incoming, 0, count, partner, "scan")
-            rq.waitall([sreq, rreq])
+            yield from rq.co_waitall([sreq, rreq])
             if partner < rank:
                 prefix = op(incoming, prefix)
                 total = op(incoming, total)
@@ -77,7 +77,7 @@ def exscan_recursive_doubling(
         if partner < size:
             sreq = isend_view(comm, total, 0, count, partner, "exscan")
             rreq = irecv_view(comm, incoming, 0, count, partner, "exscan")
-            rq.waitall([sreq, rreq])
+            yield from rq.co_waitall([sreq, rreq])
             if partner < rank:
                 if prefix_excl is None:
                     prefix_excl = incoming.copy()

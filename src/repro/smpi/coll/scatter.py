@@ -78,7 +78,7 @@ def scatter_binomial(
         parent = (relative - mask + root) % size
         n_held = min(mask, size - relative)
         held = np.empty(n_held * chunk, dtype=dtype.np_dtype)
-        rq.wait(
+        yield from rq.co_wait(
             comm.Irecv(
                 [held, n_held * chunk], parent,
                 _scatter_tag(), _ctx=comm.ctx + 1,
@@ -93,7 +93,7 @@ def scatter_binomial(
             n_child = min(mask, size - child_rel)
             child = (child_rel + root) % size
             view = held[mask * chunk : (mask + n_child) * chunk]
-            rq.wait(
+            yield from rq.co_wait(
                 comm.Isend(
                     [view, n_child * chunk], child,
                     _scatter_tag(), _ctx=comm.ctx + 1,
@@ -131,9 +131,9 @@ def scatter_linear(
             reqs.append(
                 isend_view(comm, held, relative * chunk, chunk, dest, "scatter")
             )
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
     else:
-        rq.wait(irecv_view(comm, recv_flat, 0, chunk, root, "scatter"))
+        yield from rq.co_wait(irecv_view(comm, recv_flat, 0, chunk, root, "scatter"))
 
 
 def scatterv_linear(
@@ -169,9 +169,9 @@ def scatterv_linear(
             reqs.append(
                 isend_view(comm, flat, displs[dest], counts[dest], dest, "scatterv")
             )
-        rq.waitall(reqs)
+        yield from rq.co_waitall(reqs)
     elif counts[rank] > 0:
-        rq.wait(irecv_view(comm, recv_flat, 0, counts[rank], root, "scatterv"))
+        yield from rq.co_wait(irecv_view(comm, recv_flat, 0, counts[rank], root, "scatterv"))
 
 
 def binomial_tree_edges(size: int, root: int = 0) -> list[tuple[int, int, int]]:

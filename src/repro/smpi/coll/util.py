@@ -33,6 +33,8 @@ __all__ = [
     "irecv_view",
     "send_view",
     "recv_view",
+    "co_send_view",
+    "co_recv_view",
     "coll_tag",
 ]
 
@@ -127,12 +129,30 @@ def irecv_view(
 
 
 def send_view(comm, src_arr, offset, count, dest, kind) -> None:
+    """Blocking send of a buffer slice (drives :func:`co_send_view`)."""
+    from ...simix.contexts import run_blocking
+
+    run_blocking(co_send_view(comm, src_arr, offset, count, dest, kind),
+                 lambda: comm.world.current_actor)
+
+
+def co_send_view(comm, src_arr, offset, count, dest, kind):
+    """Generator twin of :func:`send_view`."""
     from .. import request as rq
 
-    rq.wait(isend_view(comm, src_arr, offset, count, dest, kind))
+    yield from rq.co_wait(isend_view(comm, src_arr, offset, count, dest, kind))
 
 
 def recv_view(comm, dst_arr, offset, count, source, kind) -> None:
+    """Blocking receive into a buffer slice (drives :func:`co_recv_view`)."""
+    from ...simix.contexts import run_blocking
+
+    run_blocking(co_recv_view(comm, dst_arr, offset, count, source, kind),
+                 lambda: comm.world.current_actor)
+
+
+def co_recv_view(comm, dst_arr, offset, count, source, kind):
+    """Generator twin of :func:`recv_view`."""
     from .. import request as rq
 
-    rq.wait(irecv_view(comm, dst_arr, offset, count, source, kind))
+    yield from rq.co_wait(irecv_view(comm, dst_arr, offset, count, source, kind))

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any
 import numpy as np
 
 from ..errors import MpiError
+from ..simix.contexts import run_blocking
 from . import constants, request as rq
 from .constants import IN_PLACE
 from .buffer import BufferSpec, pack_object, resolve, unpack_object
@@ -35,7 +36,7 @@ from .status import Status
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime import SmpiWorld
 
-__all__ = ["Communicator"]
+__all__ = ["Communicator", "CoCommunicator"]
 
 #: shared sentinel for zero-copy sends (never read)
 _EMPTY_PAYLOAD = np.zeros(0, dtype=np.uint8)
@@ -93,6 +94,20 @@ class Communicator:
         if not 0 <= tag <= constants.TAG_UB:
             raise MpiError(constants.ERR_TAG, f"tag {tag} out of range")
 
+    def _run(self, gen):
+        """Drive a canonical ``_co_*`` generator to completion (sync dialect)."""
+        return run_blocking(gen, lambda: self.world.current_actor)
+
+    @property
+    def co(self) -> "CoCommunicator":
+        """Generator-dialect view: ``yield from comm.co.Send(...)``.
+
+        Every blocking method of the communicator has a generator twin
+        reachable through this view; nonblocking calls (``Isend`` & co)
+        need no twin and stay on the communicator itself.
+        """
+        return CoCommunicator(self)
+
     # =====================================================================
     # point-to-point, buffer flavour
     # =====================================================================
@@ -133,7 +148,10 @@ class Communicator:
         return self.Isend(buf, dest, tag, _mode="synchronous")
 
     def Ssend(self, buf: Any, dest: int, tag: int = 0) -> None:
-        rq.wait(self.Issend(buf, dest, tag))
+        self._run(self._co_Ssend(buf, dest, tag))
+
+    def _co_Ssend(self, buf: Any, dest: int, tag: int = 0):
+        return rq.co_wait(self.Issend(buf, dest, tag))
 
     def Ibsend(self, buf: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking buffered send: always eager, never waits for the
@@ -142,7 +160,10 @@ class Communicator:
         return self.Isend(buf, dest, tag, _mode="buffered")
 
     def Bsend(self, buf: Any, dest: int, tag: int = 0) -> None:
-        rq.wait(self.Ibsend(buf, dest, tag))
+        self._run(self._co_Bsend(buf, dest, tag))
+
+    def _co_Bsend(self, buf: Any, dest: int, tag: int = 0):
+        return rq.co_wait(self.Ibsend(buf, dest, tag))
 
     def Irsend(self, buf: Any, dest: int, tag: int = 0) -> Request:
         """Ready send: timing-wise a standard send (the "receive must be
@@ -150,7 +171,10 @@ class Communicator:
         return self.Isend(buf, dest, tag, _mode="ready")
 
     def Rsend(self, buf: Any, dest: int, tag: int = 0) -> None:
-        rq.wait(self.Irsend(buf, dest, tag))
+        self._run(self._co_Rsend(buf, dest, tag))
+
+    def _co_Rsend(self, buf: Any, dest: int, tag: int = 0):
+        return rq.co_wait(self.Irsend(buf, dest, tag))
 
     def Irecv(
         self,
@@ -191,7 +215,10 @@ class Communicator:
 
     def Send(self, buf: Any, dest: int, tag: int = 0) -> None:
         """Blocking send (eager below the threshold, rendezvous above)."""
-        rq.wait(self.Isend(buf, dest, tag))
+        self._run(self._co_Send(buf, dest, tag))
+
+    def _co_Send(self, buf: Any, dest: int, tag: int = 0):
+        return rq.co_wait(self.Isend(buf, dest, tag))
 
     def Recv(
         self,
@@ -201,7 +228,16 @@ class Communicator:
         status: Status | None = None,
     ) -> None:
         """Blocking receive."""
-        got = rq.wait(self.Irecv(buf, source, tag))
+        self._run(self._co_Recv(buf, source, tag, status))
+
+    def _co_Recv(
+        self,
+        buf: Any,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ):
+        got = yield from rq.co_wait(self.Irecv(buf, source, tag))
         if status is not None:
             status.source = got.source
             status.tag = got.tag
@@ -219,9 +255,23 @@ class Communicator:
         status: Status | None = None,
     ) -> None:
         """Simultaneous send and receive (deadlock-free by construction)."""
+        self._run(self._co_Sendrecv(
+            sendbuf, dest, sendtag, recvbuf, source, recvtag, status
+        ))
+
+    def _co_Sendrecv(
+        self,
+        sendbuf: Any,
+        dest: int,
+        sendtag: int = 0,
+        recvbuf: Any = None,
+        source: int = constants.ANY_SOURCE,
+        recvtag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ):
         recv_req = self.Irecv(recvbuf, source, recvtag)
         send_req = self.Isend(sendbuf, dest, sendtag)
-        rq.waitall([recv_req, send_req])
+        yield from rq.co_waitall([recv_req, send_req])
         if status is not None:
             got = recv_req.make_status()
             status.source = got.source
@@ -239,6 +289,14 @@ class Communicator:
         Costs one test-poll of simulated time, like MPI_Test, so Iprobe
         spin-loops cannot stall the simulated clock.
         """
+        return self._run(self._co_Iprobe(source, tag, status))
+
+    def _co_Iprobe(
+        self,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ):
         self._check()
         me_world = self.group.world_rank(self.Get_rank())
         src_world = (
@@ -248,7 +306,7 @@ class Communicator:
         )
         message = self.world.protocol.iprobe(me_world, src_world, tag, self.ctx)
         if message is None:
-            self.world.tiny_progress()
+            yield from self.world.co_tiny_progress()
             message = self.world.protocol.iprobe(me_world, src_world, tag, self.ctx)
         if message is None:
             return False
@@ -265,6 +323,14 @@ class Communicator:
         status: Status | None = None,
     ) -> None:
         """MPI_Probe (extension): block until a matching message arrives."""
+        self._run(self._co_Probe(source, tag, status))
+
+    def _co_Probe(
+        self,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ):
         self._check()
         me_world = self.group.world_rank(self.Get_rank())
         src_world = (
@@ -272,7 +338,9 @@ class Communicator:
             if source == constants.ANY_SOURCE
             else self._world_rank(source, "source")
         )
-        message = self.world.protocol.probe(me_world, src_world, tag, self.ctx)
+        message = yield from self.world.protocol.co_probe(
+            me_world, src_world, tag, self.ctx
+        )
         if status is not None:
             status.source = self.group.rank_of(message.src)
             status.tag = message.tag
@@ -351,7 +419,10 @@ class Communicator:
         return req
 
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
-        rq.wait(self.isend(obj, dest, tag))
+        self._run(self._co_send(obj, dest, tag))
+
+    def _co_send(self, obj: Any, dest: int, tag: int = 0):
+        return rq.co_wait(self.isend(obj, dest, tag))
 
     def recv(
         self,
@@ -359,8 +430,16 @@ class Communicator:
         tag: int = constants.ANY_TAG,
         status: Status | None = None,
     ) -> Any:
+        return self._run(self._co_recv(source, tag, status))
+
+    def _co_recv(
+        self,
+        source: int = constants.ANY_SOURCE,
+        tag: int = constants.ANY_TAG,
+        status: Status | None = None,
+    ):
         req = self.irecv(source, tag)
-        got = rq.wait(req)
+        got = yield from rq.co_wait(req)
         if status is not None:
             status.source = got.source
             status.tag = got.tag
@@ -371,9 +450,14 @@ class Communicator:
     def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
                  source: int = constants.ANY_SOURCE,
                  recvtag: int = constants.ANY_TAG) -> Any:
+        return self._run(self._co_sendrecv(obj, dest, sendtag, source, recvtag))
+
+    def _co_sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
+                     source: int = constants.ANY_SOURCE,
+                     recvtag: int = constants.ANY_TAG):
         recv_req = self.irecv(source, recvtag)
         send_req = self.isend(obj, dest, sendtag)
-        rq.waitall([recv_req, send_req])
+        yield from rq.co_waitall([recv_req, send_req])
         raw = getattr(recv_req, "raw_data", None)
         return unpack_object(raw) if raw is not None else None
 
@@ -388,11 +472,19 @@ class Communicator:
 
     def Barrier(self) -> None:
         self._check()
-        self._coll().barrier(self)
+        self._run(self._co_Barrier())
+
+    def _co_Barrier(self):
+        self._check()
+        return self._coll().barrier(self)
 
     def Bcast(self, buf: Any, root: int = 0) -> None:
         self._check()
-        self._coll().bcast(self, resolve(buf), self._check_root(root))
+        self._run(self._co_Bcast(buf, root))
+
+    def _co_Bcast(self, buf: Any, root: int = 0):
+        self._check()
+        return self._coll().bcast(self, resolve(buf), self._check_root(root))
 
     def _inplace_block(self, recvbuf: Any, block_rank: int) -> BufferSpec:
         """A view of ``recvbuf``'s per-rank block (IN_PLACE helpers)."""
@@ -411,14 +503,33 @@ class Communicator:
                     constants.ERR_BUFFER, "IN_PLACE recv only valid at the root"
                 )
             recvbuf = self._inplace_block(sendbuf, root).array
-        self._coll().scatter(self, sendbuf, resolve(recvbuf), root)
+        self._run(self._coll().scatter(self, sendbuf, resolve(recvbuf), root))
+
+    def _co_Scatter(self, sendbuf: Any, recvbuf: Any, root: int = 0):
+        self._check()
+        root = self._check_root(root)
+        if recvbuf is IN_PLACE:
+            if self.Get_rank() != root:
+                raise MpiError(
+                    constants.ERR_BUFFER, "IN_PLACE recv only valid at the root"
+                )
+            recvbuf = self._inplace_block(sendbuf, root).array
+        return self._coll().scatter(self, sendbuf, resolve(recvbuf), root)
 
     def Scatterv(
         self, sendbuf: Any, counts: list[int], displs: list[int],
         recvbuf: Any, root: int = 0,
     ) -> None:
         self._check()
-        self._coll().scatterv(
+        self._run(self._coll().scatterv(
+            self, sendbuf, list(counts), list(displs), resolve(recvbuf),
+            self._check_root(root),
+        ))
+
+    def _co_Scatterv(self, sendbuf: Any, counts: list[int], displs: list[int],
+                     recvbuf: Any, root: int = 0):
+        self._check()
+        return self._coll().scatterv(
             self, sendbuf, list(counts), list(displs), resolve(recvbuf),
             self._check_root(root),
         )
@@ -433,7 +544,19 @@ class Communicator:
                 )
             sendbuf = self._inplace_block(recvbuf, root).array
         spec = None if recvbuf is None else resolve(recvbuf)
-        self._coll().gather(self, resolve(sendbuf), spec, root)
+        self._run(self._coll().gather(self, resolve(sendbuf), spec, root))
+
+    def _co_Gather(self, sendbuf: Any, recvbuf: Any, root: int = 0):
+        self._check()
+        root = self._check_root(root)
+        if sendbuf is IN_PLACE:
+            if self.Get_rank() != root:
+                raise MpiError(
+                    constants.ERR_BUFFER, "IN_PLACE send only valid at the root"
+                )
+            sendbuf = self._inplace_block(recvbuf, root).array
+        spec = None if recvbuf is None else resolve(recvbuf)
+        return self._coll().gather(self, resolve(sendbuf), spec, root)
 
     def Gatherv(
         self, sendbuf: Any, recvbuf: Any, counts: list[int], displs: list[int],
@@ -441,7 +564,16 @@ class Communicator:
     ) -> None:
         self._check()
         spec = None if recvbuf is None else resolve(recvbuf)
-        self._coll().gatherv(
+        self._run(self._coll().gatherv(
+            self, resolve(sendbuf), spec, list(counts), list(displs),
+            self._check_root(root),
+        ))
+
+    def _co_Gatherv(self, sendbuf: Any, recvbuf: Any, counts: list[int],
+                    displs: list[int], root: int = 0):
+        self._check()
+        spec = None if recvbuf is None else resolve(recvbuf)
+        return self._coll().gatherv(
             self, resolve(sendbuf), spec, list(counts), list(displs),
             self._check_root(root),
         )
@@ -450,13 +582,26 @@ class Communicator:
         self._check()
         if sendbuf is IN_PLACE:
             sendbuf = self._inplace_block(recvbuf, self.Get_rank()).array
-        self._coll().allgather(self, resolve(sendbuf), resolve(recvbuf))
+        self._run(self._coll().allgather(self, resolve(sendbuf), resolve(recvbuf)))
+
+    def _co_Allgather(self, sendbuf: Any, recvbuf: Any):
+        self._check()
+        if sendbuf is IN_PLACE:
+            sendbuf = self._inplace_block(recvbuf, self.Get_rank()).array
+        return self._coll().allgather(self, resolve(sendbuf), resolve(recvbuf))
 
     def Allgatherv(
         self, sendbuf: Any, recvbuf: Any, counts: list[int], displs: list[int]
     ) -> None:
         self._check()
-        self._coll().allgatherv(
+        self._run(self._coll().allgatherv(
+            self, resolve(sendbuf), resolve(recvbuf), list(counts), list(displs)
+        ))
+
+    def _co_Allgatherv(self, sendbuf: Any, recvbuf: Any, counts: list[int],
+                       displs: list[int]):
+        self._check()
+        return self._coll().allgatherv(
             self, resolve(sendbuf), resolve(recvbuf), list(counts), list(displs)
         )
 
@@ -470,39 +615,85 @@ class Communicator:
                 )
             sendbuf = recvbuf
         spec = None if recvbuf is None else resolve(recvbuf)
-        self._coll().reduce(self, resolve(sendbuf), spec, op, root)
+        self._run(self._coll().reduce(self, resolve(sendbuf), spec, op, root))
+
+    def _co_Reduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM, root: int = 0):
+        self._check()
+        root = self._check_root(root)
+        if sendbuf is IN_PLACE:
+            if self.Get_rank() != root:
+                raise MpiError(
+                    constants.ERR_BUFFER, "IN_PLACE send only valid at the root"
+                )
+            sendbuf = recvbuf
+        spec = None if recvbuf is None else resolve(recvbuf)
+        return self._coll().reduce(self, resolve(sendbuf), spec, op, root)
 
     def Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
         self._check()
         if sendbuf is IN_PLACE:
             sendbuf = recvbuf
-        self._coll().allreduce(self, resolve(sendbuf), resolve(recvbuf), op)
+        self._run(self._coll().allreduce(self, resolve(sendbuf), resolve(recvbuf), op))
+
+    def _co_Allreduce(self, sendbuf: Any, recvbuf: Any, op: Op = SUM):
+        self._check()
+        if sendbuf is IN_PLACE:
+            sendbuf = recvbuf
+        return self._coll().allreduce(self, resolve(sendbuf), resolve(recvbuf), op)
 
     def Scan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
         self._check()
-        self._coll().scan(self, resolve(sendbuf), resolve(recvbuf), op)
+        self._run(self._coll().scan(self, resolve(sendbuf), resolve(recvbuf), op))
+
+    def _co_Scan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM):
+        self._check()
+        return self._coll().scan(self, resolve(sendbuf), resolve(recvbuf), op)
 
     def Exscan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM) -> None:
         self._check()
-        self._coll().exscan(self, resolve(sendbuf), resolve(recvbuf), op)
+        self._run(self._coll().exscan(self, resolve(sendbuf), resolve(recvbuf), op))
+
+    def _co_Exscan(self, sendbuf: Any, recvbuf: Any, op: Op = SUM):
+        self._check()
+        return self._coll().exscan(self, resolve(sendbuf), resolve(recvbuf), op)
 
     def Reduce_scatter(self, sendbuf: Any, recvbuf: Any, counts: list[int],
                        op: Op = SUM) -> None:
         self._check()
-        self._coll().reduce_scatter(
+        self._run(self._coll().reduce_scatter(
+            self, resolve(sendbuf), resolve(recvbuf), list(counts), op
+        ))
+
+    def _co_Reduce_scatter(self, sendbuf: Any, recvbuf: Any, counts: list[int],
+                           op: Op = SUM):
+        self._check()
+        return self._coll().reduce_scatter(
             self, resolve(sendbuf), resolve(recvbuf), list(counts), op
         )
 
     def Alltoall(self, sendbuf: Any, recvbuf: Any) -> None:
         self._check()
-        self._coll().alltoall(self, resolve(sendbuf), resolve(recvbuf))
+        self._run(self._coll().alltoall(self, resolve(sendbuf), resolve(recvbuf)))
+
+    def _co_Alltoall(self, sendbuf: Any, recvbuf: Any):
+        self._check()
+        return self._coll().alltoall(self, resolve(sendbuf), resolve(recvbuf))
 
     def Alltoallv(
         self, sendbuf: Any, sendcounts: list[int], sdispls: list[int],
         recvbuf: Any, recvcounts: list[int], rdispls: list[int],
     ) -> None:
         self._check()
-        self._coll().alltoallv(
+        self._run(self._coll().alltoallv(
+            self, resolve(sendbuf), list(sendcounts), list(sdispls),
+            resolve(recvbuf), list(recvcounts), list(rdispls),
+        ))
+
+    def _co_Alltoallv(self, sendbuf: Any, sendcounts: list[int],
+                      sdispls: list[int], recvbuf: Any, recvcounts: list[int],
+                      rdispls: list[int]):
+        self._check()
+        return self._coll().alltoallv(
             self, resolve(sendbuf), list(sendcounts), list(sdispls),
             resolve(recvbuf), list(recvcounts), list(rdispls),
         )
@@ -517,35 +708,66 @@ class Communicator:
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast a picklable object; returns it on every rank."""
         self._check()
+        return self._run(self._co_bcast(obj, root))
+
+    def _co_bcast(self, obj: Any, root: int = 0):
+        self._check()
         return self._coll().bcast_object(self, obj, self._check_root(root))
 
     def scatter(self, objs: list[Any] | None, root: int = 0) -> Any:
+        self._check()
+        return self._run(self._co_scatter(objs, root))
+
+    def _co_scatter(self, objs: list[Any] | None, root: int = 0):
         self._check()
         return self._coll().scatter_object(self, objs, self._check_root(root))
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         self._check()
+        return self._run(self._co_gather(obj, root))
+
+    def _co_gather(self, obj: Any, root: int = 0):
+        self._check()
         return self._coll().gather_object(self, obj, self._check_root(root))
 
     def allgather(self, obj: Any) -> list[Any]:
         self._check()
+        return self._run(self._co_allgather(obj))
+
+    def _co_allgather(self, obj: Any):
+        self._check()
         return self._coll().allgather_object(self, obj)
 
     def alltoall(self, objs: list[Any]) -> list[Any]:
+        self._check()
+        return self._run(self._co_alltoall(objs))
+
+    def _co_alltoall(self, objs: list[Any]):
         self._check()
         return self._coll().alltoall_object(self, objs)
 
     def reduce(self, obj: Any, op=None, root: int = 0) -> Any:
         """Object reduce with a Python callable (default: +)."""
         self._check()
+        return self._run(self._co_reduce(obj, op, root))
+
+    def _co_reduce(self, obj: Any, op=None, root: int = 0):
+        self._check()
         return self._coll().reduce_object(self, obj, op, self._check_root(root))
 
     def allreduce(self, obj: Any, op=None) -> Any:
+        self._check()
+        return self._run(self._co_allreduce(obj, op))
+
+    def _co_allreduce(self, obj: Any, op=None):
         self._check()
         return self._coll().allreduce_object(self, obj, op)
 
     def barrier(self) -> None:
         self.Barrier()
+
+    def _co_barrier(self):
+        return self._co_Barrier()
 
     # =====================================================================
     # communicator management
@@ -582,9 +804,14 @@ class Communicator:
         end up in the same new communicator, ordered by ``key`` then by
         original rank.  ``color = UNDEFINED`` opts out (returns None).
         """
+        return self._run(self._co_Split(color, key))
+
+    def _co_Split(self, color: int, key: int = 0):
         self._check()
         me = self.Get_rank()
-        contributions = self._coll().allgather_object(self, (color, key, me))
+        contributions = yield from self._coll().allgather_object(
+            self, (color, key, me)
+        )
         token = self.world.comm_token("split", self.ctx, extra=color)
         if color == constants.UNDEFINED:
             return None
@@ -600,3 +827,43 @@ class Communicator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Communicator({self.name!r}, size={self.group.size})"
+
+
+#: blocking operations exposed through the :attr:`Communicator.co` view
+_CO_OPS = frozenset({
+    "Ssend", "Bsend", "Rsend", "Send", "Recv", "Sendrecv",
+    "Iprobe", "Probe", "send", "recv", "sendrecv",
+    "Barrier", "Bcast", "Scatter", "Scatterv", "Gather", "Gatherv",
+    "Allgather", "Allgatherv", "Reduce", "Allreduce", "Scan", "Exscan",
+    "Reduce_scatter", "Alltoall", "Alltoallv",
+    "bcast", "scatter", "gather", "allgather", "alltoall",
+    "reduce", "allreduce", "barrier", "Split",
+})
+
+
+class CoCommunicator:
+    """Generator-dialect twin of :class:`Communicator` (see ``comm.co``).
+
+    ``comm.co.<op>(...)`` returns the canonical generator that the plain
+    blocking method drives, so generator-dialect applications write
+    ``yield from comm.co.Recv(buf)`` and suspend cooperatively instead of
+    blocking an execution context in-stack.  Only the blocking subset is
+    exposed; nonblocking operations (``Isend``, ``Irecv``, ...) never
+    suspend and remain on the communicator itself.
+    """
+
+    __slots__ = ("_comm",)
+
+    def __init__(self, comm: Communicator):
+        self._comm = comm
+
+    def __getattr__(self, name: str):
+        if name not in _CO_OPS:
+            raise AttributeError(
+                f"{name!r} has no generator twin (nonblocking calls live on "
+                f"the Communicator itself)"
+            )
+        return getattr(self._comm, "_co_" + name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CoCommunicator({self._comm.name!r})"

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..errors import MpiError
 from ..log import get_logger
+from ..simix.contexts import run_blocking
 from ..simix.mailbox import Mailbox
 from . import constants
 from .buffer import BufferSpec
@@ -232,6 +233,11 @@ class Protocol:
 
     def probe(self, dst: int, source: int, tag: int, ctx: int) -> Message:
         """Block until a matching message is announced; returns it."""
+        return run_blocking(self.co_probe(dst, source, tag, ctx),
+                            lambda: self.world.current_actor)
+
+    def co_probe(self, dst: int, source: int, tag: int, ctx: int):
+        """Generator twin of :meth:`probe` (canonical implementation)."""
         actor = self.world.current_actor
         while True:
             message = self.iprobe(dst, source, tag, ctx)
@@ -240,7 +246,7 @@ class Protocol:
             waiters = self._probe_waiters.setdefault((ctx, dst), [])
             if actor not in waiters:
                 waiters.append(actor)
-            actor.suspend()
+            yield from actor.co_suspend()
 
     def _wake_probers(self, ctx: int, dst: int) -> None:
         waiters = self._probe_waiters.pop((ctx, dst), [])

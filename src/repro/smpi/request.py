@@ -18,6 +18,7 @@ import itertools
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import MpiError
+from ..simix.contexts import run_blocking
 from . import constants
 from .status import Status
 
@@ -38,6 +39,14 @@ __all__ = [
     "waitsome",
     "testsome",
     "startall",
+    "co_wait",
+    "co_test",
+    "co_waitall",
+    "co_testall",
+    "co_waitany",
+    "co_testany",
+    "co_waitsome",
+    "co_testsome",
 ]
 
 _ids = itertools.count()
@@ -178,8 +187,12 @@ class PersistentRequest(Request):
 
 # -- wait / test family ------------------------------------------------------------------
 # These are module-level functions operating on request lists; the
-# Communicator exposes bound versions.  All run in the calling actor's
-# thread; ``world.current_actor`` supplies the waiter.
+# Communicator exposes bound versions.  All run on the calling actor's
+# execution context; ``world.current_actor`` supplies the waiter.  Each
+# blocking call has one canonical implementation, a ``co_*`` generator
+# that works on every context backend; the synchronous name drives that
+# same generator in-stack, so both dialects suspend at identical points
+# and backends stay bit-identical.
 
 
 def _record_wait(requests: list[Request]) -> None:
@@ -221,27 +234,40 @@ def _describe_requests(requests: list[Request]) -> str:
 
 def wait(request: Request) -> Status:
     """MPI_Wait: block until the request completes; returns its status."""
+    return run_blocking(co_wait(request),
+                        lambda: request.world.current_actor)
+
+
+def co_wait(request: Request):
+    """Generator twin of :func:`wait` (canonical implementation)."""
     _record_wait([request])
     if request.is_null or request.complete:
         return request.make_status()
     assert request.world is not None
     actor = request.world.current_actor
-    actor.wait_for(lambda: request.complete,
-                   reason=f"in MPI_Wait: {_describe_requests([request])}")
+    yield from actor.co_wait_for(
+        lambda: request.complete,
+        reason=f"in MPI_Wait: {_describe_requests([request])}")
     return request.make_status()
 
 
 def test(request: Request) -> tuple[bool, Status | None]:
     """MPI_Test: non-blocking completion check."""
+    return run_blocking(co_test(request),
+                        lambda: request.world.current_actor)
+
+
+def co_test(request: Request):
+    """Generator twin of :func:`test` (canonical implementation)."""
     if request.is_null:
         return True, request.make_status()
     if request.complete:
         _record_wait([request])
         return True, request.make_status()
     # Let simulated time progress a little (SMPI's smpi/test knob);
-    # a pure thread-yield would let a Test spin-loop stall the clock.
+    # a pure context-yield would let a Test spin-loop stall the clock.
     assert request.world is not None
-    request.world.tiny_progress()
+    yield from request.world.co_tiny_progress()
     if request.complete:
         _record_wait([request])
         return True, request.make_status()
@@ -250,22 +276,35 @@ def test(request: Request) -> tuple[bool, Status | None]:
 
 def waitall(requests: list[Request]) -> list[Status]:
     """MPI_Waitall."""
+    return run_blocking(co_waitall(requests),
+                        lambda: _world_of(requests).current_actor)
+
+
+def co_waitall(requests: list[Request]):
+    """Generator twin of :func:`waitall` (canonical implementation)."""
     _record_wait(requests)
     live = [r for r in requests if not r.is_null and not r.complete]
     if live:
         actor = _world_of(live).current_actor
-        actor.wait_for(lambda: all(r.complete for r in live),
-                       reason=f"in MPI_Waitall: {_describe_requests(live)}")
+        yield from actor.co_wait_for(
+            lambda: all(r.complete for r in live),
+            reason=f"in MPI_Waitall: {_describe_requests(live)}")
     return [r.make_status() for r in requests]
 
 
 def testall(requests: list[Request]) -> tuple[bool, list[Status] | None]:
     """MPI_Testall."""
+    return run_blocking(co_testall(requests),
+                        lambda: _world_of(requests).current_actor)
+
+
+def co_testall(requests: list[Request]):
+    """Generator twin of :func:`testall` (canonical implementation)."""
     if all(r.is_null or r.complete for r in requests):
         return True, [r.make_status() for r in requests]
     live = [r for r in requests if r.world is not None]
     if live:
-        _world_of(live).tiny_progress()
+        yield from _world_of(live).co_tiny_progress()
         if all(r.is_null or r.complete for r in requests):
             return True, [r.make_status() for r in requests]
     return False, None
@@ -273,6 +312,12 @@ def testall(requests: list[Request]) -> tuple[bool, list[Status] | None]:
 
 def waitany(requests: list[Request]) -> tuple[int, Status]:
     """MPI_Waitany: index of the first completing request + its status."""
+    return run_blocking(co_waitany(requests),
+                        lambda: _world_of(requests).current_actor)
+
+
+def co_waitany(requests: list[Request]):
+    """Generator twin of :func:`waitany` (canonical implementation)."""
     if all(r.is_null for r in requests):
         return constants.UNDEFINED, Status()
 
@@ -285,8 +330,9 @@ def waitany(requests: list[Request]) -> tuple[int, Status]:
     idx = ready()
     if idx is None:
         actor = _world_of(requests).current_actor
-        actor.wait_for(lambda: ready() is not None,
-                       reason=f"in MPI_Waitany: {_describe_requests(requests)}")
+        yield from actor.co_wait_for(
+            lambda: ready() is not None,
+            reason=f"in MPI_Waitany: {_describe_requests(requests)}")
         idx = ready()
     assert idx is not None
     _record_wait([requests[idx]])
@@ -295,12 +341,18 @@ def waitany(requests: list[Request]) -> tuple[int, Status]:
 
 def testany(requests: list[Request]) -> tuple[bool, int, Status | None]:
     """MPI_Testany -> (flag, index, status)."""
+    return run_blocking(co_testany(requests),
+                        lambda: _world_of(requests).current_actor)
+
+
+def co_testany(requests: list[Request]):
+    """Generator twin of :func:`testany` (canonical implementation)."""
     if all(r.is_null for r in requests):
         return True, constants.UNDEFINED, Status()
     for index, req in enumerate(requests):
         if not req.is_null and req.complete:
             return True, index, req.make_status()
-    _world_of(requests).tiny_progress()
+    yield from _world_of(requests).co_tiny_progress()
     for index, req in enumerate(requests):
         if not req.is_null and req.complete:
             return True, index, req.make_status()
@@ -309,6 +361,12 @@ def testany(requests: list[Request]) -> tuple[bool, int, Status | None]:
 
 def waitsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
     """MPI_Waitsome: indices of every completed request (at least one)."""
+    return run_blocking(co_waitsome(requests),
+                        lambda: _world_of(requests).current_actor)
+
+
+def co_waitsome(requests: list[Request]):
+    """Generator twin of :func:`waitsome` (canonical implementation)."""
     if all(r.is_null for r in requests):
         return [], []
 
@@ -320,8 +378,9 @@ def waitsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
     indices = done_indices()
     if not indices:
         actor = _world_of(requests).current_actor
-        actor.wait_for(lambda: bool(done_indices()),
-                       reason=f"in MPI_Waitsome: {_describe_requests(requests)}")
+        yield from actor.co_wait_for(
+            lambda: bool(done_indices()),
+            reason=f"in MPI_Waitsome: {_describe_requests(requests)}")
         indices = done_indices()
     _record_wait([requests[i] for i in indices])
     return indices, [requests[i].make_status() for i in indices]
@@ -329,9 +388,15 @@ def waitsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
 
 def testsome(requests: list[Request]) -> tuple[list[int], list[Status]]:
     """MPI_Testsome: possibly-empty list of completed indices."""
+    return run_blocking(co_testsome(requests),
+                        lambda: _world_of(requests).current_actor)
+
+
+def co_testsome(requests: list[Request]):
+    """Generator twin of :func:`testsome` (canonical implementation)."""
     if all(r.is_null for r in requests):
         return [], []
-    _world_of(requests).tiny_progress()
+    yield from _world_of(requests).co_tiny_progress()
     indices = [i for i, r in enumerate(requests) if not r.is_null and r.complete]
     return indices, [requests[i].make_status() for i in indices]
 

@@ -20,6 +20,7 @@ per-rank handle).
 
 from __future__ import annotations
 
+import inspect
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
@@ -29,6 +30,7 @@ import numpy as np
 from ..errors import MpiError, SimulationError
 from ..simix import Scheduler
 from ..simix.actor import Actor
+from ..simix.contexts import run_blocking
 from ..surf import Engine, Host, Platform
 from ..surf.network_model import NetworkModel
 from ..trace import Tracer
@@ -56,6 +58,7 @@ class SmpiWorld:
         network_model: NetworkModel | None = None,
         engine: Engine | None = None,
         recorder=None,
+        ctx: str | None = None,
     ) -> None:
         self.config = config or SmpiConfig()
         #: optional repro.offline.record.Recorder observing this run
@@ -63,7 +66,9 @@ class SmpiWorld:
         # ``engine`` may be any Engine-compatible kernel — notably the
         # packet-level testbed (repro.packetsim.PacketEngine)
         self.engine = engine or Engine(platform, network_model=network_model)
-        self.scheduler = Scheduler(self.engine)
+        # ``ctx`` picks the execution-context backend ranks run on
+        # (auto/coroutine/greenlet/thread; see repro.simix.contexts)
+        self.scheduler = Scheduler(self.engine, ctx)
         self.protocol = Protocol(self)
         self.sampler = Sampler(self)
         self.heap = SharedHeap(self)
@@ -226,14 +231,22 @@ class SmpiWorld:
 
     def flush_deferred(self) -> None:
         """Charge the calling rank's accumulated deferred compute."""
+        run_blocking(self.co_flush_deferred(), lambda: self.current_actor)
+
+    def co_flush_deferred(self):
+        """Generator twin of :meth:`flush_deferred` (canonical)."""
         rank = self.current_rank
         amount = self._deferred_flops[rank]
         if amount > 0:
             self._deferred_flops[rank] = 0.0
-            self.execute_flops(amount)
+            yield from self.co_execute_flops(amount)
 
     def execute_flops(self, flops: float) -> None:
         """Run a compute action for the calling rank and wait it out."""
+        run_blocking(self.co_execute_flops(flops), lambda: self.current_actor)
+
+    def co_execute_flops(self, flops: float):
+        """Generator twin of :meth:`execute_flops` (canonical)."""
         if flops <= 0:
             return
         if self.recorder is not None:
@@ -241,7 +254,7 @@ class SmpiWorld:
         actor = self.current_actor
         start = self.engine.now
         activity = self.scheduler.execute(actor, flops, f"exec-r{self.current_rank}")
-        activity.wait(actor)
+        yield from activity.co_wait(actor)
         if activity.failed:
             raise MpiError(
                 constants.ERR_OTHER,
@@ -252,14 +265,23 @@ class SmpiWorld:
             self.trace.compute(self.current_rank, flops, start, self.engine.now)
 
     def sleep(self, seconds: float) -> None:
+        """Park the calling rank for ``seconds`` of simulated time."""
+        run_blocking(self.co_sleep(seconds), lambda: self.current_actor)
+
+    def co_sleep(self, seconds: float):
+        """Generator twin of :meth:`sleep` (canonical)."""
         if seconds <= 0:
             return
         actor = self.current_actor
-        self.scheduler.sleep_activity(seconds).wait(actor)
+        yield from self.scheduler.sleep_activity(seconds).co_wait(actor)
 
     def tiny_progress(self) -> None:
         """Advance simulated time by the Test-poll delay (see request.py)."""
         self.sleep(self.config.test_delay)
+
+    def co_tiny_progress(self):
+        """Generator twin of :meth:`tiny_progress`."""
+        yield from self.co_sleep(self.config.test_delay)
 
 
 @dataclass
@@ -281,12 +303,41 @@ class SmpiResult:
         )
 
 
+class MpiCo:
+    """Generator-dialect twins of the blocking :class:`Mpi` calls.
+
+    Reached as ``mpi.co``; each method returns a continuation to drive
+    with ``yield from``, so generator-function applications block on any
+    execution-context backend — including the default coroutine backend,
+    which cannot suspend plain synchronous frames.
+    """
+
+    def __init__(self, world: SmpiWorld):
+        self._world = world
+
+    def execute(self, flops: float):
+        """``yield from mpi.co.execute(flops)`` — twin of :meth:`Mpi.execute`."""
+        yield from self._world.co_execute_flops(flops)
+
+    def sleep(self, seconds: float):
+        """``yield from mpi.co.sleep(s)`` — twin of :meth:`Mpi.sleep`."""
+        yield from self._world.co_flush_deferred()
+        yield from self._world.co_sleep(seconds)
+
+    def wtime(self):
+        """``t = yield from mpi.co.wtime()`` — twin of :meth:`Mpi.wtime`."""
+        yield from self._world.co_flush_deferred()
+        return self._world.engine.now
+
+
 class Mpi:
     """The per-rank handle an application receives (its 'mpi.h')."""
 
     def __init__(self, world: SmpiWorld, rank: int):
         self._world = world
         self._rank = rank
+        #: generator-dialect twins of the blocking calls (``mpi.co``)
+        self.co = MpiCo(world)
 
     # -- identity ------------------------------------------------------------------------
 
@@ -375,28 +426,48 @@ def smpirun(
     network_model: NetworkModel | None = None,
     engine: Engine | None = None,
     recorder=None,
+    ctx: str | None = None,
 ) -> SmpiResult:
     """Simulate ``app`` on ``n_ranks`` MPI processes over ``platform``.
 
-    ``app`` is called as ``app(mpi, *app_args)`` in every rank's thread,
-    where ``mpi`` is that rank's :class:`Mpi` handle.  Blocks until every
-    rank returned; raises :class:`~repro.errors.ActorFailure` if any rank
-    raised and :class:`~repro.errors.DeadlockError` on communication
-    deadlock.  Passing ``engine`` substitutes the simulation kernel — the
+    ``app`` is called as ``app(mpi, *app_args)`` on every rank's execution
+    context, where ``mpi`` is that rank's :class:`Mpi` handle.  A plain
+    function runs on a stack-capable context (greenlet when importable,
+    else one OS thread per rank); a *generator function* additionally runs
+    on the default coroutine context — zero kernel objects per rank — by
+    reaching every blocking call through its ``co_*`` twin
+    (``yield from comm.co.Send(...)``).  ``ctx`` forces a specific backend
+    (``auto``/``coroutine``/``greenlet``/``thread``); the thread oracle is
+    bit-identical to the cooperative backends.
+
+    Blocks until every rank returned; raises
+    :class:`~repro.errors.ActorFailure` if any rank raised and
+    :class:`~repro.errors.DeadlockError` on communication deadlock.
+    Passing ``engine`` substitutes the simulation kernel — the
     packet-level testbed uses this to run identical applications.
     """
     if n_ranks < 1:
         raise SimulationError("need at least one MPI rank")
     world = SmpiWorld(platform, n_ranks, hosts, config, network_model, engine,
-                      recorder=recorder)
+                      recorder=recorder, ctx=ctx)
 
-    def make_main(rank: int) -> Callable[[], Any]:
-        def main() -> Any:
-            result = app(Mpi(world, rank), *app_args)
-            world.flush_deferred()  # deferred bursts count toward the end
-            return result
+    if inspect.isgeneratorfunction(app):
+        def make_main(rank: int) -> Callable[[], Any]:
+            def main() -> Any:
+                result = yield from app(Mpi(world, rank), *app_args)
+                # deferred bursts count toward the end
+                yield from world.co_flush_deferred()
+                return result
 
-        return main
+            return main
+    else:
+        def make_main(rank: int) -> Callable[[], Any]:
+            def main() -> Any:
+                result = app(Mpi(world, rank), *app_args)
+                world.flush_deferred()  # deferred bursts count toward the end
+                return result
+
+            return main
 
     for rank in range(n_ranks):
         actor = world.scheduler.add_actor(

@@ -64,7 +64,7 @@ from ..errors import SimulationError
 from ..log import bind_clock, get_logger
 from .action import Action, ActionState, ComputeAction, NetworkAction, SleepAction
 from .cpu_model import CpuModel
-from .maxmin import IncrementalMaxMin, MaxMinSystem, solve_maxmin
+from .maxmin import IncrementalMaxMin, MaxMinSystem, solve_maxmin_components
 from .network_model import FactorsNetworkModel, NetworkModel
 from .platform import Platform
 from .resources import Host, Link, SharingPolicy
@@ -116,6 +116,11 @@ class EngineStats:
     resource_failures: int = 0
     #: resources turned back ON (state profiles + restore_resource)
     resource_restores: int = 0
+    #: scheduler resumes of an actor execution context (any backend)
+    ctx_switches: int = 0
+    #: ctx_switches served by the sole-runnable drain fast path (the
+    #: actor was resumed again directly, skipping a deque cycle)
+    ctx_fast_resumes: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -426,7 +431,11 @@ class Engine:
                             weight=action.weight)
             flow_action.append(action)
 
-        rates = solve_maxmin(system)
+        # Component-decomposed fill: the arithmetic twin of the incremental
+        # per-component solves, so both modes follow bit-identical float
+        # trajectories (a single global fill lets the saturation tolerance
+        # couple near-equal levels from unrelated components).
+        rates = solve_maxmin_components(system)
         for action, rate in zip(flow_action, rates):
             self._apply_rate(action, float(rate))
         self.stats.flows_resolved += len(running)

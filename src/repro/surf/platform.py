@@ -41,12 +41,27 @@ class Platform:
         self._loopbacks: dict[str, Link] = {}
         self._default_loopback: Link | None = None
         self._frozen = False
+        #: memoized route resolutions, keyed by (src, dst) endpoint pair;
+        #: cleared by every mutator so stale link sequences never leak out
+        self._route_cache: dict[tuple[str, str], Route] = {}
 
     # -- construction ---------------------------------------------------------
 
     def _check_mutable(self) -> None:
         if self._frozen:
             raise PlatformError(f"platform {self.name!r} is frozen (engine started)")
+        # any mutation may change what route() would resolve
+        self.invalidate_route_cache()
+
+    def invalidate_route_cache(self) -> None:
+        """Drop memoized route resolutions (after any topology change).
+
+        Called automatically by every mutator (``add_host``/``add_link``/
+        ``add_route``/``connect``/``set_loopback``); exposed for callers
+        that alter routing-relevant state out-of-band, e.g. attaching
+        availability profiles when loading an XML platform.
+        """
+        self._route_cache.clear()
 
     def add_host(self, host: Host) -> Host:
         self._check_mutable()
@@ -144,14 +159,29 @@ class Platform:
         return name in self._hosts
 
     def route(self, src: str, dst: str) -> Route:
+        """Resolve the link sequence from ``src`` to ``dst`` (memoized).
+
+        Resolution walks the routing table (graph search for edge-declared
+        topologies), so repeated lookups for the same endpoint pair — one
+        per message in the protocol layer — hit a cache keyed by the pair.
+        Any platform mutation invalidates the cache.
+        """
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is not None:
+            return cached
         for endpoint in (src, dst):
             if endpoint not in self._hosts:
                 raise PlatformError(f"route endpoint {endpoint!r} is not a host")
         if src == dst:
             loopback = self.loopback(src)
             if loopback is not None:
-                return Route(src, dst, (loopback,))
-        return self._routing.resolve(src, dst)
+                route = Route(src, dst, (loopback,))
+                self._route_cache[key] = route
+                return route
+        route = self._routing.resolve(src, dst)
+        self._route_cache[key] = route
+        return route
 
     def host_names(self) -> list[str]:
         return list(self._hosts)

@@ -192,6 +192,7 @@ def _connect_trace(platform: Platform, profile, kind: str,
             f"unsupported trace_connect kind {kind!r} (expected SPEED, "
             f"BANDWIDTH, HOST_AVAIL or LINK_AVAIL)")
     setattr(resource, attr, profile)
+    platform.invalidate_route_cache()
 
 
 def _expand_cluster(platform: Platform, el: ET.Element) -> None:

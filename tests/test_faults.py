@@ -351,3 +351,123 @@ class TestConfigValidation:
     def test_bad_fault_options_are_rejected(self, options):
         with pytest.raises(ConfigError):
             SmpiConfig(**options)
+
+
+# ---------------------------------------------------------------------------
+# fault semantics are backend-independent
+# ---------------------------------------------------------------------------
+
+
+def _context_backends():
+    from repro.simix import greenlet_available
+
+    return ["coroutine", "thread"] + (
+        ["greenlet"] if greenlet_available() else []
+    )
+
+
+class TestFaultsAcrossBackends:
+    """The fault machinery behaves identically on every context backend.
+
+    Each scenario is a generator-dialect twin of a case above, run once
+    per backend; simulated clocks and per-rank outcomes must match the
+    thread oracle exactly (``==``, not ``approx``).
+    """
+
+    def _run_everywhere(self, make_setup, n_ranks, config):
+        outcomes = {}
+        for ctx in _context_backends():
+            app, platform, engine = make_setup()
+            result = smpirun(app, n_ranks, platform, engine=engine,
+                             config=config, ctx=ctx)
+            outcomes[ctx] = (result.simulated_time, tuple(result.returns))
+        oracle = outcomes["thread"]
+        assert all(o == oracle for o in outcomes.values()), outcomes
+        return oracle
+
+    def test_retry_rides_out_outage_on_all_backends(self):
+        def make_setup():
+            def app(mpi):
+                comm = mpi.COMM_WORLD
+                if mpi.rank == 0:
+                    yield from comm.co.Send(
+                        np.zeros(1_000_000, dtype=np.uint8), 1, 0)
+                    return "sent"
+                yield from comm.co.Recv(
+                    np.zeros(1_000_000, dtype=np.uint8), 0, 0)
+                return "received"
+
+            platform = cluster("xrt", 2)
+            engine = Engine(platform)
+            _flaky_window(platform, engine, "xrt-backbone", 1e-4, 2e-3)
+            return app, platform, engine
+
+        clock, returns = self._run_everywhere(
+            make_setup, 2, SmpiConfig(comm_retries=3))
+        assert returns == ("sent", "received")
+        assert clock > 2e-3
+
+    def test_timeout_fails_identically_on_all_backends(self):
+        def make_setup():
+            def app(mpi):
+                comm = mpi.COMM_WORLD
+                try:
+                    if mpi.rank == 0:
+                        yield from comm.co.Send(
+                            np.zeros(1_000_000, dtype=np.uint8), 1, 0)
+                    else:
+                        yield from comm.co.Recv(
+                            np.zeros(1_000_000, dtype=np.uint8), 0, 0)
+                except MpiError as exc:
+                    return ("timeout", "timed out" in str(exc))
+                return "done?"
+
+            platform = cluster("xto", 2)
+            engine = Engine(platform)
+            link = platform.link("xto-backbone")
+            engine.at(1e-4, lambda: engine.set_availability(link, 0.0))
+            return app, platform, engine
+
+        clock, returns = self._run_everywhere(
+            make_setup, 2, SmpiConfig(comm_timeout=0.05))
+        assert set(returns) == {("timeout", True)}
+        assert clock == pytest.approx(0.05, rel=1e-6)
+
+    def test_kill_rank_on_all_backends(self):
+        def make_setup():
+            def app(mpi):
+                comm = mpi.COMM_WORLD
+                if mpi.rank == 0:
+                    yield from mpi.co.execute(1e7)  # outlive the failure
+                    try:
+                        yield from comm.co.Send(
+                            np.zeros(100, dtype=np.uint8), 1, 0)
+                    except MpiError as exc:
+                        return exc.code
+                    return "sent?"
+                yield from mpi.co.execute(1e12)  # rank 1 dies mid-compute
+                return "unreachable"
+
+            platform = cluster("xhd", 2)
+            engine = Engine(platform)
+            engine.at(1e-3,
+                      lambda: engine.fail_resource(platform.host("node-1")))
+            return app, platform, engine
+
+        _, returns = self._run_everywhere(
+            make_setup, 2, SmpiConfig(on_host_down="kill-rank"))
+        assert returns == (ERR_PROC_FAILED, None)
+
+    @pytest.mark.parametrize("ctx", _context_backends())
+    def test_deadlock_report_names_the_waiter(self, ctx):
+        platform = cluster(f"xdl-{ctx}", 2)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                yield from comm.co.Recv(np.zeros(8, dtype=np.uint8), 1, 7)
+            # rank 1 never sends: rank 0 deadlocks
+
+        with pytest.raises(DeadlockError) as info:
+            smpirun(app, 2, platform, ctx=ctx)
+        assert "rank-0" in str(info.value)

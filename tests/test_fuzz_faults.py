@@ -73,6 +73,20 @@ def _drive(engine, platform, items):
     def observe(action):
         completion_order.append((action.name, engine.now))
 
+    # a workload may leave flows stalled at availability 0 forever; the
+    # engine contract says advance()/run() raise then.  Both modes must
+    # stall at the same clock with the same message, so a stall anywhere
+    # in the script ends the drive and becomes part of the transcript.
+    stalled = None
+
+    def tick(delta):
+        nonlocal stalled
+        try:
+            engine.advance(delta)
+        except SimulationError as exc:
+            stalled = str(exc)
+        return stalled is None
+
     links = platform.links
     for step_no, (kind, a, b, amount) in enumerate(items):
         if kind == "comm" and a != b:
@@ -85,35 +99,39 @@ def _drive(engine, platform, items):
             action = engine.sleep(amount * 1e-9, name=f"sleep-{step_no}")
         elif kind == "avail":
             engine.set_availability(links[a % len(links)], (b % 5) / 4.0)
-            engine.advance(amount * 1e-7)
+            if not tick(amount * 1e-7):
+                break
             continue
         elif kind == "fail":
             engine.fail_resource(links[a % len(links)])
-            engine.advance(amount * 1e-7)
+            if not tick(amount * 1e-7):
+                break
             continue
         elif kind == "restore":
             engine.restore_resource(links[a % len(links)])
-            engine.advance(amount * 1e-7)
+            if not tick(amount * 1e-7):
+                break
             continue
         elif kind == "fail_host":
             engine.fail_resource(platform.hosts[a % len(platform.hosts)])
-            engine.advance(amount * 1e-7)
+            if not tick(amount * 1e-7):
+                break
             continue
         else:
             continue
         action.observer = observe
         actions.append(action)
         # stagger arrivals so capacity events interleave with running flows
-        if step_no % 2:
-            engine.advance(amount * 1e-7)
-    try:
-        final = engine.run()
-        stalled = None
-    except SimulationError as exc:
-        # a workload may leave flows stalled at availability 0 forever;
-        # both modes must stall at the same clock with the same message
+        if step_no % 2 and not tick(amount * 1e-7):
+            break
+    if stalled is None:
+        try:
+            final = engine.run()
+        except SimulationError as exc:
+            final = engine.now
+            stalled = str(exc)
+    else:
         final = engine.now
-        stalled = str(exc)
     return {
         "final_clock": final,
         "stalled": stalled,

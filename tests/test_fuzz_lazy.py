@@ -139,3 +139,52 @@ def test_smpirun_matches_between_event_loops(pattern, seed):
         result = smpirun(app, 4, platform, engine=engine)
         times[eager] = (result.simulated_time, tuple(result.returns))
     assert times[False] == times[True]
+
+
+def _backends():
+    from repro.simix import greenlet_available
+
+    return ["coroutine", "thread"] + (
+        ["greenlet"] if greenlet_available() else []
+    )
+
+
+@given(st.lists(exchange, min_size=1, max_size=8), st.integers(0, 20))
+@settings(max_examples=15, deadline=None)
+def test_smpirun_matches_between_context_backends(pattern, seed):
+    """Execution-context backends are bit-identical on random workloads.
+
+    The same generator-dialect application — nonblocking exchanges, a
+    waitall, optional computes — must produce the same simulated clock,
+    per-rank return values and wtime readings whether its ranks run as
+    coroutine continuations, greenlets, or parked OS threads.
+    """
+    pattern = [(s, d, n) for (s, d, n) in pattern if s != d]
+    if not pattern:
+        return
+
+    def app(mpi):
+        from repro.smpi import request as rq
+
+        comm = mpi.COMM_WORLD
+        reqs = []
+        for index, (src, dst, nbytes) in enumerate(pattern):
+            if mpi.rank == dst:
+                reqs.append(comm.Irecv(np.zeros(nbytes, dtype=np.uint8),
+                                       src, index))
+        for index, (src, dst, nbytes) in enumerate(pattern):
+            if mpi.rank == src:
+                payload = np.full(nbytes, index % 251, dtype=np.uint8)
+                reqs.append(comm.Isend(payload, dst, index))
+        yield from rq.co_waitall(reqs)
+        if seed % 2:
+            yield from mpi.co.execute(1e6 * (mpi.rank + 1))
+        return (yield from mpi.co.wtime())
+
+    times = {}
+    for ctx in _backends():
+        platform = cluster("fzc", 4, split_duplex=bool(seed % 3))
+        result = smpirun(app, 4, platform, ctx=ctx)
+        times[ctx] = (result.simulated_time, tuple(result.returns))
+    oracle = times["thread"]
+    assert all(t == oracle for t in times.values())
