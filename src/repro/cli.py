@@ -130,6 +130,8 @@ def _config_from_args(args: argparse.Namespace) -> SmpiConfig:
         options["comm_timeout"] = args.comm_timeout
     if getattr(args, "on_host_down", None) is not None:
         options["on_host_down"] = args.on_host_down
+    if getattr(args, "sharing", None) is not None:
+        options["sharing"] = args.sharing
     return SmpiConfig(**options)
 
 
@@ -188,6 +190,9 @@ def _report(result, n_ranks: int, show_stats: bool = False) -> None:
         print(f"  partial shares   : {stats.partial_shares}")
         print(f"  flows resolved   : {stats.flows_resolved}")
         print(f"  components solved: {stats.components_solved}")
+        print(f"  fill rounds      : {getattr(stats, 'fill_rounds', 0)}")
+        if getattr(stats, "approx_events", 0):
+            print(f"  approx events    : {stats.approx_events}")
         print(f"  actions          : {stats.actions_created} created, "
               f"{stats.actions_completed} completed")
         print(f"  actions touched  : {stats.actions_touched}")
@@ -217,11 +222,13 @@ def _make_engine(platform, args):
     """
     full = getattr(args, "full_reshare", False)
     eager = getattr(args, "eager_updates", False)
+    sharing = getattr(args, "sharing", None)
     fail_specs = getattr(args, "fail_at", None) or []
     restore_specs = getattr(args, "restore_at", None) or []
-    if not (full or eager or fail_specs or restore_specs):
+    if not (full or eager or sharing or fail_specs or restore_specs):
         return None
-    engine = Engine(platform, full_reshare=full, eager_updates=eager)
+    engine = Engine(platform, full_reshare=full, eager_updates=eager,
+                    sharing=sharing)
     for spec in fail_specs:
         t, name = _parse_at(spec, "fail-at")
         resource = _find_resource(platform, name)
@@ -466,6 +473,11 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--eager-updates", action="store_true",
                      help="disable lazy action updates / the completion-date "
                           "heap (debug escape hatch)")
+    run.add_argument("--sharing", choices=("exact", "approx"), default=None,
+                     help="bandwidth-sharing fidelity: exact max-min fixed "
+                          "point (default) or approx with bounded per-event "
+                          "work for 100k+ concurrent flows (REPRO_SHARING "
+                          "env var sets the default)")
     run.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
                                              "thread"),
                      default=None,
@@ -495,6 +507,11 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("--eager-updates", action="store_true",
                         help="disable lazy action updates / the completion-date "
                              "heap (debug escape hatch)")
+    replay.add_argument("--sharing", choices=("exact", "approx"), default=None,
+                        help="bandwidth-sharing fidelity: exact max-min fixed "
+                             "point (default) or approx with bounded "
+                             "per-event work (REPRO_SHARING env var sets "
+                             "the default)")
     replay.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
                                              "thread"),
                      default=None,

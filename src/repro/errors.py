@@ -70,6 +70,22 @@ class ContextLeakError(SimulationError):
         self.leaks = leaks
 
 
+class UnknownFlowError(SimulationError):
+    """A solver operation named a flow that is not registered.
+
+    Raised by :meth:`repro.surf.maxmin.IncrementalMaxMin.remove_flow` on a
+    double removal (e.g. a cancel racing a completion harvest) so the
+    offending flow is identified instead of surfacing as a bare
+    ``KeyError``; pass ``strict=False`` for an idempotent removal.
+    """
+
+    def __init__(self, key):
+        super().__init__(
+            f"flow {key!r} is not registered (removed twice, or never added)"
+        )
+        self.key = key
+
+
 class MpiError(ReproError):
     """An MPI call failed.  ``code`` is the MPI error class constant."""
 

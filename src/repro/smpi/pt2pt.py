@@ -72,6 +72,9 @@ class Message:
     attempts: int = 0
     #: the last attempt was cancelled by the ``comm_timeout`` watchdog
     timed_out: bool = False
+    #: the armed watchdog action (``engine.at`` sleep), disarmed on
+    #: completion so a stale watchdog can never outlive its transfer
+    watchdog: object = None
     #: whether the transfer pays the rendezvous handshake (memoised so
     #: retries reproduce the protocol timing of the original attempt)
     handshake: bool = False
@@ -310,9 +313,28 @@ class Protocol:
                 message.timed_out = True
                 activity.cancel()
 
-        at(engine.now + timeout, expire)
+        # fire_on_cancel=False: disarming (cancelling the sleep) must also
+        # suppress the callback, so a watchdog cancelled at completion time
+        # can never expire a later attempt's activity
+        try:
+            message.watchdog = at(engine.now + timeout, expire,
+                                  fire_on_cancel=False)
+        except TypeError:  # duck-typed engines with a 2-arg ``at``
+            message.watchdog = at(engine.now + timeout, expire)
+
+    def _disarm_timeout(self, message: Message) -> None:
+        """Cancel a still-pending ``comm_timeout`` watchdog, if any."""
+        watchdog = message.watchdog
+        if watchdog is None:
+            return
+        message.watchdog = None
+        engine = self.world.scheduler.engine
+        cancel = getattr(engine, "cancel", None)
+        if cancel is not None and getattr(watchdog, "is_pending", False):
+            cancel(watchdog)
 
     def _on_transfer_done(self, message: Message) -> None:
+        self._disarm_timeout(message)
         transfer = message.transfer
         if transfer is not None and getattr(transfer, "failed", False):
             self._on_transfer_failed(message)

@@ -56,6 +56,7 @@ of failures, recoveries and capacity noise.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from itertools import islice
@@ -64,7 +65,13 @@ from ..errors import SimulationError
 from ..log import bind_clock, get_logger
 from .action import Action, ActionState, ComputeAction, NetworkAction, SleepAction
 from .cpu_model import CpuModel
-from .maxmin import IncrementalMaxMin, MaxMinSystem, solve_maxmin_components
+from .maxmin import (
+    APPROX_MAX_ROUNDS,
+    SHARING_MODES,
+    IncrementalMaxMin,
+    MaxMinSystem,
+    solve_maxmin_components,
+)
 from .network_model import FactorsNetworkModel, NetworkModel
 from .platform import Platform
 from .resources import Host, Link, SharingPolicy
@@ -121,6 +128,12 @@ class EngineStats:
     #: ctx_switches served by the sole-runnable drain fast path (the
     #: actor was resumed again directly, skipping a deque cycle)
     ctx_fast_resumes: int = 0
+    #: progressive-filling rounds spent across all incremental shares (a
+    #: direct measure of solver work; bounded per solve in approx mode)
+    fill_rounds: int = 0
+    #: component solves that hit the approx-mode round cap and took the
+    #: bandwidth-fraction fallback; always 0 with ``sharing="exact"``
+    approx_events: int = 0
     extra: dict = field(default_factory=dict)
 
 
@@ -134,6 +147,7 @@ class Engine:
         cpu_model: CpuModel | None = None,
         full_reshare: bool = False,
         eager_updates: bool = False,
+        sharing: str | None = None,
     ) -> None:
         platform.freeze()
         self.platform = platform
@@ -141,12 +155,23 @@ class Engine:
         self.cpu_model = cpu_model or CpuModel()
         self.full_reshare = full_reshare
         self.eager_updates = eager_updates
+        # sharing fidelity dial: "exact" solves every share to the max-min
+        # fixed point; "approx" bounds per-share solver work (capped fill
+        # rounds + bandwidth-fraction fallback).  None defers to the
+        # REPRO_SHARING environment variable, then "exact".
+        if sharing is None:
+            sharing = os.environ.get("REPRO_SHARING") or "exact"
+        if sharing not in SHARING_MODES:
+            raise SimulationError(
+                f"unknown sharing mode {sharing!r}; expected one of {SHARING_MODES}"
+            )
+        self.sharing = sharing
         self.now = 0.0
         #: pending actions by aid (insertion order == registration order)
         self.pending: dict[int, Action] = {}
         self.stats = EngineStats()
         self._needs_share = True  # resource shares need recomputation
-        self._solver = IncrementalMaxMin()
+        self._solver = IncrementalMaxMin(sharing=sharing)
         #: RUNNING actions currently registered as solver flows, by aid
         self._members: dict[int, Action] = {}
         self._instant_done: list[Action] = []
@@ -337,6 +362,8 @@ class Engine:
             self._apply_rate(members[aid], solver.rate(aid))
         self.stats.flows_resolved += len(solved)
         self.stats.components_solved += solver.last_components
+        self.stats.fill_rounds += solver.last_fill_rounds
+        self.stats.approx_events += solver.last_approx_events
         if members and len(solved) < len(members):
             self.stats.partial_shares += 1
         if self.timeline is not None:
@@ -435,7 +462,10 @@ class Engine:
         # per-component solves, so both modes follow bit-identical float
         # trajectories (a single global fill lets the saturation tolerance
         # couple near-equal levels from unrelated components).
-        rates = solve_maxmin_components(system)
+        rates = solve_maxmin_components(
+            system,
+            max_rounds=APPROX_MAX_ROUNDS if self.sharing == "approx" else None,
+        )
         for action, rate in zip(flow_action, rates):
             self._apply_rate(action, float(rate))
         self.stats.flows_resolved += len(running)
@@ -680,19 +710,24 @@ class Engine:
 
     # -- dynamic resources: failure, recovery, availability ---------------------------
 
-    def at(self, when: float, callback) -> Action:
+    def at(self, when: float, callback, fire_on_cancel: bool = True) -> Action:
         """Invoke ``callback()`` at absolute simulated time ``when``.
 
         Implemented as a zero-length sleep whose observer runs the
         callback; useful for injecting failures and other scripted events.
-        Note the observer fires even if the sleep is cancelled or a
-        resource failure kills it — guard the callback if it must not
-        outlive the scenario it was scheduled for.
+        By default the observer fires even if the sleep is cancelled or a
+        resource failure kills it — the historical behavior, which scripted
+        fault injection relies on (the injection must happen however the
+        scenario unwinds).  Pass ``fire_on_cancel=False`` for watchdog-style
+        callbacks that must NOT outlive their trigger: cancelling the
+        returned action (:meth:`cancel`) then suppresses the callback.
         """
         delay = max(when - self.now, 0.0)
         action = self.sleep(delay, name=f"at-{when}")
 
-        def observer(_action: Action) -> None:
+        def observer(fired: Action) -> None:
+            if not fire_on_cancel and fired.state is ActionState.FAILED:
+                return
             callback()
 
         action.observer = observer

@@ -47,17 +47,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import SimulationError
+from ..errors import SimulationError, UnknownFlowError
 
 __all__ = [
     "FlowSpec",
     "ConstraintSpec",
     "MaxMinSystem",
     "IncrementalMaxMin",
+    "UnknownFlowError",
     "solve_maxmin",
     "solve_maxmin_components",
     "solve_maxmin_reference",
     "solve_maxmin_vectorized",
+    "SHARING_MODES",
+    "APPROX_MAX_ROUNDS",
 ]
 
 #: Flows/constraints above which :func:`solve_maxmin` switches to the
@@ -65,6 +68,14 @@ __all__ = [
 #: ``benchmarks/bench_ablation_maxmin.py``; the crossover is flat between
 #: 16 and 64 on CPython 3.11.
 VECTORIZE_THRESHOLD = 32
+
+#: Accepted values of the sharing-fidelity dial (``--sharing``).
+SHARING_MODES = ("exact", "approx")
+
+#: Progressive-filling rounds an *approx*-mode component solve runs before
+#: falling back to the one-shot bandwidth-fraction round (Narses-style
+#: fidelity/scalability trade).  Exact mode never truncates.
+APPROX_MAX_ROUNDS = 8
 
 _EPS = 1e-12
 
@@ -262,9 +273,10 @@ def solve_maxmin_vectorized(system: MaxMinSystem) -> np.ndarray:
     def name_of(fid: int) -> str:
         return system.flows[fid].name
 
-    return _progressive_fill_arrays(
+    rates, _rounds, _truncated = _progressive_fill_arrays(
         n_flows, n_cons, row, col, weights, bounds, shared, capacities, name_of
     )
+    return rates
 
 
 def _progressive_fill_arrays(
@@ -277,7 +289,8 @@ def _progressive_fill_arrays(
     shared: np.ndarray,
     capacities: np.ndarray,
     name_of,
-) -> np.ndarray:
+    max_rounds: int | None = None,
+) -> tuple[np.ndarray, int, bool]:
     """Array core of progressive filling (shared by the one-shot vectorised
     solver and the incremental per-component solver).
 
@@ -285,10 +298,20 @@ def _progressive_fill_arrays(
     constraint ``col[k]``); ``weights``/``bounds`` are per flow, ``shared``/
     ``capacities`` per constraint; ``name_of`` maps a flow index to a name
     for error messages.
+
+    Returns ``(rates, rounds, truncated)``.  With ``max_rounds`` set
+    (approx sharing), filling stops after that many fixing rounds and every
+    still-growing flow is fixed in one vectorised *bandwidth-fraction*
+    round: its bound/FATPIPE cap, or the fair share ``remaining / users``
+    of its most loaded shared constraint, whichever is smallest.  The
+    result stays feasible (no constraint oversubscribed, all bounds
+    respected) but is no longer the max-min fixed point; ``truncated``
+    reports whether the fallback fired.  ``max_rounds=None`` (exact mode)
+    runs to the fixed point, bit-identical to the historical solver.
     """
     rates = np.zeros(n_flows)
     if n_flows == 0:
-        return rates
+        return rates, 0, False
     entry_weight = weights[row]
     remaining = capacities.astype(float, copy=True)
 
@@ -304,9 +327,14 @@ def _progressive_fill_arrays(
     # entries whose flow is active and whose constraint is shared
     live_entry = shared[col].copy()
 
-    for _ in range(n_flows + n_cons + 1):
+    rounds = 0
+    while True:
         if not active.any():
-            return rates
+            return rates, rounds, False
+        if max_rounds is not None and rounds >= max_rounds:
+            break
+        if rounds > n_flows + n_cons:
+            raise SimulationError("progressive filling failed to converge")
         # total active weight per shared constraint
         users = np.zeros(n_cons)
         np.add.at(users, col[live_entry], entry_weight[live_entry])
@@ -338,11 +366,33 @@ def _progressive_fill_arrays(
         remaining = np.maximum(remaining - consumption, 0.0)
         active &= ~to_fix
         live_entry &= active[row]
+        rounds += 1
 
-    raise SimulationError("progressive filling failed to converge")
+    # Bandwidth-fraction fallback (approx sharing): fix every still-growing
+    # flow at the fair share of its most loaded shared constraint, clipped
+    # by its static cap.  Each flow crossing constraint ``c`` takes at most
+    # ``remaining[c] / users[c]`` per weight unit, so the per-constraint
+    # totals stay within ``remaining`` — the result is feasible, just not
+    # the max-min fixed point.
+    users = np.zeros(n_cons)
+    np.add.at(users, col[live_entry], entry_weight[live_entry])
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cons_level = np.where(users > _EPS, remaining / np.maximum(users, _EPS), np.inf)
+    flow_level = caps.copy()
+    if live_entry.any():
+        np.minimum.at(flow_level, row[live_entry], cons_level[col[live_entry]])
+    act = np.flatnonzero(active)
+    unbounded = np.isinf(flow_level[act])
+    if unbounded.any():
+        names = [name_of(int(i)) for i in act[unbounded]]
+        raise SimulationError("max-min system is unbounded: flows " + ", ".join(names))
+    rates[act] = flow_level[act]
+    return rates, rounds, True
 
 
-def solve_maxmin_components(system: MaxMinSystem) -> np.ndarray:
+def solve_maxmin_components(
+    system: MaxMinSystem, max_rounds: int | None = None
+) -> np.ndarray:
     """Progressive filling solved independently per connected component.
 
     Components — flows transitively coupled through SHARED constraints —
@@ -355,6 +405,10 @@ def solve_maxmin_components(system: MaxMinSystem) -> np.ndarray:
     :meth:`IncrementalMaxMin._solve_component`; the full-reshare oracle
     uses it so that full and incremental shares follow bit-identical
     floating-point trajectories.
+
+    ``max_rounds`` is forwarded to every multi-flow component solve so the
+    full-reshare oracle can mirror an *approx*-sharing incremental engine
+    (single-flow components use the exact closed form in both modes).
     """
     n_flows = len(system.flows)
     rates = np.zeros(n_flows)
@@ -420,9 +474,10 @@ def solve_maxmin_components(system: MaxMinSystem) -> np.ndarray:
         def name_of(fid: int, flows=flows) -> str:
             return flows[fid].name
 
-        component_rates = _progressive_fill_arrays(
+        component_rates, _rounds, _truncated = _progressive_fill_arrays(
             len(members), len(local_cons), row, col, weights, bounds,
             shared[local_cons], capacities[local_cons], name_of,
+            max_rounds=max_rounds,
         )
         rates[members] = component_rates
     return rates
@@ -448,14 +503,14 @@ class _IncConstraint:
 class _IncFlow:
     """Internal per-consumer record of an :class:`IncrementalMaxMin`."""
 
-    __slots__ = ("key", "seq", "name", "cons", "cid_array", "bound", "weight")
+    __slots__ = ("key", "seq", "name", "cons", "slot", "bound", "weight")
 
-    def __init__(self, key, seq: int, name: str, cons, cid_array, bound, weight):
+    def __init__(self, key, seq: int, name: str, cons, slot: int, bound, weight):
         self.key = key
         self.seq = seq  # registration order, for deterministic solves
         self.name = name
         self.cons = cons  # tuple of _IncConstraint
-        self.cid_array = cid_array  # cached incidence: global constraint ids
+        self.slot = slot  # index into the solver's flat per-flow arrays
         self.bound = bound
         self.weight = weight
 
@@ -477,23 +532,71 @@ class IncrementalMaxMin:
     the solution is identical to a full re-solve.  FATPIPE constraints cap
     flows individually without coupling them, so they seed dirtiness but do
     not merge components.
+
+    All hot per-flow state lives in flat numpy arrays indexed by a recycled
+    *slot* number (``_bound_arr`` / ``_weight_arr`` / ``_rate_arr``), and the
+    flow→constraint incidence lives in one pooled CSR buffer
+    (``_inc_pool`` / ``_inc_start`` / ``_inc_len``), so a component solve
+    gathers its sub-problem with fancy indexing instead of per-object
+    Python loops.  ``_rate_arr`` uses NaN as the "never solved" sentinel:
+    NaN compares unequal to everything, so a recycled slot still reports
+    its first solved rate as changed.
+
+    ``sharing`` selects the fidelity of multi-flow component solves:
+    ``"exact"`` (default) runs progressive filling to the max-min fixed
+    point, bit-identical to the historical solver; ``"approx"`` caps each
+    solve at :data:`APPROX_MAX_ROUNDS` filling rounds and fixes the
+    remaining flows with one conservative bandwidth-fraction round,
+    bounding per-event work regardless of component size.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sharing: str = "exact") -> None:
+        if sharing not in SHARING_MODES:
+            raise SimulationError(
+                f"unknown sharing mode {sharing!r}; expected one of {SHARING_MODES}"
+            )
+        self.sharing = sharing
+        self._max_rounds = APPROX_MAX_ROUNDS if sharing == "approx" else None
         self._cons: dict = {}  # key -> _IncConstraint
         self._flows: dict = {}  # key -> _IncFlow
-        self._rates: dict = {}  # key -> last solved rate
         self._dirty_cons: set = set()
         self._dirty_flows: set = set()
         self._seq = 0
         # global capacity/shared arrays indexed by _IncConstraint.index,
-        # grown geometrically so component solves can fancy-index them
+        # grown geometrically so component solves can fancy-index them;
+        # indices of garbage-collected constraints are recycled
         self._cap_arr = np.zeros(16)
         self._shared_arr = np.ones(16, dtype=bool)
         self._n_cons = 0
+        self._free_cons: list = []
+        # flat per-flow arrays indexed by _IncFlow.slot
+        self._bound_arr = np.zeros(16)
+        self._weight_arr = np.zeros(16)
+        self._rate_arr = np.full(16, np.nan)
+        self._n_slots = 0
+        self._free_slots: list = []
+        # pooled CSR incidence: slot ``s`` crosses the global constraint
+        # indices at _inc_pool[_inc_start[s] : _inc_start[s] + _inc_len[s]].
+        # Removed flows leave dead segments behind; the append path compacts
+        # the pool once dead entries dominate, keeping memory bounded.
+        self._inc_pool = np.zeros(64, dtype=np.intp)
+        self._inc_start = np.zeros(16, dtype=np.intp)
+        self._inc_len = np.zeros(16, dtype=np.intp)
+        self._pool_used = 0
+        self._pool_dead = 0
+        # constraint keys whose flow set drained since the last solve;
+        # solve_dirty() garbage-collects the ones still empty
+        self._drained: set = set()
         #: statistics of the most recent :meth:`solve_dirty` call
         self.last_components = 0
         self.last_flows_solved = 0
+        #: progressive-filling rounds spent by the most recent
+        #: :meth:`solve_dirty` (summed over its component solves)
+        self.last_fill_rounds = 0
+        #: component solves of the most recent :meth:`solve_dirty` that hit
+        #: the approx-mode round cap and took the bandwidth-fraction
+        #: fallback; always 0 in exact mode
+        self.last_approx_events = 0
         #: keys of the flows whose solved rate actually *changed* value in
         #: the most recent :meth:`solve_dirty` (new flows included).  A
         #: re-solved component usually contains many flows that keep their
@@ -530,11 +633,14 @@ class IncrementalMaxMin:
         if cons is None:
             if capacity < 0:
                 raise SimulationError(f"constraint {name or key!r}: negative capacity")
-            index = self._n_cons
-            self._n_cons += 1
-            if index >= len(self._cap_arr):
-                self._cap_arr = np.resize(self._cap_arr, 2 * len(self._cap_arr))
-                self._shared_arr = np.resize(self._shared_arr, len(self._cap_arr))
+            if self._free_cons:
+                index = self._free_cons.pop()
+            else:
+                index = self._n_cons
+                self._n_cons += 1
+                if index >= len(self._cap_arr):
+                    self._cap_arr = np.resize(self._cap_arr, 2 * len(self._cap_arr))
+                    self._shared_arr = np.resize(self._shared_arr, len(self._cap_arr))
             self._cap_arr[index] = capacity
             self._shared_arr[index] = shared
             self._cons[key] = _IncConstraint(key, index, name or str(key), capacity, shared)
@@ -568,15 +674,17 @@ class IncrementalMaxMin:
                     f"flow {name or key!r} references unknown constraint {ckey!r}"
                 )
             cons.append(record)
-        flow = _IncFlow(
-            key,
-            self._seq,
-            name or str(key),
-            tuple(cons),
-            np.asarray([c.index for c in cons], dtype=np.intp),
-            bound,
-            weight,
-        )
+        slot = self._alloc_slot()
+        n = len(cons)
+        start = self._pool_reserve(n)
+        self._inc_pool[start:start + n] = [c.index for c in cons]
+        self._inc_start[slot] = start
+        self._inc_len[slot] = n
+        self._bound_arr[slot] = bound
+        self._weight_arr[slot] = weight
+        self._rate_arr[slot] = np.nan
+        flow = _IncFlow(key, self._seq, name or str(key), tuple(cons), slot,
+                        bound, weight)
         self._seq += 1
         self._flows[key] = flow
         self._dirty_flows.add(key)
@@ -584,17 +692,81 @@ class IncrementalMaxMin:
             record.flows.add(key)
             if record.shared:
                 self._dirty_cons.add(record.key)
+            self._drained.discard(record.key)
 
-    def remove_flow(self, key) -> None:
-        """Unregister a consumer, freeing its share for its neighbours."""
-        flow = self._flows.pop(key)
-        self._rates.pop(key, None)
+    def remove_flow(self, key, strict: bool = True) -> None:
+        """Unregister a consumer, freeing its share for its neighbours.
+
+        Removing a flow that is not registered raises
+        :class:`~repro.errors.UnknownFlowError` naming the flow; pass
+        ``strict=False`` to make the removal idempotent instead (useful
+        when a cancel races a completion harvest).
+        """
+        flow = self._flows.pop(key, None)
+        if flow is None:
+            if strict:
+                raise UnknownFlowError(key)
+            return
         self._dirty_flows.discard(key)
+        self._rate_arr[flow.slot] = np.nan
+        self._pool_dead += int(self._inc_len[flow.slot])
+        self._inc_len[flow.slot] = 0
+        self._free_slots.append(flow.slot)
         for record in flow.cons:
             record.flows.discard(key)
             if record.shared:
                 # neighbours on a shared constraint inherit the freed share
                 self._dirty_cons.add(record.key)
+            if not record.flows:
+                # candidate for garbage collection at the next solve
+                self._drained.add(record.key)
+
+    def _alloc_slot(self) -> int:
+        """Grab a per-flow array slot, recycling freed ones first."""
+        if self._free_slots:
+            return self._free_slots.pop()
+        slot = self._n_slots
+        self._n_slots += 1
+        if slot >= len(self._bound_arr):
+            size = 2 * len(self._bound_arr)
+            self._bound_arr = np.resize(self._bound_arr, size)
+            self._weight_arr = np.resize(self._weight_arr, size)
+            rates = np.full(size, np.nan)
+            rates[: len(self._rate_arr)] = self._rate_arr
+            self._rate_arr = rates
+            self._inc_start = np.resize(self._inc_start, size)
+            self._inc_len = np.resize(self._inc_len, size)
+        return slot
+
+    def _pool_reserve(self, n: int) -> int:
+        """Reserve ``n`` incidence entries; returns their pool offset.
+
+        Compacts the pool first when dead entries (left by removed flows)
+        rival live ones, so pool memory stays proportional to the live
+        incidence size instead of growing with churn.
+        """
+        if self._pool_used + n > len(self._inc_pool):
+            if self._pool_dead * 2 >= self._pool_used:
+                self._compact_pool()
+            while self._pool_used + n > len(self._inc_pool):
+                self._inc_pool = np.resize(self._inc_pool, 2 * len(self._inc_pool))
+        start = self._pool_used
+        self._pool_used += n
+        return start
+
+    def _compact_pool(self) -> None:
+        """Rewrite live incidence segments contiguously, dropping dead ones."""
+        new_pool = np.zeros(len(self._inc_pool), dtype=np.intp)
+        used = 0
+        for flow in self._flows.values():
+            n = int(self._inc_len[flow.slot])
+            start = int(self._inc_start[flow.slot])
+            new_pool[used:used + n] = self._inc_pool[start:start + n]
+            self._inc_start[flow.slot] = used
+            used += n
+        self._inc_pool = new_pool
+        self._pool_used = used
+        self._pool_dead = 0
 
     def has_constraint(self, key) -> bool:
         """Whether the resource ``key`` was ever registered as a constraint."""
@@ -607,7 +779,11 @@ class IncrementalMaxMin:
 
     def rate(self, key) -> float:
         """Last solved rate of flow ``key``."""
-        return self._rates[key]
+        value = self._rate_arr[self._flows[key].slot]
+        if math.isnan(value):
+            # registered but never solved: preserve the mapping-like contract
+            raise KeyError(key)
+        return float(value)
 
     def usage(self, key) -> float:
         """Last computed consumed rate of constraint ``key``.
@@ -626,12 +802,18 @@ class IncrementalMaxMin:
         flows keep their previous rate (which is still the exact max-min
         solution for their untouched component).  Sets
         :attr:`last_components` / :attr:`last_flows_solved` /
-        :attr:`last_rate_changed`.
+        :attr:`last_rate_changed` / :attr:`last_fill_rounds` /
+        :attr:`last_approx_events`.  Also garbage-collects constraints
+        whose flow set drained since the last solve, so solver memory
+        stays bounded under activity churn.
         """
         self.last_components = 0
         self.last_flows_solved = 0
         self.last_usage = []
         self.last_rate_changed = set()
+        self.last_fill_rounds = 0
+        self.last_approx_events = 0
+        self._gc_drained()
         if not self._dirty_cons and not self._dirty_flows:
             return set()
         seeds = set(self._dirty_flows)
@@ -658,6 +840,32 @@ class IncrementalMaxMin:
             self.last_flows_solved += len(component)
         return solved
 
+    def _gc_drained(self) -> None:
+        """Drop constraints whose flow set drained and is still empty.
+
+        Emits the final idle utilization sample (when :attr:`track_usage`
+        is on and the constraint went dirty by draining) before forgetting
+        the record, recycles its global index, and discards its usage
+        entry.  Constraints that were repopulated or re-registered since
+        draining are left alone; a future :meth:`ensure_constraint` with
+        the same key simply registers a fresh record.
+        """
+        if not self._drained:
+            return
+        for ckey in self._drained:
+            record = self._cons.get(ckey)
+            if record is None or record.flows:
+                continue
+            if self.track_usage and ckey in self._dirty_cons:
+                # last flow left: the constraint falls idle without any
+                # component re-solve touching it
+                self.last_usage.append((record, 0.0))
+            self._dirty_cons.discard(ckey)
+            del self._cons[ckey]
+            self._free_cons.append(record.index)
+            self._usage.pop(ckey, None)
+        self._drained.clear()
+
     def _collect_component(self, seed, solved: set) -> list:
         """Flows transitively connected to ``seed`` via shared constraints."""
         members = []
@@ -683,6 +891,7 @@ class IncrementalMaxMin:
     def _solve_component(self, members: list) -> None:
         if len(members) == 1:
             # closed form: a lone flow takes its bound or its tightest cap
+            # (exact even in approx mode — there is nothing to iterate)
             flow = members[0]
             rate = flow.bound
             for record in flow.cons:
@@ -691,42 +900,60 @@ class IncrementalMaxMin:
                 raise SimulationError(
                     "max-min system is unbounded: flows " + flow.name
                 )
-            self._store_rate(flow.key, float(rate))
+            self._store_rate(flow, float(rate))
             if self.track_usage:
                 self._update_usage(members)
             return
 
-        counts = [len(f.cid_array) for f in members]
-        row = np.repeat(np.arange(len(members), dtype=np.intp), counts)
-        if row.size:
-            concat = np.concatenate([f.cid_array for f in members])
+        # Gather the sub-problem from the flat solver state with fancy
+        # indexing: per-member slots select bounds/weights and CSR incidence
+        # segments; np.unique relabels global constraint indices to local.
+        n_members = len(members)
+        slots = np.fromiter(
+            (f.slot for f in members), dtype=np.intp, count=n_members
+        )
+        lens = self._inc_len[slots]
+        total = int(lens.sum())
+        row = np.repeat(np.arange(n_members, dtype=np.intp), lens)
+        if total:
+            out_starts = np.cumsum(lens) - lens
+            shift = np.repeat(self._inc_start[slots] - out_starts, lens)
+            concat = self._inc_pool[np.arange(total, dtype=np.intp) + shift]
             local_cons, col = np.unique(concat, return_inverse=True)
             col = col.astype(np.intp, copy=False)
         else:
             local_cons = np.zeros(0, dtype=np.intp)
             col = np.zeros(0, dtype=np.intp)
-        weights = np.asarray([f.weight for f in members])
-        bounds = np.asarray([f.bound for f in members])
+        weights = self._weight_arr[slots]
+        bounds = self._bound_arr[slots]
         capacities = self._cap_arr[local_cons]
         shared = self._shared_arr[local_cons]
 
         def name_of(fid: int) -> str:
             return members[fid].name
 
-        rates = _progressive_fill_arrays(
-            len(members), len(local_cons), row, col, weights, bounds,
-            shared, capacities, name_of,
+        rates, rounds, truncated = _progressive_fill_arrays(
+            n_members, len(local_cons), row, col, weights, bounds,
+            shared, capacities, name_of, max_rounds=self._max_rounds,
         )
-        for flow, rate in zip(members, rates):
-            self._store_rate(flow.key, float(rate))
+        self.last_fill_rounds += rounds
+        if truncated:
+            self.last_approx_events += 1
+        previous = self._rate_arr[slots]
+        with np.errstate(invalid="ignore"):
+            changed = rates != previous  # NaN sentinel: new slots compare unequal
+        for i in np.flatnonzero(changed):
+            self.last_rate_changed.add(members[i].key)
+        self._rate_arr[slots] = rates
         if self.track_usage:
             self._update_usage(members)
 
-    def _store_rate(self, key, rate: float) -> None:
+    def _store_rate(self, flow: _IncFlow, rate: float) -> None:
         """Record a solved rate, tracking whether its value changed."""
-        if self._rates.get(key) != rate:
-            self.last_rate_changed.add(key)
-        self._rates[key] = rate
+        previous = self._rate_arr[flow.slot]
+        if not previous == rate:  # NaN sentinel: never-solved compares unequal
+            self.last_rate_changed.add(flow.key)
+        self._rate_arr[flow.slot] = rate
 
     def _update_usage(self, members: list) -> None:
         """Refresh the consumed rate of every constraint ``members`` touch.
@@ -737,7 +964,7 @@ class IncrementalMaxMin:
         the exact solution of their own (untouched) component.
         """
         flows = self._flows
-        rates = self._rates
+        rate_arr = self._rate_arr
         seen: set = set()
         for flow in members:
             for record in flow.cons:
@@ -747,7 +974,10 @@ class IncrementalMaxMin:
                 usage = 0.0
                 for fkey in record.flows:
                     other = flows.get(fkey)
-                    if other is not None:
-                        usage += rates.get(fkey, 0.0) * other.weight
+                    if other is None:
+                        continue
+                    value = rate_arr[other.slot]
+                    if not math.isnan(value):
+                        usage += float(value) * other.weight
                 self._usage[record.key] = usage
                 self.last_usage.append((record, usage))

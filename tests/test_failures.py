@@ -54,6 +54,33 @@ class TestEngineFailures:
         engine.run()
         assert fired == [pytest.approx(0.25)]
 
+    def test_at_fires_on_cancel_by_default(self):
+        # the historical footgun is deliberate default behavior: scripted
+        # fault injection must happen however the scenario unwinds
+        engine = Engine(cluster("f7", 2))
+        fired = []
+        action = engine.at(0.25, lambda: fired.append(engine.now))
+        engine.cancel(action)
+        engine.run()
+        assert fired == [pytest.approx(0.0)]
+
+    def test_at_fire_on_cancel_false_suppresses_callback(self):
+        engine = Engine(cluster("f8", 2))
+        fired = []
+        action = engine.at(0.25, lambda: fired.append(engine.now),
+                           fire_on_cancel=False)
+        engine.cancel(action)
+        engine.run()
+        assert fired == []
+
+    def test_at_fire_on_cancel_false_still_fires_normally(self):
+        engine = Engine(cluster("f9", 2))
+        fired = []
+        engine.at(0.25, lambda: fired.append(engine.now),
+                  fire_on_cancel=False)
+        engine.run()
+        assert fired == [pytest.approx(0.25)]
+
     def test_is_dead(self):
         platform = cluster("f6", 2)
         engine = Engine(platform)

@@ -130,6 +130,31 @@ class TestTimeout:
         assert result.returns == ["sent", "received"]
         assert result.simulated_time > 0.02
 
+    def test_stale_watchdog_is_disarmed_on_completion(self):
+        """A fast message must not leave its timeout watchdog pending:
+        the stale ``engine.at`` sleep used to keep the simulation alive
+        (and the clock running) until the timeout deadline."""
+        platform = cluster("to3", 2)
+        engine = Engine(platform)
+
+        def app(mpi):
+            comm = mpi.COMM_WORLD
+            if mpi.rank == 0:
+                comm.Send(np.zeros(1000, dtype=np.uint8), 1, 0)
+            else:
+                comm.Recv(np.zeros(1000, dtype=np.uint8), 0, 0)
+            return mpi.wtime()
+
+        result = smpirun(app, 2, platform, engine=engine,
+                         config=SmpiConfig(comm_timeout=10.0))
+        # well under the 10 s watchdog deadline
+        assert result.simulated_time < 1.0
+        # harvesting the cancelled watchdog must not advance the clock to
+        # its 10 s deadline (the old behavior) nor fire its callback
+        engine.run()
+        assert engine.now < 1.0
+        assert not engine.pending
+
 
 class TestHostDown:
     def test_default_policy_fails_the_ranks_operations(self):

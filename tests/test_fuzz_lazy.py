@@ -99,6 +99,72 @@ def test_full_reshare_is_still_invisible_under_lazy_updates(items, topology):
     assert results[False] == results[True]
 
 
+@given(st.lists(work_item, min_size=1, max_size=16), st.integers(0, 3))
+@settings(max_examples=12, deadline=None)
+def test_sharing_exact_is_bit_identical_across_engine_grid(items, topology):
+    """The vectorised exact solver is a pure speedup: all four engine
+    combinations (lazy/eager event loop × incremental/full share path)
+    produce bit-identical transcripts under ``sharing="exact"``, pinning
+    the flattened-array solver to the historical per-object one (the full
+    path rebuilds a fresh ``MaxMinSystem`` per share, i.e. the pre-existing
+    batch arithmetic)."""
+    results = {}
+    for eager in (False, True):
+        for full in (False, True):
+            platform = cluster("fzg", N_HOSTS,
+                               backbone_bandwidth=None if topology % 2 else "1.25GBps",
+                               split_duplex=topology >= 2)
+            engine = Engine(platform, eager_updates=eager, full_reshare=full,
+                            sharing="exact")
+            results[(eager, full)] = _drive(engine, platform, items)
+    oracle = results[(False, False)]
+    assert all(r == oracle for r in results.values())
+
+
+@given(st.lists(work_item, min_size=1, max_size=16), st.integers(0, 3))
+@settings(max_examples=12, deadline=None)
+def test_approx_sharing_sanity(items, topology):
+    """Approx sharing stays deterministic and physically sane: identical
+    transcripts under the lazy and eager event loops, completion times
+    monotone along the completion order, and every share conserving
+    capacity on each shared solver constraint (within tolerance)."""
+    conservation_failures = []
+
+    def check_conservation(engine):
+        solver = engine._solver
+        for record in solver._cons.values():
+            if not record.shared:
+                continue
+            used = 0.0
+            for fkey in record.flows:
+                try:
+                    rate = solver.rate(fkey)
+                except KeyError:  # enrolled but not yet solved
+                    continue
+                used += rate * solver._flows[fkey].weight
+            if used > record.capacity * (1 + 1e-9) + 1e-9:
+                conservation_failures.append((record.name, used, record.capacity))
+
+    results = {}
+    for eager in (False, True):
+        platform = cluster("fza", N_HOSTS,
+                           backbone_bandwidth=None if topology % 2 else "1.25GBps",
+                           split_duplex=topology >= 2)
+        engine = Engine(platform, eager_updates=eager, sharing="approx")
+        original_share = engine.share_resources
+
+        def sharing_with_check(engine=engine, original=original_share):
+            original()
+            check_conservation(engine)
+
+        engine.share_resources = sharing_with_check
+        results[eager] = _drive(engine, platform, items)
+    assert results[False] == results[True]
+    assert not conservation_failures
+    times = [t for _name, t in results[False]["order"]]
+    assert times == sorted(times)
+
+
 exchange = st.tuples(
     st.integers(0, 3),  # src
     st.integers(0, 3),  # dst

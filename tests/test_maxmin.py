@@ -339,8 +339,96 @@ class TestIncrementalMaxMin:
         with pytest.raises(SimulationError):
             inc.ensure_constraint("neg", -5.0)
 
+    def test_unknown_sharing_mode_rejected(self):
+        from repro.surf.maxmin import IncrementalMaxMin
 
-def _random_incremental_trace(gen, n_cons=6, n_events=40):
+        with pytest.raises(SimulationError):
+            IncrementalMaxMin(sharing="fast")
+
+    def test_double_remove_raises_named_error(self):
+        from repro.errors import UnknownFlowError
+
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.remove_flow("f0")
+        with pytest.raises(UnknownFlowError) as exc:
+            inc.remove_flow("f0")
+        assert exc.value.key == "f0"
+        assert "f0" in str(exc.value)
+        # UnknownFlowError is a SimulationError, so existing broad handlers
+        # keep working
+        assert isinstance(exc.value, SimulationError)
+
+    def test_remove_flow_idempotent_when_not_strict(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.remove_flow("f0", strict=False)
+        inc.remove_flow("f0", strict=False)  # no-op, no error
+        inc.remove_flow("never-added", strict=False)
+        assert inc.solve_dirty() == set()
+
+    def test_drained_constraints_are_garbage_collected(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.ensure_constraint("c1", 50.0)
+        inc.add_flow("f0", ["c0", "c1"])
+        inc.solve_dirty()
+        assert len(inc._cons) == 2
+        inc.remove_flow("f0")
+        inc.solve_dirty()
+        # both constraints drained with the flow: records and usage gone
+        assert len(inc._cons) == 0
+        assert not inc.has_constraint("c0")
+        assert inc.usage("c0") == 0.0
+
+    def test_gc_spares_repopulated_and_updated_constraints(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.solve_dirty()
+        inc.remove_flow("f0")
+        # repopulated before the solve: the constraint must survive
+        inc.add_flow("f1", ["c0"])
+        inc.solve_dirty()
+        assert inc.has_constraint("c0")
+        assert inc.rate("f1") == pytest.approx(100.0)
+
+    def test_reregistration_after_gc(self):
+        inc = self._solver()
+        inc.ensure_constraint("c0", 100.0)
+        inc.add_flow("f0", ["c0"])
+        inc.solve_dirty()
+        inc.remove_flow("f0")
+        inc.solve_dirty()  # garbage-collects c0
+        # the engine's enrollment path: re-ensure, then add
+        inc.ensure_constraint("c0", 80.0)
+        inc.add_flow("f1", ["c0"])
+        inc.solve_dirty()
+        assert inc.rate("f1") == pytest.approx(80.0)
+
+    def test_solver_memory_bounded_under_churn(self):
+        """Constraint records, flow slots and the incidence pool must all
+        stay flat across repeated enroll/retire cycles (the long-run leak
+        this PR fixes)."""
+        inc = self._solver()
+        sizes = []
+        for cycle in range(12):
+            for c in range(4):
+                inc.ensure_constraint(c, 100.0 + c)
+            for f in range(8):
+                inc.add_flow((cycle, f), [f % 4, (f + 1) % 4])
+            inc.solve_dirty()
+            for f in range(8):
+                inc.remove_flow((cycle, f))
+            inc.solve_dirty()
+            sizes.append((len(inc._cons), inc._n_slots,
+                          len(inc._inc_pool), len(inc._rate_arr)))
+        assert len(set(sizes)) == 1  # flat from the first cycle on
+
+
+def _random_incremental_trace(gen, n_cons=6, n_events=40, sharing="exact"):
     """Yield (incremental solver, batch solver snapshot) after random churn.
 
     Drives an :class:`IncrementalMaxMin` through a random sequence of flow
@@ -350,7 +438,7 @@ def _random_incremental_trace(gen, n_cons=6, n_events=40):
     """
     from repro.surf.maxmin import IncrementalMaxMin
 
-    inc = IncrementalMaxMin()
+    inc = IncrementalMaxMin(sharing=sharing)
     capacities = [float(gen.uniform(10, 1000)) for _ in range(n_cons)]
     shared = [bool(gen.random() < 0.85) for _ in range(n_cons)]
     for i, (cap, sh) in enumerate(zip(capacities, shared)):
@@ -368,6 +456,10 @@ def _random_incremental_trace(gen, n_cons=6, n_events=40):
             cids = tuple(sorted(gen.choice(n_cons, size=k, replace=False).tolist()))
             bound = math.inf if gen.random() < 0.5 else float(gen.uniform(1, 500))
             weight = float(gen.uniform(0.5, 3.0))
+            # re-registration path: drained constraints are garbage-collected
+            # by solve_dirty, so (like the engine) re-ensure before enrolling
+            for cid in cids:
+                inc.ensure_constraint(cid, capacities[cid], shared=shared[cid])
             inc.add_flow(next_id, cids, bound=bound, weight=weight)
             live[next_id] = (cids, bound, weight)
             next_id += 1
@@ -396,3 +488,84 @@ def test_incremental_matches_batch_solvers_under_churn():
             got = np.array([inc.rate(key) for key in order])
             np.testing.assert_allclose(ref, vec, rtol=1e-9, atol=1e-9)
             np.testing.assert_allclose(got, ref, rtol=1e-9, atol=1e-9)
+
+
+def test_approx_sharing_feasible_and_bounded_under_churn():
+    """Approx mode under churn: every solve stays within the round cap,
+    respects per-flow bounds, and conserves capacity on every shared
+    constraint (the accuracy contract of ``--sharing approx``)."""
+    from repro import rng as rng_mod
+    from repro.surf.maxmin import APPROX_MAX_ROUNDS
+
+    for trial in range(4):
+        gen = rng_mod.substream(2026, "maxmin-approx", trial)
+        trace = _random_incremental_trace(gen, sharing="approx")
+        for inc, live, capacities, shared in trace:
+            assert inc.last_fill_rounds <= APPROX_MAX_ROUNDS * max(
+                inc.last_components, 1
+            )
+            for key, (cids, bound, weight) in live.items():
+                assert inc.rate(key) <= bound * (1 + 1e-9)
+            for record in inc._cons.values():
+                if not record.shared:
+                    continue
+                used = sum(
+                    inc.rate(fkey) * live[fkey][2] for fkey in record.flows
+                )
+                assert used <= record.capacity * (1 + 1e-9)
+
+
+def test_approx_matches_exact_below_round_cap():
+    """Components that converge within the round cap solve identically in
+    both modes — approx only diverges once the cap truncates filling."""
+    from repro.surf.maxmin import IncrementalMaxMin
+
+    rates = {}
+    for sharing in ("exact", "approx"):
+        inc = IncrementalMaxMin(sharing=sharing)
+        inc.ensure_constraint("c0", 100.0)
+        inc.ensure_constraint("c1", 60.0)
+        inc.add_flow("f0", ["c0"], bound=15.0)
+        inc.add_flow("f1", ["c0", "c1"])
+        inc.add_flow("f2", ["c1"], weight=2.0)
+        inc.solve_dirty()
+        assert inc.last_approx_events == 0
+        rates[sharing] = [inc.rate(k) for k in ("f0", "f1", "f2")]
+    assert rates["exact"] == rates["approx"]
+
+
+def test_approx_truncates_large_staircase_component():
+    """A bound staircase forces one fixing round per flow: above the round
+    cap approx takes the bandwidth-fraction fallback and stays feasible."""
+    from repro.surf.maxmin import APPROX_MAX_ROUNDS, IncrementalMaxMin
+
+    n = APPROX_MAX_ROUNDS + 6
+    inc = IncrementalMaxMin(sharing="approx")
+    inc.ensure_constraint("c0", 1000.0)
+    for i in range(n):
+        # strictly increasing bounds, each below the running fair share
+        inc.add_flow(f"f{i}", ["c0"], bound=1.0 + 0.5 * i)
+    inc.solve_dirty()
+    assert inc.last_approx_events == 1
+    assert inc.last_fill_rounds == APPROX_MAX_ROUNDS
+    total = sum(inc.rate(f"f{i}") for i in range(n))
+    assert total <= 1000.0 * (1 + 1e-9)
+    for i in range(n):
+        assert inc.rate(f"f{i}") <= (1.0 + 0.5 * i) * (1 + 1e-9)
+
+
+def test_engine_solver_constraints_stay_flat_across_cycles():
+    """Engine-level regression for the constraint leak: repeated
+    communicate/retire cycles must not grow the persistent solver."""
+    from repro.surf import Engine, cluster
+
+    platform = cluster("gcc", 4)
+    engine = Engine(platform)
+    counts = []
+    for _cycle in range(6):
+        for i in range(3):
+            engine.communicate(f"node-{i}", f"node-{i + 1}", 1_000_000)
+        engine.execute("node-0", 5e6)
+        engine.run()
+        counts.append(len(engine._solver._cons))
+    assert len(set(counts)) == 1
