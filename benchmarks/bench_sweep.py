@@ -1,0 +1,113 @@
+"""Sweep-engine ablation: process-pool fan-out + content-hash memoization.
+
+The acceptance claim of the sweep subsystem (ROADMAP item 1): a 3-axis
+campaign (>= 12 points) completes on a process pool, and an *immediate
+re-run* is served entirely from the ``.repro-cache`` memo store — no
+simulation at all — at >= 10x the cold wall time.  This is the
+"thousands of runs" workflow of Cornebize & Legrand (PAPERS.md): edit
+one axis, pay only for the new points.
+
+Committed results: ``benchmarks/results/sweep_memoization.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from _helpers import RESULTS_DIR, FigureReport
+from repro.sweep import ResultCache, SweepSpec, result_rows, run_sweep
+
+MEMO_JSON = RESULTS_DIR / "sweep_memoization.json"
+
+#: 1 platform x 1 workload x (2 x 2 x 3) axes = 12 points
+SPEC = {
+    "name": "bench-memoization",
+    "platforms": [{"spec": "cluster:8:125MBps:50us"}],
+    "workloads": [{"builtin": "allreduce", "n": 8,
+                   "params": {"size": 262144, "reps": 4}}],
+    "axes": {
+        "eager_threshold": [4096, 65536],
+        "wire_efficiency": [1.0, 0.85],
+        "coll.allreduce": ["recursive_doubling", "reduce_bcast",
+                           "rabenseifner"],
+    },
+}
+
+
+def experiment():
+    """Cold sweep on a process pool, then a warm (all-hits) re-run."""
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-bench") as root:
+        spec = SweepSpec.from_dict(SPEC, base_dir=root)
+        cache = ResultCache(Path(root) / "cache")
+
+        start = time.perf_counter()
+        cold = run_sweep(spec, jobs=4, cache=cache)
+        cold_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = run_sweep(spec, jobs=4, cache=cache)
+        warm_wall = time.perf_counter() - start
+
+        # a single-axis edit re-simulates only the touched points
+        edited_data = json.loads(json.dumps(SPEC))
+        edited_data["axes"]["wire_efficiency"] = [1.0, 0.7]
+        edited = SweepSpec.from_dict(edited_data, base_dir=root)
+        delta = run_sweep(edited, jobs=4, cache=cache)
+
+        rows = result_rows(warm)
+    return {
+        "points": len(cold.points),
+        "cold": cold, "cold_wall": cold_wall,
+        "warm": warm, "warm_wall": warm_wall,
+        "delta": delta, "rows": rows,
+    }
+
+
+def test_sweep_memoization(once):
+    data = once(experiment)
+    cold, warm, delta = data["cold"], data["warm"], data["delta"]
+    n = data["points"]
+    speedup = data["cold_wall"] / data["warm_wall"]
+
+    report = FigureReport(
+        "sweep_memoization",
+        "batched sweep engine: pool fan-out + memo-cache re-run",
+    )
+    report.line(f"  3-axis grid, {n} points, allreduce/n8, 4 workers")
+    report.measured(
+        f"cold run : {data['cold_wall'] * 1e3:8.1f} ms "
+        f"({cold.misses} simulated, {cold.workers} workers)")
+    report.measured(
+        f"warm run : {data['warm_wall'] * 1e3:8.1f} ms "
+        f"({warm.hits}/{n} cache hits)")
+    report.measured(f"speedup  : {speedup:8.1f}x warm over cold")
+    report.measured(
+        f"1-axis edit: {delta.misses} points re-simulated, "
+        f"{delta.hits} reused")
+    sim_times = sorted({f"{r['simulated_time']:.6f}" for r in data["rows"]})
+    report.line(f"  distinct simulated times across the grid: "
+                f"{len(sim_times)}")
+    report.finish()
+
+    MEMO_JSON.write_text(json.dumps({
+        "points": n,
+        "cold_wall_s": round(data["cold_wall"], 4),
+        "warm_wall_s": round(data["warm_wall"], 4),
+        "speedup": round(speedup, 1),
+        "cold_workers": cold.workers,
+        "warm_hits": warm.hits,
+        "edit_resimulated": delta.misses,
+        "edit_reused": delta.hits,
+    }, indent=1) + "\n", encoding="utf-8")
+
+    assert n >= 12
+    assert cold.workers > 1, "cold run must fan out over a process pool"
+    assert not cold.errors
+    assert warm.hits == n, "re-run must be served entirely from cache"
+    assert speedup >= 10, (
+        f"warm re-run only {speedup:.1f}x faster than cold")
+    # the single-axis edit only pays for the points it touched
+    assert delta.hits == n // 2 and delta.misses == n // 2

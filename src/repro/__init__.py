@@ -34,7 +34,7 @@ Quickstart::
 """
 
 from . import calibration, metrics, nas, offline, packetsim, platforms, refcluster
-from . import simix, smpi, surf
+from . import simix, smpi, surf, sweep
 from .errors import (
     ActorFailure,
     CalibrationError,

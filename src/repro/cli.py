@@ -27,6 +27,12 @@ Usage (see ``python -m repro --help``)::
     python -m repro run my_app.py -n 4 --availability cli-l0=wave.trace \\
         --fail-at 0.5:cli-l1 --restore-at 1.0:cli-l1 --comm-retries 3
 
+    # batched campaigns: expand a platform x workload x config grid,
+    # simulate on a process pool, memoize results under .repro-cache/
+    python -m repro sweep run campaign.toml --jobs 8
+    python -m repro sweep status campaign.toml
+    python -m repro sweep report campaign.toml --format csv -o results.csv
+
     # inspect things
     python -m repro platforms
     python -m repro info trace.json
@@ -303,6 +309,72 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    from .sweep import ResultCache, SweepSpec, run_sweep
+
+    spec = SweepSpec.load(args.spec)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(f"sweep          : {spec.name} — {spec.describe()}")
+    result = run_sweep(spec, jobs=args.jobs, cache=cache, force=args.force,
+                       echo=print if args.verbose else None)
+    n = len(result.points)
+    where = ("inline" if result.workers == 0
+             else f"{result.workers} worker processes")
+    print(f"simulated      : {result.misses} points ({where})")
+    print(f"cache hits     : {result.hits}/{n}"
+          + (" (all points served from cache)" if result.hits == n else ""))
+    print(f"wall-clock time: {format_time(result.wall_time)}")
+    for failed in result.errors:
+        print(f"  FAILED {failed.point.label()}: {failed.error}")
+    return 1 if result.errors else 0
+
+
+def _cmd_sweep_status(args: argparse.Namespace) -> int:
+    from .sweep import ResultCache, SweepSpec, point_key
+
+    spec = SweepSpec.load(args.spec)
+    cache = ResultCache(args.cache_dir)
+    points = spec.expand()
+    cached = 0
+    print(f"sweep          : {spec.name} — {spec.describe()}")
+    for point in points:
+        key = point_key(point, spec.base_dir)
+        hit = key in cache
+        cached += hit
+        print(f"  [{'cached' if hit else ' todo '}] "
+              f"{point.index:>3}  {point.label()}")
+    print(f"cache          : {cached}/{len(points)} points ready "
+          f"under {args.cache_dir}")
+    return 0
+
+
+def _cmd_sweep_report(args: argparse.Namespace) -> int:
+    from .sweep import (ResultCache, SweepSpec, format_table, result_rows,
+                        rows_to_csv, rows_to_json, run_sweep)
+
+    spec = SweepSpec.load(args.spec)
+    cache = ResultCache(args.cache_dir)
+    result = run_sweep(spec, jobs=args.jobs, cache=cache)
+    if result.errors:
+        for failed in result.errors:
+            print(f"  FAILED {failed.point.label()}: {failed.error}",
+                  file=sys.stderr)
+    rows = result_rows(result)
+    if args.format == "csv":
+        text = rows_to_csv(rows)
+    elif args.format == "json":
+        text = rows_to_json(rows)
+    else:
+        text = format_table(rows) + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"report written : {args.output} ({args.format}, "
+              f"{len(rows)} rows)")
+    else:
+        print(text, end="")
+    return 1 if result.errors else 0
+
+
 def _cmd_platforms(_args: argparse.Namespace) -> int:
     print("built-in platforms:")
     print("  griffon          92 nodes, 3 cabinets (33/27/32), GigE + 10G core")
@@ -559,6 +631,50 @@ def make_parser() -> argparse.ArgumentParser:
     export.add_argument("-o", "--output", required=True, metavar="OUT",
                         help="output file")
     export.set_defaults(func=_cmd_trace_export)
+
+    sweep = sub.add_parser(
+        "sweep", help="batched simulation campaigns with memoized results")
+    sweep_sub = sweep.add_subparsers(dest="sweep_command", required=True)
+
+    def _sweep_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", help="sweep spec file (.toml or .json)")
+        p.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                       help="memo-cache root (default: .repro-cache)")
+
+    sweep_run = sweep_sub.add_parser(
+        "run", help="expand the spec and simulate the missing points")
+    _sweep_common(sweep_run)
+    sweep_run.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="worker processes (default: one per CPU, "
+                                "capped at the number of points; 1 = inline)")
+    sweep_run.add_argument("--force", action="store_true",
+                           help="re-simulate every point, overwriting the "
+                                "cache")
+    sweep_run.add_argument("--no-cache", action="store_true",
+                           help="simulate without reading or writing the "
+                                "memo cache")
+    sweep_run.add_argument("--verbose", action="store_true",
+                           help="print one line per completed point")
+    sweep_run.set_defaults(func=_cmd_sweep_run)
+
+    sweep_status = sweep_sub.add_parser(
+        "status", help="list the run matrix and which points are cached")
+    _sweep_common(sweep_status)
+    sweep_status.set_defaults(func=_cmd_sweep_status)
+
+    sweep_report = sweep_sub.add_parser(
+        "report", help="aggregate per-point results into a table")
+    _sweep_common(sweep_report)
+    sweep_report.add_argument("--format", choices=("table", "csv", "json"),
+                              default="table",
+                              help="output format (default: table)")
+    sweep_report.add_argument("-o", "--output", metavar="OUT",
+                              help="write the report to OUT instead of "
+                                   "stdout")
+    sweep_report.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="worker processes for any points not yet "
+                                   "cached")
+    sweep_report.set_defaults(func=_cmd_sweep_report)
 
     platforms = sub.add_parser("platforms", help="list built-in platforms")
     platforms.set_defaults(func=_cmd_platforms)

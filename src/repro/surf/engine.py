@@ -57,7 +57,7 @@ from __future__ import annotations
 
 import math
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from heapq import heappop, heappush
 from itertools import islice
 
@@ -135,6 +135,51 @@ class EngineStats:
     #: bandwidth-fraction fallback; always 0 with ``sharing="exact"``
     approx_events: int = 0
     extra: dict = field(default_factory=dict)
+
+    #: wire-format version stamped into :meth:`to_dict` payloads; bump it
+    #: whenever a counter changes meaning (renames/removals), so stale
+    #: serialized stats — e.g. sweep memo-cache entries — are rejected
+    #: instead of silently misread
+    SCHEMA_VERSION = 1
+
+    def to_dict(self) -> dict:
+        """Serialize every counter to a plain-JSON-compatible dict.
+
+        The payload carries a ``schema_version`` field (see
+        :data:`SCHEMA_VERSION`) and round-trips exactly through
+        :meth:`from_dict`; the sweep memo cache persists it under
+        ``.repro-cache/``.
+        """
+        data = {"schema_version": self.SCHEMA_VERSION}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            data[spec.name] = dict(value) if spec.name == "extra" else value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineStats":
+        """Rebuild an :class:`EngineStats` from a :meth:`to_dict` payload.
+
+        Raises :class:`~repro.errors.SimulationError` when the payload's
+        ``schema_version`` is missing or different from
+        :data:`SCHEMA_VERSION`, or when it carries counters this version
+        does not know — both mean the serialized stats come from an
+        incompatible build and must not be trusted.
+        """
+        payload = dict(data)
+        version = payload.pop("schema_version", None)
+        if version != cls.SCHEMA_VERSION:
+            raise SimulationError(
+                f"EngineStats schema_version {version!r} is not the "
+                f"supported version {cls.SCHEMA_VERSION}"
+            )
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SimulationError(
+                f"EngineStats payload carries unknown counters {unknown}"
+            )
+        return cls(**payload)
 
 
 class Engine:

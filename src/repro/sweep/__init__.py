@@ -1,0 +1,43 @@
+"""Batched simulation campaigns with memoized results (``repro sweep``).
+
+The simulator's front door for the real SMPI workflow — thousands of
+runs for sensitivity analysis and tuning, not one run (Cornebize &
+Legrand, PAPERS.md).  A declarative TOML/JSON *sweep spec* names a
+platform x workload x config grid; :func:`run_sweep` expands it into a
+deterministic run matrix, serves every point already in the content-hash
+memo cache under ``.repro-cache/``, and fans the rest out over a process
+pool where each worker builds its platform once and reuses it.
+
+Guide: ``docs/sweeps.md``.  CLI: ``python -m repro sweep run/status/report``.
+"""
+
+from .cache import ResultCache, point_fingerprint, point_key
+from .report import (
+    format_table,
+    result_rows,
+    rows_to_csv,
+    rows_to_json,
+    sensitivity,
+)
+from .runner import PointResult, SweepResult, run_sweep
+from .spec import PlatformSpec, SweepPoint, SweepSpec, WorkloadSpec
+from .workloads import WORKLOADS
+
+__all__ = [
+    "PlatformSpec",
+    "PointResult",
+    "ResultCache",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "format_table",
+    "point_fingerprint",
+    "point_key",
+    "result_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "run_sweep",
+    "sensitivity",
+]

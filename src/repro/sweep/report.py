@@ -1,0 +1,122 @@
+"""Flatten sweep results into analysis-ready tables.
+
+Per-point rows carry the full coordinate of each run (platform,
+workload, every axis value) next to its metrics, so the CSV/JSON output
+loads straight into pandas/R for the PAPERS-style sensitivity plots; a
+small :func:`sensitivity` helper covers the common "mean metric per axis
+value" question without leaving Python.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from .runner import SweepResult
+from .spec import _thaw
+
+__all__ = ["result_rows", "rows_to_csv", "rows_to_json", "format_table",
+           "sensitivity"]
+
+#: EngineStats counters surfaced as table columns (the full set stays
+#: available on each PointResult.stats)
+_STAT_COLUMNS = ("steps", "shares", "flows_resolved", "fill_rounds",
+                 "ctx_switches")
+
+
+def result_rows(result: SweepResult) -> list[dict]:
+    """One flat dict per point: coordinates, metrics, cache status."""
+    axes = result.spec.axis_names()
+    rows = []
+    for point_result in result.points:
+        point = point_result.point
+        values = point.config_items()
+        row = {
+            "point": point.index,
+            "platform": point.platform.label(),
+            "workload": point.workload.label(),
+            "n": point.workload.n,
+        }
+        for axis in axes:
+            row[axis] = values.get(axis)
+        row.update({
+            "simulated_time": point_result.simulated_time,
+            "wall_time": point_result.wall_time,
+            "cached": point_result.cached,
+            "error": point_result.error,
+        })
+        for name in _STAT_COLUMNS:
+            row[name] = (getattr(point_result.stats, name)
+                         if point_result.stats is not None else None)
+        rows.append(row)
+    return rows
+
+
+def rows_to_csv(rows: list[dict]) -> str:
+    """Serialize :func:`result_rows` output as CSV text."""
+    if not rows:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0]))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: _cell(v) for k, v in row.items()})
+    return buf.getvalue()
+
+
+def rows_to_json(rows: list[dict]) -> str:
+    """Serialize :func:`result_rows` output as a JSON array."""
+    return json.dumps([{k: _cell(v) for k, v in row.items()} for row in rows],
+                      indent=1)
+
+
+def _cell(value):
+    if isinstance(value, tuple):
+        return _thaw(value)
+    return value
+
+
+def format_table(rows: list[dict], max_width: int = 28) -> str:
+    """An aligned plain-text table (the ``sweep report`` default)."""
+    if not rows:
+        return "(no rows)"
+    columns = [c for c in rows[0]
+               if any(row[c] is not None for row in rows)]
+    rendered = [
+        {c: _format_value(row[c])[:max_width] for c in columns}
+        for row in rows
+    ]
+    widths = {c: max(len(c), *(len(r[c]) for r in rendered))
+              for c in columns}
+    lines = ["  ".join(c.ljust(widths[c]) for c in columns)]
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for r in rendered:
+        lines.append("  ".join(r[c].ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(_cell(value))
+
+
+def sensitivity(rows: list[dict], axis: str,
+                metric: str = "simulated_time") -> dict:
+    """Mean ``metric`` per value of ``axis`` (errored rows excluded).
+
+    The one-question version of a sensitivity analysis: how much does
+    the outcome move when a single axis moves?
+    """
+    groups: dict = {}
+    for row in rows:
+        if row.get("error") or row.get(metric) is None:
+            continue
+        groups.setdefault(row.get(axis), []).append(row[metric])
+    return {value: sum(samples) / len(samples)
+            for value, samples in groups.items()}

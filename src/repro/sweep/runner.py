@@ -1,0 +1,330 @@
+"""Sweep execution: memo-cache lookup plus process-pool fan-out.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec`, serves
+every point whose content hash is already in the
+:class:`~repro.sweep.cache.ResultCache`, and simulates the rest on a
+``ProcessPoolExecutor``.  Each worker process keeps a module-level
+platform cache, so a platform is parsed/built (and its route cache
+warmed) once per worker and reused across every point assigned to it —
+the per-point cost is the simulation itself, not setup.
+
+``jobs=0`` (or ``1``) runs points inline in the calling process — same
+results, no pool — which is what the executable docs and small tests
+use.  All cache writes happen in the parent, so concurrent workers never
+race on the store.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError, ReproError
+from ..surf import EngineStats
+from .cache import ResultCache, point_key
+from .spec import SweepPoint, SweepSpec
+
+__all__ = ["PointResult", "SweepResult", "run_sweep"]
+
+
+@dataclass
+class PointResult:
+    """Outcome of one sweep point — simulated now, or served from cache."""
+
+    point: SweepPoint
+    key: str
+    cached: bool
+    simulated_time: float | None = None
+    #: wall-clock seconds the *simulation* took (the original run's cost
+    #: when served from cache)
+    wall_time: float | None = None
+    stats: EngineStats | None = None
+    error: str | None = None
+    #: per-point trace artifact path (spec-level ``trace = true`` only)
+    trace_path: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point produced a result."""
+        return self.error is None
+
+
+@dataclass
+class SweepResult:
+    """Everything one :func:`run_sweep` invocation produced.
+
+    The programmatic front door for benches and the auto-tuner: iterate
+    ``points``, or feed the whole object to :mod:`repro.sweep.report`
+    for flat rows / CSV / JSON.
+    """
+
+    spec: SweepSpec
+    points: list[PointResult] = field(default_factory=list)
+    #: wall-clock seconds for the whole sweep (cache lookups included)
+    wall_time: float = 0.0
+    #: process-pool workers used (0 = ran inline)
+    workers: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Points served from the memo cache."""
+        return sum(1 for p in self.points if p.cached)
+
+    @property
+    def misses(self) -> int:
+        """Points that had to be simulated."""
+        return sum(1 for p in self.points if not p.cached)
+
+    @property
+    def errors(self) -> list[PointResult]:
+        """Points whose simulation raised."""
+        return [p for p in self.points if not p.ok]
+
+    def summary(self) -> str:
+        """One line: point count, hit ratio, wall time."""
+        n = len(self.points)
+        line = (f"{self.spec.name}: {n} points, {self.hits}/{n} from cache, "
+                f"{self.wall_time:.2f}s wall")
+        if self.errors:
+            line += f", {len(self.errors)} FAILED"
+        return line
+
+
+# -- worker side ---------------------------------------------------------------
+
+#: per-worker-process platform cache: payload platform signature -> Platform
+_PLATFORMS: dict = {}
+
+
+def _init_worker(parent_path: list[str]) -> None:
+    """Process-pool initializer: inherit the parent's import path."""
+    for entry in reversed(parent_path):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+
+
+def _payload(point: SweepPoint, key: str, base_dir: str) -> dict:
+    """A picklable description of one point for the worker."""
+    return {
+        "key": key,
+        "base_dir": base_dir,
+        "label": point.label(),
+        "platform": {
+            "spec": point.platform.spec,
+            "availability": point.platform.availability,
+            "state_profile": point.platform.state_profile,
+            "fail_at": point.platform.fail_at,
+            "restore_at": point.platform.restore_at,
+        },
+        "workload": {
+            "builtin": point.workload.builtin,
+            "file": point.workload.file,
+            "entry": point.workload.entry,
+            "n": point.workload.n,
+            "params": point.workload.params,
+            "args": point.workload.args,
+        },
+        "config": point.smpi_config(),
+        "ctx": point.ctx(),
+        "trace": point.trace,
+    }
+
+
+def _worker_platform(desc: dict, n_ranks: int, base_dir: str):
+    """Build-or-reuse the worker's platform for ``desc``.
+
+    Keyed by the full platform signature (spec + profile bindings + rank
+    count): the expensive parse/build/calibration happens once per worker
+    and every later point with the same signature reuses the object —
+    including its warmed route-resolution cache.
+    """
+    from pathlib import Path
+
+    from ..cli import _attach_profiles, build_platform
+
+    signature = (desc["spec"], desc["availability"], desc["state_profile"],
+                 n_ranks, base_dir)
+    platform = _PLATFORMS.get(signature)
+    if platform is None:
+        spec = desc["spec"]
+        candidate = Path(base_dir) / spec
+        if candidate.suffix == ".xml" and candidate.exists():
+            spec = str(candidate)
+        platform = build_platform(spec, n_ranks)
+
+        class _Args:  # argparse-shaped shim for the CLI profile helper
+            pass
+
+        args = _Args()
+        args.availability = [_resolve_binding(b, base_dir)
+                             for b in desc["availability"]]
+        args.state_profile = [_resolve_binding(b, base_dir)
+                              for b in desc["state_profile"]]
+        _attach_profiles(platform, args)
+        _PLATFORMS[signature] = platform
+    return platform
+
+
+def _resolve_binding(binding: str, base_dir: str) -> str:
+    """Make the FILE half of a RESOURCE=FILE binding spec-relative."""
+    from pathlib import Path
+
+    if "=" not in binding:
+        raise ConfigError(f"profile binding {binding!r} is not RESOURCE=FILE")
+    resource, file = binding.split("=", 1)
+    path = Path(file)
+    if not path.is_absolute():
+        path = Path(base_dir) / path
+    return f"{resource}={path}"
+
+
+def _point_engine(platform, desc: dict, config):
+    """An explicit Engine when the point needs scripted fault events."""
+    from ..cli import _find_resource, _parse_at
+    from ..surf import Engine
+
+    if not (desc["fail_at"] or desc["restore_at"]):
+        return None
+    engine = Engine(platform, sharing=config.sharing)
+    for spec in desc["fail_at"]:
+        t, name = _parse_at(spec, "fail-at")
+        resource = _find_resource(platform, name)
+        engine.at(t, lambda r=resource: engine.fail_resource(r))
+    for spec in desc["restore_at"]:
+        t, name = _parse_at(spec, "restore-at")
+        resource = _find_resource(platform, name)
+        engine.at(t, lambda r=resource: engine.restore_resource(r))
+    return engine
+
+
+def _resolve_app(work: dict, base_dir: str):
+    from pathlib import Path
+
+    from ..cli import load_app
+    from . import workloads
+    from .spec import _thaw
+
+    if work["builtin"] is not None:
+        return workloads.resolve(work["builtin"], _thaw(work["params"]) or {})
+    path = Path(work["file"])
+    if not path.is_absolute():
+        path = Path(base_dir) / path
+    return load_app(str(path), work["entry"])
+
+
+def _simulate_point(payload: dict) -> dict:
+    """Run one point (in a worker or inline) and return its record."""
+    from ..smpi import smpirun
+    from .spec import _thaw
+
+    work = payload["workload"]
+    try:
+        platform = _worker_platform(payload["platform"], work["n"],
+                                    payload["base_dir"])
+        app = _resolve_app(work, payload["base_dir"])
+        config = payload["config"]
+        engine = _point_engine(platform, payload["platform"], config)
+        result = smpirun(
+            app, work["n"], platform,
+            app_args=tuple(_thaw(work["args"])),
+            config=config, engine=engine, ctx=payload["ctx"],
+        )
+    except ReproError as exc:
+        return {"key": payload["key"], "error": f"{type(exc).__name__}: {exc}"}
+    record = {
+        "key": payload["key"],
+        "label": payload["label"],
+        "simulated_time": result.simulated_time,
+        "wall_time": result.wall_time,
+        "stats": result.stats.to_dict() if result.stats is not None else None,
+    }
+    if payload["trace"] and result.trace is not None:
+        record["trace_text"] = result.trace.to_csv()
+    return record
+
+
+# -- parent side ---------------------------------------------------------------
+
+def _result_from_record(point: SweepPoint, key: str, record: dict,
+                        cached: bool, cache: ResultCache | None) -> PointResult:
+    stats = None
+    if record.get("stats") is not None:
+        stats = EngineStats.from_dict(record["stats"])
+    trace_path = None
+    if cache is not None and cache.trace_path(key).exists():
+        trace_path = str(cache.trace_path(key))
+    return PointResult(
+        point=point, key=key, cached=cached,
+        simulated_time=record.get("simulated_time"),
+        wall_time=record.get("wall_time"),
+        stats=stats, error=record.get("error"), trace_path=trace_path,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    jobs: int | None = None,
+    cache: ResultCache | str | None = ".repro-cache",
+    force: bool = False,
+    echo=None,
+) -> SweepResult:
+    """Execute a sweep spec: cache lookups first, then pool fan-out.
+
+    ``jobs`` is the worker-process count (None = ``os.cpu_count()``
+    capped at the number of points to simulate; 0 or 1 = inline, no
+    pool).  ``cache`` is a :class:`ResultCache`, a root directory, or
+    None to disable memoization entirely; ``force`` re-simulates every
+    point and overwrites its cache entry.  ``echo`` (a ``print``-like
+    callable) receives one progress line per completed point.
+    """
+    import os
+    from pathlib import Path
+
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+    points = spec.expand()
+    base_dir = str(spec.base_dir)
+    start = time.perf_counter()
+    keys = [point_key(p, base_dir) for p in points]
+
+    results: dict[int, PointResult] = {}
+    todo: list[tuple[SweepPoint, str]] = []
+    for point, key in zip(points, keys):
+        record = None if (force or cache is None) else cache.get(key)
+        if record is not None:
+            results[point.index] = _result_from_record(point, key, record,
+                                                       True, cache)
+            if echo:
+                echo(f"  [cache] {point.label()}")
+        else:
+            todo.append((point, key))
+
+    payloads = [_payload(p, k, base_dir) for p, k in todo]
+    workers = 0
+    if payloads:
+        if jobs is None:
+            jobs = min(len(payloads), os.cpu_count() or 2)
+        if jobs > 1:
+            workers = min(jobs, len(payloads))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker, initargs=(list(sys.path),),
+            ) as pool:
+                records = list(pool.map(_simulate_point, payloads))
+        else:
+            records = [_simulate_point(p) for p in payloads]
+        for (point, key), record in zip(todo, records):
+            trace_text = record.pop("trace_text", None)
+            if cache is not None and record.get("error") is None:
+                cache.put(key, record, trace_text)
+            results[point.index] = _result_from_record(point, key, record,
+                                                       False, cache)
+            if echo:
+                status = "FAILED" if record.get("error") else "done"
+                echo(f"  [{status}] {point.label()}")
+
+    ordered = [results[p.index] for p in points]
+    return SweepResult(spec=spec, points=ordered,
+                       wall_time=time.perf_counter() - start, workers=workers)

@@ -1,0 +1,122 @@
+"""Built-in sweep workloads: small, parameterized MPI kernels.
+
+Sweep specs can name these instead of shipping an application file
+(``builtin = "pingpong"``), which keeps campaign definitions
+self-contained.  Every workload is written in the generator dialect so
+it runs on the default coroutine execution context — no OS thread per
+rank — and takes its knobs as keyword parameters (``params`` in the
+spec).
+
+The memo cache fingerprints a built-in by the *source text* of its
+factory (:func:`fingerprint`), so editing a workload here invalidates
+exactly the cached results that depended on it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["WORKLOADS", "resolve", "fingerprint"]
+
+
+def pingpong(size: int = 64 * 1024, reps: int = 4):
+    """Rank 0 <-> rank 1 ping-pong of ``size`` bytes, ``reps`` rounds.
+
+    The classic SKaMPI kernel: latency- or bandwidth-bound depending on
+    ``size``, ideal for calibration-sensitivity sweeps.  Other ranks
+    idle.
+    """
+    words = max(1, size // 8)
+
+    def app(mpi):
+        comm = mpi.COMM_WORLD
+        buf = np.zeros(words)
+        if mpi.rank == 0:
+            for _ in range(reps):
+                yield from comm.co.Send(buf, dest=1, tag=7)
+                yield from comm.co.Recv(buf, source=1, tag=7)
+        elif mpi.rank == 1:
+            for _ in range(reps):
+                yield from comm.co.Recv(buf, source=0, tag=7)
+                yield from comm.co.Send(buf, dest=0, tag=7)
+        return float(buf[0])
+
+    return app
+
+
+def ring(size: int = 16 * 1024, rounds: int = 2):
+    """Each rank sends ``size`` bytes to its successor, ``rounds`` laps.
+
+    Every link of the (logical) ring is busy at once, so this kernel
+    exercises contention and the bandwidth-sharing dial.
+    """
+    words = max(1, size // 8)
+
+    def app(mpi):
+        comm = mpi.COMM_WORLD
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        out = np.full(words, float(mpi.rank))
+        inbox = np.zeros(words)
+        for _ in range(rounds):
+            yield from comm.co.Sendrecv(out, right, 3, inbox, left, 3)
+        return float(inbox[0])
+
+    return app
+
+
+def allreduce(size: int = 32 * 1024, reps: int = 2, flops: float = 0.0):
+    """Allreduce of ``size`` bytes, ``reps`` iterations, optional compute.
+
+    The data-parallel-SGD shape: a compute burst (``flops`` per rank per
+    iteration) followed by a global sum — the kernel collective-algorithm
+    sweeps care about.
+    """
+    words = max(1, size // 8)
+
+    def app(mpi):
+        comm = mpi.COMM_WORLD
+        grad = np.full(words, 1.0)
+        total = np.zeros(words)
+        for _ in range(reps):
+            if flops > 0:
+                yield from mpi.co.execute(flops)
+            yield from comm.co.Allreduce(grad, total)
+        return float(total[0])
+
+    return app
+
+
+#: registry of built-in workload factories, by spec ``builtin`` name
+WORKLOADS = {
+    "pingpong": pingpong,
+    "ring": ring,
+    "allreduce": allreduce,
+}
+
+
+def resolve(name: str, params: dict | None = None):
+    """The app callable for built-in ``name`` with ``params`` applied."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown builtin workload {name!r}; "
+            f"available: {sorted(WORKLOADS)}")
+    try:
+        return factory(**(params or {}))
+    except TypeError as exc:
+        raise ConfigError(f"bad params for builtin {name!r}: {exc}")
+
+
+def fingerprint(name: str) -> str:
+    """Content hash of the builtin's factory source (cache-key input)."""
+    if name not in WORKLOADS:
+        raise ConfigError(f"unknown builtin workload {name!r}")
+    source = inspect.getsource(WORKLOADS[name])
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
