@@ -15,6 +15,11 @@ Usage (see ``python -m repro --help``)::
     python -m repro run my_app.py -n 4 --record trace.json
     python -m repro replay trace.json --platform gdx
 
+    # checkpoint a replay mid-run, resume it later (docs/scaling.md)
+    python -m repro replay trace.json --platform gdx --checkpoint-at 1.5
+    python -m repro replay trace.json --platform gdx \\
+        --resume-from trace.json.ckpt.json
+
     # export an execution trace and analyse it
     python -m repro run my_app.py -n 4 --trace run.csv
     python -m repro run my_app.py -n 4 --trace run.paje --trace-format paje
@@ -50,11 +55,18 @@ from pathlib import Path
 from typing import Callable
 
 from .errors import ConfigError, ReproError
-from .offline import TiTrace, record_trace, replay_trace
+from .offline import (
+    TiTrace,
+    record_trace,
+    record_trace_streaming,
+    replay_trace,
+)
 from .platforms import gdx, griffon
 from .smpi import SmpiConfig, smpirun
 from .surf import Engine, Platform, cluster, load_platform_xml, load_profile
 from .trace import (
+    CsvStreamSink,
+    PajeStreamSink,
     Tracer,
     ascii_gantt,
     critical_path,
@@ -259,6 +271,22 @@ def _export_run_trace(result, n_ranks: int, args: argparse.Namespace) -> None:
           f"{len(tracer.computes)} compute bursts)")
 
 
+def _make_trace_sink(args: argparse.Namespace, n_ranks: int):
+    """The streaming sink for ``--stream-trace``, or None."""
+    if not (getattr(args, "stream_trace", False) and args.trace):
+        return None
+    if args.trace_format == "paje":
+        return PajeStreamSink(args.trace, n_ranks)
+    return CsvStreamSink(args.trace)
+
+
+def _report_streamed_trace(result, args: argparse.Namespace) -> None:
+    tracer = result.trace
+    print(f"trace written  : {args.trace} ({args.trace_format}, streamed, "
+          f"{tracer.n_comm_records} messages, "
+          f"{tracer.n_compute_records} compute bursts)")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     app = load_app(args.app, args.entry)
     platform = build_platform(args.platform, args.n)
@@ -268,7 +296,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
     want_ti = args.trace and args.trace_format == "ti"
     if args.trace and not want_ti:
         config = config.with_options(tracing=True)
-    if args.record or want_ti:
+    streaming = getattr(args, "stream_trace", False) and args.trace
+    if streaming and want_ti:
+        result = record_trace_streaming(app, args.n, platform, args.trace,
+                                        config=config, engine=engine,
+                                        ctx=args.ctx)
+        print(f"trace written  : {args.trace} (ti, streamed)")
+        if args.record:
+            raise ConfigError(
+                "--stream-trace with --trace-format ti already records; "
+                "drop --record or the streaming flag")
+    elif args.record or want_ti:
         result, trace = record_trace(app, args.n, platform, config=config,
                                      engine=engine, ctx=args.ctx)
         for target in filter(None, [args.record,
@@ -277,9 +315,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"trace written  : {target} ({trace.summary()})")
     else:
         result = smpirun(app, args.n, platform, config=config, engine=engine,
-                         ctx=args.ctx)
+                         ctx=args.ctx,
+                         trace_sink=_make_trace_sink(args, args.n))
     if args.trace and not want_ti:
-        _export_run_trace(result, args.n, args)
+        if streaming:
+            _report_streamed_trace(result, args)
+        else:
+            _export_run_trace(result, args.n, args)
     _report(result, args.n, show_stats=args.stats)
     return 0
 
@@ -296,15 +338,47 @@ def _cmd_replay(args: argparse.Namespace) -> int:
                 "copy the input — use --trace-format csv or paje"
             )
         config = config.with_options(tracing=True)
-    result = replay_trace(trace, platform, config=config,
-                          engine=_make_engine(platform, args), ctx=args.ctx)
+    streaming = getattr(args, "stream_trace", False) and args.trace
+    resume_from = getattr(args, "resume_from", None)
+    checkpoint_at = getattr(args, "checkpoint_at", None)
+    if resume_from is not None:
+        from .offline import load_checkpoint, resume_replay
+
+        if checkpoint_at is not None:
+            raise ConfigError("--resume-from and --checkpoint-at are "
+                              "mutually exclusive")
+        result = resume_replay(trace, platform, load_checkpoint(resume_from),
+                               ctx=args.ctx)
+        print(f"resumed from   : {resume_from}")
+    else:
+        result = replay_trace(trace, platform, config=config,
+                              engine=_make_engine(platform, args),
+                              ctx=args.ctx,
+                              trace_sink=_make_trace_sink(args,
+                                                          trace.n_ranks),
+                              checkpoint_at=checkpoint_at)
+        if checkpoint_at is not None:
+            from .offline import save_checkpoint
+
+            if result.checkpoint is None:
+                print(f"checkpoint     : none (run ended before "
+                      f"t={checkpoint_at:g})")
+            else:
+                out = (args.checkpoint_out
+                       or f"{args.trace_file}.ckpt.json")
+                target = save_checkpoint(result.checkpoint, out)
+                print(f"checkpoint     : {target} "
+                      f"(cut at t={result.checkpoint['engine']['now']:g})")
     print(f"replaying      : {trace.summary()}")
     if "recorded_on" in trace.meta:
         recorded_t = trace.meta.get("recorded_simulated_time")
         print(f"recorded on    : {trace.meta['recorded_on']}"
               + (f" ({format_time(recorded_t)})" if recorded_t else ""))
     if args.trace:
-        _export_run_trace(result, trace.n_ranks, args)
+        if streaming:
+            _report_streamed_trace(result, args)
+        else:
+            _export_run_trace(result, trace.n_ranks, args)
     _report(result, trace.n_ranks, show_stats=args.stats)
     return 0
 
@@ -538,6 +612,10 @@ def make_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace-format", choices=("csv", "paje", "ti"),
                      default="csv",
                      help="format for --trace (default: csv)")
+    run.add_argument("--stream-trace", action="store_true",
+                     help="stream the --trace export to disk as records "
+                          "close (bounded trace memory; output is "
+                          "byte-identical to the in-memory exporter)")
     run.add_argument("--stats", action="store_true",
                      help="print kernel counters (shares, flow re-solves)")
     run.add_argument("--full-reshare", action="store_true",
@@ -572,6 +650,9 @@ def make_parser() -> argparse.ArgumentParser:
     replay.add_argument("--trace-format", choices=("csv", "paje", "ti"),
                         default="csv",
                         help="format for --trace (default: csv)")
+    replay.add_argument("--stream-trace", action="store_true",
+                        help="stream the --trace export to disk as records "
+                             "close (bounded trace memory)")
     replay.add_argument("--stats", action="store_true",
                         help="print kernel counters (shares, flow re-solves)")
     replay.add_argument("--full-reshare", action="store_true",
@@ -591,6 +672,17 @@ def make_parser() -> argparse.ArgumentParser:
                           "(default: auto — coroutine for generator apps, "
                           "greenlet/thread for plain functions; REPRO_CTX "
                           "env var overrides)")
+    replay.add_argument("--checkpoint-at", type=float, default=None,
+                        metavar="T",
+                        help="capture a resumable checkpoint at the first "
+                             "quiescent cut past simulated date T "
+                             "(requires tracing off; see docs/scaling.md)")
+    replay.add_argument("--checkpoint-out", default=None, metavar="FILE",
+                        help="where to write the --checkpoint-at capture "
+                             "(default: <trace>.ckpt.json)")
+    replay.add_argument("--resume-from", default=None, metavar="FILE",
+                        help="resume a checkpointed replay instead of "
+                             "starting from t=0 (bit-identical finish)")
     _add_fault_flags(replay)
     replay.set_defaults(func=_cmd_replay)
 

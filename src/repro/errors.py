@@ -103,17 +103,41 @@ class OutOfMemoryError(ReproError):
     """The simulated heap exceeded the host node's memory budget.
 
     Mirrors the "OM" bars of Fig. 16: without RAM folding, large DT classes
-    do not fit on a single host node.
+    do not fit on a single host node.  The message names the offending
+    rank (``rank is None`` for folded/shared allocations, which are
+    charged globally) and breaks the in-use total down into that rank's
+    private heap and the shared (folded) pool, so a breach at 10k ranks
+    is attributable without a debugger.
     """
 
-    def __init__(self, requested: int, in_use: int, limit: int):
-        super().__init__(
-            f"simulated allocation of {requested} B exceeds host memory: "
-            f"{in_use} B in use of {limit} B limit"
+    def __init__(
+        self,
+        requested: int,
+        in_use: int,
+        limit: int,
+        rank: int | None = None,
+        rank_bytes: int | None = None,
+        shared_bytes: int | None = None,
+    ):
+        who = "shared (folded) pool" if rank is None else f"rank {rank}"
+        message = (
+            f"simulated allocation of {requested} B by {who} exceeds host "
+            f"memory: {in_use} B in use of {limit} B limit"
         )
+        breakdown = []
+        if rank is not None and rank_bytes is not None:
+            breakdown.append(f"rank {rank} private: {rank_bytes} B")
+        if shared_bytes is not None:
+            breakdown.append(f"shared pool: {shared_bytes} B")
+        if breakdown:
+            message += f" ({', '.join(breakdown)})"
+        super().__init__(message)
         self.requested = requested
         self.in_use = in_use
         self.limit = limit
+        self.rank = rank
+        self.rank_bytes = rank_bytes
+        self.shared_bytes = shared_bytes
 
 
 class ConfigError(ReproError):

@@ -10,7 +10,10 @@ top of the same kernel, which makes the comparison concrete:
   envelopes and wait dependencies (SimGrid's TI-trace format in spirit);
 * :mod:`repro.offline.replay` — re-execute a trace on any platform /
   network model, without the application;
-* traces serialise to JSON for exchange (:class:`TiTrace.save`/``load``).
+* traces serialise to JSON for exchange (:class:`TiTrace.save`/``load``);
+* :mod:`repro.offline.snapshot` — checkpoint a replay mid-run at a
+  quiescent cut and resume it later (or in another process)
+  bit-identically; the scale path's warm starts (``docs/scaling.md``).
 
 The replayer reproduces the on-line simulator's timing exactly for the
 platform the trace was recorded on (a strong cross-check, asserted in the
@@ -21,8 +24,12 @@ choices), so what-if studies that change application behaviour need
 on-line simulation.
 """
 
-from .record import record_trace
+from .record import record_trace, record_trace_streaming
 from .replay import replay_trace
+from .snapshot import (load_checkpoint, resume_replay, save_checkpoint,
+                       warm_replay)
 from .trace import TiEvent, TiTrace
 
-__all__ = ["TiEvent", "TiTrace", "record_trace", "replay_trace"]
+__all__ = ["TiEvent", "TiTrace", "load_checkpoint", "record_trace",
+           "record_trace_streaming", "replay_trace", "resume_replay",
+           "save_checkpoint", "warm_replay"]

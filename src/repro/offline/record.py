@@ -21,42 +21,103 @@ Scope notes (the standard limitations of trace-based tooling, cf. paper
 from __future__ import annotations
 
 import itertools
+import json
+import os
+from pathlib import Path
 from typing import Any, Callable
 
 from ..smpi.runtime import SmpiResult, smpirun
 from ..surf.platform import Platform
 from .trace import TiEvent, TiTrace
 
-__all__ = ["Recorder", "record_trace"]
+__all__ = ["Recorder", "StreamingRecorder", "record_trace",
+           "record_trace_streaming"]
 
 
 class Recorder:
     """Accumulates one TI trace while an on-line simulation runs."""
 
     def __init__(self, n_ranks: int) -> None:
+        self.n_ranks = n_ranks
         self.trace = TiTrace(n_ranks)
         self._ids = itertools.count()
+
+    def _emit(self, rank: int, event: TiEvent) -> None:
+        self.trace.append(rank, event)
 
     # -- hooks called by the runtime/protocol --------------------------------------------
 
     def compute(self, rank: int, flops: float) -> None:
-        self.trace.append(rank, TiEvent("compute", (float(flops),)))
+        self._emit(rank, TiEvent("compute", (float(flops),)))
 
     def send(self, rank: int, dst: int, nbytes: int, tag: int, ctx: int) -> int:
         op_id = next(self._ids)
-        self.trace.append(
+        self._emit(
             rank, TiEvent("send", (op_id, dst, int(nbytes), tag, ctx))
         )
         return op_id
 
     def recv(self, rank: int, src: int, tag: int, ctx: int) -> int:
         op_id = next(self._ids)
-        self.trace.append(rank, TiEvent("recv", (op_id, src, tag, ctx)))
+        self._emit(rank, TiEvent("recv", (op_id, src, tag, ctx)))
         return op_id
 
     def wait(self, rank: int, op_ids: list[int]) -> None:
         if op_ids:
-            self.trace.append(rank, TiEvent("wait", (list(op_ids),)))
+            self._emit(rank, TiEvent("wait", (list(op_ids),)))
+
+
+class StreamingRecorder(Recorder):
+    """Recorder that spills events to disk under a bounded buffer.
+
+    Events append to a JSONL spill file (``[rank, [kind, *args]]`` per
+    line) instead of growing per-rank lists, so recording a 10k+-rank
+    run holds at most ``high_water`` events in memory while the
+    simulation is live.  :meth:`finish` regroups the spill into the
+    canonical :class:`~repro.offline.trace.TiTrace` JSON — that final
+    pass materialises the trace once, after simulation state is gone —
+    and the written file is byte-identical to ``TiTrace.save`` from an
+    in-memory recording.
+    """
+
+    def __init__(self, n_ranks: int, path: str | Path,
+                 high_water: int = 4096) -> None:
+        super().__init__(n_ranks)
+        self.trace = None  # streaming: no in-memory trace
+        self.path = Path(path)
+        self._spill_path = self.path.with_name(self.path.name + ".spill")
+        self._spill = open(self._spill_path, "w", encoding="utf-8")
+        self._buffer: list[str] = []
+        self._high_water = max(1, high_water)
+        self.n_events = 0
+
+    def _emit(self, rank: int, event: TiEvent) -> None:
+        self._buffer.append(json.dumps([rank, event.to_json()]))
+        self.n_events += 1
+        if len(self._buffer) >= self._high_water:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._buffer:
+            self._spill.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def finish(self, meta: dict | None = None) -> TiTrace:
+        """Regroup the spill into ``path`` (canonical TI JSON)."""
+        self._flush()
+        self._spill.close()
+        trace = TiTrace(self.n_ranks)
+        with open(self._spill_path, "r", encoding="utf-8") as spill:
+            for line in spill:
+                if not line.strip():
+                    continue
+                rank, row = json.loads(line)
+                trace.append(rank, TiEvent.from_json(row))
+        if meta:
+            trace.meta.update(meta)
+        trace.save(self.path)
+        os.unlink(self._spill_path)
+        return trace
 
 
 def record_trace(
@@ -81,3 +142,29 @@ def record_trace(
         }
     )
     return result, recorder.trace
+
+
+def record_trace_streaming(
+    app: Callable[..., Any],
+    n_ranks: int,
+    platform: Platform,
+    path: str | Path,
+    high_water: int = 4096,
+    **smpirun_kwargs: Any,
+) -> SmpiResult:
+    """Run ``app`` on-line and stream its TI trace straight to ``path``.
+
+    The constant-memory twin of :func:`record_trace`: events spill to
+    disk as they happen and the canonical trace file is assembled at the
+    end, byte-identical to ``record_trace(...)[1].save(path)``.
+    """
+    recorder = StreamingRecorder(n_ranks, path, high_water=high_water)
+    result = smpirun(app, n_ranks, platform, recorder=recorder,
+                     **smpirun_kwargs)
+    recorder.finish(
+        {
+            "recorded_on": platform.name,
+            "recorded_simulated_time": result.simulated_time,
+        }
+    )
+    return result

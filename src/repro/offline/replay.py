@@ -14,13 +14,21 @@ Invariants worth knowing:
 * the trace is tied to the recorded rank count and message sizes — the
   limitation the paper's §2 develops; :func:`replay_trace` refuses a
   mismatched rank count rather than silently mis-simulating.
+
+Replay runs are also the *checkpointable* runs of the scale path
+(``docs/scaling.md``): each rank's replayer exposes its position — next
+event index, in-flight requests, what it is blocked on — so
+:mod:`repro.offline.snapshot` can capture a mid-run cut and a later
+process can resume it bit-identically (``checkpoint_at=``/
+:func:`~repro.offline.snapshot.resume_replay`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, MpiError
+from ..smpi import constants
 from ..smpi import request as rq
 from ..smpi.config import SmpiConfig
 from ..smpi.request import Request
@@ -33,6 +41,135 @@ __all__ = ["replay_trace"]
 _EMPTY = np.zeros(0, dtype=np.uint8)
 
 
+class _RankReplayer:
+    """One rank's replay position, visible to the checkpoint layer.
+
+    The :meth:`run` generator is what the actor runs; the attributes are
+    what a snapshot serializes:
+
+    * ``next_index`` — the next trace event to process;
+    * ``live`` — in-flight requests by trace op id (issued, not waited);
+    * ``blocked`` — what the rank is parked on right now:
+      ``("compute", ExecActivity)``, ``("wait", [Request, ...])`` for a
+      recorded wait, ``("drain", [Request, ...])`` for the final implicit
+      waitall, or ``None`` while the rank holds the baton.
+
+    ``resume_block`` re-enters a restored block before the event loop
+    continues — the restored activity/requests wrap engine actions whose
+    numeric state the engine snapshot carried over.
+    """
+
+    def __init__(self, world: SmpiWorld, rank: int, events,
+                 next_index: int = 0, live: dict | None = None,
+                 resume_block=None) -> None:
+        self.world = world
+        self.rank = rank
+        self.events = events
+        self.next_index = next_index
+        self.live: dict[int, Request] = live if live is not None else {}
+        self.blocked = None
+        self._resume_block = resume_block
+
+    # -- blocking helpers (each mirrors the on-line runtime exactly) --------
+
+    def _co_compute(self, activity, flops: float):
+        world = self.world
+        actor = world.current_actor
+        start = world.engine.now
+        yield from activity.co_wait(actor)
+        self.blocked = None
+        if activity.failed:
+            raise MpiError(
+                constants.ERR_OTHER,
+                f"host failure killed compute burst on rank {self.rank}",
+            )
+        if world.config.tracing:
+            world.trace.compute(self.rank, flops, start, world.engine.now)
+
+    def _co_wait(self, pending: list[Request]):
+        yield from rq.co_waitall(pending)
+        self.blocked = None
+
+    # -- the actor body ------------------------------------------------------
+
+    def run(self):
+        # generator dialect, passed to add_actor as the *bound method* so
+        # backend selection sees a generator function and runs the
+        # replayer as a coroutine continuation, not a parked OS thread
+        world = self.world
+        protocol = world.protocol
+        rank = self.rank
+        if self._resume_block is not None:
+            kind, payload = self._resume_block
+            self._resume_block = None
+            self.blocked = (kind, payload)
+            if kind == "compute":
+                activity, flops = payload
+                yield from self._co_compute(activity, flops)
+            else:  # "wait" / "drain"
+                yield from self._co_wait(payload)
+        events = self.events
+        while self.next_index < len(events):
+            event = events[self.next_index]
+            self.next_index += 1
+            kind = event.kind
+            if kind == "compute":
+                flops = event.args[0]
+                if flops <= 0:
+                    continue
+                actor = world.current_actor
+                activity = world.scheduler.execute(
+                    actor, flops, f"exec-r{rank}")
+                self.blocked = ("compute", (activity, flops))
+                yield from self._co_compute(activity, flops)
+            elif kind == "send":
+                op_id, dst, nbytes, tag, ctx = event.args
+                request = Request(world, "send", rank)
+                protocol.start_send(
+                    src=rank, dst=dst, tag=tag, ctx=ctx,
+                    data=_EMPTY, request=request, wire_bytes=nbytes,
+                )
+                self.live[op_id] = request
+            elif kind == "recv":
+                op_id, src, tag, ctx = event.args
+                request = Request(world, "recv", rank)
+                protocol.start_recv(
+                    dst=rank, source=src, tag=tag, ctx=ctx,
+                    buffer=None, request=request,
+                )
+                self.live[op_id] = request
+            else:  # wait
+                (op_ids,) = event.args
+                pending = [self.live.pop(i) for i in op_ids
+                           if i in self.live]
+                if pending:
+                    self.blocked = ("wait", pending)
+                    yield from self._co_wait(pending)
+        # reap anything the application never waited on explicitly
+        leftovers = list(self.live.values())
+        self.live.clear()
+        if leftovers:
+            self.blocked = ("drain", leftovers)
+            yield from self._co_wait(leftovers)
+
+
+def _finish_result(world: SmpiWorld, trace: TiTrace, simulated: float,
+                   wall: float, checkpoint: dict | None) -> SmpiResult:
+    if world.trace.timeline is not None:
+        world.trace.timeline.close(simulated)
+        world.engine.stats.link_samples = world.trace.timeline.n_samples
+    world.trace.finish(simulated)
+    return SmpiResult(
+        simulated_time=simulated,
+        wall_time=wall,
+        returns=[None] * trace.n_ranks,
+        memory=world.memory.report(),
+        stats=world.engine.stats,
+        trace=world.trace,
+        checkpoint=checkpoint,
+    )
+
+
 def replay_trace(
     trace: TiTrace,
     platform: Platform,
@@ -42,11 +179,22 @@ def replay_trace(
     network_model=None,
     engine=None,
     ctx: str | None = None,
+    trace_sink=None,
+    checkpoint_at: float | None = None,
 ) -> SmpiResult:
     """Simulate the recorded execution on ``platform``.
 
     ``n_ranks`` may be passed for API symmetry but must equal the trace's
     rank count — a TI trace cannot be re-shaped (paper §2).
+
+    ``checkpoint_at`` arms mid-run checkpointing: at the first quiescent
+    scheduler cut with simulated clock >= the given date, the full
+    simulation state is captured (the run then continues normally) and
+    returned as ``result.checkpoint`` — feed it to
+    :func:`repro.offline.snapshot.resume_replay` (or save it with
+    :func:`~repro.offline.snapshot.save_checkpoint`) to warm-start a
+    later run from that cut.  Checkpointing requires tracing disabled
+    and no ``comm_timeout`` watchdogs (see ``docs/scaling.md``).
     """
     if n_ranks is not None and n_ranks != trace.n_ranks:
         raise ConfigError(
@@ -58,63 +206,26 @@ def replay_trace(
     import time
 
     world = SmpiWorld(platform, trace.n_ranks, hosts, config, network_model,
-                      engine, ctx=ctx)
+                      engine, ctx=ctx, trace_sink=trace_sink)
 
-    def make_replayer(rank: int):
-        events = trace.events[rank]
-
-        def replay_rank():
-            # generator dialect: the auto backend runs each replayer as a
-            # coroutine continuation instead of a parked OS thread
-
-            protocol = world.protocol
-            live: dict[int, Request] = {}
-            for event in events:
-                kind = event.kind
-                if kind == "compute":
-                    yield from world.co_execute_flops(event.args[0])
-                elif kind == "send":
-                    op_id, dst, nbytes, tag, ctx = event.args
-                    request = Request(world, "send", rank)
-                    protocol.start_send(
-                        src=rank, dst=dst, tag=tag, ctx=ctx,
-                        data=_EMPTY, request=request, wire_bytes=nbytes,
-                    )
-                    live[op_id] = request
-                elif kind == "recv":
-                    op_id, src, tag, ctx = event.args
-                    request = Request(world, "recv", rank)
-                    protocol.start_recv(
-                        dst=rank, source=src, tag=tag, ctx=ctx,
-                        buffer=None, request=request,
-                    )
-                    live[op_id] = request
-                else:  # wait
-                    (op_ids,) = event.args
-                    pending = [live.pop(i) for i in op_ids if i in live]
-                    if pending:
-                        yield from rq.co_waitall(pending)
-            # reap anything the application never waited on explicitly
-            leftovers = list(live.values())
-            if leftovers:
-                yield from rq.co_waitall(leftovers)
-
-        return replay_rank
-
+    replayers = []
     for rank in range(trace.n_ranks):
+        replayer = _RankReplayer(world, rank, trace.events[rank])
+        replayers.append(replayer)
         actor = world.scheduler.add_actor(
-            f"replay-{rank}", world.host_of(rank), make_replayer(rank)
+            f"replay-{rank}", world.host_of(rank), replayer.run
         )
         world.register_actor(rank, actor)
+
+    checkpoint_box: dict = {}
+    if checkpoint_at is not None:
+        from .snapshot import arm_checkpoint
+
+        arm_checkpoint(world, replayers, trace, checkpoint_at,
+                       checkpoint_box)
 
     wall_start = time.perf_counter()
     simulated = world.scheduler.run()
     wall = time.perf_counter() - wall_start
-    return SmpiResult(
-        simulated_time=simulated,
-        wall_time=wall,
-        returns=[None] * trace.n_ranks,
-        memory=world.memory.report(),
-        stats=world.engine.stats,
-        trace=world.trace,
-    )
+    return _finish_result(world, trace, simulated, wall,
+                          checkpoint_box.get("checkpoint"))

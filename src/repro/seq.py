@@ -1,0 +1,50 @@
+"""Resettable id sequencers.
+
+``itertools.count`` is the natural id allocator, but it has two problems
+at scale-path boundaries: its position cannot be *read* (so a snapshot
+cannot record where the counter stood) and it cannot be *set* (so a
+restored run cannot continue numbering where the original left off, and
+byte-identity checks between two runs in one process see drifting ids).
+:class:`Sequencer` is the drop-in replacement — ``next(seq)`` as before,
+plus ``peek`` and ``reset``.  Per-run state (message ids) uses one
+sequencer per world; process-global allocators (engine action ids) use a
+module-level sequencer that snapshots record and restores fast-forward.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Sequencer"]
+
+
+class Sequencer:
+    """A readable, settable monotone counter (``next()`` protocol)."""
+
+    __slots__ = ("_next",)
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = start
+
+    def __next__(self) -> int:
+        value = self._next
+        self._next = value + 1
+        return value
+
+    def __iter__(self) -> "Sequencer":
+        return self
+
+    @property
+    def peek(self) -> int:
+        """The id the next ``next()`` will return."""
+        return self._next
+
+    def reset(self, value: int = 0) -> None:
+        """Set the next id; a restore fast-forwards, tests rewind."""
+        self._next = value
+
+    def advance_to(self, value: int) -> None:
+        """Ensure the next id is at least ``value`` (never rewinds)."""
+        if value > self._next:
+            self._next = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Sequencer(next={self._next})"

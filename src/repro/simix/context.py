@@ -52,6 +52,12 @@ class Scheduler:
         self._runnable: deque[Actor] = deque()
         self._current: Actor | None = None
         self._running = False
+        #: optional callback invoked at every *quiescent cut* of the main
+        #: loop: every live actor is blocked on an activity, no actor is
+        #: runnable, and the engine has not yet stepped.  Checkpointing
+        #: hooks in here (see repro.offline.snapshot) — the callback may
+        #: observe but must not mutate simulation state.
+        self.on_quiescent: Callable[[], None] | None = None
 
     # -- setup ------------------------------------------------------------------
 
@@ -129,6 +135,8 @@ class Scheduler:
                 alive = [a for a in self.actors if not a.finished]
                 if not alive:
                     break
+                if self.on_quiescent is not None:
+                    self.on_quiescent()
                 # Step the engine until some completion made an actor
                 # runnable again (several steps may only expire latency
                 # phases or finish activities nobody waits on).  The

@@ -23,6 +23,7 @@ import numpy as np
 from ..errors import MpiError
 from . import constants
 from .datatype import BYTE, Datatype, from_numpy_dtype
+from .intern import BufferDescriptor, datatype_signature, intern_descriptor
 
 __all__ = ["BufferSpec", "resolve", "pack_object", "unpack_object"]
 
@@ -38,6 +39,22 @@ class BufferSpec:
     @property
     def nbytes(self) -> int:
         return self.count * self.datatype.size
+
+    @property
+    def descriptor(self) -> BufferDescriptor:
+        """The interned shape of this buffer (count + datatype signature).
+
+        Every rank of a folded application resolves the same specs, so
+        the descriptors — unlike the arrays — are perfect interning
+        candidates: one :class:`~repro.smpi.intern.BufferDescriptor`
+        object serves all 10k ranks.
+        """
+        return intern_descriptor(self.count, self.datatype)
+
+    @property
+    def signature(self) -> tuple:
+        """Interned (name, size, extent) signature of the datatype."""
+        return datatype_signature(self.datatype)
 
     def pack(self) -> np.ndarray:
         """Contiguous uint8 representation of the data to send."""

@@ -73,6 +73,13 @@ class SmpiConfig:
     #: record an event trace of every message and compute burst
     tracing: bool = False
 
+    #: fold byte-identical packed message payloads into one interned,
+    #: reference-counted copy (``SMPI_SHARED_MALLOC`` applied to the
+    #: message plane — see :mod:`repro.smpi.intern`).  At 10k+ folded
+    #: ranks every rank sends the same panel bytes, so the payload
+    #: population collapses to a handful of arrays.  Timing-neutral.
+    payload_interning: bool = True
+
     #: bandwidth-sharing fidelity of the engine this world builds:
     #: ``"exact"`` solves every share to the max-min fixed point,
     #: ``"approx"`` bounds per-event solver work (Narses-style capped

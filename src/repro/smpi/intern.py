@@ -1,0 +1,212 @@
+"""Content-keyed interning pool — RAM folding beyond user arrays.
+
+The paper's ``SMPI_SHARED_MALLOC`` folds identical per-rank *user* arrays
+into one allocation (:mod:`repro.smpi.shared`).  At 10k+ ranks the same
+redundancy appears one layer down: every rank of a folded application
+packs byte-identical message payloads, builds identical buffer
+descriptors ``(count, datatype)``, and carries identical datatype
+signatures.  :class:`InternPool` extends the folding to that rank state:
+values are stored once under a content key, handed out by reference, and
+reference-counted so the pool can drop them when the last user releases.
+
+Two pools exist in practice:
+
+* a process-global descriptor pool (:func:`intern_descriptor`,
+  :func:`datatype_signature`) for small immutable metadata — these live
+  for the process lifetime and are never released;
+* a per-:class:`~repro.smpi.runtime.SmpiWorld` payload pool
+  (``world.payload_pool``) folding packed message payloads, wired to the
+  world's :class:`~repro.smpi.memory.MemoryTracker` so the interned-vs-
+  naive byte gap is measurable (``MemoryReport.intern_naive_peak`` /
+  ``intern_stored_peak``).
+
+Interned payload arrays are frozen (``writeable=False``): receivers only
+ever copy out of them, and an accidental in-place write would corrupt
+every logical copy at once — freezing turns that bug into an exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "InternPool",
+    "BufferDescriptor",
+    "payload_key",
+    "intern_descriptor",
+    "datatype_signature",
+]
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+    refcount: int
+
+
+class InternPool:
+    """Reference-counted store of content-keyed values.
+
+    ``on_account(naive_delta, stored_delta)`` is invoked on every change
+    to the pool's byte accounting: *naive* bytes are what every acquirer
+    would have paid without interning, *stored* bytes are what the pool
+    actually holds.  The :class:`~repro.smpi.memory.MemoryTracker` plugs
+    in here so folding wins show up in :class:`MemoryReport`.
+    """
+
+    def __init__(
+        self, on_account: Callable[[int, int], None] | None = None
+    ) -> None:
+        self._entries: dict[Hashable, _Entry] = {}
+        self._on_account = on_account
+        #: total acquire() calls (naive allocation count)
+        self.acquires = 0
+        #: acquire() calls served by an existing entry
+        self.hits = 0
+        #: bytes all acquirers would hold without interning (current)
+        self.naive_bytes = 0
+        #: bytes the pool actually holds (current)
+        self.stored_bytes = 0
+
+    def _account(self, naive_delta: int, stored_delta: int) -> None:
+        self.naive_bytes += naive_delta
+        self.stored_bytes += stored_delta
+        if self._on_account is not None:
+            self._on_account(naive_delta, stored_delta)
+
+    def acquire(
+        self, key: Hashable, factory: Callable[[], Any], nbytes: int
+    ) -> Any:
+        """Return the value interned under ``key``, creating it on a miss.
+
+        ``factory`` builds the value only when ``key`` is new; ``nbytes``
+        is what one un-interned copy would cost.  Every acquire takes one
+        reference — pair it with :meth:`release`.
+        """
+        self.acquires += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = self._entries[key] = _Entry(factory(), nbytes, 0)
+            self._account(nbytes, nbytes)
+        else:
+            self.hits += 1
+            self._account(nbytes, 0)
+        entry.refcount += 1
+        return entry.value
+
+    def release(self, key: Hashable) -> bool:
+        """Drop one reference; returns True when the entry was evicted.
+
+        Unknown keys are ignored (idempotent release), matching how
+        protocol teardown paths may race a normal delivery release.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        entry.refcount -= 1
+        self._account(-entry.nbytes, 0)
+        if entry.refcount <= 0:
+            self._account(0, -entry.nbytes)
+            del self._entries[key]
+            return True
+        return False
+
+    def refcount(self, key: Hashable) -> int:
+        """Current reference count of ``key`` (0 when not interned)."""
+        entry = self._entries.get(key)
+        return 0 if entry is None else entry.refcount
+
+    @property
+    def saved_bytes(self) -> int:
+        """Bytes folding is currently saving (naive minus stored)."""
+        return self.naive_bytes - self.stored_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        """Plain-dict counters for result tables and ``EngineStats.extra``."""
+        return {
+            "acquires": self.acquires,
+            "hits": self.hits,
+            "entries": len(self._entries),
+            "naive_bytes": self.naive_bytes,
+            "stored_bytes": self.stored_bytes,
+            "saved_bytes": self.saved_bytes,
+        }
+
+
+def payload_key(data: np.ndarray) -> tuple:
+    """Content key of a packed payload: (length, blake2b digest).
+
+    blake2b is the fastest strong hash in the standard library; a 16-byte
+    digest makes accidental collisions across a simulation's payload
+    population (≪ 2^64 messages) negligible.
+    """
+    digest = hashlib.blake2b(data.tobytes(), digest_size=16).digest()
+    return (int(data.size), digest)
+
+
+@dataclass(frozen=True)
+class BufferDescriptor:
+    """Immutable shape of a buffer: what every rank's spec has in common."""
+
+    count: int
+    type_name: str
+    type_size: int
+    type_extent: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.count * self.type_size
+
+
+#: process-global pool for descriptors and datatype signatures; entries
+#: are tiny immutable records kept for the process lifetime (references
+#: are taken but never released — the folded copies were the point)
+DESCRIPTOR_POOL = InternPool()
+
+#: accounting estimate of one un-interned descriptor object (CPython
+#: object header + fields); only feeds the naive-vs-stored gap metric
+_DESCRIPTOR_COST = 64
+
+
+def intern_descriptor(count: int, datatype) -> BufferDescriptor:
+    """The interned :class:`BufferDescriptor` for ``(count, datatype)``."""
+    key = ("desc", count, datatype.name, datatype.size, datatype.extent)
+    return DESCRIPTOR_POOL.acquire(
+        key,
+        lambda: BufferDescriptor(
+            count, datatype.name, datatype.size, datatype.extent
+        ),
+        _DESCRIPTOR_COST,
+    )
+
+
+def intern_meta(*fields: Hashable) -> tuple:
+    """Intern an arbitrary tuple of hashable metadata fields.
+
+    The protocol stamps every request with its interned envelope
+    metadata ``(kind, tag, ctx, nbytes, ...)`` — at scale the population
+    of distinct envelopes is tiny compared to the request count, so one
+    tuple serves thousands of requests.
+    """
+    key = ("meta", *fields)
+    return DESCRIPTOR_POOL.acquire(
+        key, lambda: tuple(fields), _DESCRIPTOR_COST
+    )
+
+
+def datatype_signature(datatype) -> tuple:
+    """The interned (name, size, extent) signature of a datatype."""
+    key = ("dtsig", datatype.name, datatype.size, datatype.extent)
+    return DESCRIPTOR_POOL.acquire(
+        key,
+        lambda: (datatype.name, datatype.size, datatype.extent),
+        _DESCRIPTOR_COST,
+    )

@@ -32,6 +32,16 @@ class MemoryReport:
     per_rank_peak: list[int]
     shared_peak: int
     total_peak: int
+    #: bytes all interned-state acquirers would hold without folding
+    #: (shared_malloc refs + payload/descriptor interning), at the peak
+    intern_naive_peak: int = 0
+    #: bytes the interning pools actually held at that peak
+    intern_stored_peak: int = 0
+
+    @property
+    def intern_saved(self) -> int:
+        """Peak bytes rank-state interning avoided allocating."""
+        return self.intern_naive_peak - self.intern_stored_peak
 
     @property
     def max_rank_rss(self) -> int:
@@ -59,6 +69,10 @@ class MemoryTracker:
         self._shared_current = 0
         self._shared_peak = 0
         self._total_peak = RANK_BASELINE * n_ranks
+        self._intern_naive = 0
+        self._intern_stored = 0
+        self._intern_naive_peak = 0
+        self._intern_stored_at_naive_peak = 0
 
     # -- accounting -----------------------------------------------------------------
 
@@ -66,15 +80,24 @@ class MemoryTracker:
     def total_current(self) -> int:
         return sum(self._rank_current) + self._shared_current
 
-    def _check(self, extra: int) -> None:
+    def _check(self, extra: int, rank: int | None = None) -> None:
         if self.enforce and self.limit is not None:
             in_use = self.total_current
             if in_use + extra > self.limit:
-                raise OutOfMemoryError(extra, in_use, self.limit)
+                raise OutOfMemoryError(
+                    extra,
+                    in_use,
+                    self.limit,
+                    rank=rank,
+                    rank_bytes=(
+                        None if rank is None else self._rank_current[rank]
+                    ),
+                    shared_bytes=self._shared_current,
+                )
 
     def allocate(self, rank: int, nbytes: int) -> None:
         """Charge a private allocation to ``rank``."""
-        self._check(nbytes)
+        self._check(nbytes, rank=rank)
         self._rank_current[rank] += nbytes
         self._rank_peak[rank] = max(self._rank_peak[rank], self._rank_current[rank])
         self._total_peak = max(self._total_peak, self.total_current)
@@ -83,6 +106,21 @@ class MemoryTracker:
         self._rank_current[rank] -= nbytes
         if self._rank_current[rank] < 0:  # double free in user code
             self._rank_current[rank] = 0
+
+    def note_intern(self, naive_delta: int, stored_delta: int) -> None:
+        """Record interned-state accounting (pools report through here).
+
+        *Naive* bytes are what un-interned copies would cost, *stored*
+        bytes what the pools actually hold; the peak pair lands in
+        :class:`MemoryReport` so the folding win is measurable.  Interned
+        state is never charged against the enforcement limit — it exists
+        precisely because those copies were **not** allocated.
+        """
+        self._intern_naive += naive_delta
+        self._intern_stored += stored_delta
+        if self._intern_naive > self._intern_naive_peak:
+            self._intern_naive_peak = self._intern_naive
+            self._intern_stored_at_naive_peak = self._intern_stored
 
     def allocate_shared(self, nbytes: int) -> None:
         """Charge a folded allocation once, globally."""
@@ -101,4 +139,6 @@ class MemoryTracker:
             per_rank_peak=list(self._rank_peak),
             shared_peak=self._shared_peak,
             total_peak=self._total_peak,
+            intern_naive_peak=self._intern_naive_peak,
+            intern_stored_peak=self._intern_stored_at_naive_peak,
         )

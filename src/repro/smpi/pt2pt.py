@@ -35,6 +35,7 @@ from ..simix.contexts import run_blocking
 from ..simix.mailbox import Mailbox
 from . import constants
 from .buffer import BufferSpec
+from .intern import intern_meta, payload_key
 from .request import Request
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,6 +44,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["Message", "Protocol"]
 
 _log = get_logger("smpi.pt2pt")
+#: fallback allocator for messages built outside a Protocol (tests);
+#: protocol-created messages draw from the per-world sequencer so runs
+#: are reproducible within one process and snapshots can restore it
 _msg_ids = itertools.count()
 
 
@@ -78,6 +82,9 @@ class Message:
     #: whether the transfer pays the rendezvous handshake (memoised so
     #: retries reproduce the protocol timing of the original attempt)
     handshake: bool = False
+    #: content key of the interned payload (None when the payload was not
+    #: interned); released back to the world's pool at delivery/failure
+    payload_key: tuple | None = None
 
     def __post_init__(self) -> None:
         if self.wire_bytes < 0:
@@ -164,8 +171,25 @@ class Protocol:
             eager = True
         else:
             eager = nbytes <= cfg.eager_threshold
+        request.meta = intern_meta("send", tag, ctx, nbytes, eager)
+        key: tuple | None = None
+        pool = getattr(self.world, "payload_pool", None)
+        if pool is not None and cfg.payload_interning and data.size:
+            # Fold byte-identical payloads: the array becomes pool-owned
+            # and read-only (receivers only copy out of it), so 10k ranks
+            # sending the same panel share one copy.  ``data`` must be a
+            # freshly packed array, which every library call site passes.
+            key = payload_key(data)
+            local = data
+
+            def freeze() -> np.ndarray:
+                local.setflags(write=False)
+                return local
+
+            data = pool.acquire(key, freeze, int(local.size))
         message = Message(src, dst, tag, ctx, data, eager,
-                          wire_bytes=nbytes, send_req=request)
+                          wire_bytes=nbytes, send_req=request,
+                          payload_key=key, mid=next(self.world.msg_seq))
         if self.world.recorder is not None:
             request.trace_id = self.world.recorder.send(src, dst, nbytes, tag, ctx)
         request.message = message
@@ -206,6 +230,10 @@ class Protocol:
             )
         if self.world.recorder is not None:
             request.trace_id = self.world.recorder.recv(dst, source, tag, ctx)
+        request.meta = intern_meta(
+            "recv", tag, ctx,
+            -1 if buffer is None else buffer.descriptor.nbytes,
+        )
         posted, unexpected = self._queues(ctx, dst)
         recv = _PostedRecv(source, tag, ctx, request, buffer)
         message = unexpected.pop_first(lambda m: m.matches(source, tag))
@@ -257,6 +285,14 @@ class Protocol:
             self.world.scheduler.wake(actor)
 
     # -- internals -----------------------------------------------------------------------
+
+    def _release_payload(self, message: Message) -> None:
+        """Drop the message's pool reference once its payload was consumed."""
+        key, message.payload_key = message.payload_key, None
+        if key is not None:
+            pool = getattr(self.world, "payload_pool", None)
+            if pool is not None:
+                pool.release(key)
 
     def _bind(self, message: Message, recv: _PostedRecv) -> None:
         message.recv_req = recv.request
@@ -394,6 +430,7 @@ class Protocol:
             if req is not None:
                 req.error_exc = error
                 req.finish()
+        self._release_payload(message)
 
     def fail_peer(self, rank: int) -> None:
         """Fail every pending operation talking to a now-dead rank.
@@ -429,6 +466,7 @@ class Protocol:
                 if message.send_req is not None:
                     message.send_req.error_exc = error
                     message.send_req.finish()
+                self._release_payload(message)
 
     def _deliver(self, message: Message) -> None:
         """Copy payload into the receive buffer and complete the recv."""
@@ -446,5 +484,9 @@ class Protocol:
                 request.raw_data = message.data  # type: ignore[attr-defined]
         except Exception as exc:  # delivery failure: report in the owner rank
             request.error_exc = exc
+        finally:
+            # buffered deliveries copied the bytes out; raw-data receives
+            # hold their own array reference, so the pool ref can drop
+            self._release_payload(message)
         request.received_bytes = message.nbytes
         request.finish()

@@ -14,10 +14,10 @@ persistent request makes it *inactive* rather than freeing it.
 
 from __future__ import annotations
 
-import itertools
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import MpiError
+from ..seq import Sequencer
 from ..simix.contexts import run_blocking
 from . import constants
 from .status import Status
@@ -49,7 +49,9 @@ __all__ = [
     "co_testsome",
 ]
 
-_ids = itertools.count()
+#: a Sequencer so replay checkpoints can record the position and a
+#: restored run can re-stamp the serialized rids, then fast-forward
+_ids = Sequencer()
 
 
 class Request:
@@ -69,6 +71,10 @@ class Request:
         self.message: "Message | None" = None
         #: id in the recorded time-independent trace, if recording
         self.trace_id: int | None = None
+        #: interned envelope metadata ``(kind, tag, ctx, nbytes)`` stamped
+        #: by the protocol — one tuple object per distinct envelope shape,
+        #: however many requests carry it (see :mod:`repro.smpi.intern`)
+        self.meta: tuple | None = None
         #: delivery-time failure (e.g. truncation), re-raised in the
         #: owning rank when it waits/tests the request
         self.error_exc: BaseException | None = None
@@ -224,6 +230,9 @@ def _describe_requests(requests: list[Request]) -> str:
         message = req.message
         if message is not None:
             return f"{req.kind} {message.src}->{message.dst} tag {message.tag}"
+        if req.meta is not None:  # envelope known even before matching
+            _kind, tag, _ctx, *_rest = req.meta
+            return f"unmatched {req.kind} tag {tag}"
         return f"unmatched {req.kind}"
 
     parts = [one(r) for r in requests[:4]]

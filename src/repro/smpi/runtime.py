@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterator
 import numpy as np
 
 from ..errors import MpiError, SimulationError
+from ..seq import Sequencer
 from ..simix import Scheduler
 from ..simix.actor import Actor
 from ..simix.contexts import run_blocking
@@ -38,6 +39,7 @@ from . import constants
 from .comm import Communicator
 from .config import SmpiConfig
 from .group import Group
+from .intern import InternPool
 from .memory import MemoryReport, MemoryTracker
 from .pt2pt import Protocol
 from .sampling import Sampler
@@ -59,6 +61,7 @@ class SmpiWorld:
         engine: Engine | None = None,
         recorder=None,
         ctx: str | None = None,
+        trace_sink=None,
     ) -> None:
         self.config = config or SmpiConfig()
         #: optional repro.offline.record.Recorder observing this run
@@ -70,10 +73,15 @@ class SmpiWorld:
         # ``ctx`` picks the execution-context backend ranks run on
         # (auto/coroutine/greenlet/thread; see repro.simix.contexts)
         self.scheduler = Scheduler(self.engine, ctx)
+        #: per-world message-id allocator — per-run ids keep repeated
+        #: runs in one process byte-identical and snapshots restorable
+        self.msg_seq = Sequencer()
         self.protocol = Protocol(self)
         self.sampler = Sampler(self)
         self.heap = SharedHeap(self)
-        self.trace = Tracer()
+        # a streaming sink (repro.trace.sink) keeps trace memory bounded:
+        # closed records flush to disk instead of accumulating in lists
+        self.trace = Tracer(sink=trace_sink)
         if self.config.tracing:
             # engine-level observability: per-link utilization sampling
             # piggybacks on the incremental share (PacketEngine and other
@@ -103,6 +111,10 @@ class SmpiWorld:
         self.memory = MemoryTracker(
             n_ranks, limit=limit, enforce=self.config.enforce_memory_limit
         )
+        #: content-keyed pool folding byte-identical packed payloads
+        #: (``config.payload_interning``); accounting lands in the
+        #: memory tracker's interned-vs-naive counters
+        self.payload_pool = InternPool(on_account=self.memory.note_intern)
 
         self._actors: list[Actor] = []
         self._actor_rank: dict[int, int] = {}  # actor aid -> world rank
@@ -296,6 +308,9 @@ class SmpiResult:
     stats: Any
     trace: Tracer
     sampler_stats: dict = field(default_factory=dict)
+    #: mid-run checkpoint captured by ``replay_trace(checkpoint_at=...)``
+    #: (None otherwise); see :mod:`repro.offline.snapshot`
+    checkpoint: dict | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -428,6 +443,7 @@ def smpirun(
     engine: Engine | None = None,
     recorder=None,
     ctx: str | None = None,
+    trace_sink=None,
 ) -> SmpiResult:
     """Simulate ``app`` on ``n_ranks`` MPI processes over ``platform``.
 
@@ -450,7 +466,7 @@ def smpirun(
     if n_ranks < 1:
         raise SimulationError("need at least one MPI rank")
     world = SmpiWorld(platform, n_ranks, hosts, config, network_model, engine,
-                      recorder=recorder, ctx=ctx)
+                      recorder=recorder, ctx=ctx, trace_sink=trace_sink)
 
     if inspect.isgeneratorfunction(app):
         def make_main(rank: int) -> Callable[[], Any]:
@@ -482,12 +498,23 @@ def smpirun(
     if world.trace.timeline is not None:
         world.trace.timeline.close(simulated)
         world.engine.stats.link_samples = world.trace.timeline.n_samples
+    world.trace.finish(simulated)
+
+    memory = world.memory.report()
+    if world.payload_pool.acquires or memory.intern_naive_peak:
+        # surface the interned-vs-naive gap next to the engine counters
+        world.engine.stats.extra["interning"] = {
+            "payload": world.payload_pool.stats(),
+            "naive_peak_bytes": memory.intern_naive_peak,
+            "stored_peak_bytes": memory.intern_stored_peak,
+            "saved_bytes": memory.intern_saved,
+        }
 
     return SmpiResult(
         simulated_time=simulated,
         wall_time=wall,
         returns=[actor.result for actor in world.scheduler.actors[:n_ranks]],
-        memory=world.memory.report(),
+        memory=memory,
         stats=world.engine.stats,
         trace=world.trace,
         sampler_stats=world.sampler.site_stats(),

@@ -59,6 +59,9 @@ class SharedHeap:
         if block is None:
             array = np.zeros(shape, dtype=dtype)
             self.world.memory.allocate_shared(array.nbytes)
+            # first reference stores the bytes once; further refs below
+            # only grow the naive (what-unfolded-ranks-would-pay) side
+            self.world.memory.note_intern(array.nbytes, array.nbytes)
             block = self._shared[key] = _SharedBlock(array, array.nbytes, 0)
         else:
             requested = tuple(shape) if np.iterable(shape) else (int(shape),)
@@ -67,6 +70,7 @@ class SharedHeap:
                     constants.ERR_ARG,
                     f"shared_malloc({key!r}): shape/dtype mismatch across ranks",
                 )
+            self.world.memory.note_intern(block.nbytes, 0)
         block.refcount += 1
         return block.array
 
@@ -76,8 +80,10 @@ class SharedHeap:
         if block is None:
             raise MpiError(constants.ERR_ARG, f"shared_free({key!r}): unknown block")
         block.refcount -= 1
+        self.world.memory.note_intern(-block.nbytes, 0)
         if block.refcount <= 0:
             self.world.memory.free_shared(block.nbytes)
+            self.world.memory.note_intern(0, -block.nbytes)
             del self._shared[key]
 
     # -- private (unfolded) allocations -----------------------------------------------------
@@ -100,3 +106,8 @@ class SharedHeap:
     @property
     def shared_keys(self) -> list[str]:
         return list(self._shared)
+
+    def shared_refcount(self, key: str) -> int:
+        """Live reference count of a folded block (0 = not allocated)."""
+        block = self._shared.get(key)
+        return 0 if block is None else block.refcount

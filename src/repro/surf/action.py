@@ -33,18 +33,23 @@ on pop rather than eagerly deleted.
 from __future__ import annotations
 
 import enum
-import itertools
 import math
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..errors import SimulationError
+from ..seq import Sequencer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .resources import Host, Link
 
 __all__ = ["ActionState", "Action", "NetworkAction", "ComputeAction", "SleepAction"]
 
-_ids = itertools.count()
+#: process-wide action id allocator.  A Sequencer (not itertools.count)
+#: because aids are ordering-significant — completion-heap ties break on
+#: aid and harvests deliver observers aid-sorted — so an engine snapshot
+#: records the position and a restore fast-forwards past every
+#: serialized aid, keeping restored and uninterrupted runs identical.
+_ids = Sequencer()
 
 
 class ActionState(enum.Enum):

@@ -64,6 +64,7 @@ from itertools import islice
 from ..errors import SimulationError
 from ..log import bind_clock, get_logger
 from .action import Action, ActionState, ComputeAction, NetworkAction, SleepAction
+from .action import _ids as _action_ids
 from .cpu_model import CpuModel
 from .maxmin import (
     APPROX_MAX_ROUNDS,
@@ -76,9 +77,13 @@ from .network_model import FactorsNetworkModel, NetworkModel
 from .platform import Platform
 from .resources import Host, Link, SharingPolicy
 
-__all__ = ["Engine", "EngineStats"]
+__all__ = ["Engine", "EngineStats", "SNAPSHOT_VERSION"]
 
 _log = get_logger("surf")
+
+#: wire-format version of :meth:`Engine.snapshot` payloads; bump on any
+#: layout change so stale checkpoints are rejected instead of misread
+SNAPSHOT_VERSION = 1
 
 
 @dataclass
@@ -239,8 +244,11 @@ class Engine:
         #: ``"capacity"`` (the SMPI runtime uses these for fault semantics
         #: and failure tracing)
         self.resource_listeners: list = []
-        #: installed profile cursors: (resource, kind, event iterator)
-        self._profile_cursors: list[tuple] = []
+        #: installed profile cursors: [resource, kind, event iterator,
+        #: points pulled so far] — the pull count is what a snapshot
+        #: records, so a restore can re-consume the same prefix of the
+        #: (possibly infinite) profile
+        self._profile_cursors: list[list] = []
         #: min-heap of (time, cursor index, value) upcoming profile points
         self._profile_heap: list[tuple[float, int, float]] = []
         #: per-resource utilization timeline; None (the default) keeps the
@@ -881,7 +889,7 @@ class Engine:
                 f"unknown profile kind {kind!r} (availability or state)"
             )
         cursor = len(self._profile_cursors)
-        self._profile_cursors.append((resource, kind, profile.iter_events()))
+        self._profile_cursors.append([resource, kind, profile.iter_events(), 0])
         self._advance_cursor(cursor)
         self._fire_profiles_due()
 
@@ -896,7 +904,9 @@ class Engine:
     def _advance_cursor(self, cursor: int) -> None:
         """Schedule the next point of one profile (pulled one at a time,
         so infinite periodic profiles never materialize)."""
-        entry = next(self._profile_cursors[cursor][2], None)
+        record = self._profile_cursors[cursor]
+        entry = next(record[2], None)
+        record[3] += 1
         if entry is not None:
             heappush(self._profile_heap, (entry[0], cursor, entry[1]))
 
@@ -913,7 +923,7 @@ class Engine:
         heap = self._profile_heap
         while heap and heap[0][0] <= self.now:
             _t, cursor, value = heappop(heap)
-            resource, kind, _events = self._profile_cursors[cursor]
+            resource, kind = self._profile_cursors[cursor][:2]
             if kind == "state":
                 if value <= 0.0:
                     self.fail_resource(resource)
@@ -922,3 +932,256 @@ class Engine:
             else:
                 self.set_availability(resource, value)
             self._advance_cursor(cursor)
+
+    # -- snapshot / restore (docs/scaling.md) -----------------------------------
+
+    def snapshot(self) -> dict:
+        """Serialize the engine's full dynamic state as a plain dict.
+
+        The payload is JSON-compatible (Python's ``json`` round-trips the
+        ``inf``/``nan`` values the numeric fields legitimately hold) and
+        :meth:`restore` rebuilds an engine from it that continues the run
+        **bit-identically** to the uninterrupted one: action ids, heap
+        tie-breaks, solver re-solve order and float trajectories are all
+        preserved.  Observers are *not* captured — they are closures into
+        the layer driving the engine, and that layer (see
+        ``repro.offline.snapshot``) re-attaches its own observers to the
+        actions :meth:`restore` returns.
+
+        A snapshot is only taken at a *quiescent* cut: every completion
+        already delivered.  The capture refuses (raising
+        :class:`SimulationError`) when undelivered completions are queued,
+        when an :meth:`at` callback is pending (its closure cannot be
+        serialized), when a timeline is attached (utilization series are
+        streamed, not checkpointed), or under the ``full_reshare`` /
+        ``eager_updates`` oracle modes.
+        """
+        if self.full_reshare or self.eager_updates:
+            raise SimulationError(
+                "snapshot supports the default lazy/incremental engine only"
+            )
+        if self._instant_done or self._finished:
+            raise SimulationError(
+                "engine is not quiescent: completions await delivery "
+                "(step once more, then capture)"
+            )
+        if self.timeline is not None:
+            raise SimulationError(
+                "snapshot does not capture the utilization timeline; "
+                "checkpoint runs with tracing disabled"
+            )
+        for action in self.pending.values():
+            if action.name.startswith("at-"):
+                raise SimulationError(
+                    f"pending scheduled callback {action.name!r} cannot be "
+                    "snapshotted (its closure is not serializable)"
+                )
+
+        solver = self._solver
+        members = []
+        for aid in solver.flow_keys_in_seq_order():
+            try:
+                rate = solver.rate(aid)
+            except KeyError:  # enrolled but never solved (NaN sentinel)
+                rate = None
+            members.append([aid, rate])
+        retired_aids = {a.aid for a in self._retired}
+        actions = [self._serialize_action(a) for a in self.pending.values()]
+        actions += [self._serialize_action(a) for a in self._retired
+                    if a.aid not in self.pending]
+        return {
+            "version": SNAPSHOT_VERSION,
+            "sharing": self.sharing,
+            "now": self.now,
+            "stats": self.stats.to_dict(),
+            "availability": dict(self._availability),
+            "dead_resources": sorted(self._dead_resources),
+            "next_aid": _action_ids.peek,
+            "actions": actions,
+            "pending": list(self.pending),
+            "heap": [list(entry) for entry in self._heap],
+            "newly_running": [a.aid for a in self._newly_running],
+            "retired": sorted(retired_aids),
+            "needs_share": self._needs_share,
+            "members": members,
+            "dirty_cons": [self._resource_ref(key)
+                           for key in solver._dirty_cons],
+            "dirty_flows": sorted(solver._dirty_flows),
+            "profiles": [
+                {"resource": self._resource_ref(record[0]),
+                 "kind": record[1], "pulls": record[3]}
+                for record in self._profile_cursors
+            ],
+            "profile_heap": [list(entry) for entry in self._profile_heap],
+        }
+
+    @staticmethod
+    def _resource_ref(resource: "Link | Host") -> list:
+        return ["host" if isinstance(resource, Host) else "link",
+                resource.name]
+
+    def _resource_by_ref(self, ref) -> "Link | Host":
+        rtype, name = ref
+        return (self.platform.host(name) if rtype == "host"
+                else self.platform.link(name))
+
+    def _serialize_action(self, action: Action) -> dict:
+        data = {
+            "aid": action.aid,
+            "name": action.name,
+            "state": action.state.name,
+            "remaining": action.remaining,
+            "latency_remaining": action.latency_remaining,
+            "rate": action.rate,
+            "rate_bound": action.rate_bound,
+            "weight": action.weight,
+            "start_time": action.start_time,
+            "finish_time": action.finish_time,
+            "last_touched": action.last_touched,
+            "deadline": action.deadline,
+            "epoch": action.epoch,
+        }
+        if isinstance(action, NetworkAction):
+            data["kind"] = "network"
+            data["src"] = action.src
+            data["dst"] = action.dst
+            data["size"] = action.size
+            data["routed"] = bool(action.links)
+        elif isinstance(action, ComputeAction):
+            data["kind"] = "compute"
+            data["host"] = action.host.name
+        elif isinstance(action, SleepAction):
+            data["kind"] = "sleep"
+        else:
+            raise SimulationError(
+                f"cannot snapshot action of type {type(action).__name__}"
+            )
+        return data
+
+    def _revive_action(self, data: dict) -> Action:
+        """Rebuild one serialized action, observer-less, slots verbatim."""
+        kind = data["kind"]
+        if kind == "network":
+            action = NetworkAction.__new__(NetworkAction)
+            if data["routed"]:
+                # re-derive the link tuple from the (frozen, hence
+                # identical) platform topology; the numeric state is
+                # never re-derived from the network model
+                action.links = self.platform.route(
+                    data["src"], data["dst"]).links
+            else:
+                action.links = ()
+            action.src = data["src"]
+            action.dst = data["dst"]
+            action.size = float(data["size"])
+            action.payload = None
+        elif kind == "compute":
+            action = ComputeAction.__new__(ComputeAction)
+            action.host = self.platform.host(data["host"])
+        elif kind == "sleep":
+            action = SleepAction.__new__(SleepAction)
+        else:
+            raise SimulationError(f"unknown serialized action kind {kind!r}")
+        action.aid = data["aid"]
+        action.name = data["name"]
+        action.state = ActionState[data["state"]]
+        action.remaining = data["remaining"]
+        action.latency_remaining = data["latency_remaining"]
+        action.rate = data["rate"]
+        action.rate_bound = data["rate_bound"]
+        action.weight = data["weight"]
+        action.start_time = data["start_time"]
+        action.finish_time = data["finish_time"]
+        action.last_touched = data["last_touched"]
+        action.deadline = data["deadline"]
+        action.epoch = data["epoch"]
+        action.observer = None
+        return action
+
+    @classmethod
+    def restore(
+        cls,
+        platform: Platform,
+        snap: dict,
+        network_model: NetworkModel | None = None,
+        cpu_model: CpuModel | None = None,
+    ) -> tuple["Engine", dict]:
+        """Rebuild an engine from a :meth:`snapshot` payload.
+
+        Returns ``(engine, actions)`` where ``actions`` maps each
+        serialized aid to its revived :class:`Action` so the driving
+        layer can re-attach observers.  ``platform`` must be the platform
+        the snapshot was taken on (same topology and nominal capacities),
+        and ``network_model``/``cpu_model`` must equal the original run's
+        for the continuation to stay bit-identical — the snapshot stores
+        every in-flight action's *numeric* state verbatim, but actions
+        created after the restore consult the models again.
+        """
+        version = snap.get("version")
+        if version != SNAPSHOT_VERSION:
+            raise SimulationError(
+                f"engine snapshot version {version!r} is not the supported "
+                f"version {SNAPSHOT_VERSION}"
+            )
+        engine = cls(platform, network_model=network_model,
+                     cpu_model=cpu_model, sharing=snap["sharing"])
+        # undo the construction-time profile install; cursors are re-wound
+        # to their serialized positions below
+        engine._profile_cursors = []
+        engine._profile_heap = []
+
+        engine.now = snap["now"]
+        engine.stats = EngineStats.from_dict(snap["stats"])
+        engine._availability = dict(snap["availability"])
+        engine._dead_resources = set(snap["dead_resources"])
+        engine._needs_share = snap["needs_share"]
+
+        actions: dict[int, Action] = {}
+        for data in snap["actions"]:
+            action = engine._revive_action(data)
+            actions[action.aid] = action
+        engine.pending = {aid: actions[aid] for aid in snap["pending"]}
+        engine._heap = [tuple(entry) for entry in snap["heap"]]
+        engine._newly_running = [actions[aid]
+                                 for aid in snap["newly_running"]]
+        engine._retired = [actions[aid] for aid in snap["retired"]]
+
+        # Solver: re-enroll every member flow in original seq order (so
+        # component re-solves sort members identically), seed the solved
+        # rates, then reset dirtiness to exactly the serialized cut.
+        # Component solves run progressive filling from scratch, so this
+        # state is indistinguishable from having solved its way here.
+        solver = engine._solver
+        for aid, rate in snap["members"]:
+            engine._enroll(actions[aid])
+            if rate is not None:
+                solver.seed_rate(aid, rate)
+        solver.clear_dirty()
+        for ref in snap["dirty_cons"]:
+            solver.mark_dirty(engine._resource_by_ref(ref))
+        for aid in snap["dirty_flows"]:
+            solver.mark_flow_dirty(aid)
+
+        # Profiles: re-open each (platform-attached) profile and discard
+        # the consumed prefix; the upcoming-point heap is restored
+        # verbatim so firing order and tie-breaks are preserved.
+        for spec in snap["profiles"]:
+            resource = engine._resource_by_ref(spec["resource"])
+            profile = getattr(resource, f"{spec['kind']}_profile", None)
+            if profile is None:
+                raise SimulationError(
+                    f"snapshot references a {spec['kind']} profile on "
+                    f"{resource.name!r} that the platform does not carry"
+                )
+            events = profile.iter_events()
+            for _ in range(spec["pulls"]):
+                next(events, None)
+            engine._profile_cursors.append(
+                [resource, spec["kind"], events, spec["pulls"]])
+        engine._profile_heap = [tuple(entry)
+                                for entry in snap["profile_heap"]]
+
+        # continue numbering where the original left off: heap ties break
+        # on aid and harvests deliver aid-sorted, so ids must line up
+        _action_ids.advance_to(snap["next_aid"])
+        return engine, actions

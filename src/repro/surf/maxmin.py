@@ -772,10 +772,49 @@ class IncrementalMaxMin:
         """Whether the resource ``key`` was ever registered as a constraint."""
         return key in self._cons
 
+    # -- snapshot/restore support ---------------------------------------------
+
+    def seed_rate(self, key, rate: float) -> None:
+        """Set a flow's solved rate directly, without dirtying anything.
+
+        Snapshot restore uses this to re-create the exact post-solve
+        state: flows are re-added (which marks everything dirty), rates
+        seeded from the serialized run, and :meth:`clear_dirty` called —
+        after which the solver is indistinguishable from one that solved
+        its way here.  Component solves run progressive filling from
+        zero, independent of prior rates, so seeded membership +
+        capacities + rates give bit-identical continuations.
+        """
+        self._rate_arr[self._flows[key].slot] = rate
+
+    def clear_dirty(self) -> None:
+        """Forget all dirtiness (snapshot restore bookkeeping)."""
+        self._dirty_flows.clear()
+        self._dirty_cons.clear()
+
+    def flow_keys_in_seq_order(self) -> list:
+        """Live flow keys in registration order.
+
+        A restore must re-add flows in this order: component solves sort
+        members by ``seq``, so preserving relative registration order is
+        what keeps re-solves deterministic across snapshot boundaries.
+        """
+        return [f.key for f in sorted(self._flows.values(),
+                                      key=lambda f: f.seq)]
+
     def mark_dirty(self, key) -> None:
         """Force re-solving of the component around constraint ``key``."""
         if key in self._cons:
             self._dirty_cons.add(key)
+
+    def mark_flow_dirty(self, key) -> None:
+        """Force re-solving of the component around flow ``key``.
+
+        Snapshot restore uses this (after :meth:`clear_dirty`) to re-mark
+        exactly the flows the serialized run had dirty at the cut.
+        """
+        if key in self._flows:
+            self._dirty_flows.add(key)
 
     def rate(self, key) -> float:
         """Last solved rate of flow ``key``."""

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import hashlib
 import inspect
+import math
 
 import numpy as np
 
@@ -92,11 +93,76 @@ def allreduce(size: int = 32 * 1024, reps: int = 2, flops: float = 0.0):
     return app
 
 
+def hpl(n: int = 4096, nb: int = 256, pivot: bool = False):
+    """HPL (LINPACK) communication skeleton on a P x Q process grid.
+
+    The benchmark the paper's scale argument is about: right-looking LU
+    with ``n/nb`` panel steps.  Each step factorizes the panel on its
+    owner column (compute), pipelines the panel along the process row (a
+    ring broadcast of identical blocks — the payload interner folds the
+    copies across all rows), then charges every rank its share of the
+    trailing-matrix update, which shrinks as the factorization advances.
+    ``pivot=True`` adds a per-step row exchange (partial-pivoting
+    traffic).  A *skeleton*: the numerics are placeholders; the message
+    pattern, sizes and flop counts scale like the real benchmark's.
+
+    The panel buffer is a folded ``shared_malloc`` block (the paper's
+    ``SMPI_SHARED_MALLOC``): at 10k+ ranks the working set stays one
+    panel, not one per rank, which is what keeps the scale benchmark
+    (``benchmarks/bench_scale_ranks.py``) inside a single node.
+    """
+    panel_words = max(1, nb * nb)
+
+    def app(mpi):
+        size = mpi.size
+        p = max(1, int(math.sqrt(size)))
+        while size % p:
+            p -= 1
+        q = size // p
+        row, col = divmod(mpi.rank, q)
+        comm = mpi.COMM_WORLD
+        panel = mpi.shared_malloc("hpl-panel", panel_words)
+        n_panels = max(1, n // nb)
+        for k in range(n_panels):
+            frac = 1.0 - k / n_panels  # trailing-matrix fraction left
+            owner_col = k % q
+            rows_below = max(nb, int(n * frac))
+            if col == owner_col:
+                # panel factorization on the owning column
+                yield from mpi.co.execute(2.0 * nb * nb * rows_below / p)
+            if q > 1:
+                # pipelined ring broadcast along the process row
+                right = row * q + (col + 1) % q
+                left = row * q + (col - 1) % q
+                if col == owner_col:
+                    yield from comm.co.Send(panel, dest=right, tag=k)
+                else:
+                    yield from comm.co.Recv(panel, source=left, tag=k)
+                    if (col + 1) % q != owner_col:
+                        yield from comm.co.Send(panel, dest=right, tag=k)
+            if pivot and p > 1:
+                # partial-pivoting row exchange: shift a pivot row down
+                # the process column (circularly), receive from above
+                down = ((row + 1) % p) * q + col
+                up = ((row - 1) % p) * q + col
+                swap = panel[: max(1, nb)]
+                yield from comm.co.Sendrecv(swap, down, n_panels + k,
+                                            swap, up, n_panels + k)
+            # trailing-matrix update: this rank's share of 2*m*n*NB flops
+            local_rows = n * frac / p
+            local_cols = n * frac / q
+            yield from mpi.co.execute(2.0 * nb * local_rows * local_cols)
+        return float(panel[0])
+
+    return app
+
+
 #: registry of built-in workload factories, by spec ``builtin`` name
 WORKLOADS = {
     "pingpong": pingpong,
     "ring": ring,
     "allreduce": allreduce,
+    "hpl": hpl,
 }
 
 

@@ -17,6 +17,7 @@ from .analysis import (
 )
 from .gantt import ascii_gantt, svg_gantt
 from .paje import export_paje, parse_paje
+from .sink import CsvStreamSink, PajeStreamSink, TraceSink
 from .timeline import LinkUsage, Timeline
 from .tracer import CommRecord, ComputeRecord, ResourceEventRecord, Tracer
 
@@ -24,10 +25,13 @@ __all__ = [
     "CommRecord",
     "ComputeRecord",
     "CriticalPath",
+    "CsvStreamSink",
     "ResourceEventRecord",
     "LinkUsage",
+    "PajeStreamSink",
     "PathStep",
     "Timeline",
+    "TraceSink",
     "Tracer",
     "ascii_gantt",
     "critical_path",

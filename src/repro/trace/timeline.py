@@ -162,15 +162,21 @@ class Timeline:
 
     # -- (de)serialisation ---------------------------------------------------------
 
-    def as_rows(self) -> list[tuple[str, str, float, float, float]]:
-        """Flat ``(name, kind, capacity, time, usage)`` rows for CSV export."""
-        rows = []
+    def iter_rows(self):
+        """Yield ``(name, kind, capacity, time, usage)`` rows lazily.
+
+        The streaming CSV sink walks this at finalize time; materialising
+        the full row list first would undo the bounded-memory property.
+        """
         for name, series in self._series.items():
             kind = self.kinds[name]
             capacity = self.capacities[name]
             for t, usage in series:
-                rows.append((name, kind, capacity, t, usage))
-        return rows
+                yield (name, kind, capacity, t, usage)
+
+    def as_rows(self) -> list[tuple[str, str, float, float, float]]:
+        """Flat ``(name, kind, capacity, time, usage)`` rows for CSV export."""
+        return list(self.iter_rows())
 
     def load_row(self, name: str, kind: str, capacity: float,
                  t: float, usage: float) -> None:
@@ -181,14 +187,16 @@ class Timeline:
         series.append((t, usage))
         self.n_samples += 1
 
-    def capacity_rows(self) -> list[tuple[str, str, float, float]]:
-        """Flat ``(name, kind, time, capacity)`` capacity-step rows."""
-        rows = []
+    def iter_capacity_rows(self):
+        """Yield ``(name, kind, time, capacity)`` capacity-step rows lazily."""
         for name, series in self.capacity_series.items():
             kind = self.kinds.get(name, "link")
             for t, capacity in series:
-                rows.append((name, kind, t, capacity))
-        return rows
+                yield (name, kind, t, capacity)
+
+    def capacity_rows(self) -> list[tuple[str, str, float, float]]:
+        """Flat ``(name, kind, time, capacity)`` capacity-step rows."""
+        return list(self.iter_capacity_rows())
 
     def load_capacity_row(self, name: str, kind: str, t: float,
                           capacity: float) -> None:

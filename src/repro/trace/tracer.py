@@ -44,10 +44,21 @@ from __future__ import annotations
 import csv
 import io
 import math
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
 
-__all__ = ["CommRecord", "ComputeRecord", "ResourceEventRecord", "Tracer"]
+__all__ = [
+    "CommRecord",
+    "ComputeRecord",
+    "ResourceEventRecord",
+    "Tracer",
+    "comm_csv_row",
+    "compute_csv_row",
+    "resource_csv_row",
+    "timeline_link_row",
+    "timeline_capacity_row",
+]
 
 
 @dataclass
@@ -95,10 +106,53 @@ class ResourceEventRecord:
     t: float
 
 
-class Tracer:
-    """Accumulates records; negligible overhead when tracing is off."""
+def _end_field(record) -> str | float:
+    return record.end if record.closed else ""
 
-    def __init__(self) -> None:
+
+def comm_csv_row(r: CommRecord) -> list:
+    """The CSV row of one comm record (shared by exporter and sinks)."""
+    return ["comm", r.mid, r.src, r.dst, r.tag, r.nbytes,
+            int(r.eager), r.start, _end_field(r), "", int(r.failed)]
+
+
+def compute_csv_row(c: ComputeRecord) -> list:
+    """The CSV row of one compute record."""
+    return ["compute", "", c.rank, "", "", c.flops, "",
+            c.start, _end_field(c), "", ""]
+
+
+def resource_csv_row(e: ResourceEventRecord) -> list:
+    """The CSV row of one resource failure/recovery record."""
+    return ["resource", "", e.name, e.kind, "", "", e.event, e.t, "", "", ""]
+
+
+def timeline_link_row(name, kind, capacity, t, usage) -> list:
+    """The CSV row of one timeline utilization sample."""
+    return ["link", "", name, kind if kind != "link" else "", "", usage,
+            "", t, "", capacity, ""]
+
+
+def timeline_capacity_row(name, kind, t, capacity) -> list:
+    """The CSV row of one timeline capacity step."""
+    return ["capacity", "", name, kind, "", "", "", t, "", capacity, ""]
+
+
+class Tracer:
+    """Accumulates records; negligible overhead when tracing is off.
+
+    With a *sink* attached (``Tracer(sink=...)``, see
+    :mod:`repro.trace.sink`) the tracer streams instead of accumulating:
+    a record is handed to the sink as soon as it can never change again,
+    and only the *open window* — records whose transfer is still in
+    flight, plus the closed records queued behind them (output order is
+    start order) — stays in memory.  Every list the in-memory mode
+    exposes (``comms``/``computes``/``resource_events``) then holds only
+    that bounded window, so whole-trace analyses must run on the
+    exported file (``Tracer.load``), not the live object.
+    """
+
+    def __init__(self, sink=None) -> None:
         self.comms: list[CommRecord] = []
         self.computes: list[ComputeRecord] = []
         self.resource_events: list[ResourceEventRecord] = []
@@ -106,6 +160,14 @@ class Tracer:
         #: per-resource utilization samples, attached by the runtime when
         #: the engine supports it (:meth:`repro.surf.Engine.enable_timeline`)
         self.timeline = None
+        #: streaming sink (None = historical accumulate-then-export mode)
+        self.sink = sink
+        #: closed-prefix flush queue: comm records in start order, popped
+        #: as their head becomes closed (streaming mode only)
+        self._comm_window: deque[CommRecord] = deque()
+        #: records ever started/recorded, for summaries in streaming mode
+        self.n_comm_records = 0
+        self.n_compute_records = 0
 
     # -- hooks called by the runtime ------------------------------------------------
 
@@ -122,12 +184,30 @@ class Tracer:
             start=start,
         )
         self._open_comms[message.mid] = record
-        self.comms.append(record)
+        self.n_comm_records += 1
+        if self.sink is None:
+            self.comms.append(record)
+        else:
+            self._comm_window.append(record)
+
+    def _flush_closed(self) -> None:
+        """Stream the closed prefix of the comm window to the sink.
+
+        Comm rows must leave in start order (the in-memory exporter's
+        order), so a still-open head blocks the queue; the window length
+        is bounded by the number of concurrently in-flight transfers.
+        """
+        window = self._comm_window
+        sink = self.sink
+        while window and window[0].closed:
+            sink.comm_row(window.popleft())
 
     def comm_end(self, message) -> None:
         record = self._open_comms.pop(message.mid, None)
         if record is not None and message.transfer is not None:
             record.end = message.transfer.scheduler.engine.now
+        if self.sink is not None:
+            self._flush_closed()
 
     def comm_fail(self, message) -> None:
         """Close a transfer's record at the failure time, flagged failed."""
@@ -135,13 +215,40 @@ class Tracer:
         if record is not None and message.transfer is not None:
             record.end = message.transfer.scheduler.engine.now
             record.failed = True
+        if self.sink is not None:
+            self._flush_closed()
 
     def compute(self, rank: int, flops: float, start: float, end: float) -> None:
-        self.computes.append(ComputeRecord(rank, flops, start, end))
+        record = ComputeRecord(rank, flops, start, end)
+        self.n_compute_records += 1
+        if self.sink is None:
+            self.computes.append(record)
+        else:  # compute records are born closed: stream immediately
+            self.sink.compute_row(record)
 
     def resource_event(self, name: str, kind: str, event: str, t: float) -> None:
         """Record a resource failure/recovery (engine listener hook)."""
-        self.resource_events.append(ResourceEventRecord(name, kind, event, t))
+        record = ResourceEventRecord(name, kind, event, t)
+        if self.sink is None:
+            self.resource_events.append(record)
+        else:
+            self.sink.resource_row(record)
+
+    def finish(self, now: float | None = None) -> None:
+        """End of run: drain the sink and let it write its output.
+
+        No-op without a sink.  Records still open at the end (aborted
+        transfers) are dropped, exactly like ``to_csv``'s default; closed
+        records queued behind them still flush, in start order.
+        """
+        if self.sink is None:
+            return
+        self._flush_closed()
+        for record in self._comm_window:
+            if record.closed:  # closed behind a never-closed head
+                self.sink.comm_row(record)
+        self._comm_window.clear()
+        self.sink.finalize(self)
 
     # -- analysis helpers --------------------------------------------------------------
 
@@ -177,32 +284,19 @@ class Tracer:
         buf = io.StringIO()
         writer = csv.writer(buf, lineterminator="\n")
         writer.writerow(self.CSV_HEADER)
-
-        def end_field(record) -> str | float:
-            return record.end if record.closed else ""
-
         for r in self.comms:
-            if not (r.closed or include_open):
-                continue
-            writer.writerow(["comm", r.mid, r.src, r.dst, r.tag, r.nbytes,
-                             int(r.eager), r.start, end_field(r), "",
-                             int(r.failed)])
+            if r.closed or include_open:
+                writer.writerow(comm_csv_row(r))
         for c in self.computes:
-            if not (c.closed or include_open):
-                continue
-            writer.writerow(["compute", "", c.rank, "", "", c.flops, "",
-                             c.start, end_field(c), "", ""])
+            if c.closed or include_open:
+                writer.writerow(compute_csv_row(c))
         for e in self.resource_events:
-            writer.writerow(["resource", "", e.name, e.kind, "", "",
-                             e.event, e.t, "", "", ""])
+            writer.writerow(resource_csv_row(e))
         if self.timeline is not None:
-            for name, kind, capacity, t, usage in self.timeline.as_rows():
-                writer.writerow(["link", "", name,
-                                 kind if kind != "link" else "", "", usage,
-                                 "", t, "", capacity, ""])
-            for name, kind, t, capacity in self.timeline.capacity_rows():
-                writer.writerow(["capacity", "", name, kind, "", "", "",
-                                 t, "", capacity, ""])
+            for row in self.timeline.iter_rows():
+                writer.writerow(timeline_link_row(*row))
+            for row in self.timeline.iter_capacity_rows():
+                writer.writerow(timeline_capacity_row(*row))
         return buf.getvalue()
 
     @classmethod

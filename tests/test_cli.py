@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import build_platform, load_app, main
@@ -17,6 +19,22 @@ def app(mpi):
 
 def other_entry(mpi):
     return "other"
+'''
+
+PINGPONG_SOURCE = '''
+import numpy as np
+
+def app(mpi):
+    comm = mpi.COMM_WORLD
+    buf = np.zeros(65536, dtype=np.uint8)
+    for rep in range(4):
+        if mpi.rank == 0:
+            comm.Send(buf, dest=1, tag=rep)
+            comm.Recv(buf, source=1, tag=rep)
+        else:
+            comm.Recv(buf, source=0, tag=rep)
+            comm.Send(buf, dest=0, tag=rep)
+    return mpi.rank
 '''
 
 
@@ -114,6 +132,44 @@ class TestCommands:
         line2 = next(l for l in replayed.splitlines()
                      if l.startswith("simulated"))
         assert line.split(":")[1] == line2.split(":")[1]
+
+    def test_replay_checkpoint_and_resume(self, tmp_path, capsys):
+        app_path = tmp_path / "pingpong.py"
+        app_path.write_text(PINGPONG_SOURCE)
+        trace_path = str(tmp_path / "t.json")
+        main(["run", str(app_path), "-n", "2", "--platform", "cluster:2",
+              "--record", trace_path])
+        recorded = capsys.readouterr().out
+        line = next(l for l in recorded.splitlines() if "simulated" in l)
+        value, unit = line.split(":")[1].split()
+        total = float(value) * {"s": 1.0, "ms": 1e-3, "us": 1e-6,
+                                "ns": 1e-9}[unit]
+
+        ckpt_path = str(tmp_path / "t.ckpt.json")
+        assert main(["replay", trace_path, "--platform", "cluster:2",
+                     "--checkpoint-at", str(total / 2),
+                     "--checkpoint-out", ckpt_path]) == 0
+        ckpt_out = capsys.readouterr().out
+        assert "checkpoint" in ckpt_out
+        assert os.path.exists(ckpt_path)
+
+        assert main(["replay", trace_path, "--platform", "cluster:2",
+                     "--resume-from", ckpt_path]) == 0
+        resumed = capsys.readouterr().out
+        assert "resumed from" in resumed
+        line2 = next(l for l in resumed.splitlines()
+                     if l.startswith("simulated"))
+        assert line.split(":")[1] == line2.split(":")[1]
+
+    def test_replay_rejects_checkpoint_with_resume(self, app_file, tmp_path,
+                                                   capsys):
+        trace_path = str(tmp_path / "t.json")
+        main(["run", app_file, "-n", "2", "--platform", "cluster:2",
+              "--record", trace_path])
+        capsys.readouterr()
+        assert main(["replay", trace_path, "--platform", "cluster:2",
+                     "--checkpoint-at", "0.001",
+                     "--resume-from", trace_path]) != 0
 
     def test_platforms_listing(self, capsys):
         assert main(["platforms"]) == 0
