@@ -1,0 +1,128 @@
+"""Collective size-sweep: the ring/rabenseifner/two-level crossover.
+
+The paper's section 5.3 future work promises *multiple collective
+variants, letting users choose which ones to use*; the DL workload
+family (ROADMAP item 3) is why the choice matters — a data-parallel
+step is one allreduce per gradient bucket, and the best algorithm flips
+with the message size.  This bench drives ``repro coll sweep``'s
+engine over griffon and gdx at 64 ranks and records where the winner
+changes: latency-bound small messages favour the hierarchical
+two-level scheme (one uplink crossing instead of log P), while
+bandwidth-bound large messages favour ring / Rabenseifner (2x the
+payload on the wire instead of log P copies).
+
+Committed results: ``benchmarks/results/coll_sweep.json`` — the
+size-vs-algorithm table that ``docs/collectives.md`` walks through.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from _helpers import RESULTS_DIR, FigureReport
+from repro.sweep import (
+    ResultCache,
+    best_algorithms,
+    coll_rows,
+    coll_sweep_spec,
+    crossovers,
+    run_sweep,
+    size_ladder,
+)
+
+COLL_JSON = RESULTS_DIR / "coll_sweep.json"
+
+PLATFORMS = ("griffon", "gdx")
+N_PROCS = 64          # spans all 3 griffon cabinets / 4 gdx switch groups
+SIZES = size_ladder("4KiB", "2MiB", 8)
+ALGOS = ("recursive_doubling", "ring", "rabenseifner", "two_level")
+
+
+def experiment():
+    """Size x algorithm allreduce sweeps on both paper platforms."""
+    out = {}
+    with tempfile.TemporaryDirectory(prefix="repro-coll-bench") as root:
+        for platform in PLATFORMS:
+            spec = coll_sweep_spec(
+                collective="allreduce", sizes=SIZES, nprocs=[N_PROCS],
+                algos=list(ALGOS), platform=platform, iters=2)
+            cache = ResultCache(Path(root) / platform)
+
+            start = time.perf_counter()
+            cold = run_sweep(spec, jobs=4, cache=cache)
+            wall = time.perf_counter() - start
+            warm = run_sweep(spec, jobs=4, cache=cache)
+
+            rows = coll_rows(cold)
+            out[platform] = {
+                "wall": wall,
+                "errors": list(cold.errors),
+                "warm_hits": warm.hits,
+                "points": len(cold.points),
+                "rows": rows,
+                "best": best_algorithms(rows),
+                "crossovers": crossovers(rows),
+            }
+    return out
+
+
+def test_coll_sweep_crossover(once):
+    data = once(experiment)
+
+    report = FigureReport(
+        "coll_sweep",
+        "allreduce size sweep: the algorithm-crossover table",
+    )
+    all_crossovers = []
+    for platform in PLATFORMS:
+        d = data[platform]
+        assert not d["errors"], d["errors"]
+        assert d["warm_hits"] == d["points"], "re-run must hit the memo cache"
+        report.line(f"  {platform}, {N_PROCS} ranks, "
+                    f"{d['points']} points in {d['wall']:.1f} s "
+                    f"(warm re-run {d['warm_hits']}/{d['points']} hits)")
+        for b in d["best"]:
+            report.measured(
+                f"{platform:<8} {b['size']:>9} B  best={b['best']:<20} "
+                f"{b['latency'] * 1e3:9.3f} ms  (runner-up x{b['margin']:.2f})")
+        for c in d["crossovers"]:
+            all_crossovers.append(c)
+            report.line(
+                f"  crossover: {c['below_best']} -> {c['above_best']} "
+                f"between {c['below_size']} and {c['above_size']} bytes")
+        report.line()
+    report.finish()
+
+    COLL_JSON.write_text(json.dumps({
+        platform: {
+            "n": N_PROCS,
+            "sizes": SIZES,
+            "algos": list(ALGOS),
+            "rows": [
+                {k: (round(v, 6) if isinstance(v, float) else v)
+                 for k, v in row.items()}
+                for row in data[platform]["rows"]
+            ],
+            "best": [
+                {k: (round(v, 6) if isinstance(v, float) else v)
+                 for k, v in b.items()}
+                for b in data[platform]["best"]
+            ],
+            "crossovers": data[platform]["crossovers"],
+        }
+        for platform in PLATFORMS
+    }, indent=1) + "\n", encoding="utf-8")
+
+    # the acceptance claim: at least one algorithm-crossover point, i.e.
+    # no single algorithm dominates the whole size range
+    assert all_crossovers, "expected the best algorithm to flip with size"
+    for platform in PLATFORMS:
+        best = data[platform]["best"]
+        assert best[0]["best"] != best[-1]["best"], (
+            platform, [b["best"] for b in best])
+        # large messages are bandwidth-bound: a reduce-scatter based
+        # algorithm (ring / rabenseifner) must win the top size
+        assert best[-1]["best"] in ("ring", "rabenseifner"), best[-1]

@@ -449,6 +449,68 @@ def _cmd_sweep_report(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_coll_sweep(args: argparse.Namespace) -> int:
+    """``repro coll sweep``: size x ranks x algorithm collective campaign."""
+    from .sweep import (ResultCache, coll_rows, coll_sweep_spec, crossovers,
+                        format_table, run_sweep, size_ladder)
+
+    if args.algos.strip() == "all":
+        from .smpi.coll import ALGORITHMS
+
+        algos = sorted(ALGORITHMS.get(args.coll, {}))
+    else:
+        algos = [a.strip() for a in args.algos.split(",") if a.strip()]
+    spec = coll_sweep_spec(
+        collective=args.coll,
+        sizes=size_ladder(args.b, args.e, args.f),
+        nprocs=args.np or [8],
+        algos=algos,
+        platform=args.platform,
+        warmup=args.warmup,
+        iters=args.iters,
+    )
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    print(f"sweep          : {spec.name} — {spec.describe()}")
+    result = run_sweep(spec, jobs=args.jobs, cache=cache, force=args.force,
+                       echo=print if args.verbose else None)
+    n = len(result.points)
+    where = ("inline" if result.workers == 0
+             else f"{result.workers} worker processes")
+    print(f"simulated      : {result.misses} points ({where})")
+    print(f"cache hits     : {result.hits}/{n}"
+          + (" (all points served from cache)" if result.hits == n else ""))
+    print(f"wall-clock time: {format_time(result.wall_time)}")
+    for failed in result.errors:
+        print(f"  FAILED {failed.point.label()}: {failed.error}")
+
+    rows = coll_rows(result)
+    if args.format == "csv":
+        from .sweep import rows_to_csv
+
+        text = rows_to_csv(rows)
+    elif args.format == "json":
+        from .sweep import rows_to_json
+
+        text = rows_to_json(rows)
+    else:
+        text = format_table(rows) + "\n"
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+        print(f"rows written   : {args.output} ({args.format}, "
+              f"{len(rows)} rows)")
+    else:
+        print(text, end="")
+    if args.format == "table":
+        points = crossovers(rows)
+        if points:
+            print("crossovers:")
+            for c in points:
+                print(f"  {c['platform']} n={c['n']}: {c['below_best']} "
+                      f"(<= {c['below_size']} B) -> {c['above_best']} "
+                      f"(>= {c['above_size']} B)")
+    return 1 if result.errors else 0
+
+
 def _cmd_platforms(_args: argparse.Namespace) -> int:
     print("built-in platforms:")
     print("  griffon          92 nodes, 3 cabinets (33/27/32), GigE + 10G core")
@@ -586,6 +648,7 @@ def _add_fault_flags(p: argparse.ArgumentParser) -> None:
 
 
 def make_parser() -> argparse.ArgumentParser:
+    """Build the ``python -m repro`` argument parser (all subcommands)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="single-node on-line simulation of MPI applications",
@@ -768,6 +831,56 @@ def make_parser() -> argparse.ArgumentParser:
                                    "cached")
     sweep_report.set_defaults(func=_cmd_sweep_report)
 
+    coll = sub.add_parser(
+        "coll", help="collective-algorithm tooling (size/ranks/algo sweeps)")
+    coll_sub = coll.add_subparsers(dest="coll_command", required=True)
+
+    coll_sweep = coll_sub.add_parser(
+        "sweep",
+        help="latency/bandwidth of a collective over a size x ranks x "
+             "algorithm grid (memoized)")
+    coll_sweep.add_argument("--coll", default="allreduce", metavar="NAME",
+                            help="collective to sweep (default: allreduce)")
+    coll_sweep.add_argument("--b", default="1KiB", metavar="SIZE",
+                            help="smallest message size (default: 1KiB)")
+    coll_sweep.add_argument("--e", default="64MiB", metavar="SIZE",
+                            help="largest message size (default: 64MiB)")
+    coll_sweep.add_argument("--f", type=float, default=2.0, metavar="FACTOR",
+                            help="geometric size step (default: 2)")
+    coll_sweep.add_argument("--np", type=int, action="append", default=None,
+                            metavar="N",
+                            help="rank count (repeatable; default: 8)")
+    coll_sweep.add_argument("--algos", default="auto", metavar="A,B,...",
+                            help="comma-separated algorithm names, or 'all' "
+                                 "for every registered one (default: auto)")
+    coll_sweep.add_argument("--warmup", type=int, default=1, metavar="K",
+                            help="untimed iterations per point (default: 1)")
+    coll_sweep.add_argument("--iters", type=int, default=3, metavar="K",
+                            help="timed iterations per point (default: 3)")
+    coll_sweep.add_argument("--platform", default="griffon", metavar="SPEC",
+                            help="platform spec, as for 'repro run' "
+                                 "(default: griffon)")
+    coll_sweep.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes (default: one per CPU, "
+                                 "capped at the number of points; 1 = inline)")
+    coll_sweep.add_argument("--cache-dir", default=".repro-cache",
+                            metavar="DIR",
+                            help="memo-cache root (default: .repro-cache)")
+    coll_sweep.add_argument("--force", action="store_true",
+                            help="re-simulate every point, overwriting the "
+                                 "cache")
+    coll_sweep.add_argument("--no-cache", action="store_true",
+                            help="simulate without reading or writing the "
+                                 "memo cache")
+    coll_sweep.add_argument("--format", choices=("table", "csv", "json"),
+                            default="table",
+                            help="row output format (default: table)")
+    coll_sweep.add_argument("-o", "--output", metavar="OUT",
+                            help="write the rows to OUT instead of stdout")
+    coll_sweep.add_argument("--verbose", action="store_true",
+                            help="print one line per completed point")
+    coll_sweep.set_defaults(func=_cmd_coll_sweep)
+
     platforms = sub.add_parser("platforms", help="list built-in platforms")
     platforms.set_defaults(func=_cmd_platforms)
 
@@ -778,6 +891,7 @@ def make_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
     parser = make_parser()
     args = parser.parse_args(argv)
     try:

@@ -1,0 +1,29 @@
+"""Data-parallel deep-learning workload family (ROADMAP item 3).
+
+The package brings the allreduce-bound training workload to the
+simulator in two pieces:
+
+* :mod:`repro.dl.communicators` — a chainermn-style registry of
+  communicator strategies (``create_communicator(name)``), each binding
+  gradient exchange to one generator-dialect allreduce schedule from
+  :mod:`repro.smpi.coll`;
+* :mod:`repro.dl.sgd` — a data-parallel SGD skeleton whose per-step
+  bucketed gradient allreduce runs over any registered strategy, with
+  ``shared_malloc``-folded buffers so huge rank counts stay in one
+  node's RSS.
+
+See ``docs/collectives.md`` for the guided tour and the size-sweep that
+picks a strategy per (message size, nprocs, topology).
+"""
+
+from .communicators import COMMUNICATORS, DlCommunicator, create_communicator
+from .sgd import bucketize, parse_layers, sgd_skeleton
+
+__all__ = [
+    "COMMUNICATORS",
+    "DlCommunicator",
+    "create_communicator",
+    "bucketize",
+    "parse_layers",
+    "sgd_skeleton",
+]

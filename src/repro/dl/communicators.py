@@ -1,0 +1,166 @@
+"""Communicator strategies for data-parallel training (chainermn-style).
+
+A *DL communicator* wraps an MPI :class:`~repro.smpi.comm.Communicator`
+and fixes the allreduce schedule used for gradient exchange.  The
+registry mirrors chainermn's ``create_communicator(name)``: training
+code asks for a strategy by name and stays agnostic of the algorithm
+behind it.  Every strategy composes the generator-dialect algorithms of
+:mod:`repro.smpi.coll` directly, so gradient traffic contends in the
+simulated network exactly like any application communication.
+
+========================  ==========================================
+name                      allreduce schedule
+========================  ==========================================
+``naive``                 reduce to rank 0 + broadcast
+``flat``                  recursive doubling over all ranks
+``ring``                  segmented ring (reduce-scatter + allgather)
+``rabenseifner``          pairwise reduce-scatter + ring allgather
+``hierarchical``          two-level over the cabinet topology
+========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..smpi.buffer import resolve
+from ..smpi.coll.allreduce import (
+    allreduce_rabenseifner,
+    allreduce_recursive_doubling,
+    allreduce_reduce_bcast,
+    allreduce_ring,
+    allreduce_two_level,
+)
+from ..smpi.op import SUM, Op
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..smpi.comm import Communicator
+
+__all__ = [
+    "DlCommunicator",
+    "COMMUNICATORS",
+    "create_communicator",
+]
+
+
+class DlCommunicator:
+    """Base class binding an MPI communicator to one allreduce schedule.
+
+    Subclasses set :attr:`algorithm` to a generator-dialect function
+    with the ``(comm, sendspec, recvspec, op)`` signature from
+    :mod:`repro.smpi.coll.allreduce`.
+    """
+
+    #: registry name (set by subclasses)
+    name: str = "base"
+    #: the coll/ algorithm backing :meth:`co_allreduce_grad`
+    algorithm = None
+
+    def __init__(self, comm: "Communicator") -> None:
+        self.comm = comm
+
+    @property
+    def rank(self) -> int:
+        """Rank of the calling process inside the wrapped communicator."""
+        return self.comm.Get_rank()
+
+    @property
+    def size(self) -> int:
+        """Number of ranks participating in gradient exchange."""
+        return self.comm.size
+
+    def split(self, color: int, key: int = 0) -> "DlCommunicator | None":
+        """Same-strategy communicator over an ``MPI_Comm_split`` subset."""
+        sub = self.comm.Split(color, key)
+        return None if sub is None else type(self)(sub)
+
+    def co_allreduce_grad(
+        self, grad: np.ndarray, out: np.ndarray, op: Op = SUM
+    ) -> None:
+        """Generator: sum ``grad`` across ranks into ``out``.
+
+        Drive with ``yield from``; the concrete schedule is the
+        subclass's :attr:`algorithm`.
+        """
+        algorithm = type(self).algorithm
+        if algorithm is None:  # pragma: no cover - abstract use
+            raise NotImplementedError("use a registered communicator strategy")
+        yield from algorithm(self.comm, resolve(grad), resolve(out), op)
+
+    def allreduce_grad(
+        self, grad: np.ndarray, out: np.ndarray, op: Op = SUM
+    ) -> None:
+        """Blocking twin of :meth:`co_allreduce_grad`."""
+        self.comm._run(self.co_allreduce_grad(grad, out, op))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(size={self.comm.size})"
+
+
+class NaiveCommunicator(DlCommunicator):
+    """Reduce-to-root + broadcast: the baseline every strategy must beat."""
+
+    name = "naive"
+    algorithm = staticmethod(allreduce_reduce_bcast)
+
+
+class FlatCommunicator(DlCommunicator):
+    """Single-level recursive doubling: log P steps, full vector each."""
+
+    name = "flat"
+    algorithm = staticmethod(allreduce_recursive_doubling)
+
+
+class RingCommunicator(DlCommunicator):
+    """Segmented ring allreduce: bandwidth-optimal, nearest-neighbour."""
+
+    name = "ring"
+    algorithm = staticmethod(allreduce_ring)
+
+
+class RabenseifnerCommunicator(DlCommunicator):
+    """Rabenseifner reduce-scatter + allgather: bandwidth-optimal."""
+
+    name = "rabenseifner"
+    algorithm = staticmethod(allreduce_rabenseifner)
+
+
+class HierarchicalCommunicator(DlCommunicator):
+    """Two-level allreduce over cabinets: spares the inter-cabinet uplinks."""
+
+    name = "hierarchical"
+    algorithm = staticmethod(allreduce_two_level)
+
+
+#: strategy registry, by :func:`create_communicator` name
+COMMUNICATORS: dict[str, type[DlCommunicator]] = {
+    cls.name: cls
+    for cls in (
+        NaiveCommunicator,
+        FlatCommunicator,
+        RingCommunicator,
+        RabenseifnerCommunicator,
+        HierarchicalCommunicator,
+    )
+}
+
+
+def create_communicator(name: str, comm: "Communicator") -> DlCommunicator:
+    """Instantiate the communicator strategy ``name`` over ``comm``.
+
+    The chainermn-shaped entry point of the package::
+
+        dlcomm = create_communicator("ring", mpi.COMM_WORLD)
+        yield from dlcomm.co_allreduce_grad(grad, total)
+    """
+    try:
+        cls = COMMUNICATORS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown DL communicator {name!r}; "
+            f"available: {sorted(COMMUNICATORS)}"
+        ) from None
+    return cls(comm)

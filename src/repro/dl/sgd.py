@@ -1,0 +1,115 @@
+"""Data-parallel SGD skeleton: compute + bucketed gradient allreduce.
+
+The dominant modern MPI workload the paper predates: every training step
+runs the forward/backward pass (a compute burst), then sums the gradient
+across ranks.  Real frameworks coalesce per-layer gradients into
+*buckets* of roughly equal byte size before the allreduce (PyTorch DDP,
+chainermn); the skeleton reproduces exactly that communication pattern
+— bucket sizes, per-step cadence, algorithm choice — while the numerics
+stay placeholders.
+
+Gradient buffers are ``shared_malloc``-folded (the paper's
+``SMPI_SHARED_MALLOC``): one physical copy serves every rank, so the
+host RSS stays flat as ranks grow and the 16k-rank scale gate of
+``benchmarks/bench_scale_ranks.py`` keeps holding with this family.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from ..units import parse_size
+from .communicators import create_communicator
+
+__all__ = ["parse_layers", "bucketize", "sgd_skeleton"]
+
+
+def parse_layers(spec) -> list[int]:
+    """Per-layer gradient sizes in bytes from a compact spec.
+
+    Accepts a list of sizes (ints or SimGrid-style strings) or a string
+    of comma-separated ``COUNTxSIZE`` groups::
+
+        parse_layers("4x4MiB,2x512KiB")  ->  [4194304]*4 + [524288]*2
+    """
+    if isinstance(spec, (list, tuple)):
+        return [int(parse_size(s)) for s in spec]
+    layers: list[int] = []
+    for part in str(spec).split(","):
+        part = part.strip()
+        if not part:
+            continue
+        count, sep, size = part.partition("x")
+        if not sep:
+            count, size = "1", part
+        try:
+            n = int(count)
+        except ValueError:
+            raise ConfigError(f"bad layer group {part!r} (want COUNTxSIZE)")
+        layers.extend([int(parse_size(size))] * n)
+    if not layers:
+        raise ConfigError(f"layer spec {spec!r} names no layers")
+    return layers
+
+
+def bucketize(layer_bytes: list[int], bucket_bytes: int) -> list[int]:
+    """Coalesce per-layer sizes into allreduce buckets (DDP-style).
+
+    Layers are packed in order; a bucket closes once it reaches
+    ``bucket_bytes``.  A single layer larger than the bucket size gets a
+    bucket of its own — buckets bound *fusion*, they never split a
+    layer.
+    """
+    if bucket_bytes < 1:
+        raise ConfigError("bucket size must be at least one byte")
+    buckets: list[int] = []
+    current = 0
+    for size in layer_bytes:
+        current += size
+        if current >= bucket_bytes:
+            buckets.append(current)
+            current = 0
+    if current:
+        buckets.append(current)
+    return buckets
+
+
+def sgd_skeleton(
+    communicator: str = "ring",
+    layers="4x4MiB",
+    bucket="4MiB",
+    steps: int = 2,
+    flops_per_step: float = 1e9,
+):
+    """App factory: ``steps`` of data-parallel SGD with bucketed allreduce.
+
+    Each step charges ``flops_per_step`` of forward/backward compute per
+    rank, then allreduces every gradient bucket through the
+    ``communicator`` strategy (see
+    :func:`repro.dl.create_communicator`).  The app returns the average
+    simulated seconds per step — the figure of merit DL sweeps compare
+    across strategies.
+    """
+    layer_bytes = parse_layers(layers)
+    bucket_list = bucketize(layer_bytes, int(parse_size(bucket)))
+
+    def app(mpi):
+        dlcomm = create_communicator(communicator, mpi.COMM_WORLD)
+        grads = [
+            mpi.shared_malloc(f"dl/grad/{i}", max(1, nbytes // 8))
+            for i, nbytes in enumerate(bucket_list)
+        ]
+        sums = [
+            mpi.shared_malloc(f"dl/sum/{i}", max(1, nbytes // 8))
+            for i, nbytes in enumerate(bucket_list)
+        ]
+        yield from mpi.COMM_WORLD.co.Barrier()
+        start = yield from mpi.co.wtime()
+        for _ in range(steps):
+            yield from mpi.co.execute(flops_per_step)
+            for grad, total in zip(grads, sums):
+                yield from dlcomm.co_allreduce_grad(grad, total)
+        yield from mpi.COMM_WORLD.co.Barrier()
+        elapsed = (yield from mpi.co.wtime()) - start
+        return elapsed / max(1, steps)
+
+    return app

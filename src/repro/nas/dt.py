@@ -62,10 +62,12 @@ class DtClass:
 
     @property
     def bhwh_nodes(self) -> int:
+        """Interior nodes of the BH/WH shuffle trees (sum of layer widths)."""
         return sum(self.bhwh_widths)
 
     @property
     def sh_nodes(self) -> int:
+        """Interior nodes of the SH (straight) graph: layers x width."""
         return self.sh_layers * self.sh_width
 
 
@@ -94,10 +96,12 @@ class DtNode:
 
     @property
     def is_source(self) -> bool:
+        """True when the node generates data (no incoming edges)."""
         return not self.in_edges
 
     @property
     def is_sink(self) -> bool:
+        """True when the node consumes data (no outgoing edges)."""
         return not self.out_edges
 
 
@@ -143,6 +147,7 @@ class DtGraph:
 
     @property
     def n_ranks(self) -> int:
+        """One MPI rank per graph node."""
         return len(self.nodes)
 
     def in_elems(self, node: DtNode) -> int:
@@ -152,12 +157,15 @@ class DtGraph:
         return sum(self.nodes[src].out_elems for src in node.in_edges)
 
     def edges(self) -> list[tuple[int, int]]:
+        """Every ``(src_rank, dst_rank)`` edge of the task graph."""
         return [(n.rank, dst) for n in self.nodes for dst in n.out_edges]
 
     def sources(self) -> list[DtNode]:
+        """The data-generating nodes, in rank order."""
         return [n for n in self.nodes if n.is_source]
 
     def sinks(self) -> list[DtNode]:
+        """The data-consuming nodes, in rank order."""
         return [n for n in self.nodes if n.is_sink]
 
     def total_bytes(self) -> int:

@@ -46,10 +46,12 @@ class TiEvent:
             raise ConfigError(f"unknown trace event kind {self.kind!r}")
 
     def to_json(self) -> list:
+        """The compact JSON row form: ``[kind, *args]``."""
         return [self.kind, *self.args]
 
     @classmethod
     def from_json(cls, row: list) -> "TiEvent":
+        """Rebuild an event from its :meth:`to_json` row."""
         kind, *args = row
         if kind == "wait":
             args = (list(args[0]),)
@@ -71,29 +73,34 @@ class TiTrace:
             raise ConfigError("one event list per rank required")
 
     def append(self, rank: int, event: TiEvent) -> None:
+        """Record ``event`` at the end of ``rank``'s stream."""
         self.events[rank].append(event)
 
     # -- statistics -------------------------------------------------------------------
 
     def total_messages(self) -> int:
+        """Number of point-to-point messages posted across all ranks."""
         return sum(
             1 for rank_events in self.events for e in rank_events
             if e.kind == "send"
         )
 
     def total_bytes(self) -> int:
+        """Total payload bytes of every posted send."""
         return sum(
             e.args[2] for rank_events in self.events for e in rank_events
             if e.kind == "send"
         )
 
     def total_flops(self) -> float:
+        """Total computation recorded, in flops."""
         return sum(
             e.args[0] for rank_events in self.events for e in rank_events
             if e.kind == "compute"
         )
 
     def summary(self) -> str:
+        """One-line human summary (ranks / messages / bytes / flops)."""
         return (
             f"TI trace: {self.n_ranks} ranks, "
             f"{self.total_messages()} messages, "
@@ -103,6 +110,7 @@ class TiTrace:
     # -- (de)serialisation ----------------------------------------------------------------
 
     def to_json(self) -> str:
+        """Serialise to the versioned ``repro-ti-trace-1`` JSON document."""
         return json.dumps(
             {
                 "format": "repro-ti-trace-1",
@@ -117,6 +125,7 @@ class TiTrace:
 
     @classmethod
     def from_json(cls, text: str) -> "TiTrace":
+        """Parse a :meth:`to_json` document (format field is checked)."""
         payload = json.loads(text)
         if payload.get("format") != "repro-ti-trace-1":
             raise ConfigError("not a repro TI trace")
@@ -131,8 +140,10 @@ class TiTrace:
         return trace
 
     def save(self, path: str | Path) -> None:
+        """Write the JSON document to ``path``."""
         Path(path).write_text(self.to_json(), encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path) -> "TiTrace":
+        """Read a trace previously written by :meth:`save`."""
         return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -31,6 +31,8 @@ from .allreduce import (
     allreduce_rabenseifner,
     allreduce_recursive_doubling,
     allreduce_reduce_bcast,
+    allreduce_ring,
+    allreduce_two_level,
 )
 from .alltoall import (
     alltoall_basic_linear,
@@ -117,6 +119,8 @@ ALGORITHMS: dict[str, dict[str, object]] = {
         "recursive_doubling": allreduce_recursive_doubling,
         "reduce_bcast": allreduce_reduce_bcast,
         "rabenseifner": allreduce_rabenseifner,
+        "ring": allreduce_ring,
+        "two_level": allreduce_two_level,
     },
     "reduce_scatter": {
         "pairwise": reduce_scatter_pairwise,

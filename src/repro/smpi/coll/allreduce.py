@@ -24,7 +24,13 @@ from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
 
-__all__ = ["allreduce_rabenseifner", "allreduce_recursive_doubling", "allreduce_reduce_bcast"]
+__all__ = [
+    "allreduce_rabenseifner",
+    "allreduce_recursive_doubling",
+    "allreduce_reduce_bcast",
+    "allreduce_ring",
+    "allreduce_two_level",
+]
 
 
 def allreduce_recursive_doubling(
@@ -136,3 +142,144 @@ def allreduce_rabenseifner(
     yield from allgatherv_ring(
         comm, BS(my_block, counts[rank], dtype), recvspec, counts, displs
     )
+
+
+def _block_layout(count: int, size: int) -> tuple[list[int], list[int]]:
+    """Near-even block counts and displacements for segmented algorithms."""
+    base = count // size
+    counts = [base] * size
+    counts[-1] = count - base * (size - 1)
+    displs = [sum(counts[:i]) for i in range(size)]
+    return counts, displs
+
+
+def allreduce_ring(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec, op: Op
+) -> None:
+    """Segmented ring allreduce (the DL-training classic, à la Baidu/NCCL).
+
+    ``P-1`` reduce-scatter steps followed by ``P-1`` allgather steps,
+    each exchanging one ``count/P`` block with the ring neighbours.  Like
+    Rabenseifner, every byte crosses each rank's access link ~2x, but the
+    strictly nearest-neighbour schedule keeps at most ``2P`` flows alive
+    at any instant — friendlier under backbone contention than the
+    pairwise exchanges.  Latency grows linearly in ``P``, so it only pays
+    off for large messages.  Commutative operators only.
+    """
+    from ...errors import MpiError
+    from .. import constants
+
+    if not op.commutative:
+        raise MpiError(constants.ERR_OP, "ring allreduce needs a commutative op")
+    size = comm.size
+    count = elements_of(sendspec)
+    dtype = base_dtype(sendspec)
+    if size == 1 or count < size:
+        yield from allreduce_recursive_doubling(comm, sendspec, recvspec, op)
+        return
+
+    counts, displs = _block_layout(count, size)
+    rank = comm.Get_rank()
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    acc = flat_view(recvspec)
+    src = flat_view(sendspec)
+    if not np.shares_memory(acc[:count], src[:count]):
+        acc[:count] = src[:count]
+    incoming = np.empty(max(counts), dtype=dtype.np_dtype)
+
+    # reduce-scatter phase: after step s my block (rank - s - 1) holds the
+    # partial sum of s + 2 contributions; after P-1 steps block (rank + 1)
+    # is fully reduced at this rank
+    for step in range(size - 1):
+        send_block = (rank - step) % size
+        recv_block = (rank - step - 1) % size
+        sreq = isend_view(
+            comm, acc, displs[send_block], counts[send_block], right, "allreduce"
+        )
+        rreq = irecv_view(
+            comm, incoming, 0, counts[recv_block], left, "allreduce"
+        )
+        yield from rq.co_waitall([sreq, rreq])
+        seg = acc[displs[recv_block] : displs[recv_block] + counts[recv_block]]
+        seg[:] = op(incoming[: counts[recv_block]], seg)
+
+    # allgather phase: circulate the fully-reduced blocks around the ring
+    for step in range(size - 1):
+        send_block = (rank + 1 - step) % size
+        recv_block = (rank - step) % size
+        sreq = isend_view(
+            comm, acc, displs[send_block], counts[send_block], right, "allreduce"
+        )
+        rreq = irecv_view(
+            comm, acc, displs[recv_block], counts[recv_block], left, "allreduce"
+        )
+        yield from rq.co_waitall([sreq, rreq])
+
+
+def _co_two_level_comms(comm: "Communicator"):
+    """Cabinet-local and leader subcommunicators of ``comm`` (cached).
+
+    Built with ``Split_type("cabinet")`` + a leaders-only ``Split`` on
+    first use and memoized on the communicator object.  The cache state
+    evolves identically on every rank — a collective creation only
+    completes once all ranks participate — so later calls agree without
+    extra messages.  Creation traffic is charged to the first collective
+    that needs it (warmup iterations absorb it in sweeps).
+    """
+    from .. import constants
+
+    # one cache slot per rank: the Communicator object is shared by every
+    # rank of this single-process simulation, but each rank's (local,
+    # leaders) pair is its own
+    cache = getattr(comm, "_two_level_cache", None)
+    if cache is None:
+        cache = comm._two_level_cache = {}
+    me = comm.Get_rank()
+    if me not in cache:
+        local = yield from comm._co_Split_type("cabinet")
+        leader_color = 0 if local.Get_rank() == 0 else constants.UNDEFINED
+        leaders = yield from comm._co_Split(leader_color, 0)
+        cache[me] = (local, leaders)
+    return cache[me]
+
+
+def allreduce_two_level(
+    comm: "Communicator", sendspec: BufferSpec, recvspec: BufferSpec, op: Op
+) -> None:
+    """Hierarchical allreduce over the cabinet topology.
+
+    Phase 1 reduces within each cabinet to a local leader (binomial tree
+    over the cabinet backbone), phase 2 runs an allreduce among the
+    leaders only — the sole phase crossing the inter-cabinet uplinks —
+    and phase 3 broadcasts the result back inside each cabinet.  Wins
+    when the uplinks are the bottleneck: only one rank per cabinet sends
+    the vector across them, instead of every rank as in the flat
+    schedules.  On flat platforms the split degrades to per-host groups
+    and the algorithm behaves like its leader-phase fallback.
+    Commutative operators only.
+    """
+    from ...errors import MpiError
+    from .. import constants
+    from .bcast import bcast_binomial
+    from .reduce import reduce_binomial
+
+    if not op.commutative:
+        raise MpiError(
+            constants.ERR_OP, "two-level allreduce needs a commutative op"
+        )
+    count = elements_of(sendspec)
+    if comm.size == 1:
+        flat_view(recvspec)[:count] = flat_view(sendspec)[:count]
+        return
+
+    local, leaders = yield from _co_two_level_comms(comm)
+    if local.size == 1:
+        # degenerate hierarchy (one rank per cabinet): leaders == comm
+        yield from allreduce_recursive_doubling(leaders, sendspec, recvspec, op)
+        return
+    yield from reduce_binomial(local, sendspec, recvspec, op, 0)
+    if leaders is not None and leaders.size > 1:
+        yield from allreduce_recursive_doubling(leaders, recvspec, recvspec, op)
+    yield from bcast_binomial(local, recvspec, 0)

@@ -821,6 +821,57 @@ class Communicator:
             group, f"{self.name}+split({color})", token
         )
 
+    def Split_type(self, kind: str = "shared", key: int = 0) -> "Communicator":
+        """MPI_Comm_split_type-flavoured topology split (collective).
+
+        ``kind`` picks the grouping granularity:
+
+        * ``"shared"`` — ranks placed on the same *host* end up together
+          (the MPI_COMM_TYPE_SHARED behaviour);
+        * ``"cabinet"`` — ranks whose hosts hang off the same cabinet
+          switch end up together.  Cabinet membership comes from the
+          host's ``group`` label, which the hierarchical platform
+          builders set; hosts without one fall back to grouping by host
+          name, so the split degrades to ``"shared"`` on flat clusters.
+
+        Every rank receives a communicator (no UNDEFINED opt-out), with
+        members ordered by ``key`` then original rank, as in ``Split``.
+        """
+        return self._run(self._co_Split_type(kind, key))
+
+    def _co_Split_type(self, kind: str = "shared", key: int = 0):
+        """Generator twin of :meth:`Split_type`."""
+        self._check()
+        color = self._split_type_color(kind)
+        return (yield from self._co_Split(color, key))
+
+    def _split_type_color(self, kind: str) -> int:
+        """Dense split color of the calling rank for a topology ``kind``.
+
+        Simulator state is global, so every rank derives the identical
+        label→color mapping locally (first-appearance order over the
+        communicator's ranks) without exchanging messages; the collective
+        agreement still happens inside :meth:`Split`'s allgather.
+        """
+        if kind not in ("shared", "cabinet"):
+            raise MpiError(
+                constants.ERR_ARG,
+                f"unknown split type {kind!r}; expected 'shared' or 'cabinet'",
+            )
+        platform = self.world.engine.platform
+
+        def label(world_rank: int) -> str:
+            hostname = self.world.host_of(world_rank)
+            if kind == "shared":
+                return hostname
+            group = getattr(platform.host(hostname), "group", None)
+            return group if group is not None else hostname
+
+        colors: dict[str, int] = {}
+        for world_rank in self.group.ranks:
+            colors.setdefault(label(world_rank), len(colors))
+        return colors[label(self.group.world_rank(self.Get_rank()))]
+
     def Free(self) -> None:
         """MPI_Comm_free: mark unusable (the world forgets it)."""
         self.freed = True
@@ -837,7 +888,7 @@ _CO_OPS = frozenset({
     "Allgather", "Allgatherv", "Reduce", "Allreduce", "Scan", "Exscan",
     "Reduce_scatter", "Alltoall", "Alltoallv",
     "bcast", "scatter", "gather", "allgather", "alltoall",
-    "reduce", "allreduce", "barrier", "Split",
+    "reduce", "allreduce", "barrier", "Split", "Split_type",
 })
 
 

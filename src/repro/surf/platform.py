@@ -318,9 +318,12 @@ def multi_cabinet_cluster(
             )
         )
         for _ in range(size):
-            platform.add_host(
+            host = platform.add_host(
                 Host(f"{prefix}{node_id}", host_speed, cores=cores, memory=memory)
             )
+            # record the cabinet as the host's topology group so
+            # hierarchical collectives can split along the real switches
+            host.group = f"{name}-cab{cab}"
             node_links.append(
                 platform.add_link(
                     Link(f"{name}-l{node_id}", link_bandwidth, link_latency)

@@ -115,6 +115,12 @@ class Host:
         self.availability_profile = None
         #: optional ON/OFF trace: 0 fails the host, non-zero restores it
         self.state_profile = None
+        #: optional topology group label (the cabinet/switch-group this
+        #: host hangs off); builders that know the hierarchy set it and
+        #: topology-aware communicator splits (``Comm.Split_type``) read
+        #: it — ``None`` means "no known grouping" and splits fall back
+        #: to co-location (same host name)
+        self.group: str | None = None
         if self.speed <= 0:
             raise PlatformError(f"host {name!r}: speed must be > 0")
         if self.cores < 1:

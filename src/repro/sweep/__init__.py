@@ -12,6 +12,13 @@ Guide: ``docs/sweeps.md``.  CLI: ``python -m repro sweep run/status/report``.
 """
 
 from .cache import ResultCache, point_fingerprint, point_key
+from .collectives import (
+    best_algorithms,
+    coll_rows,
+    coll_sweep_spec,
+    crossovers,
+    size_ladder,
+)
 from .report import (
     format_table,
     result_rows,
@@ -32,7 +39,12 @@ __all__ = [
     "SweepSpec",
     "WORKLOADS",
     "WorkloadSpec",
+    "best_algorithms",
+    "coll_rows",
+    "coll_sweep_spec",
+    "crossovers",
     "format_table",
+    "size_ladder",
     "point_fingerprint",
     "point_key",
     "result_rows",

@@ -42,6 +42,7 @@ def result_rows(result: SweepResult) -> list[dict]:
             row[axis] = values.get(axis)
         row.update({
             "simulated_time": point_result.simulated_time,
+            "rank0": point_result.rank0,
             "wall_time": point_result.wall_time,
             "cached": point_result.cached,
             "error": point_result.error,

@@ -44,6 +44,10 @@ class PointResult:
     error: str | None = None
     #: per-point trace artifact path (spec-level ``trace = true`` only)
     trace_path: str | None = None
+    #: rank 0's app return value, when it is a JSON scalar — the channel
+    #: workloads use to report their own figure of merit (e.g. the
+    #: ``coll`` builtin's per-iteration latency)
+    rank0: float | int | str | bool | None = None
 
     @property
     def ok(self) -> bool:
@@ -240,6 +244,8 @@ def _simulate_point(payload: dict) -> dict:
         "wall_time": result.wall_time,
         "stats": result.stats.to_dict() if result.stats is not None else None,
     }
+    if result.returns and isinstance(result.returns[0], (int, float, str, bool)):
+        record["rank0"] = result.returns[0]
     if payload["trace"] and result.trace is not None:
         record["trace_text"] = result.trace.to_csv()
     return record
@@ -260,6 +266,7 @@ def _result_from_record(point: SweepPoint, key: str, record: dict,
         simulated_time=record.get("simulated_time"),
         wall_time=record.get("wall_time"),
         stats=stats, error=record.get("error"), trace_path=trace_path,
+        rank0=record.get("rank0"),
     )
 
 

@@ -157,12 +157,90 @@ def hpl(n: int = 4096, nb: int = 256, pivot: bool = False):
     return app
 
 
+def coll(collective: str = "allreduce", size: int = 64 * 1024,
+         warmup: int = 1, iters: int = 3):
+    """Timed collective micro-benchmark (param-comms shape).
+
+    Runs ``warmup`` untimed iterations of ``collective`` on ``size``
+    bytes per rank, then times ``iters`` barrier-fenced iterations and
+    returns the average *simulated* seconds per iteration — the latency
+    figure ``repro coll sweep`` turns into per-(size, nprocs, algorithm)
+    rows.  The algorithm under test is selected by the sweep's
+    ``coll.<collective>`` axis, not by a workload knob, so one cached
+    simulation exists per algorithm.  Buffers are ``shared_malloc``-
+    folded; warmup also absorbs one-time costs such as the hierarchical
+    allreduce's subcommunicator creation.
+    """
+    words = max(1, int(size) // 8)
+
+    def app(mpi):
+        comm = mpi.COMM_WORLD
+        n = mpi.size
+        fan_out = n if collective in ("allgather", "alltoall") else 1
+        send = mpi.shared_malloc("coll/send", words)
+        recv = mpi.shared_malloc("coll/recv", words * fan_out)
+
+        if collective == "allreduce":
+            def one():
+                yield from comm.co.Allreduce(send, recv)
+        elif collective == "reduce":
+            def one():
+                yield from comm.co.Reduce(send, recv, root=0)
+        elif collective == "bcast":
+            def one():
+                yield from comm.co.Bcast(send, root=0)
+        elif collective == "allgather":
+            def one():
+                yield from comm.co.Allgather(send, recv)
+        elif collective == "alltoall":
+            def one():
+                yield from comm.co.Alltoall(send, recv)
+        else:
+            raise ConfigError(
+                f"coll workload: unsupported collective {collective!r}")
+
+        for _ in range(max(0, warmup)):
+            yield from one()
+        yield from comm.co.Barrier()
+        start = yield from mpi.co.wtime()
+        for _ in range(max(1, iters)):
+            yield from one()
+        yield from comm.co.Barrier()
+        elapsed = (yield from mpi.co.wtime()) - start
+        return elapsed / max(1, iters)
+
+    return app
+
+
+def dl_sgd(communicator: str = "ring", layers="4x4MiB", bucket="4MiB",
+           steps: int = 2, flops_per_step: float = 1e9):
+    """Data-parallel SGD skeleton (see :func:`repro.dl.sgd_skeleton`).
+
+    Sweepable wrapper over the DL workload family: pick a communicator
+    strategy by name and a layer/bucket shape, get back the average
+    simulated seconds per training step as the point metric.
+    """
+    from ..dl import sgd_skeleton
+
+    return sgd_skeleton(communicator=communicator, layers=layers,
+                        bucket=bucket, steps=steps,
+                        flops_per_step=flops_per_step)
+
+
+# the skeleton's behaviour lives in repro.dl, so its source must feed the
+# memo-cache fingerprint too — otherwise editing the DL package would keep
+# serving stale cached results
+dl_sgd.fingerprint_modules = ("repro.dl.sgd", "repro.dl.communicators")
+
+
 #: registry of built-in workload factories, by spec ``builtin`` name
 WORKLOADS = {
     "pingpong": pingpong,
     "ring": ring,
     "allreduce": allreduce,
     "hpl": hpl,
+    "coll": coll,
+    "dl_sgd": dl_sgd,
 }
 
 
@@ -181,8 +259,19 @@ def resolve(name: str, params: dict | None = None):
 
 
 def fingerprint(name: str) -> str:
-    """Content hash of the builtin's factory source (cache-key input)."""
+    """Content hash of the builtin's factory source (cache-key input).
+
+    A factory that delegates to another module lists it in a
+    ``fingerprint_modules`` attribute (module names); their full source
+    is hashed in, so editing the delegated implementation invalidates
+    exactly the cached results that depend on it.
+    """
+    import importlib
+
     if name not in WORKLOADS:
         raise ConfigError(f"unknown builtin workload {name!r}")
-    source = inspect.getsource(WORKLOADS[name])
+    factory = WORKLOADS[name]
+    source = inspect.getsource(factory)
+    for module_name in getattr(factory, "fingerprint_modules", ()):
+        source += inspect.getsource(importlib.import_module(module_name))
     return hashlib.sha256(source.encode("utf-8")).hexdigest()

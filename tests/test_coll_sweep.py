@@ -1,0 +1,206 @@
+"""The collective sweep driver: size ladders, spec building, row shape,
+crossover detection, and the ``repro coll sweep`` CLI (including the
+memo-cache round trip the CI smoke greps for)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.sweep import (
+    best_algorithms,
+    coll_rows,
+    coll_sweep_spec,
+    crossovers,
+    run_sweep,
+    size_ladder,
+)
+from repro.sweep.workloads import WORKLOADS, fingerprint
+
+
+class TestSizeLadder:
+    def test_geometric_steps(self):
+        assert size_ladder(1024, 8192, 2) == [1024, 2048, 4096, 8192]
+        assert size_ladder("1KiB", "4KiB", 4) == [1024, 4096]
+
+    def test_end_not_overshot(self):
+        assert size_ladder(1000, 5000, 2) == [1000, 2000, 4000]
+
+    def test_fractional_factor_progresses(self):
+        sizes = size_ladder(1, 10, 1.1)
+        assert sizes[0] == 1 and sizes == sorted(set(sizes))
+
+    def test_bad_arguments(self):
+        with pytest.raises(ConfigError):
+            size_ladder(0, 10)
+        with pytest.raises(ConfigError):
+            size_ladder(100, 10)
+        with pytest.raises(ConfigError):
+            size_ladder(1, 10, 1.0)
+
+
+class TestCollSweepSpec:
+    def test_matrix_shape(self):
+        spec = coll_sweep_spec(sizes=[1024, 4096], nprocs=[4, 8],
+                               algos=["ring", "rabenseifner"],
+                               platform="cluster:8")
+        # 4 workloads (2 sizes x 2 nprocs) x 2 algorithm values
+        assert len(spec.expand()) == 8
+        assert spec.axes == {"coll.allreduce": ["ring", "rabenseifner"]}
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ConfigError):
+            coll_sweep_spec(collective="telepathy")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigError):
+            coll_sweep_spec(algos=["ring", "carrier-pigeon"])
+
+    def test_builtin_registered_and_fingerprinted(self):
+        assert "coll" in WORKLOADS and "dl_sgd" in WORKLOADS
+        assert fingerprint("coll") != fingerprint("dl_sgd")
+
+    def test_dl_fingerprint_tracks_dl_package(self):
+        """dl_sgd delegates to repro.dl, so its fingerprint must hash the
+        delegated modules' source too (cache invalidation on edits)."""
+        import inspect
+
+        import repro.dl.sgd as sgd_mod
+
+        assert "repro.dl.sgd" in WORKLOADS["dl_sgd"].fingerprint_modules
+        # sanity: the hashed source really is the module's current text
+        assert inspect.getsource(sgd_mod)
+
+
+class TestCollRows:
+    def run_small(self, tmp_path, **kwargs):
+        spec = coll_sweep_spec(
+            sizes=[4096, 65536], nprocs=[4],
+            algos=["recursive_doubling", "ring"],
+            platform="cluster:4", iters=2, **kwargs)
+        return run_sweep(spec, jobs=1, cache=str(tmp_path / "cache"))
+
+    def test_rows_carry_latency_and_bandwidth(self, tmp_path):
+        result = self.run_small(tmp_path)
+        rows = coll_rows(result)
+        assert len(rows) == 4
+        for row in rows:
+            assert row["error"] is None
+            assert row["latency"] > 0
+            assert row["bandwidth"] == pytest.approx(
+                row["size"] / row["latency"])
+            assert row["algorithm"] in ("recursive_doubling", "ring")
+        assert {(r["size"], r["n"]) for r in rows} == {(4096, 4), (65536, 4)}
+
+    def test_second_run_full_cache_hits_same_rows(self, tmp_path):
+        first = self.run_small(tmp_path)
+        second = self.run_small(tmp_path)
+        assert first.misses == 4 and first.hits == 0
+        assert second.hits == 4 and second.misses == 0
+        # the rank0 metric survives the cache round trip bit-for-bit
+        assert [r["latency"] for r in coll_rows(second)] == \
+               [r["latency"] for r in coll_rows(first)]
+
+
+class TestCrossovers:
+    ROWS = [
+        {"platform": "p", "collective": "allreduce", "n": 8, "size": size,
+         "algorithm": algo, "latency": lat, "bandwidth": None,
+         "cached": False, "error": None}
+        for size, algo, lat in [
+            (1024, "a", 1.0), (1024, "b", 2.0),
+            (4096, "a", 3.0), (4096, "b", 2.5),
+            (16384, "a", 9.0), (16384, "b", 4.0),
+        ]
+    ]
+
+    def test_best_algorithms_picks_minimum(self):
+        best = best_algorithms(self.ROWS)
+        assert [(b["size"], b["best"]) for b in best] == \
+               [(1024, "a"), (4096, "b"), (16384, "b")]
+        assert best[0]["margin"] == pytest.approx(2.0)
+
+    def test_crossovers_report_the_transition(self):
+        points = crossovers(self.ROWS)
+        assert points == [{
+            "platform": "p", "n": 8,
+            "below_size": 1024, "below_best": "a",
+            "above_size": 4096, "above_best": "b",
+        }]
+
+    def test_errored_rows_are_ignored(self):
+        rows = [dict(r) for r in self.ROWS]
+        rows[0]["error"] = "boom"
+        best = best_algorithms(rows)
+        assert best[0]["best"] == "b"  # 'a' at 1024 dropped
+
+
+class TestCollCli:
+    ARGS = ["coll", "sweep", "--coll", "allreduce",
+            "--b", "4KiB", "--e", "16KiB", "--f", "4",
+            "--np", "4", "--algos", "recursive_doubling,ring",
+            "--iters", "2", "--jobs", "1", "--platform", "cluster:4"]
+
+    def test_run_then_full_cache_hits(self, tmp_path, capsys):
+        cache = ["--cache-dir", str(tmp_path / "cache")]
+        assert main(self.ARGS + cache) == 0
+        first = capsys.readouterr().out
+        assert "cache hits     : 0/4" in first
+        assert "algorithm" in first and "latency" in first
+        assert main(self.ARGS + cache) == 0
+        second = capsys.readouterr().out
+        assert "cache hits     : 4/4 (all points served from cache)" in second
+
+    def test_csv_output(self, tmp_path, capsys):
+        out = tmp_path / "rows.csv"
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path / "c"),
+                                 "--format", "csv", "-o", str(out)]) == 0
+        capsys.readouterr()
+        lines = out.read_text().splitlines()
+        assert lines[0].startswith("platform,collective,size,n,algorithm")
+        assert len(lines) == 5
+
+    def test_json_output_parses(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path / "c"),
+                                 "--format", "json"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("["):])
+        assert len(payload) == 4
+
+    def test_algos_all(self, tmp_path, capsys):
+        args = ["coll", "sweep", "--b", "4KiB", "--e", "4KiB",
+                "--np", "4", "--algos", "all", "--iters", "1",
+                "--jobs", "1", "--platform", "cluster:4",
+                "--cache-dir", str(tmp_path / "c")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        for algo in ("recursive_doubling", "rabenseifner", "ring",
+                     "two_level", "reduce_bcast"):
+            assert algo in out
+
+    def test_bad_algorithm_is_a_config_error(self, capsys):
+        assert main(["coll", "sweep", "--algos", "telepathy"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestDlSgdBuiltinSweep:
+    def test_dl_sgd_points_report_step_time(self, tmp_path):
+        from repro.sweep import SweepSpec
+
+        spec = SweepSpec.from_dict({
+            "name": "dl",
+            "platforms": ["cluster:4"],
+            "workloads": [
+                {"builtin": "dl_sgd", "n": 4,
+                 "params": {"communicator": name, "layers": "2x64KiB",
+                            "bucket": "64KiB", "steps": 1,
+                            "flops_per_step": 1e6}}
+                for name in ("flat", "ring", "hierarchical")
+            ],
+        })
+        result = run_sweep(spec, jobs=1, cache=str(tmp_path / "cache"))
+        assert not result.errors
+        assert all(p.rank0 > 0 for p in result.points)
