@@ -150,6 +150,10 @@ def _config_from_args(args: argparse.Namespace) -> SmpiConfig:
         options["on_host_down"] = args.on_host_down
     if getattr(args, "sharing", None) is not None:
         options["sharing"] = args.sharing
+    if getattr(args, "match", None) is not None:
+        options["match"] = args.match
+    if getattr(args, "profile", False):
+        options["profile"] = True
     return SmpiConfig(**options)
 
 
@@ -228,6 +232,20 @@ def _report(result, n_ranks: int, show_stats: bool = False) -> None:
         if failures or restores:
             print(f"  resource faults  : {failures} failed, "
                   f"{restores} restored")
+        probes = getattr(stats, "match_probes", 0)
+        if probes:
+            print(f"  match probes     : {probes} "
+                  f"({stats.match_fast_hits} fast hits, "
+                  f"{stats.wildcard_scans} wildcard scans)")
+        if getattr(stats, "pooled_reuses", 0):
+            print(f"  pooled reuses    : {stats.pooled_reuses}")
+    profile = (result.stats.extra.get("profile")
+               if result.stats is not None and result.stats.extra else None)
+    if profile:
+        from .profile import render_profile
+
+        print("hot-path timers:")
+        print(render_profile(profile))
 
 
 def _make_engine(platform, args):
@@ -511,6 +529,18 @@ def _cmd_coll_sweep(args: argparse.Namespace) -> int:
     return 1 if result.errors else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """``repro profile``: one run with wall timers on, then the report."""
+    app = load_app(args.app, args.entry)
+    platform = build_platform(args.platform, args.n)
+    config = _config_from_args(args).with_options(profile=True)
+    engine = _make_engine(platform, args)
+    result = smpirun(app, args.n, platform, config=config, engine=engine,
+                     ctx=args.ctx)
+    _report(result, args.n, show_stats=True)
+    return 0
+
+
 def _cmd_platforms(_args: argparse.Namespace) -> int:
     print("built-in platforms:")
     print("  griffon          92 nodes, 3 cabinets (33/27/32), GigE + 10G core")
@@ -691,6 +721,14 @@ def make_parser() -> argparse.ArgumentParser:
                           "point (default) or approx with bounded per-event "
                           "work for 100k+ concurrent flows (REPRO_SHARING "
                           "env var sets the default)")
+    run.add_argument("--match", choices=("index", "scan"), default=None,
+                     help="message-matching implementation: indexed match "
+                          "queues (default) or the linear-scan oracle "
+                          "(REPRO_MATCH env var sets the default)")
+    run.add_argument("--profile", action="store_true",
+                     help="accumulate per-subsystem wall timers and print "
+                          "them after the run (implies nothing else; the "
+                          "deterministic counters are always on)")
     run.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
                                              "thread"),
                      default=None,
@@ -728,6 +766,12 @@ def make_parser() -> argparse.ArgumentParser:
                              "point (default) or approx with bounded "
                              "per-event work (REPRO_SHARING env var sets "
                              "the default)")
+    replay.add_argument("--match", choices=("index", "scan"), default=None,
+                        help="message-matching implementation: indexed "
+                             "(default) or the linear-scan oracle")
+    replay.add_argument("--profile", action="store_true",
+                        help="accumulate per-subsystem wall timers and "
+                             "print them after the replay")
     replay.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
                                              "thread"),
                      default=None,
@@ -880,6 +924,34 @@ def make_parser() -> argparse.ArgumentParser:
     coll_sweep.add_argument("--verbose", action="store_true",
                             help="print one line per completed point")
     coll_sweep.set_defaults(func=_cmd_coll_sweep)
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an app with hot-path wall timers and report where the "
+             "simulator spends its time")
+    profile.add_argument("app", help="Python file defining app(mpi)")
+    profile.add_argument("-n", type=int, required=True, help="MPI rank count")
+    profile.add_argument("--platform", default="cluster:64",
+                         help="griffon | gdx | cluster:N[:bw[:lat]] | "
+                              "file.xml")
+    profile.add_argument("--entry", default="app",
+                         help="entry function name (default: app)")
+    profile.add_argument("--eager-threshold", default=None,
+                         help="eager/rendezvous switch, e.g. 64KiB")
+    profile.add_argument("--zero-copy", action="store_true",
+                         help="fold payloads (timing only)")
+    profile.add_argument("--coll", action="append", metavar="NAME=ALGO",
+                         help="force a collective algorithm (repeatable)")
+    profile.add_argument("--sharing", choices=("exact", "approx"),
+                         default=None,
+                         help="bandwidth-sharing fidelity")
+    profile.add_argument("--match", choices=("index", "scan"), default=None,
+                         help="message-matching implementation under test")
+    profile.add_argument("--ctx", choices=("auto", "coroutine", "greenlet",
+                                           "thread"),
+                         default=None,
+                         help="execution-context backend for rank actors")
+    profile.set_defaults(func=_cmd_profile)
 
     platforms = sub.add_parser("platforms", help="list built-in platforms")
     platforms.set_defaults(func=_cmd_platforms)

@@ -325,13 +325,16 @@ def resume_replay(
 
     protocol = world.protocol
     for key, entries in checkpoint["posted"]:
-        mailbox, _unexpected = protocol._queues(*key)
         for entry in entries:
             request = requests[entry["rid"]]
             request.meta = intern_meta("recv", entry["tag"], entry["ctx"],
                                        -1)
-            mailbox.push(_PostedRecv(entry["source"], entry["tag"],
-                                     entry["ctx"], request, None))
+            # routes through the protocol so the dead-rank source index
+            # is rebuilt alongside the queue itself
+            protocol.post_restored_recv(
+                key[0], key[1],
+                _PostedRecv(entry["source"], entry["tag"], entry["ctx"],
+                            request, None))
     for key, mids in checkpoint["unexpected"]:
         _posted, mailbox = protocol._queues(*key)
         for mid in mids:

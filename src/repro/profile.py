@@ -1,0 +1,70 @@
+"""Hot-path profiler: opt-in per-subsystem wall timers.
+
+Perf work on this codebase is measured, not guessed, in two layers:
+
+* **deterministic counters** — always on, free, and identical across
+  runs: :class:`~repro.surf.engine.EngineStats` counts matching probes,
+  fast hits, wildcard scans and pool reuses next to the engine's step
+  and solver counters.
+* **wall timers** — this module.  Off by default (the hot paths carry a
+  ``None`` check and nothing else); enabled by ``SmpiConfig.profile``,
+  the ``--profile`` CLI flag, or the ``repro profile`` subcommand.  Each
+  instrumented section accumulates call counts and ``perf_counter``
+  seconds under a subsystem name (``match.send``, ``engine.step``, …).
+
+The accumulators end up in ``result.stats.extra["profile"]`` so every
+reporting surface (CLI, benches, sweeps) can render them; nested
+sections (``engine.share`` runs inside ``engine.step``) are *not*
+subtracted from their parent.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Profiler", "render_profile"]
+
+
+class Profiler:
+    """Accumulates wall seconds and call counts per subsystem name."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls: dict[str, int] = {}
+        self.seconds: dict[str, float] = {}
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Charge ``seconds`` of wall time (and ``calls`` entries) to ``name``."""
+        self.calls[name] = self.calls.get(name, 0) + calls
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    def to_dict(self) -> dict:
+        """Plain-JSON payload: ``{name: {"calls": n, "seconds": s}}``."""
+        return {
+            name: {"calls": self.calls[name], "seconds": self.seconds[name]}
+            for name in sorted(self.calls)
+        }
+
+    def report(self) -> str:
+        """Human-readable table of the accumulated timers."""
+        return render_profile(self.to_dict())
+
+    def __bool__(self) -> bool:
+        return bool(self.calls)
+
+
+def render_profile(profile: dict) -> str:
+    """Format a :meth:`Profiler.to_dict` payload as an aligned table."""
+    if not profile:
+        return "  (no profiled sections hit)"
+    rows = sorted(profile.items(),
+                  key=lambda kv: kv[1]["seconds"], reverse=True)
+    width = max(len(name) for name, _ in rows)
+    lines = [f"  {'subsystem':<{width}}  {'calls':>10}  "
+             f"{'wall s':>10}  {'per call':>10}"]
+    for name, cell in rows:
+        calls = int(cell["calls"])
+        seconds = float(cell["seconds"])
+        per_call = seconds / calls if calls else 0.0
+        lines.append(f"  {name:<{width}}  {calls:>10}  "
+                     f"{seconds:>10.4f}  {per_call:>10.3e}")
+    return "\n".join(lines)

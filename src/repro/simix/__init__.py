@@ -39,7 +39,14 @@ from .contexts import (
     run_blocking,
     select_backend,
 )
-from .mailbox import Mailbox
+from .mailbox import (
+    IndexedMessageQueue,
+    IndexedRecvQueue,
+    Mailbox,
+    MatchCounters,
+    ScanMessageQueue,
+    ScanRecvQueue,
+)
 
 __all__ = [
     "Activity",
@@ -52,7 +59,12 @@ __all__ = [
     "ExecActivity",
     "ExecutionContext",
     "GreenletBackend",
+    "IndexedMessageQueue",
+    "IndexedRecvQueue",
     "Mailbox",
+    "MatchCounters",
+    "ScanMessageQueue",
+    "ScanRecvQueue",
     "Scheduler",
     "SleepActivity",
     "ThreadBackend",

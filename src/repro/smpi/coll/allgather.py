@@ -12,9 +12,10 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...errors import MpiError
-from .. import constants, request as rq
+from .. import constants
 from ..buffer import BufferSpec
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, elements_of, flat_view,
+                   irecv_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -56,7 +57,7 @@ def allgather_ring(
         rreq = irecv_view(
             comm, recv_flat, recv_block * chunk, chunk, left, "allgather"
         )
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
         send_block = recv_block
         recv_block = (recv_block - 1) % size
 
@@ -85,7 +86,7 @@ def allgather_recursive_doubling(
         rreq = irecv_view(
             comm, recv_flat, partner_lo * chunk, have_n * chunk, partner, "allgather"
         )
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
         have_lo = min(have_lo, partner_lo)
         have_n *= 2
         mask <<= 1
@@ -110,7 +111,7 @@ def allgather_bruck(
         dst = (rank - pof2) % size
         sreq = isend_view(comm, work, 0, send_n * chunk, dst, "allgather")
         rreq = irecv_view(comm, work, have * chunk, send_n * chunk, src, "allgather")
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
         have += send_n
         pof2 <<= 1
     # un-rotate: work block i -> recv block (rank + i) % size
@@ -161,6 +162,6 @@ def allgatherv_ring(
                     left, "allgatherv",
                 )
             )
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
         send_block = recv_block
         recv_block = (recv_block - 1) % size

@@ -16,10 +16,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .. import request as rq
 from ..buffer import BufferSpec
 from ..op import Op
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, co_recv_view, co_send_view,
+                   elements_of, flat_view, irecv_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -52,10 +52,10 @@ def allreduce_recursive_doubling(
     # pre-phase: fold the ``rem`` trailing odd ranks into their even peers
     if rank < 2 * rem:
         if rank % 2:  # odd: hand my data over, sit out the core phase
-            yield from rq.co_wait(isend_view(comm, acc, 0, count, rank - 1, "allreduce"))
+            yield from co_send_view(comm, acc, 0, count, rank - 1, "allreduce")
             new_rank = -1
         else:
-            yield from rq.co_wait(irecv_view(comm, incoming, 0, count, rank + 1, "allreduce"))
+            yield from co_recv_view(comm, incoming, 0, count, rank + 1, "allreduce")
             acc = op(acc, incoming)
             new_rank = rank // 2
     else:
@@ -70,7 +70,7 @@ def allreduce_recursive_doubling(
             )
             sreq = isend_view(comm, acc, 0, count, partner, "allreduce")
             rreq = irecv_view(comm, incoming, 0, count, partner, "allreduce")
-            yield from rq.co_waitall([sreq, rreq])
+            yield from co_complete(comm, [sreq, rreq])
             if partner_new < new_rank:
                 acc = op(incoming, acc)
             else:
@@ -80,9 +80,9 @@ def allreduce_recursive_doubling(
     # post-phase: return results to the ranks folded away in the pre-phase
     if rank < 2 * rem:
         if rank % 2:
-            yield from rq.co_wait(irecv_view(comm, acc, 0, count, rank - 1, "allreduce"))
+            yield from co_recv_view(comm, acc, 0, count, rank - 1, "allreduce")
         else:
-            yield from rq.co_wait(isend_view(comm, acc, 0, count, rank + 1, "allreduce"))
+            yield from co_send_view(comm, acc, 0, count, rank + 1, "allreduce")
 
     flat_view(recvspec)[:count] = acc
 
@@ -201,7 +201,7 @@ def allreduce_ring(
         rreq = irecv_view(
             comm, incoming, 0, counts[recv_block], left, "allreduce"
         )
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
         seg = acc[displs[recv_block] : displs[recv_block] + counts[recv_block]]
         seg[:] = op(incoming[: counts[recv_block]], seg)
 
@@ -215,7 +215,7 @@ def allreduce_ring(
         rreq = irecv_view(
             comm, acc, displs[recv_block], counts[recv_block], left, "allreduce"
         )
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
 
 
 def _co_two_level_comms(comm: "Communicator"):

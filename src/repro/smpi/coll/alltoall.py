@@ -17,9 +17,10 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...errors import MpiError
-from .. import constants, request as rq
+from .. import constants
 from ..buffer import BufferSpec
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, elements_of, flat_view,
+                   irecv_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -71,7 +72,7 @@ def alltoall_pairwise(
         src = (rank - step) % size
         sreq = isend_view(comm, send_flat, dst * chunk, chunk, dst, "alltoall")
         rreq = irecv_view(comm, recv_flat, src * chunk, chunk, src, "alltoall")
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
 
 
 def alltoall_basic_linear(
@@ -91,7 +92,7 @@ def alltoall_basic_linear(
         if peer == rank:
             continue
         reqs.append(isend_view(comm, send_flat, peer * chunk, chunk, peer, "alltoall"))
-    yield from rq.co_waitall(reqs)
+    yield from co_complete(comm, reqs)
 
 
 def alltoall_bruck(
@@ -123,7 +124,7 @@ def alltoall_bruck(
         ) if n else np.empty(0, dtype=dtype.np_dtype)
         sreq = isend_view(comm, outbound, 0, n * chunk, dst, "alltoall")
         rreq = irecv_view(comm, incoming, 0, n * chunk, src, "alltoall")
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
         for j, b in enumerate(blocks):
             work[b * chunk : (b + 1) * chunk] = incoming[j * chunk : (j + 1) * chunk]
         pof2 <<= 1
@@ -181,7 +182,7 @@ def alltoallv_basic_linear(
             isend_view(comm, send_flat, sdispls[peer], sendcounts[peer], peer,
                        "alltoallv")
         )
-    yield from rq.co_waitall(reqs)
+    yield from co_complete(comm, reqs)
 
 
 def alltoallv_pairwise(
@@ -216,4 +217,4 @@ def alltoallv_pairwise(
                 irecv_view(comm, recv_flat, rdispls[src], recvcounts[src], src,
                            "alltoallv")
             )
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)

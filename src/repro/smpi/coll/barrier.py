@@ -6,8 +6,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .. import request as rq
-from .util import coll_tag
+from .util import co_complete, coll_tag
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -31,7 +30,7 @@ def barrier_dissemination(comm: "Communicator") -> None:
         recv = np.zeros(1, dtype=np.uint8)
         rreq = comm.Irecv([recv, 1], src, tag, _ctx=comm.ctx + 1)
         sreq = comm.Isend([_token, 1], dst, tag, _ctx=comm.ctx + 1)
-        yield from rq.co_waitall([rreq, sreq])
+        yield from co_complete(comm, [rreq, sreq])
         mask <<= 1
 
 
@@ -49,17 +48,21 @@ def barrier_tree(comm: "Communicator") -> None:
     while mask < size and not (rank & mask):
         child = rank + mask
         if child < size:
-            yield from rq.co_wait(comm.Irecv([token, 1], child, tag, _ctx=comm.ctx + 1))
+            req = comm.Irecv([token, 1], child, tag, _ctx=comm.ctx + 1)
+            yield from co_complete(comm, [req])
         mask <<= 1
     if rank != 0:
         # mask is now lowbit(rank); report to the parent, await release
-        yield from rq.co_wait(comm.Isend([_token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
-        yield from rq.co_wait(comm.Irecv([token, 1], rank - mask, tag, _ctx=comm.ctx + 1))
+        req = comm.Isend([_token, 1], rank - mask, tag, _ctx=comm.ctx + 1)
+        yield from co_complete(comm, [req])
+        req = comm.Irecv([token, 1], rank - mask, tag, _ctx=comm.ctx + 1)
+        yield from co_complete(comm, [req])
 
     # fan-out: release my subtree (children masks below my lowbit)
     mask >>= 1
     while mask >= 1:
         child = rank + mask
         if child < size:
-            yield from rq.co_wait(comm.Isend([_token, 1], child, tag, _ctx=comm.ctx + 1))
+            req = comm.Isend([_token, 1], child, tag, _ctx=comm.ctx + 1)
+            yield from co_complete(comm, [req])
         mask >>= 1

@@ -12,9 +12,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .. import request as rq
 from ..buffer import BufferSpec
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, co_recv_view, co_send_view,
+                   elements_of, flat_view, irecv_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -38,7 +38,7 @@ def bcast_binomial(comm: "Communicator", spec: BufferSpec, root: int) -> None:
         while not (relative & mask):
             mask <<= 1
         parent = (relative - mask + root) % size
-        yield from rq.co_wait(irecv_view(comm, flat, 0, count, parent, "bcast"))
+        yield from co_recv_view(comm, flat, 0, count, parent, "bcast")
         mask >>= 1
     else:
         while mask < size:
@@ -50,7 +50,7 @@ def bcast_binomial(comm: "Communicator", spec: BufferSpec, root: int) -> None:
         child_rel = relative + mask
         if child_rel < size:
             child = (child_rel + root) % size
-            yield from rq.co_wait(isend_view(comm, flat, 0, count, child, "bcast"))
+            yield from co_send_view(comm, flat, 0, count, child, "bcast")
         mask >>= 1
 
 
@@ -68,9 +68,9 @@ def bcast_linear(comm: "Communicator", spec: BufferSpec, root: int) -> None:
             for dest in range(size)
             if dest != root
         ]
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
     else:
-        yield from rq.co_wait(irecv_view(comm, flat, 0, count, root, "bcast"))
+        yield from co_recv_view(comm, flat, 0, count, root, "bcast")
 
 
 def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -> None:
@@ -117,7 +117,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
         held_n = min(mask, size - relative)
         lo = int(displs[held_lo])
         n_elems = int(sum(counts[held_lo : held_lo + held_n]))
-        yield from rq.co_wait(irecv_view(comm, flat, lo, n_elems, parent, "bcast"))
+        yield from co_recv_view(comm, flat, lo, n_elems, parent, "bcast")
         mask >>= 1
 
     while mask >= 1:
@@ -127,7 +127,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
             child = (child_rel + root) % size
             lo = int(displs[child_rel])
             n_elems = int(sum(counts[child_rel : child_rel + n_child]))
-            yield from rq.co_wait(isend_view(comm, flat, lo, n_elems, child, "bcast"))
+            yield from co_send_view(comm, flat, lo, n_elems, child, "bcast")
         mask >>= 1
 
     # --- phase 2: ring allgather of the pieces ---------------------------------
@@ -146,7 +146,7 @@ def bcast_scatter_allgather(comm: "Communicator", spec: BufferSpec, root: int) -
             comm, flat, int(displs[recv_piece]), counts[recv_piece],
             left_rank, "allgather",
         )
-        yield from rq.co_waitall([sreq, rreq])
+        yield from co_complete(comm, [sreq, rreq])
         send_piece = recv_piece
         recv_piece = (recv_piece - 1) % size
     del dtype

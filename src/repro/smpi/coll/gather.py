@@ -13,9 +13,10 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...errors import MpiError
-from .. import constants, request as rq
+from .. import constants
 from ..buffer import BufferSpec
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, co_recv_view, co_send_view,
+                   elements_of, flat_view, irecv_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -65,18 +66,16 @@ def gather_binomial(
     while mask < size:
         if relative & mask:
             parent = (relative - mask + root) % size
-            yield from rq.co_wait(
-                isend_view(comm, held, 0, filled * chunk, parent, "gather")
+            yield from co_send_view(
+                comm, held, 0, filled * chunk, parent, "gather"
             )
             break
         child_rel = relative + mask
         if child_rel < size:
             n_child = min(mask, size - child_rel)
-            yield from rq.co_wait(
-                irecv_view(
-                    comm, held, mask * chunk, n_child * chunk,
-                    (child_rel + root) % size, "gather",
-                )
+            yield from co_recv_view(
+                comm, held, mask * chunk, n_child * chunk,
+                (child_rel + root) % size, "gather",
             )
             filled = mask + n_child
         mask <<= 1
@@ -115,9 +114,9 @@ def gather_linear(
             for src in range(size)
             if src != root
         ]
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
     else:
-        yield from rq.co_wait(isend_view(comm, flat_view(sendspec), 0, chunk, root, "gather"))
+        yield from co_send_view(comm, flat_view(sendspec), 0, chunk, root, "gather")
 
 
 def gatherv_linear(
@@ -153,8 +152,8 @@ def gatherv_linear(
             for src in range(size)
             if src != root and counts[src] > 0
         ]
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
     elif counts[rank] > 0:
-        yield from rq.co_wait(
-            isend_view(comm, flat_view(sendspec), 0, counts[rank], root, "gatherv")
+        yield from co_send_view(
+            comm, flat_view(sendspec), 0, counts[rank], root, "gatherv"
         )

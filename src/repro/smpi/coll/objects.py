@@ -31,16 +31,17 @@ __all__ = [
 
 def _send_obj(comm: "Communicator", obj: Any, dest: int) -> None:
     spec = pack_object(obj)
-    yield from rq.co_wait(
-        comm.Isend([spec.array, spec.count], dest, coll_tag("object"),
-                   _ctx=comm.ctx + 1)
-    )
+    req = comm.Isend([spec.array, spec.count], dest, coll_tag("object"),
+                     _ctx=comm.ctx + 1)
+    yield from rq.co_wait(req)
+    comm.world.release_request(req)
 
 
 def _recv_obj(comm: "Communicator", source: int) -> Any:
     req = comm.irecv(source, coll_tag("object"), _ctx=comm.ctx + 1)
     yield from rq.co_wait(req)
-    raw = getattr(req, "raw_data", None)
+    raw = req.raw_data  # consume before recycling the request
+    comm.world.release_request(req)
     return unpack_object(raw) if raw is not None else None
 
 
@@ -126,7 +127,9 @@ def alltoall_object(comm: "Communicator", objs: list[Any]) -> list[Any]:
                           _ctx=comm.ctx + 1)
         rreq = comm.irecv(src, coll_tag("object"), _ctx=comm.ctx + 1)
         yield from rq.co_waitall([sreq, rreq])
-        raw = getattr(rreq, "raw_data", None)
+        raw = rreq.raw_data
+        comm.world.release_request(sreq)
+        comm.world.release_request(rreq)
         out[src] = unpack_object(raw) if raw is not None else None
     return out
 

@@ -13,10 +13,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...errors import MpiError
-from .. import constants, request as rq
+from .. import constants
 from ..buffer import BufferSpec
 from ..op import Op
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, co_recv_view, co_send_view,
+                   elements_of, flat_view, irecv_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -44,12 +45,12 @@ def reduce_binomial(
     while mask < size:
         if relative & mask:
             parent = (relative - mask + root) % size
-            yield from rq.co_wait(isend_view(comm, acc, 0, count, parent, "reduce"))
+            yield from co_send_view(comm, acc, 0, count, parent, "reduce")
             break
         child_rel = relative + mask
         if child_rel < size:
             child = (child_rel + root) % size
-            yield from rq.co_wait(irecv_view(comm, incoming, 0, count, child, "reduce"))
+            yield from co_recv_view(comm, incoming, 0, count, child, "reduce")
             # ``acc`` covers lower relative ranks than the child subtree,
             # so acc-first ordering is also valid for non-commutative ops
             # when root == 0; the dispatcher is conservative anyway.
@@ -75,7 +76,7 @@ def reduce_linear(
     dtype = base_dtype(sendspec)
 
     if rank != root:
-        yield from rq.co_wait(isend_view(comm, flat_view(sendspec), 0, count, root, "reduce"))
+        yield from co_send_view(comm, flat_view(sendspec), 0, count, root, "reduce")
         return
     if recvspec is None:
         raise MpiError(constants.ERR_BUFFER, "reduce root needs a receive buffer")
@@ -91,7 +92,7 @@ def reduce_linear(
             buf = np.empty(count, dtype=dtype.np_dtype)
             parts.append(buf)
             reqs.append(irecv_view(comm, buf, 0, count, src, "reduce"))
-    yield from rq.co_waitall([r for r in reqs if r is not None])
+    yield from co_complete(comm, [r for r in reqs if r is not None])
     acc = parts[0]
     for part in parts[1:]:
         acc = op(acc, part)

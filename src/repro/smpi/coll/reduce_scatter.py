@@ -14,10 +14,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...errors import MpiError
-from .. import constants, request as rq
+from .. import constants
 from ..buffer import BufferSpec
 from ..op import Op
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, elements_of, flat_view,
+                   irecv_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -71,7 +72,7 @@ def reduce_scatter_pairwise(
             reqs.append(
                 irecv_view(comm, incoming, 0, my_count, src, "reduce_scatter")
             )
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
         if my_count > 0:
             acc = op(acc, incoming)
     flat_view(recvspec)[:my_count] = acc

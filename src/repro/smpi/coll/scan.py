@@ -14,10 +14,10 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from .. import request as rq
 from ..buffer import BufferSpec
 from ..op import Op
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view
+from .util import (base_dtype, co_complete, elements_of, flat_view,
+                   irecv_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -43,7 +43,7 @@ def scan_recursive_doubling(
         if partner < size:
             sreq = isend_view(comm, total, 0, count, partner, "scan")
             rreq = irecv_view(comm, incoming, 0, count, partner, "scan")
-            yield from rq.co_waitall([sreq, rreq])
+            yield from co_complete(comm, [sreq, rreq])
             if partner < rank:
                 prefix = op(incoming, prefix)
                 total = op(incoming, total)
@@ -77,7 +77,7 @@ def exscan_recursive_doubling(
         if partner < size:
             sreq = isend_view(comm, total, 0, count, partner, "exscan")
             rreq = irecv_view(comm, incoming, 0, count, partner, "exscan")
-            yield from rq.co_waitall([sreq, rreq])
+            yield from co_complete(comm, [sreq, rreq])
             if partner < rank:
                 if prefix_excl is None:
                     prefix_excl = incoming.copy()

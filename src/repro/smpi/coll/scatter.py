@@ -19,9 +19,10 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ...errors import MpiError
-from .. import constants, request as rq
+from .. import constants
 from ..buffer import BufferSpec, resolve
-from .util import base_dtype, elements_of, flat_view, irecv_view, isend_view, send_view
+from .util import (base_dtype, co_complete, co_recv_view, elements_of,
+                   flat_view, isend_view)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..comm import Communicator
@@ -78,12 +79,11 @@ def scatter_binomial(
         parent = (relative - mask + root) % size
         n_held = min(mask, size - relative)
         held = np.empty(n_held * chunk, dtype=dtype.np_dtype)
-        yield from rq.co_wait(
-            comm.Irecv(
-                [held, n_held * chunk], parent,
-                _scatter_tag(), _ctx=comm.ctx + 1,
-            )
+        req = comm.Irecv(
+            [held, n_held * chunk], parent,
+            _scatter_tag(), _ctx=comm.ctx + 1,
         )
+        yield from co_complete(comm, [req])
         mask >>= 1
 
     # forward the upper halves of my range, largest sub-tree first
@@ -93,12 +93,11 @@ def scatter_binomial(
             n_child = min(mask, size - child_rel)
             child = (child_rel + root) % size
             view = held[mask * chunk : (mask + n_child) * chunk]
-            yield from rq.co_wait(
-                comm.Isend(
-                    [view, n_child * chunk], child,
-                    _scatter_tag(), _ctx=comm.ctx + 1,
-                )
+            req = comm.Isend(
+                [view, n_child * chunk], child,
+                _scatter_tag(), _ctx=comm.ctx + 1,
             )
+            yield from co_complete(comm, [req])
         mask >>= 1
 
     if not zero_copy:
@@ -131,9 +130,9 @@ def scatter_linear(
             reqs.append(
                 isend_view(comm, held, relative * chunk, chunk, dest, "scatter")
             )
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
     else:
-        yield from rq.co_wait(irecv_view(comm, recv_flat, 0, chunk, root, "scatter"))
+        yield from co_recv_view(comm, recv_flat, 0, chunk, root, "scatter")
 
 
 def scatterv_linear(
@@ -169,9 +168,9 @@ def scatterv_linear(
             reqs.append(
                 isend_view(comm, flat, displs[dest], counts[dest], dest, "scatterv")
             )
-        yield from rq.co_waitall(reqs)
+        yield from co_complete(comm, reqs)
     elif counts[rank] > 0:
-        yield from rq.co_wait(irecv_view(comm, recv_flat, 0, counts[rank], root, "scatterv"))
+        yield from co_recv_view(comm, recv_flat, 0, counts[rank], root, "scatterv")
 
 
 def binomial_tree_edges(size: int, root: int = 0) -> list[tuple[int, int, int]]:

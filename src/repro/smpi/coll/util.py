@@ -35,6 +35,7 @@ __all__ = [
     "recv_view",
     "co_send_view",
     "co_recv_view",
+    "co_complete",
     "coll_tag",
 ]
 
@@ -140,7 +141,9 @@ def co_send_view(comm, src_arr, offset, count, dest, kind):
     """Generator twin of :func:`send_view`."""
     from .. import request as rq
 
-    yield from rq.co_wait(isend_view(comm, src_arr, offset, count, dest, kind))
+    req = isend_view(comm, src_arr, offset, count, dest, kind)
+    yield from rq.co_wait(req)
+    comm.world.release_request(req)
 
 
 def recv_view(comm, dst_arr, offset, count, source, kind) -> None:
@@ -155,4 +158,21 @@ def co_recv_view(comm, dst_arr, offset, count, source, kind):
     """Generator twin of :func:`recv_view`."""
     from .. import request as rq
 
-    yield from rq.co_wait(irecv_view(comm, dst_arr, offset, count, source, kind))
+    req = irecv_view(comm, dst_arr, offset, count, source, kind)
+    yield from rq.co_wait(req)
+    comm.world.release_request(req)
+
+
+def co_complete(comm, requests):
+    """Wait on a batch of collective-internal requests, then recycle them.
+
+    The algorithm files pair ``isend_view``/``irecv_view`` batches with a
+    single waitall; routing the wait through here returns every request
+    to the world's free list once its round is over.
+    """
+    from .. import request as rq
+
+    yield from rq.co_waitall(requests)
+    release = comm.world.release_request
+    for req in requests:
+        release(req)

@@ -119,7 +119,7 @@ class Communicator:
         self._check_tag(tag, allow_any=False)
         dst_world = self._world_rank(dest, "destination")
         me = self.Get_rank()
-        req = Request(self.world, "send", self.group.world_rank(me))
+        req = self.world.acquire_request("send", self.group.world_rank(me))
         if dst_world == constants.PROC_NULL:
             req.finish()
             return req
@@ -151,7 +151,10 @@ class Communicator:
         self._run(self._co_Ssend(buf, dest, tag))
 
     def _co_Ssend(self, buf: Any, dest: int, tag: int = 0):
-        return rq.co_wait(self.Issend(buf, dest, tag))
+        req = self.Issend(buf, dest, tag)
+        got = yield from rq.co_wait(req)
+        self.world.release_request(req)
+        return got
 
     def Ibsend(self, buf: Any, dest: int, tag: int = 0) -> Request:
         """Nonblocking buffered send: always eager, never waits for the
@@ -163,7 +166,10 @@ class Communicator:
         self._run(self._co_Bsend(buf, dest, tag))
 
     def _co_Bsend(self, buf: Any, dest: int, tag: int = 0):
-        return rq.co_wait(self.Ibsend(buf, dest, tag))
+        req = self.Ibsend(buf, dest, tag)
+        got = yield from rq.co_wait(req)
+        self.world.release_request(req)
+        return got
 
     def Irsend(self, buf: Any, dest: int, tag: int = 0) -> Request:
         """Ready send: timing-wise a standard send (the "receive must be
@@ -174,7 +180,10 @@ class Communicator:
         self._run(self._co_Rsend(buf, dest, tag))
 
     def _co_Rsend(self, buf: Any, dest: int, tag: int = 0):
-        return rq.co_wait(self.Irsend(buf, dest, tag))
+        req = self.Irsend(buf, dest, tag)
+        got = yield from rq.co_wait(req)
+        self.world.release_request(req)
+        return got
 
     def Irecv(
         self,
@@ -187,7 +196,7 @@ class Communicator:
         self._check()
         self._check_tag(tag, allow_any=True)
         me_world = self.group.world_rank(self.Get_rank())
-        req = Request(self.world, "recv", me_world)
+        req = self.world.acquire_request("recv", me_world)
         if source == constants.PROC_NULL:
             req.finish()
             return req
@@ -218,7 +227,12 @@ class Communicator:
         self._run(self._co_Send(buf, dest, tag))
 
     def _co_Send(self, buf: Any, dest: int, tag: int = 0):
-        return rq.co_wait(self.Isend(buf, dest, tag))
+        # a real generator (not a co_wait pass-through) so the completed
+        # request can go back to the world's free list
+        req = self.Isend(buf, dest, tag)
+        got = yield from rq.co_wait(req)
+        self.world.release_request(req)
+        return got
 
     def Recv(
         self,
@@ -237,12 +251,14 @@ class Communicator:
         tag: int = constants.ANY_TAG,
         status: Status | None = None,
     ):
-        got = yield from rq.co_wait(self.Irecv(buf, source, tag))
+        req = self.Irecv(buf, source, tag)
+        got = yield from rq.co_wait(req)
         if status is not None:
             status.source = got.source
             status.tag = got.tag
             status.error = got.error
             status.count_bytes = got.count_bytes
+        self.world.release_request(req)
 
     def Sendrecv(
         self,
@@ -277,6 +293,8 @@ class Communicator:
             status.source = got.source
             status.tag = got.tag
             status.count_bytes = got.count_bytes
+        self.world.release_request(recv_req)
+        self.world.release_request(send_req)
 
     def Iprobe(
         self,
@@ -380,7 +398,7 @@ class Communicator:
             self._check_tag(tag, allow_any=False)
         me_world = self.group.world_rank(self.Get_rank())
         dst_world = self._world_rank(dest, "destination")
-        req = Request(self.world, "send", me_world)
+        req = self.world.acquire_request("send", me_world)
         if dst_world == constants.PROC_NULL:
             req.finish()
             return req
@@ -401,7 +419,7 @@ class Communicator:
         if _ctx is None:
             self._check_tag(tag, allow_any=True)
         me_world = self.group.world_rank(self.Get_rank())
-        req = Request(self.world, "recv", me_world)
+        req = self.world.acquire_request("recv", me_world)
         if source == constants.PROC_NULL:
             req.finish()
             return req
@@ -422,7 +440,10 @@ class Communicator:
         self._run(self._co_send(obj, dest, tag))
 
     def _co_send(self, obj: Any, dest: int, tag: int = 0):
-        return rq.co_wait(self.isend(obj, dest, tag))
+        req = self.isend(obj, dest, tag)
+        got = yield from rq.co_wait(req)
+        self.world.release_request(req)
+        return got
 
     def recv(
         self,
@@ -444,7 +465,8 @@ class Communicator:
             status.source = got.source
             status.tag = got.tag
             status.count_bytes = got.count_bytes
-        raw = getattr(req, "raw_data", None)
+        raw = req.raw_data  # consume before the request goes back to the pool
+        self.world.release_request(req)
         return unpack_object(raw) if raw is not None else None
 
     def sendrecv(self, obj: Any, dest: int, sendtag: int = 0,
@@ -458,7 +480,9 @@ class Communicator:
         recv_req = self.irecv(source, recvtag)
         send_req = self.isend(obj, dest, sendtag)
         yield from rq.co_waitall([recv_req, send_req])
-        raw = getattr(recv_req, "raw_data", None)
+        raw = recv_req.raw_data
+        self.world.release_request(recv_req)
+        self.world.release_request(send_req)
         return unpack_object(raw) if raw is not None else None
 
     # =====================================================================

@@ -10,10 +10,24 @@ transfer.  The 64 KiB protocol switch is precisely where the piece-wise
 linear model places a segment boundary.
 
 Matching is MPI-conformant: per (context, destination) there is a posted-
-receive queue and an unexpected-message queue, both scanned oldest-first;
-``ANY_SOURCE``/``ANY_TAG`` wildcards are supported; messages between the
-same (source, destination, tag) triple are non-overtaking because queue
-order is arrival order.
+receive queue and an unexpected-message queue; ``ANY_SOURCE``/``ANY_TAG``
+wildcards are supported; messages between the same (source, destination,
+tag) triple are non-overtaking because every queue entry carries its
+arrival order.  Two interchangeable queue families implement this
+(``REPRO_MATCH`` / ``SmpiConfig.match``): the default ``index`` mode uses
+the seqno-bucketed match queues of :mod:`repro.simix.mailbox` (O(1)
+exact matches), while ``scan`` keeps the original oldest-first linear
+scan as a bit-identical oracle.  Matching is predicate-free on the hot
+path — envelopes travel as ``(source, tag)`` ints, not closures.
+
+Allocation churn is bounded the same way: ``Message`` and ``_PostedRecv``
+are slotted dataclasses recycled through free-list pools (a message
+returns to :meth:`SmpiWorld.release_message` when it *closes* — payload
+delivered or terminally failed), and completed requests recycle through
+:meth:`SmpiWorld.release_request`.  Pooled objects draw fresh
+``mid``/``rid`` numbers on reuse, so id streams — and therefore simulated
+clocks, snapshots and traces — are bit-identical with and without
+pooling.
 
 Everything here runs inside actor threads under the scheduler's baton, so
 there is no concurrency to guard against — the code reads like the
@@ -24,15 +38,22 @@ from __future__ import annotations
 
 import itertools
 import math
+import os
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..errors import MpiError
+from ..errors import ConfigError, MpiError
 from ..log import get_logger
 from ..simix.contexts import run_blocking
-from ..simix.mailbox import Mailbox
+from ..simix.mailbox import (
+    IndexedMessageQueue,
+    IndexedRecvQueue,
+    ScanMessageQueue,
+    ScanRecvQueue,
+)
 from . import constants
 from .buffer import BufferSpec
 from .intern import intern_meta, payload_key
@@ -41,7 +62,7 @@ from .request import Request
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .runtime import SmpiWorld
 
-__all__ = ["Message", "Protocol"]
+__all__ = ["MATCH_MODES", "Message", "Protocol", "resolve_match_mode"]
 
 _log = get_logger("smpi.pt2pt")
 #: fallback allocator for messages built outside a Protocol (tests);
@@ -49,8 +70,29 @@ _log = get_logger("smpi.pt2pt")
 #: are reproducible within one process and snapshots can restore it
 _msg_ids = itertools.count()
 
+#: the payload sentinel pooled messages park on between lives
+EMPTY_PAYLOAD = np.zeros(0, dtype=np.uint8)
 
-@dataclass
+#: selectable matching implementations (see :func:`resolve_match_mode`)
+MATCH_MODES = ("index", "scan")
+
+
+def resolve_match_mode(mode: str | None = None) -> str:
+    """The effective matching mode: argument, ``REPRO_MATCH``, ``index``.
+
+    Mirrors the engine's sharing dial: an explicit value (usually
+    ``SmpiConfig.match``) wins, then the ``REPRO_MATCH`` environment
+    variable, then the indexed default.
+    """
+    if mode is None:
+        mode = os.environ.get("REPRO_MATCH") or "index"
+    if mode not in MATCH_MODES:
+        raise ConfigError(
+            f"unknown match mode {mode!r}; expected one of {MATCH_MODES}")
+    return mode
+
+
+@dataclass(slots=True)
 class Message:
     """One in-flight message: envelope + payload + protocol state.
 
@@ -85,6 +127,12 @@ class Message:
     #: content key of the interned payload (None when the payload was not
     #: interned); released back to the world's pool at delivery/failure
     payload_key: tuple | None = None
+    #: terminal state: payload consumed or terminally failed; the only
+    #: state a pooled message may be recycled from
+    closed: bool = False
+    #: surfaced to the application by Probe/Iprobe — such a message may
+    #: be user-held and is never recycled
+    probed: bool = False
 
     def __post_init__(self) -> None:
         if self.wire_bytes < 0:
@@ -103,15 +151,25 @@ class Message:
         return True
 
 
-@dataclass
+@dataclass(slots=True)
 class _PostedRecv:
     """A receive waiting in the posted queue."""
 
     source: int
     tag: int
     ctx: int
-    request: Request
+    request: Request | None
     buffer: BufferSpec | None  # None => raw-bytes receive (object API)
+
+
+def _message_envelope(message: Message) -> tuple[int, int]:
+    """Queue key extractor for unexpected messages (concrete envelope)."""
+    return message.src, message.tag
+
+
+def _recv_pattern(recv: _PostedRecv) -> tuple[int, int]:
+    """Queue key extractor for posted receives (possibly-wildcard)."""
+    return recv.source, recv.tag
 
 
 class Protocol:
@@ -119,21 +177,86 @@ class Protocol:
 
     def __init__(self, world: "SmpiWorld") -> None:
         self.world = world
+        self.match_mode = resolve_match_mode(world.config.match)
+        #: the engine's counter sink (duck-typed kernels share the class)
+        self._stats = world.engine.stats
+        #: the world's hot-path profiler, or None (see repro.profile)
+        self.profiler = getattr(world, "profiler", None)
         # (ctx, dst_world_rank) -> queues
-        self._posted: dict[tuple[int, int], Mailbox[_PostedRecv]] = {}
-        self._unexpected: dict[tuple[int, int], Mailbox[Message]] = {}
+        self._posted: dict[tuple[int, int], object] = {}
+        self._unexpected: dict[tuple[int, int], object] = {}
         # actors blocked in Probe, keyed like the queues
         self._probe_waiters: dict[tuple[int, int], list] = {}
+        #: queue keys by destination rank, so a dead-rank purge touches
+        #: only the affected rank's queues instead of every queue pair
+        self._keys_by_dst: dict[int, list[tuple[int, int]]] = {}
+        #: queue keys holding receives pinned to a concrete source, by
+        #: that source rank — the other half of the dead-rank index
+        self._posted_sources: dict[int, dict[tuple[int, int], None]] = {}
+        #: free list recycling _PostedRecv envelopes
+        self._recv_pool: list[_PostedRecv] = []
 
-    def _queues(
-        self, ctx: int, dst: int
-    ) -> tuple[Mailbox[_PostedRecv], Mailbox[Message]]:
+    def _queues(self, ctx: int, dst: int):
         key = (ctx, dst)
         posted = self._posted.get(key)
         if posted is None:
-            posted = self._posted[key] = Mailbox(f"posted-{key}")
-            self._unexpected[key] = Mailbox(f"unexpected-{key}")
+            if self.match_mode == "index":
+                posted = IndexedRecvQueue(
+                    f"posted-{key}", _recv_pattern,
+                    any_source=constants.ANY_SOURCE,
+                    any_tag=constants.ANY_TAG, stats=self._stats)
+                unexpected = IndexedMessageQueue(
+                    f"unexpected-{key}", _message_envelope,
+                    any_source=constants.ANY_SOURCE,
+                    any_tag=constants.ANY_TAG, stats=self._stats)
+            else:
+                posted = ScanRecvQueue(
+                    f"posted-{key}", _recv_pattern,
+                    any_source=constants.ANY_SOURCE,
+                    any_tag=constants.ANY_TAG, stats=self._stats)
+                unexpected = ScanMessageQueue(
+                    f"unexpected-{key}", _message_envelope,
+                    any_source=constants.ANY_SOURCE,
+                    any_tag=constants.ANY_TAG, stats=self._stats)
+            self._posted[key] = posted
+            self._unexpected[key] = unexpected
+            self._keys_by_dst.setdefault(dst, []).append(key)
         return posted, self._unexpected[key]
+
+    # -- posted-receive envelope pool ----------------------------------------------------
+
+    def _acquire_recv(self, source: int, tag: int, ctx: int,
+                      request: Request, buffer: BufferSpec | None
+                      ) -> _PostedRecv:
+        pool = self._recv_pool
+        if pool:
+            recv = pool.pop()
+            recv.source = source
+            recv.tag = tag
+            recv.ctx = ctx
+            recv.request = request
+            recv.buffer = buffer
+            self._stats.pooled_reuses += 1
+            return recv
+        return _PostedRecv(source, tag, ctx, request, buffer)
+
+    def _release_recv(self, recv: _PostedRecv) -> None:
+        recv.request = None
+        recv.buffer = None
+        if len(self._recv_pool) < 4096:
+            self._recv_pool.append(recv)
+
+    def post_restored_recv(self, ctx: int, dst: int,
+                           recv: _PostedRecv) -> None:
+        """Re-queue a checkpointed posted receive (snapshot restore).
+
+        Goes through the same bookkeeping as :meth:`start_recv` so the
+        dead-rank source index survives a checkpoint/resume cycle.
+        """
+        posted, _unexpected = self._queues(ctx, dst)
+        posted.push(recv)
+        if recv.source != constants.ANY_SOURCE:
+            self._posted_sources.setdefault(recv.source, {})[(ctx, dst)] = None
 
     # -- send side ---------------------------------------------------------------------
 
@@ -187,9 +310,8 @@ class Protocol:
                 return local
 
             data = pool.acquire(key, freeze, int(local.size))
-        message = Message(src, dst, tag, ctx, data, eager,
-                          wire_bytes=nbytes, send_req=request,
-                          payload_key=key, mid=next(self.world.msg_seq))
+        message = self.world.acquire_message(
+            src, dst, tag, ctx, data, eager, nbytes, request, key)
         if self.world.recorder is not None:
             request.trace_id = self.world.recorder.send(src, dst, nbytes, tag, ctx)
         request.message = message
@@ -197,9 +319,16 @@ class Protocol:
         request.tag = tag
 
         posted, unexpected = self._queues(ctx, dst)
-        recv = posted.pop_first(lambda r: message.matches(r.source, r.tag))
+        prof = self.profiler
+        if prof is None:
+            recv = posted.pop(src, tag)
+        else:
+            t0 = perf_counter()
+            recv = posted.pop(src, tag)
+            prof.add("match.send", perf_counter() - t0)
         if recv is not None:
-            self._bind(message, recv)
+            self._bind(message, recv.request, recv.buffer)
+            self._release_recv(recv)
             self._start_transfer(message, handshake=not eager)
         else:
             unexpected.push(message)
@@ -235,12 +364,19 @@ class Protocol:
             -1 if buffer is None else buffer.descriptor.nbytes,
         )
         posted, unexpected = self._queues(ctx, dst)
-        recv = _PostedRecv(source, tag, ctx, request, buffer)
-        message = unexpected.pop_first(lambda m: m.matches(source, tag))
+        prof = self.profiler
+        if prof is None:
+            message = unexpected.pop(source, tag)
+        else:
+            t0 = perf_counter()
+            message = unexpected.pop(source, tag)
+            prof.add("match.recv", perf_counter() - t0)
         if message is None:
-            posted.push(recv)
+            posted.push(self._acquire_recv(source, tag, ctx, request, buffer))
+            if source != constants.ANY_SOURCE:
+                self._posted_sources.setdefault(source, {})[(ctx, dst)] = None
             return
-        self._bind(message, recv)
+        self._bind(message, request, buffer)
         if message.eager:
             if message.delivered:
                 self._deliver(message)
@@ -250,8 +386,18 @@ class Protocol:
 
     def cancel_recv(self, request: Request) -> None:
         """Remove a not-yet-matched posted receive (MPI_Cancel)."""
-        for mailbox in self._posted.values():
-            if mailbox.pop_first(lambda r: r.request is request) is not None:
+        meta = request.meta
+        if meta is not None and meta[0] == "recv":
+            keys = ((meta[2], request.owner_rank),)
+        else:  # request never reached start_recv; search everywhere
+            keys = tuple(self._posted)
+        for key in keys:
+            queue = self._posted.get(key)
+            if queue is None:
+                continue
+            recv = queue.remove_first(lambda r: r.request is request)
+            if recv is not None:
+                self._release_recv(recv)
                 return
 
     # -- probing (extension beyond the paper's subset) ----------------------------------
@@ -260,7 +406,17 @@ class Protocol:
                ) -> Message | None:
         """Non-destructive check for a matching announced message."""
         _posted, unexpected = self._queues(ctx, dst)
-        return unexpected.peek_first(lambda m: m.matches(source, tag))
+        prof = self.profiler
+        if prof is None:
+            message = unexpected.peek(source, tag)
+        else:
+            t0 = perf_counter()
+            message = unexpected.peek(source, tag)
+            prof.add("match.probe", perf_counter() - t0)
+        if message is not None:
+            # the application may hold this envelope: never recycle it
+            message.probed = True
+        return message
 
     def probe(self, dst: int, source: int, tag: int, ctx: int) -> Message:
         """Block until a matching message is announced; returns it."""
@@ -294,13 +450,33 @@ class Protocol:
             if pool is not None:
                 pool.release(key)
 
-    def _bind(self, message: Message, recv: _PostedRecv) -> None:
-        message.recv_req = recv.request
-        recv.request.message = message
-        recv.request.source = message.src
-        recv.request.tag = message.tag
+    def _close_message(self, message: Message) -> None:
+        """Terminal point of a message's life: detach and recycle.
+
+        Both endpoint requests are complete here (delivery and terminal
+        failure finish them first), so dropping their ``message`` link is
+        safe — nothing reads it after completion — and required: a
+        recycled envelope must not be reachable from old handles.
+        """
+        self._release_payload(message)
+        message.closed = True
+        send_req, recv_req = message.send_req, message.recv_req
+        if send_req is not None and send_req.complete \
+                and send_req.message is message:
+            send_req.message = None
+        if recv_req is not None and recv_req.complete \
+                and recv_req.message is message:
+            recv_req.message = None
+        self.world.release_message(message)
+
+    def _bind(self, message: Message, request: Request,
+              buffer: BufferSpec | None) -> None:
+        message.recv_req = request
+        request.message = message
+        request.source = message.src
+        request.tag = message.tag
         # stash the buffer on the request for delivery time
-        recv.request._recv_buffer = recv.buffer  # type: ignore[attr-defined]
+        request._recv_buffer = buffer
 
     def _start_transfer(self, message: Message, handshake: bool) -> None:
         world = self.world
@@ -430,7 +606,7 @@ class Protocol:
             if req is not None:
                 req.error_exc = error
                 req.finish()
-        self._release_payload(message)
+        self._close_message(message)
 
     def fail_peer(self, rank: int) -> None:
         """Fail every pending operation talking to a now-dead rank.
@@ -439,34 +615,41 @@ class Protocol:
         the ranks of a failed host: receives posted *from* the dead rank
         and unmatched rendezvous sends *to* it complete with
         MPI_ERR_PROC_FAILED in their (live) owner ranks; queues owned by
-        the dead rank itself are simply dropped.
+        the dead rank itself are simply dropped.  Only the queues the
+        dead-rank indexes name are touched — a kill at 16k ranks no
+        longer walks every queue pair in the world.
         """
         error = MpiError(
             constants.ERR_PROC_FAILED,
             f"peer rank {rank} died (host failure)",
         )
-        for (_ctx, dst), posted in self._posted.items():
-            if dst == rank:  # receives posted by the dead rank: drop
-                while posted.pop_first(lambda r: True) is not None:
-                    pass
+        # receives posted by live ranks naming the dead rank as source
+        for key in self._posted_sources.pop(rank, ()):
+            if key[1] == rank:
+                continue  # the dead rank's own queues are dropped below
+            posted = self._posted.get(key)
+            if posted is None:
                 continue
             while True:
-                recv = posted.pop_first(lambda r: r.source == rank)
+                recv = posted.pop_source(rank)
                 if recv is None:
                     break
                 recv.request.error_exc = error
                 recv.request.finish()
-        for (_ctx, dst), unexpected in self._unexpected.items():
-            if dst != rank:
-                continue
+                self._release_recv(recv)
+        # the dead rank's own queue pairs
+        for key in self._keys_by_dst.get(rank, ()):
+            for recv in self._posted[key].drain():
+                self._release_recv(recv)
+            unexpected = self._unexpected[key]
             while True:  # rendezvous senders still holding their payload
-                message = unexpected.pop_first(lambda m: not m.eager)
+                message = unexpected.pop_if(lambda m: not m.eager)
                 if message is None:
                     break
                 if message.send_req is not None:
                     message.send_req.error_exc = error
                     message.send_req.finish()
-                self._release_payload(message)
+                self._close_message(message)
 
     def _deliver(self, message: Message) -> None:
         """Copy payload into the receive buffer and complete the recv."""
@@ -474,14 +657,16 @@ class Protocol:
         assert request is not None
         if request.complete:
             return
-        buffer: BufferSpec | None = getattr(request, "_recv_buffer", None)
+        prof = self.profiler
+        t0 = perf_counter() if prof is not None else 0.0
+        buffer: BufferSpec | None = request._recv_buffer
         try:
             if int(message.data.size) != message.wire_bytes:
                 pass  # zero-copy: payload was never carried (results wrong)
             elif buffer is not None:
                 buffer.unpack(message.data)
             else:
-                request.raw_data = message.data  # type: ignore[attr-defined]
+                request.raw_data = message.data
         except Exception as exc:  # delivery failure: report in the owner rank
             request.error_exc = exc
         finally:
@@ -490,3 +675,6 @@ class Protocol:
             self._release_payload(message)
         request.received_bytes = message.nbytes
         request.finish()
+        self._close_message(message)
+        if prof is not None:
+            prof.add("pt2pt.deliver", perf_counter() - t0)

@@ -55,9 +55,30 @@ _ids = Sequencer()
 
 
 class Request:
-    """Handle of one in-flight point-to-point operation."""
+    """Handle of one in-flight point-to-point operation.
+
+    Slotted and pooled: completed requests recycle through
+    :meth:`~repro.smpi.runtime.SmpiWorld.release_request` /
+    ``acquire_request`` free lists.  A recycled request draws a *fresh*
+    ``rid`` from the module sequencer, so the rid stream — which heap
+    tie-breaks and snapshots depend on — is identical with and without
+    pooling.
+    """
+
+    __slots__ = (
+        "rid", "world", "kind", "owner_rank", "complete", "cancelled",
+        "source", "tag", "received_bytes", "message", "trace_id", "meta",
+        "error_exc", "raw_data", "_recv_buffer", "_on_complete",
+    )
 
     def __init__(self, world: "SmpiWorld | None", kind: str, owner_rank: int):
+        #: deferred buffer delivery, run at completion (receiver side)
+        self._on_complete: list[Callable[[], None]] = []
+        self._reset(world, kind, owner_rank)
+
+    def _reset(self, world: "SmpiWorld | None", kind: str,
+               owner_rank: int) -> None:
+        """(Re)initialize for one operation; the pool's reuse hook."""
         self.rid = next(_ids)
         self.world = world
         self.kind = kind  # "send" | "recv" | "null"
@@ -78,8 +99,10 @@ class Request:
         #: delivery-time failure (e.g. truncation), re-raised in the
         #: owning rank when it waits/tests the request
         self.error_exc: BaseException | None = None
-        #: deferred buffer delivery, run at completion (receiver side)
-        self._on_complete: list[Callable[[], None]] = []
+        #: payload of a raw-bytes (object-API) receive, set at delivery
+        self.raw_data = None
+        #: receive-buffer spec stashed by the protocol at match time
+        self._recv_buffer = None
 
     # -- protocol side ---------------------------------------------------------------
 
@@ -147,6 +170,8 @@ class PersistentRequest(Request):
     grafts the resulting live request's completion onto this handle.
     """
 
+    __slots__ = ("_activate", "active", "_live")
+
     def __init__(
         self,
         world: "SmpiWorld",
@@ -164,6 +189,10 @@ class PersistentRequest(Request):
         """MPI_Start: begin one round of the stored operation."""
         if self.active:
             raise MpiError(constants.ERR_REQUEST, "request already active")
+        stale, self._live = self._live, None
+        if stale is not None and self.world is not None:
+            # the previous round's live request is done and unreachable
+            self.world.release_request(stale)
         self.active = True
         self.complete = False
         live = self._activate()

@@ -28,6 +28,7 @@ from typing import Any, Callable, Iterator
 import numpy as np
 
 from ..errors import MpiError, SimulationError
+from ..profile import Profiler
 from ..seq import Sequencer
 from ..simix import Scheduler
 from ..simix.actor import Actor
@@ -41,7 +42,8 @@ from .config import SmpiConfig
 from .group import Group
 from .intern import InternPool
 from .memory import MemoryReport, MemoryTracker
-from .pt2pt import Protocol
+from .pt2pt import EMPTY_PAYLOAD, Message, Protocol
+from .request import Request
 from .sampling import Sampler
 from .shared import SharedHeap
 
@@ -76,6 +78,19 @@ class SmpiWorld:
         #: per-world message-id allocator — per-run ids keep repeated
         #: runs in one process byte-identical and snapshots restorable
         self.msg_seq = Sequencer()
+        #: opt-in hot-path wall timers (``config.profile``); the counters
+        #: in ``engine.stats`` are always on — see :mod:`repro.profile`
+        self.profiler = Profiler() if self.config.profile else None
+        if self.profiler is not None:
+            try:
+                self.engine.profiler = self.profiler
+            except AttributeError:  # duck-typed kernels with __slots__
+                pass
+        #: free lists recycling completed requests/messages (bounded; a
+        #: reuse draws fresh rid/mid numbers, so id streams — and thus
+        #: clocks and snapshots — are identical with and without pooling)
+        self._request_pool: list[Request] = []
+        self._message_pool: list[Message] = []
         self.protocol = Protocol(self)
         self.sampler = Sampler(self)
         self.heap = SharedHeap(self)
@@ -203,6 +218,101 @@ class SmpiWorld:
     def wake_rank(self, rank: int) -> None:
         if 0 <= rank < len(self._actors):
             self.scheduler.wake(self._actors[rank])
+
+    # -- free-list pools (matching fast path, docs/performance.md) ----------------------
+
+    _POOL_CAP = 4096  # bound pooled-object memory per world
+
+    def acquire_request(self, kind: str, owner_rank: int) -> Request:
+        """A fresh-or-recycled :class:`Request` bound to this world."""
+        pool = self._request_pool
+        if pool:
+            request = pool.pop()
+            request._reset(self, kind, owner_rank)
+            self.engine.stats.pooled_reuses += 1
+            return request
+        return Request(self, kind, owner_rank)
+
+    def release_request(self, request: Request) -> None:
+        """Offer a finished request back to the free list.
+
+        Only plain, cleanly completed requests of this world recycle —
+        and only once their message (if any) is closed, since an open
+        message still reaches back through ``send_req``/``recv_req``.
+        Anything else (persistent handles, cancelled or errored requests,
+        foreign worlds) is simply left for the garbage collector.
+        """
+        if (type(request) is not Request or request.world is not self
+                or not request.complete or request.cancelled
+                or request.error_exc is not None):
+            return
+        message = request.message
+        if message is not None and not message.closed:
+            return
+        request.message = None
+        request.meta = None
+        request.trace_id = None
+        request.raw_data = None
+        request._recv_buffer = None
+        request._on_complete = []
+        pool = self._request_pool
+        if len(pool) < self._POOL_CAP:
+            pool.append(request)
+
+    def acquire_message(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        ctx: int,
+        data: np.ndarray,
+        eager: bool,
+        wire_bytes: int,
+        send_req: Request | None,
+        payload_key: tuple | None,
+    ) -> Message:
+        """A fresh-or-recycled :class:`Message` with a fresh ``mid``."""
+        pool = self._message_pool
+        if pool:
+            message = pool.pop()
+            message.src = src
+            message.dst = dst
+            message.tag = tag
+            message.ctx = ctx
+            message.data = data
+            message.eager = eager
+            message.wire_bytes = wire_bytes
+            message.mid = next(self.msg_seq)
+            message.send_req = send_req
+            message.recv_req = None
+            message.delivered = False
+            message.transfer = None
+            message.attempts = 0
+            message.timed_out = False
+            message.watchdog = None
+            message.handshake = False
+            message.payload_key = payload_key
+            message.closed = False
+            message.probed = False
+            self.engine.stats.pooled_reuses += 1
+            return message
+        return Message(src, dst, tag, ctx, data, eager,
+                       wire_bytes=wire_bytes, send_req=send_req,
+                       payload_key=payload_key, mid=next(self.msg_seq))
+
+    def release_message(self, message: Message) -> None:
+        """Recycle a closed message (protocol-internal terminal point)."""
+        if message.probed or not message.closed:
+            # probed envelopes may be application-held; never recycle
+            return
+        message.data = EMPTY_PAYLOAD
+        message.send_req = None
+        message.recv_req = None
+        message.transfer = None
+        message.watchdog = None
+        pool = self._message_pool
+        if len(pool) < self._POOL_CAP:
+            pool.append(message)
 
     # -- fault handling (docs/faults.md) ------------------------------------------------
 
@@ -501,6 +611,8 @@ def smpirun(
     world.trace.finish(simulated)
 
     memory = world.memory.report()
+    if world.profiler is not None and world.profiler:
+        world.engine.stats.extra["profile"] = world.profiler.to_dict()
     if world.payload_pool.acquires or memory.intern_naive_peak:
         # surface the interned-vs-naive gap next to the engine counters
         world.engine.stats.extra["interning"] = {

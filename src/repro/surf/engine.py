@@ -60,6 +60,7 @@ import os
 from dataclasses import dataclass, field, fields
 from heapq import heappop, heappush
 from itertools import islice
+from time import perf_counter
 
 from ..errors import SimulationError
 from ..log import bind_clock, get_logger
@@ -139,13 +140,29 @@ class EngineStats:
     #: component solves that hit the approx-mode round cap and took the
     #: bandwidth-fraction fallback; always 0 with ``sharing="exact"``
     approx_events: int = 0
+    #: pt2pt match-queue entries examined across all matching attempts
+    #: (both ``index`` and ``scan`` modes count identically: one probe
+    #: per entry looked at, minimum one per attempt) — the cost metric
+    #: the matching ablation bench gates on
+    match_probes: int = 0
+    #: successful matches whose envelope carried no wildcard (the
+    #: indexed queues serve these from an O(1) bucket popleft)
+    match_fast_hits: int = 0
+    #: matching attempts resolved through a wildcard pattern
+    #: (ANY_SOURCE/ANY_TAG on either side)
+    wildcard_scans: int = 0
+    #: Request/Message/_PostedRecv objects served from a free-list pool
+    #: instead of freshly allocated (see docs/performance.md)
+    pooled_reuses: int = 0
     extra: dict = field(default_factory=dict)
 
     #: wire-format version stamped into :meth:`to_dict` payloads; bump it
-    #: whenever a counter changes meaning (renames/removals), so stale
-    #: serialized stats — e.g. sweep memo-cache entries — are rejected
-    #: instead of silently misread
-    SCHEMA_VERSION = 1
+    #: whenever a counter changes meaning (renames/removals/additions), so
+    #: stale serialized stats — e.g. sweep memo-cache entries — are
+    #: rejected instead of silently misread.  v2: added the match/alloc
+    #: counters (match_probes, match_fast_hits, wildcard_scans,
+    #: pooled_reuses).
+    SCHEMA_VERSION = 2
 
     def to_dict(self) -> dict:
         """Serialize every counter to a plain-JSON-compatible dict.
@@ -220,6 +237,9 @@ class Engine:
         #: pending actions by aid (insertion order == registration order)
         self.pending: dict[int, Action] = {}
         self.stats = EngineStats()
+        #: opt-in wall-timer sink (:class:`repro.profile.Profiler`);
+        #: attached by the SMPI runtime under ``--profile``, None otherwise
+        self.profiler = None
         self._needs_share = True  # resource shares need recomputation
         self._solver = IncrementalMaxMin(sharing=sharing)
         #: RUNNING actions currently registered as solver flows, by aid
@@ -385,12 +405,16 @@ class Engine:
         ``full_reshare=True`` the historical path rebuilds and re-solves
         the entire system instead.
         """
+        prof = self.profiler
+        t0 = perf_counter() if prof is not None else 0.0
         self.stats.shares += 1
         if self.full_reshare:
             self._share_full()
         else:
             self._share_incremental()
         self._needs_share = False
+        if prof is not None:
+            prof.add("engine.share", perf_counter() - t0)
 
     def _share_incremental(self) -> None:
         solver = self._solver
@@ -595,6 +619,16 @@ class Engine:
         that indicates an internal inconsistency, since max-min always
         grants positive rates to flows on positive-capacity resources.
         """
+        prof = self.profiler
+        if prof is not None:
+            t0 = perf_counter()
+            try:
+                return self._step_timed()
+            finally:
+                prof.add("engine.step", perf_counter() - t0)
+        return self._step_timed()
+
+    def _step_timed(self) -> list[Action]:
         self.stats.steps += 1
         instant = self._drain_instant()
         if instant:
